@@ -1,0 +1,143 @@
+// Command erasmus-sim runs a single verifier/prover ERASMUS deployment and
+// prints a timeline: self-measurements, malware visits, collections and
+// verification verdicts.
+//
+// Example:
+//
+//	erasmus-sim -alg blake2s -mem 4096 -tm 1h -tc 4h \
+//	    -duration 24h -infect 3h35m/20m -infect 9h/persistent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/qoa"
+	"erasmus/internal/sim"
+)
+
+type infectFlags []qoa.Infection
+
+func (f *infectFlags) String() string { return fmt.Sprintf("%v", []qoa.Infection(*f)) }
+
+// Set parses "ENTER/DWELL" or "ENTER/persistent", with Go duration syntax.
+func (f *infectFlags) Set(s string) error {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("infection %q: want ENTER/DWELL or ENTER/persistent", s)
+	}
+	enter, err := time.ParseDuration(parts[0])
+	if err != nil {
+		return fmt.Errorf("infection enter time: %w", err)
+	}
+	inf := qoa.Infection{Enter: sim.Ticks(enter)}
+	if parts[1] != "persistent" {
+		dwell, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return fmt.Errorf("infection dwell: %w", err)
+		}
+		inf.Dwell = sim.Ticks(dwell)
+	}
+	*f = append(*f, inf)
+	return nil
+}
+
+func main() {
+	var (
+		tm       = flag.Duration("tm", time.Hour, "measurement period TM")
+		tc       = flag.Duration("tc", 4*time.Hour, "collection period TC")
+		duration = flag.Duration("duration", 24*time.Hour, "simulated horizon")
+		memSize  = flag.Int("mem", 1024, "attested memory size in bytes")
+		slots    = flag.Int("n", 0, "buffer slots (default: minimum for TC ≤ n·TM)")
+		k        = flag.Int("k", 0, "records per collection (default ⌈TC/TM⌉)")
+		irregL   = flag.Duration("irregular-min", 0, "irregular schedule lower bound (enables §3.5 mode with -irregular-max)")
+		irregU   = flag.Duration("irregular-max", 0, "irregular schedule upper bound")
+		algName  = flag.String("alg", "blake2s", "MAC algorithm: sha1, sha256, blake2s")
+		trace    = flag.Bool("trace", false, "print the prover's event stream")
+	)
+	var infections infectFlags
+	flag.Var(&infections, "infect", "malware visit ENTER/DWELL (repeatable), e.g. 3h30m/20m or 9h/persistent")
+	flag.Parse()
+
+	alg, err := mac.ParseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erasmus-sim:", err)
+		os.Exit(2)
+	}
+	var recorder core.EventRecorder
+	cfg := qoa.ScenarioConfig{
+		Alg: alg,
+		TM:  sim.Ticks(*tm), TC: sim.Ticks(*tc),
+		Duration: sim.Ticks(*duration), MemorySize: *memSize,
+		Slots: *slots, K: *k,
+		IrregularL: sim.Ticks(*irregL), IrregularU: sim.Ticks(*irregU),
+		Infections: infections,
+	}
+	if *trace {
+		cfg.OnEvent = recorder.Observe
+	}
+	res, err := qoa.RunScenario(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erasmus-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("ERASMUS deployment: TM=%v TC=%v k=%d n=%d mem=%dB alg=%v\n",
+		res.Config.TM, res.Config.TC, res.Config.K, res.Config.Slots, res.Config.MemorySize, res.Config.Alg)
+	q := struct{ k, n int }{res.Config.K, res.Config.Slots}
+	fmt.Printf("QoA: E[freshness]=%v, max detection delay=%v, buffer constraint TC ≤ n·TM: %v ≤ %v\n\n",
+		res.Config.TM/2, res.Config.TM+res.Config.TC,
+		res.Config.TC, sim.Ticks(q.n)*res.Config.TM)
+
+	for i, o := range res.Outcomes {
+		kind := "persistent"
+		if o.Infection.Leaves() {
+			kind = fmt.Sprintf("dwells %v", o.Infection.Dwell)
+		}
+		verdict := "UNDETECTED"
+		if o.Detected {
+			verdict = fmt.Sprintf("DETECTED at %v", o.DetectedAt)
+		} else if o.Measured {
+			verdict = "measured but not yet collected"
+		}
+		fmt.Printf("infection %d: enter=%v (%s) -> %s\n", i+1, o.Infection.Enter, kind, verdict)
+	}
+	if len(res.Outcomes) > 0 {
+		fmt.Println()
+	}
+
+	healthy := 0
+	for i, rep := range res.Reports {
+		status := "healthy"
+		if rep.InfectionDetected {
+			status = "INFECTION"
+		} else if rep.TamperDetected {
+			status = "TAMPER"
+		}
+		if rep.Healthy() {
+			healthy++
+		}
+		fmt.Printf("collection %2d: %d records, freshness %v, %s\n",
+			i+1, len(rep.Records), rep.Freshness, status)
+		for _, issue := range rep.Issues {
+			fmt.Printf("    issue: %s\n", issue)
+		}
+	}
+	fmt.Printf("\nprover: %d measurements, %d collections served; %d/%d healthy reports; mean freshness %v\n",
+		res.ProverStat.Measurements, res.ProverStat.Collections, healthy, len(res.Reports), res.MeanFreshness())
+	if res.ProverStat.Aborted > 0 || res.ProverStat.Missed > 0 {
+		fmt.Printf("aborted %d, missed windows %d, retries %d\n",
+			res.ProverStat.Aborted, res.ProverStat.Missed, res.ProverStat.RetriesQueued)
+	}
+	if *trace {
+		fmt.Println("\nprover event stream:")
+		for _, ev := range recorder.Events() {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Command erasmus-udp runs the ERASMUS collection protocol over real UDP
+// sockets: a prover daemon whose self-measurement schedule follows the
+// wall clock, and a verifier client that collects from it.
+//
+// Serve a prover (i.MX6-class model, TM = 2s, 64 KB memory):
+//
+//	erasmus-udp serve -listen 127.0.0.1:7000 -tm 2s -mem 65536 -key secret
+//
+// Collect the 5 latest records:
+//
+//	erasmus-udp collect -server 127.0.0.1:7000 -k 5 -key secret
+//
+// Collect with a fresh on-demand measurement (ERASMUS+OD):
+//
+//	erasmus-udp collect -server 127.0.0.1:7000 -k 5 -key secret -od
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/sim"
+	"erasmus/internal/udptransport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serve(os.Args[2:])
+	case "collect":
+		collect(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: erasmus-udp serve|collect [flags]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7000", "UDP listen address")
+	tm := fs.Duration("tm", 2*time.Second, "measurement period TM")
+	memSize := fs.Int("mem", 64*1024, "attested memory bytes")
+	slots := fs.Int("n", 64, "buffer slots")
+	keyStr := fs.String("key", "", "device secret K (required)")
+	algName := fs.String("alg", "blake2s", "MAC algorithm")
+	fs.Parse(args)
+	if *keyStr == "" {
+		fatal("serve: -key is required")
+	}
+	alg, err := mac.ParseAlgorithm(*algName)
+	check(err)
+
+	e := sim.NewEngine()
+	dev, err := imx6.New(imx6.Config{
+		Engine:     e,
+		MemorySize: *memSize,
+		StoreSize:  *slots * core.RecordSize(alg),
+		Key:        []byte(*keyStr),
+	})
+	check(err)
+	sched, err := core.NewRegular(sim.Ticks(*tm))
+	check(err)
+	p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: *slots})
+	check(err)
+	p.Start()
+
+	srv, err := udptransport.Serve(*listen, e, p, alg)
+	check(err)
+	fmt.Printf("prover serving on %s: TM=%v mem=%dB alg=%v n=%d\n",
+		srv.Addr(), *tm, *memSize, alg, *slots)
+	fmt.Println("ctrl-c to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	fmt.Printf("\nstopped: %d measurements taken, %d collections served\n",
+		p.Stats().Measurements, p.Stats().Collections)
+}
+
+func collect(args []string) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	server := fs.String("server", "127.0.0.1:7000", "prover address")
+	k := fs.Int("k", 5, "records to collect")
+	keyStr := fs.String("key", "", "device secret K (required)")
+	algName := fs.String("alg", "blake2s", "MAC algorithm")
+	od := fs.Bool("od", false, "ERASMUS+OD: request a fresh on-demand measurement")
+	epochOffset := fs.Duration("prover-uptime", 0, "time since the prover daemon started (for -od freshness)")
+	fs.Parse(args)
+	if *keyStr == "" {
+		fatal("collect: -key is required")
+	}
+	alg, err := mac.ParseAlgorithm(*algName)
+	check(err)
+	key := []byte(*keyStr)
+
+	c, err := udptransport.Dial(*server, alg, key)
+	check(err)
+	defer c.Close()
+
+	var records []core.Record
+	if *od {
+		start := time.Now().Add(-*epochOffset)
+		clock := func() uint64 { return imx6.DefaultEpoch + uint64(time.Since(start)) }
+		m0, hist, err := c.CollectOD(*k, clock)
+		check(err)
+		fmt.Printf("M0 (fresh): t=%d ok=%v\n", m0.T, m0.VerifyMAC(alg, key))
+		records = hist
+	} else {
+		records, err = c.Collect(*k)
+		check(err)
+	}
+
+	fmt.Printf("%d records (newest first):\n", len(records))
+	for i, r := range records {
+		fmt.Printf("  %2d: t=%d  H(mem)=%x...  MAC ok=%v\n",
+			i, r.T, r.Hash[:8], r.VerifyMAC(alg, key))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "erasmus-udp:", msg)
+	os.Exit(1)
+}

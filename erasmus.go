@@ -1,0 +1,274 @@
+// Package erasmus is a simulation-backed implementation of ERASMUS:
+// Efficient Remote Attestation via Self-Measurement for Unattended Settings
+// (Carpent, Rattanavipanon, Tsudik — DATE 2018, arXiv:1707.09043).
+//
+// In ERASMUS a prover device measures its own memory on a schedule driven
+// by a hardware timer and a Reliable Read-Only Clock, storing records
+//
+//	M_t = <t, H(mem_t), MAC_K(t, H(mem_t))>
+//
+// in a rolling buffer held in insecure storage; a verifier occasionally
+// collects the k most recent records — with no cryptographic work on the
+// prover — and validates the device's state *history*, catching mobile
+// malware that on-demand attestation misses.
+//
+// This package is the stable public surface over the internal packages:
+//
+//   - device models: NewMSP430 (SMART+ low-end MCU) and NewIMX6 (HYDRA on
+//     seL4, medium-end) with calibrated cost models;
+//   - the prover runtime (NewProver) with regular, irregular (§3.5) and
+//     lenient-window (§5) schedules;
+//   - the verifier (NewVerifier) with history validation and
+//     Quality-of-Attestation accounting;
+//   - experiment harnesses for the paper's security arguments (the qoa
+//     aliases) and swarm attestation (the swarm aliases).
+//
+// See the examples/ directory for runnable end-to-end scenarios and
+// EXPERIMENTS.md for the reproduction of every table and figure.
+package erasmus
+
+import (
+	"erasmus/internal/core"
+	"erasmus/internal/costmodel"
+	"erasmus/internal/crypto/drbg"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/fleet"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/netsim"
+	"erasmus/internal/qoa"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+	"erasmus/internal/swarm"
+)
+
+// Virtual time. One tick is one nanosecond of simulated time.
+type (
+	// Ticks is a point in, or duration of, virtual time.
+	Ticks = sim.Ticks
+	// Engine is the discrete-event scheduler every simulation runs on.
+	Engine = sim.Engine
+)
+
+// Re-exported time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// NewEngine creates a simulation engine at virtual time zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// MAC algorithms evaluated in the paper.
+type Algorithm = mac.Algorithm
+
+// The three MAC choices of Table 1 / Figures 6 and 8.
+const (
+	HMACSHA1     = mac.HMACSHA1
+	HMACSHA256   = mac.HMACSHA256
+	KeyedBLAKE2s = mac.KeyedBLAKE2s
+)
+
+// Algorithms lists all supported MAC algorithms.
+func Algorithms() []Algorithm { return mac.Algorithms() }
+
+// ParseAlgorithm resolves an algorithm name (e.g. "blake2s").
+func ParseAlgorithm(name string) (Algorithm, error) { return mac.ParseAlgorithm(name) }
+
+// Target platforms with calibrated cost models.
+type Arch = costmodel.Arch
+
+// The paper's two implementation platforms.
+const (
+	MSP430 = costmodel.MSP430 // OpenMSP430 @ 8 MHz under SMART+
+	IMX6   = costmodel.IMX6   // i.MX6 Sabre Lite @ 1 GHz under HYDRA
+)
+
+// Core attestation types.
+type (
+	// Record is one self-measurement M_t.
+	Record = core.Record
+	// Buffer is the prover's rolling measurement store.
+	Buffer = core.Buffer
+	// Device abstracts the security architecture a prover runs on.
+	Device = core.Device
+	// Prover is the ERASMUS runtime on one device.
+	Prover = core.Prover
+	// ProverConfig parameterizes a prover.
+	ProverConfig = core.ProverConfig
+	// Verifier validates collected histories.
+	Verifier = core.Verifier
+	// VerifierConfig parameterizes a verifier.
+	VerifierConfig = core.VerifierConfig
+	// Report is a verification outcome.
+	Report = core.Report
+	// QoA captures the §3.1 Quality-of-Attestation parameters.
+	QoA = core.QoA
+	// Schedule drives self-measurement timing.
+	Schedule = core.Schedule
+	// CollectTiming itemizes prover-side collection cost (Table 2).
+	CollectTiming = core.CollectTiming
+)
+
+// MSP430Config configures a low-end SMART+ device.
+type MSP430Config = mcu.Config
+
+// NewMSP430 builds an MSP430-class prover device (SMART+).
+func NewMSP430(cfg MSP430Config) (*mcu.Device, error) { return mcu.New(cfg) }
+
+// IMX6Config configures a HYDRA board.
+type IMX6Config = imx6.Config
+
+// NewIMX6 builds an i.MX6-class prover device (HYDRA on seL4).
+func NewIMX6(cfg IMX6Config) (*imx6.Device, error) { return imx6.New(cfg) }
+
+// NewProver builds the ERASMUS runtime over any device model.
+func NewProver(dev Device, cfg ProverConfig) (*Prover, error) { return core.NewProver(dev, cfg) }
+
+// NewVerifier builds a verifier.
+func NewVerifier(cfg VerifierConfig) (*Verifier, error) { return core.NewVerifier(cfg) }
+
+// NewRegularSchedule measures every tm (phase 0).
+func NewRegularSchedule(tm Ticks) (Schedule, error) {
+	s, err := core.NewRegular(tm)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewStaggeredSchedule measures every tm at the given phase offset, for
+// swarm members that must not measure simultaneously (§6).
+func NewStaggeredSchedule(tm, phase Ticks) (Schedule, error) {
+	s, err := core.NewRegularWithPhase(tm, phase)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewIrregularSchedule draws intervals in [l, u) from a CSPRNG keyed with
+// the device secret (§3.5); schedule-aware malware cannot predict it.
+func NewIrregularSchedule(key, personalization []byte, l, u Ticks) (Schedule, error) {
+	return core.NewIrregular(drbg.New(key, personalization), l, u)
+}
+
+// StatelessIrregularSchedule is the PRF variant of §3.5's irregular
+// intervals: TM_next = map(PRF_K(t_i)). Being stateless, it lets the
+// verifier recompute and check every expected interval from any collected
+// history without replaying a generator from device boot.
+type StatelessIrregularSchedule = core.StatelessIrregular
+
+// NewStatelessIrregularSchedule builds the spot-verifiable irregular
+// schedule with intervals in [l, u).
+func NewStatelessIrregularSchedule(alg Algorithm, key []byte, l, u Ticks) (*StatelessIrregularSchedule, error) {
+	return core.NewStatelessIrregular(alg, key, l, u)
+}
+
+// RecordSize returns the encoded size of one measurement record, used to
+// dimension device store regions: StoreSize = Slots × RecordSize(alg).
+func RecordSize(alg Algorithm) int { return core.RecordSize(alg) }
+
+// MeasurementTime returns the calibrated duration of one self-measurement
+// over memBytes of memory (Fig. 6 / Fig. 8).
+func MeasurementTime(a Arch, alg Algorithm, memBytes int) Ticks {
+	return costmodel.MeasurementTime(a, alg, memBytes)
+}
+
+// Experiment harnesses (Quality of Attestation, §3.4/§3.5/§5).
+type (
+	// Infection is one malware visit in a QoA scenario.
+	Infection = qoa.Infection
+	// ScenarioConfig parameterizes a measure→infect→collect→verify run.
+	ScenarioConfig = qoa.ScenarioConfig
+	// ScenarioResult aggregates a scenario run.
+	ScenarioResult = qoa.ScenarioResult
+	// AvailabilityConfig parameterizes the §5 time-sensitive experiment.
+	AvailabilityConfig = qoa.AvailabilityConfig
+	// AvailabilityResult reports deadline misses vs attestation loss.
+	AvailabilityResult = qoa.AvailabilityResult
+)
+
+// RunScenario executes a full QoA scenario (Fig. 1 style).
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) { return qoa.RunScenario(cfg) }
+
+// RunAvailability executes the §5 time-sensitive application experiment.
+func RunAvailability(cfg AvailabilityConfig) (AvailabilityResult, error) {
+	return qoa.RunAvailability(cfg)
+}
+
+// Swarm attestation (§6).
+type (
+	// SwarmConfig parameterizes a mobile swarm.
+	SwarmConfig = swarm.Config
+	// Swarm is a group of prover devices with mobility.
+	Swarm = swarm.Swarm
+	// SwarmInstanceResult reports one collective attestation instance.
+	SwarmInstanceResult = swarm.InstanceResult
+)
+
+// NewSwarm builds a mobile swarm of ERASMUS provers.
+func NewSwarm(cfg SwarmConfig) (*Swarm, error) { return swarm.New(cfg) }
+
+// Networking: the UDP-like simulated transport and the collection
+// protocols running over it.
+type (
+	// Network is a lossy, latency-modeled datagram fabric.
+	Network = netsim.Network
+	// NetworkConfig parameterizes latency, jitter and loss.
+	NetworkConfig = netsim.Config
+	// ProverEndpoint serves a prover's collection phase on the network.
+	ProverEndpoint = session.ProverEndpoint
+	// VerifierClient issues collections with timeout and retransmission.
+	VerifierClient = session.VerifierClient
+	// CollectResult is a networked collection outcome.
+	CollectResult = session.CollectResult
+)
+
+// NewNetwork builds a simulated datagram network.
+func NewNetwork(e *Engine, cfg NetworkConfig) (*Network, error) { return netsim.New(e, cfg) }
+
+// AttachProver binds a prover to a network address.
+func AttachProver(n *Network, e *Engine, addr string, p *Prover, alg Algorithm) (*ProverEndpoint, error) {
+	return session.AttachProver(n, e, addr, p, alg)
+}
+
+// NewVerifierClient builds a networked collection client.
+func NewVerifierClient(n *Network, e *Engine, addr string, alg Algorithm, key []byte, clock func() uint64) (*VerifierClient, error) {
+	return session.NewVerifierClient(n, e, addr, alg, key, clock)
+}
+
+// Fleet operations: a verifier managing a population of provers.
+type (
+	// FleetManager schedules collections and raises alerts for a device
+	// population.
+	FleetManager = fleet.Manager
+	// FleetDeviceConfig registers one prover with the manager.
+	FleetDeviceConfig = fleet.DeviceConfig
+	// FleetAlert is one fleet event (infection, tamper, unreachable).
+	FleetAlert = fleet.Alert
+	// FleetDeviceStatus is one dashboard line.
+	FleetDeviceStatus = fleet.DeviceStatus
+)
+
+// Fleet alert kinds.
+const (
+	AlertInfection   = fleet.AlertInfection
+	AlertTamper      = fleet.AlertTamper
+	AlertUnreachable = fleet.AlertUnreachable
+	AlertRecovered   = fleet.AlertRecovered
+)
+
+// NewFleetManager builds the verifier-side operations layer.
+func NewFleetManager(e *Engine, n *Network, addr string, clock func() uint64) (*FleetManager, error) {
+	return fleet.NewManager(e, n, addr, clock)
+}
+
+// DefaultEpoch is the RROC value at simulation time zero for both device
+// models (the paper's Fig. 3 timestamp), in nanoseconds; verifier clocks
+// built as DefaultEpoch + engine.Now() stay synchronized with devices.
+const DefaultEpoch = mcu.DefaultEpoch

@@ -1,0 +1,60 @@
+// Stealthy: §3.5 — defeating schedule-aware mobile malware.
+//
+// Malware resident on the device can watch the CPU and learn exactly when
+// self-measurements happen. Against a regular schedule it enters right
+// after one measurement and leaves before the next — never caught. An
+// irregular schedule draws every interval from a CSPRNG keyed with the
+// device secret K: the malware cannot read K, cannot predict the next
+// measurement, and gets caught whenever the drawn interval undercuts its
+// dwell time. The verifier, who knows K, still checks the whole timestamp
+// chain record by record.
+//
+// Run with:
+//
+//	go run ./examples/stealthy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"erasmus"
+	"erasmus/internal/qoa"
+)
+
+func main() {
+	const visits = 15
+	fmt.Printf("%-14s %-34s %10s\n", "malware dwell", "prover schedule", "evasion")
+	for _, dwell := range []erasmus.Ticks{15 * erasmus.Minute, 30 * erasmus.Minute, 50 * erasmus.Minute} {
+		regular, err := qoa.EvasionProbability(qoa.ScenarioConfig{
+			TM: erasmus.Hour, TC: 4 * erasmus.Hour, Duration: erasmus.Hour,
+		}, dwell, visits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		irregular, err := qoa.EvasionProbability(qoa.ScenarioConfig{
+			IrregularL: 10 * erasmus.Minute, IrregularU: 70 * erasmus.Minute,
+			TC: 4 * erasmus.Hour, Duration: erasmus.Hour,
+		}, dwell, visits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14v %-34s %9.0f%%\n", dwell, "regular, TM = 1h", regular.Evasion*100)
+		fmt.Printf("%-14v %-34s %9.0f%%\n", dwell, "irregular, CSPRNG_K in [10m,70m)", irregular.Evasion*100)
+	}
+
+	// The verifier-side view: the stateless-PRF variant lets the verifier
+	// recompute every expected interval from K and catch record deletion
+	// even inside the allowed [L, U) spread.
+	sched, err := erasmus.NewStatelessIrregularSchedule(
+		erasmus.KeyedBLAKE2s, []byte("device-K"), 10*erasmus.Minute, 70*erasmus.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := uint64(1_000_000_000_000)
+	t1 := t0 + uint64(sched.IntervalAfter(t0))
+	t2 := t1 + uint64(sched.IntervalAfter(t1))
+	fmt.Printf("\nverifier recomputes the chain from K: %v then %v\n",
+		erasmus.Ticks(t1-t0), erasmus.Ticks(t2-t1))
+	fmt.Println("any deleted or inserted record breaks the recomputed chain (§3.5 + §3.4).")
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// Buffer is the prover's rolling measurement store (§3.2, Fig. 3): a fixed
+// region of insecure memory organized as a windowed circular buffer of n
+// fixed-size record slots. The i-th measurement is stored at L_{i mod n}.
+//
+// The backing slice is supplied by the device (its Store region), so
+// resident malware can tamper with stored records — which, per §3.4, is
+// detected at the next collection because malware cannot forge MACs.
+type Buffer struct {
+	alg     mac.Algorithm
+	n       int
+	recSize int
+	backing []byte
+}
+
+// NewBuffer wraps a device store region as an n-slot buffer. The region
+// must hold at least n records.
+func NewBuffer(alg mac.Algorithm, n int, backing []byte) (*Buffer, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: buffer needs ≥1 slot, got %d", n)
+	}
+	rs := RecordSize(alg)
+	if len(backing) < n*rs {
+		return nil, fmt.Errorf("core: store of %d bytes cannot hold %d records of %d bytes",
+			len(backing), n, rs)
+	}
+	return &Buffer{alg: alg, n: n, recSize: rs, backing: backing}, nil
+}
+
+// Slots returns n, the buffer capacity in records.
+func (b *Buffer) Slots() int { return b.n }
+
+// SlotForTime implements the paper's stateless schedule mapping for regular
+// intervals: i = ⌊t/TM⌋ mod n. Because it depends only on the RROC value
+// and configuration, the prover needs no persistent write cursor — it
+// recovers the correct slot even after a reboot.
+func (b *Buffer) SlotForTime(t uint64, tm sim.Ticks) int {
+	if tm <= 0 {
+		panic(fmt.Sprintf("core: non-positive TM %v", tm))
+	}
+	return int((t / uint64(tm)) % uint64(b.n))
+}
+
+// Put stores the record in the given slot.
+func (b *Buffer) Put(slot int, r Record) {
+	b.check(slot)
+	copy(b.backing[slot*b.recSize:], r.Encode(b.alg))
+}
+
+// Get reads the record in the given slot. The result is unauthenticated.
+func (b *Buffer) Get(slot int) (Record, error) {
+	b.check(slot)
+	return DecodeRecord(b.alg, b.backing[slot*b.recSize:(slot+1)*b.recSize])
+}
+
+// Erase zeroes a slot (used by tamper experiments to model record
+// deletion by malware).
+func (b *Buffer) Erase(slot int) {
+	b.check(slot)
+	for i := slot * b.recSize; i < (slot+1)*b.recSize; i++ {
+		b.backing[i] = 0
+	}
+}
+
+// Latest returns the k most recent records reading backward from slot i:
+// M = {*L_{(i−j) mod n} | 0 ≤ j < k}, the collection set of Fig. 2. k is
+// clamped to n, per the protocol ("if k > n: k = n"). Never-written
+// (all-zero) slots are skipped, so a freshly booted prover returns fewer
+// than k records rather than garbage.
+func (b *Buffer) Latest(i, k int) []Record {
+	b.check(i)
+	if k > b.n {
+		k = b.n
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]Record, 0, k)
+	for j := 0; j < k; j++ {
+		slot := ((i-j)%b.n + b.n) % b.n
+		r, err := b.Get(slot)
+		if err != nil {
+			continue
+		}
+		if r.IsZero() {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func (b *Buffer) check(slot int) {
+	if slot < 0 || slot >= b.n {
+		panic(fmt.Sprintf("core: slot %d outside buffer of %d", slot, b.n))
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+func newTestBuffer(t *testing.T, n int) *Buffer {
+	t.Helper()
+	backing := make([]byte, n*RecordSize(mac.HMACSHA256))
+	b, err := NewBuffer(mac.HMACSHA256, n, backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBufferValidation(t *testing.T) {
+	if _, err := NewBuffer(mac.HMACSHA256, 0, nil); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewBuffer(mac.HMACSHA256, 2, make([]byte, RecordSize(mac.HMACSHA256))); err == nil {
+		t.Error("undersized backing accepted")
+	}
+	if _, err := NewBuffer(mac.HMACSHA256, 2, make([]byte, 2*RecordSize(mac.HMACSHA256))); err != nil {
+		t.Errorf("exact-size backing rejected: %v", err)
+	}
+}
+
+// Fig. 3's example: n = 12, i = 3 — the paper's slot arithmetic.
+func TestSlotForTimePaperExample(t *testing.T) {
+	b := newTestBuffer(t, 12)
+	tm := sim.Ticks(uint64(sim.Hour))
+	// After 15 measurement windows: i = 15 mod 12 = 3.
+	tstamp := uint64(15)*uint64(tm) + 12345
+	if got := b.SlotForTime(tstamp, tm); got != 3 {
+		t.Fatalf("slot = %d, want 3", got)
+	}
+}
+
+func TestSlotForTimeNonPositiveTMPanics(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TM=0 did not panic")
+		}
+	}()
+	b.SlotForTime(100, 0)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	rec := ComputeRecord(mac.HMACSHA256, testKey, 99, []byte("mem"))
+	b.Put(2, rec)
+	got, err := b.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != 99 || !got.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestSlotBoundsPanic(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	for _, f := range []func(){
+		func() { b.Put(4, Record{}) },
+		func() { b.Get(-1) },
+		func() { b.Erase(4) },
+		func() { b.Latest(4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range slot did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLatestNewestFirst(t *testing.T) {
+	b := newTestBuffer(t, 5)
+	for i := 0; i < 5; i++ {
+		b.Put(i, ComputeRecord(mac.HMACSHA256, testKey, uint64(100+i), []byte{byte(i)}))
+	}
+	got := b.Latest(4, 3)
+	if len(got) != 3 {
+		t.Fatalf("Latest returned %d records", len(got))
+	}
+	wantT := []uint64{104, 103, 102}
+	for i, r := range got {
+		if r.T != wantT[i] {
+			t.Fatalf("Latest[%d].T = %d, want %d", i, r.T, wantT[i])
+		}
+	}
+}
+
+func TestLatestWrapsAroundRing(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	// Write 6 measurements: slots 0,1,2,3,0,1 — slots 0,1 now hold t=104,105.
+	for i := 0; i < 6; i++ {
+		b.Put(i%4, ComputeRecord(mac.HMACSHA256, testKey, uint64(100+i), nil))
+	}
+	got := b.Latest(1, 4)
+	wantT := []uint64{105, 104, 103, 102}
+	if len(got) != 4 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i, r := range got {
+		if r.T != wantT[i] {
+			t.Fatalf("Latest[%d].T = %d, want %d", i, r.T, wantT[i])
+		}
+	}
+}
+
+// "if k > n: k = n" from Fig. 2.
+func TestLatestClampsKToN(t *testing.T) {
+	b := newTestBuffer(t, 3)
+	for i := 0; i < 3; i++ {
+		b.Put(i, ComputeRecord(mac.HMACSHA256, testKey, uint64(i+1), nil))
+	}
+	if got := b.Latest(2, 100); len(got) != 3 {
+		t.Fatalf("k>n returned %d records, want 3", len(got))
+	}
+	if got := b.Latest(2, -5); len(got) != 0 {
+		t.Fatalf("negative k returned %d records", len(got))
+	}
+}
+
+func TestLatestSkipsNeverWrittenSlots(t *testing.T) {
+	b := newTestBuffer(t, 8)
+	b.Put(0, ComputeRecord(mac.HMACSHA256, testKey, 10, nil))
+	b.Put(1, ComputeRecord(mac.HMACSHA256, testKey, 20, nil))
+	got := b.Latest(1, 8)
+	if len(got) != 2 {
+		t.Fatalf("fresh buffer returned %d records, want 2", len(got))
+	}
+}
+
+func TestEraseModelsDeletion(t *testing.T) {
+	b := newTestBuffer(t, 3)
+	for i := 0; i < 3; i++ {
+		b.Put(i, ComputeRecord(mac.HMACSHA256, testKey, uint64(i+1), nil))
+	}
+	b.Erase(1)
+	got := b.Latest(2, 3)
+	if len(got) != 2 {
+		t.Fatalf("after erase got %d records, want 2", len(got))
+	}
+	for _, r := range got {
+		if r.T == 2 {
+			t.Fatal("erased record still returned")
+		}
+	}
+}
+
+func TestBufferSharesBacking(t *testing.T) {
+	// Malware tampering through the raw store must be visible via Get.
+	backing := make([]byte, 2*RecordSize(mac.HMACSHA256))
+	b, _ := NewBuffer(mac.HMACSHA256, 2, backing)
+	rec := ComputeRecord(mac.HMACSHA256, testKey, 5, []byte("x"))
+	b.Put(0, rec)
+	backing[9] ^= 0xFF // flip a hash byte in slot 0
+	got, _ := b.Get(0)
+	if got.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("tampered record still verifies")
+	}
+}
+
+// Property: the stateless slot map assigns distinct consecutive windows to
+// distinct slots until wrapping — measurements within the last n windows
+// never collide.
+func TestPropertySlotNoCollisionWithinWindow(t *testing.T) {
+	f := func(start uint32, tmRaw uint16, nRaw uint8) bool {
+		n := int(nRaw)%16 + 2
+		tm := sim.Ticks(tmRaw) + 1
+		backing := make([]byte, n*RecordSize(mac.HMACSHA1))
+		b, err := NewBuffer(mac.HMACSHA1, n, backing)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		base := uint64(start)
+		for w := 0; w < n; w++ {
+			tstamp := (base/uint64(tm)+uint64(w))*uint64(tm) + uint64(tm)/2
+			slot := b.SlotForTime(tstamp, tm)
+			if seen[slot] {
+				return false
+			}
+			seen[slot] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Latest(i, k) returns at most k records, in strictly
+// decreasing timestamp order, whenever writes used increasing timestamps.
+func TestPropertyLatestOrdered(t *testing.T) {
+	f := func(count uint8, kRaw uint8) bool {
+		n := 8
+		b, err := NewBuffer(mac.HMACSHA1, n, make([]byte, n*RecordSize(mac.HMACSHA1)))
+		if err != nil {
+			return false
+		}
+		writes := int(count)%20 + 1
+		for i := 0; i < writes; i++ {
+			b.Put(i%n, ComputeRecord(mac.HMACSHA1, testKey, uint64(i+1), nil))
+		}
+		k := int(kRaw) % (n + 3)
+		got := b.Latest((writes-1)%n, k)
+		if len(got) > k && k >= 0 {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].T >= got[i-1].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

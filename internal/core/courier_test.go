@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+func makeBundle(t *testing.T) Bundle {
+	t.Helper()
+	endT := uint64(10 * sim.Hour)
+	return Bundle{
+		DeviceID:    "sensor-17",
+		CollectedAt: endT + uint64(10*sim.Minute),
+		Records:     history(4, endT, sim.Hour, []byte("clean")),
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := makeBundle(t)
+	got, err := DecodeBundle(alg, b.Encode(alg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeviceID != "sensor-17" || got.CollectedAt != b.CollectedAt || len(got.Records) != 4 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range b.Records {
+		if got.Records[i].T != b.Records[i].T {
+			t.Fatal("record order lost")
+		}
+	}
+}
+
+func TestBundleDecodeRejectsMalformed(t *testing.T) {
+	b := makeBundle(t).Encode(alg)
+	for _, mut := range [][]byte{
+		{},
+		{0},
+		b[:5],
+		append(append([]byte{}, b...), 0xAA),
+	} {
+		if _, err := DecodeBundle(alg, mut); err == nil {
+			t.Fatalf("malformed bundle of %d bytes accepted", len(mut))
+		}
+	}
+	// Oversized claimed ID length.
+	bad := append([]byte{0xFF, 0xFF}, b...)
+	if _, err := DecodeBundle(alg, bad); err == nil {
+		t.Fatal("bundle with bogus id length accepted")
+	}
+}
+
+func TestHonestCourierVerifies(t *testing.T) {
+	b := makeBundle(t)
+	v := newTestVerifier(t, goldenFor([]byte("clean")))
+	rep := v.VerifyBundle(b, b.CollectedAt, 4)
+	if !rep.Healthy() {
+		t.Fatalf("honest courier bundle rejected: %v", rep.Issues)
+	}
+}
+
+// A dishonest courier can cause loss but never false evidence: every
+// manipulation is flagged and nothing it does makes an infected device
+// look clean (or vice versa) without detection.
+func TestDishonestCourierDetected(t *testing.T) {
+	v := newTestVerifier(t, goldenFor([]byte("clean")))
+
+	// Courier drops a record.
+	b := makeBundle(t)
+	b.Records = append(b.Records[:1], b.Records[2:]...)
+	if rep := v.VerifyBundle(b, b.CollectedAt, 4); !rep.TamperDetected {
+		t.Fatal("record drop not detected")
+	}
+
+	// Courier reorders.
+	b = makeBundle(t)
+	b.Records[0], b.Records[1] = b.Records[1], b.Records[0]
+	if rep := v.VerifyBundle(b, b.CollectedAt, 4); !rep.TamperDetected {
+		t.Fatal("reorder not detected")
+	}
+
+	// Courier corrupts a byte in transit.
+	b = makeBundle(t)
+	enc := b.Encode(alg)
+	enc[len(enc)-3] ^= 0x80
+	got, err := DecodeBundle(alg, enc)
+	if err == nil {
+		if rep := v.VerifyBundle(got, b.CollectedAt, 4); !rep.TamperDetected {
+			t.Fatal("corruption not detected")
+		}
+	}
+
+	// Courier relabels the bundle as another device: nothing verifies
+	// under the other device's key.
+	b = makeBundle(t)
+	otherVrf, err := NewVerifier(VerifierConfig{
+		Alg: alg, Key: []byte("a different device key"),
+		GoldenHashes: [][]byte{goldenFor([]byte("clean"))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := otherVrf.VerifyBundle(b, b.CollectedAt, 4)
+	if !rep.TamperDetected {
+		t.Fatal("cross-device relabeling not detected")
+	}
+	for _, vr := range rep.Records {
+		if vr.Verdict == VerdictOK {
+			t.Fatal("foreign record verified under wrong key")
+		}
+	}
+}
+
+// The courier cannot suppress evidence of infection by re-collecting: it
+// can only deliver (detected) gaps.
+func TestCourierCannotLaunderInfection(t *testing.T) {
+	clean := []byte("clean")
+	infected := []byte("infected!")
+	endT := uint64(10 * sim.Hour)
+	recs := history(4, endT, sim.Hour, clean)
+	recs[2] = ComputeRecord(alg, testKey, endT-2*uint64(sim.Hour), infected)
+
+	v := newTestVerifier(t, goldenFor(clean))
+
+	// Deliver as-is: infection visible.
+	b := Bundle{DeviceID: "d", CollectedAt: endT, Records: recs}
+	if rep := v.VerifyBundle(b, endT, 4); !rep.InfectionDetected {
+		t.Fatal("infection lost in bundle")
+	}
+	// Strip the infected record: the hole is visible instead.
+	b.Records = append(append([]Record{}, recs[:2]...), recs[3:]...)
+	rep := v.VerifyBundle(b, endT, 4)
+	if rep.InfectionDetected {
+		t.Fatal("stripped record still reported infected (test broken)")
+	}
+	if !rep.TamperDetected {
+		t.Fatal("stripping the infected record went unnoticed")
+	}
+}

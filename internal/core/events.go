@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"erasmus/internal/sim"
+)
+
+// Prover event stream. Unattended devices are debugged after the fact;
+// the runtime therefore exposes a structured event feed (measurement
+// lifecycle, collection service, request rejections) that deployments can
+// persist or forward. Emission is optional and costs nothing when no
+// observer is installed.
+
+// EventKind classifies a prover runtime event.
+type EventKind string
+
+// Prover event kinds.
+const (
+	EventMeasurement      EventKind = "measurement"       // record committed
+	EventMeasurementAbort EventKind = "measurement-abort" // in-flight measurement aborted
+	EventRetryScheduled   EventKind = "retry-scheduled"   // lenient-window retry queued
+	EventWindowMissed     EventKind = "window-missed"     // measurement window lost
+	EventCollection       EventKind = "collection"        // ERASMUS collection served
+	EventODServed         EventKind = "od-served"         // on-demand request served
+	EventODRejected       EventKind = "od-rejected"       // on-demand request rejected
+)
+
+// Event is one entry in the prover's event stream.
+type Event struct {
+	// At is the simulation time of the event.
+	At sim.Ticks
+	// Kind classifies it.
+	Kind EventKind
+	// T is the RROC timestamp of the associated record, if any.
+	T uint64
+	// Detail is a human-readable annotation.
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.T != 0 {
+		return fmt.Sprintf("%v %s t=%d %s", e.At, e.Kind, e.T, e.Detail)
+	}
+	return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Detail)
+}
+
+// emit delivers an event to the configured observer, if any.
+func (p *Prover) emit(kind EventKind, t uint64, detail string) {
+	if p.cfg.OnEvent == nil {
+		return
+	}
+	p.cfg.OnEvent(Event{At: p.dev.Engine().Now(), Kind: kind, T: t, Detail: detail})
+}
+
+// EventRecorder is a ready-made observer that accumulates events.
+type EventRecorder struct {
+	events []Event
+}
+
+// Observe is the callback to install as ProverConfig.OnEvent.
+func (r *EventRecorder) Observe(e Event) { r.events = append(r.events, e) }
+
+// Events returns a copy of everything recorded.
+func (r *EventRecorder) Events() []Event { return append([]Event(nil), r.events...) }
+
+// OfKind filters recorded events.
+func (r *EventRecorder) OfKind(kind EventKind) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of the kind were recorded ("" = all).
+func (r *EventRecorder) Count(kind EventKind) int {
+	if kind == "" {
+		return len(r.events)
+	}
+	return len(r.OfKind(kind))
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+func newTracedProver(t *testing.T, e *sim.Engine, lenient float64) (*mcu.Device, *Prover, *EventRecorder) {
+	t.Helper()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 1024,
+		StoreSize: 8 * RecordSize(mac.HMACSHA256),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &EventRecorder{}
+	sched, _ := NewRegular(sim.Hour)
+	p, err := NewProver(dev, ProverConfig{
+		Alg: mac.HMACSHA256, Schedule: sched, Slots: 8,
+		LenientWindow: lenient,
+		OnEvent:       rec.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, p, rec
+}
+
+func TestMeasurementEventsEmitted(t *testing.T) {
+	e := sim.NewEngine()
+	_, p, rec := newTracedProver(t, e, 0)
+	p.Start()
+	e.RunUntil(3 * sim.Hour)
+	p.Stop()
+	// Measurements fire at ~32 min past each hour (epoch alignment):
+	// three land within 3 hours.
+	if got := rec.Count(EventMeasurement); got != 3 {
+		t.Fatalf("measurement events = %d, want 3", got)
+	}
+	for _, ev := range rec.OfKind(EventMeasurement) {
+		if ev.T == 0 || !strings.Contains(ev.Detail, "slot") {
+			t.Fatalf("malformed measurement event: %+v", ev)
+		}
+		if ev.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+}
+
+func TestAbortAndRetryEvents(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p, rec := newTracedProver(t, e, 1.5)
+	p.Start()
+	first := firstAligned(sim.Hour)
+	dev.SetOneShotTimer(first+100*sim.Millisecond, func() { p.AbortMeasurement() })
+	e.RunUntil(first + 2*sim.Hour)
+	p.Stop()
+	if rec.Count(EventMeasurementAbort) != 1 {
+		t.Fatalf("abort events = %d", rec.Count(EventMeasurementAbort))
+	}
+	if rec.Count(EventRetryScheduled) != 1 {
+		t.Fatalf("retry events = %d", rec.Count(EventRetryScheduled))
+	}
+	if rec.Count(EventWindowMissed) != 0 {
+		t.Fatalf("missed events = %d, want 0 under lenient", rec.Count(EventWindowMissed))
+	}
+}
+
+func TestMissedWindowEvent(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p, rec := newTracedProver(t, e, 0) // strict
+	p.Start()
+	first := firstAligned(sim.Hour)
+	dev.SetOneShotTimer(first+100*sim.Millisecond, func() { p.AbortMeasurement() })
+	e.RunUntil(first + 30*sim.Minute)
+	p.Stop()
+	if rec.Count(EventWindowMissed) != 1 {
+		t.Fatalf("missed events = %d, want 1 under strict", rec.Count(EventWindowMissed))
+	}
+}
+
+func TestCollectionAndODEvents(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p, rec := newTracedProver(t, e, 0)
+	p.HandleCollect(3) // empty history
+	p.Start()
+	e.RunUntil(2 * sim.Hour)
+	p.Stop()
+	p.HandleCollect(3)
+
+	treq := dev.RROC() + 1
+	p.HandleCollectOD(treq, 1, NewODRequestMAC(mac.HMACSHA256, testKey, treq, 1))
+	p.HandleOnDemand(treq, []byte("garbage")) // replay + bad → rejected
+
+	if rec.Count(EventCollection) != 2 {
+		t.Fatalf("collection events = %d", rec.Count(EventCollection))
+	}
+	if rec.Count(EventODServed) != 1 {
+		t.Fatalf("od-served events = %d", rec.Count(EventODServed))
+	}
+	if rec.Count(EventODRejected) != 1 {
+		t.Fatalf("od-rejected events = %d", rec.Count(EventODRejected))
+	}
+	if rec.Count("") < 5 {
+		t.Fatalf("total events = %d", rec.Count(""))
+	}
+}
+
+func TestNoObserverZeroCost(t *testing.T) {
+	e := sim.NewEngine()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 64,
+		StoreSize: 4 * RecordSize(mac.HMACSHA256), Key: testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := NewRegular(sim.Hour)
+	p, err := NewProver(dev, ProverConfig{Alg: mac.HMACSHA256, Schedule: sched, Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	e.RunUntil(2 * sim.Hour)
+	p.Stop() // must simply not panic without an observer
+}
+
+func TestEventRecorderCopies(t *testing.T) {
+	r := &EventRecorder{}
+	r.Observe(Event{Kind: EventMeasurement})
+	evs := r.Events()
+	evs[0].Kind = "tampered"
+	if r.Events()[0].Kind != EventMeasurement {
+		t.Fatal("Events exposed internal slice")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// StatelessIrregular implements §3.5's irregular intervals with a
+// *stateless* PRF instead of a stateful DRBG:
+//
+//	TM_next = map(PRF_K(t_i)),  map: x ↦ x mod (U−L) + L
+//
+// Because the interval following the measurement at t_i depends only on K
+// and t_i, the verifier can check any pair of consecutive records in a
+// collected history without replaying the generator from device boot —
+// deleting a record breaks the chain arithmetic and is caught even when
+// the resulting gap happens to lie inside [L, U). Malware still cannot
+// predict intervals: the PRF is keyed with K, which it cannot read.
+type StatelessIrregular struct {
+	alg  mac.Algorithm
+	key  []byte
+	l, u sim.Ticks
+}
+
+// NewStatelessIrregular validates bounds and builds the schedule. The key
+// must be the device secret K (prover side: accessed inside Attest;
+// verifier side: its provisioned copy).
+func NewStatelessIrregular(alg mac.Algorithm, key []byte, l, u sim.Ticks) (*StatelessIrregular, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("core: invalid MAC algorithm %d", int(alg))
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("core: stateless irregular schedule requires K")
+	}
+	if l <= 0 || u <= l {
+		return nil, fmt.Errorf("core: irregular bounds [%v,%v) invalid", l, u)
+	}
+	return &StatelessIrregular{alg: alg, key: append([]byte(nil), key...), l: l, u: u}, nil
+}
+
+// IntervalAfter returns the interval that follows a measurement taken at
+// RROC time t — a pure function of (K, t).
+func (s *StatelessIrregular) IntervalAfter(t uint64) sim.Ticks {
+	var msg [16]byte
+	copy(msg[:8], "TM-next\x00")
+	binary.BigEndian.PutUint64(msg[8:], t)
+	tag := mac.Sum(s.alg, s.key, msg[:])
+	x := binary.BigEndian.Uint64(tag[:8])
+	span := uint64(s.u - s.l)
+	return s.l + sim.Ticks(x%span)
+}
+
+// NextInterval implements Schedule.
+func (s *StatelessIrregular) NextInterval(t uint64) sim.Ticks { return s.IntervalAfter(t) }
+
+// NominalTM implements Schedule (midpoint of the bounds).
+func (s *StatelessIrregular) NominalTM() sim.Ticks { return (s.l + s.u) / 2 }
+
+// Stateless reports false for buffer addressing purposes: slots are still
+// sequence-addressed because windows have variable length. (The *schedule*
+// is a pure function of the clock, but ⌊t/TM⌋ is not meaningful.)
+func (s *StatelessIrregular) Stateless() bool { return false }
+
+// Bounds returns [L, U).
+func (s *StatelessIrregular) Bounds() (l, u sim.Ticks) { return s.l, s.u }
+
+// VerifyIrregularChain checks a newest-first history against the schedule:
+// every consecutive pair must satisfy
+//
+//	t_newer ≈ t_older + IntervalAfter(t_older)
+//
+// within tolerance (queueing and retry jitter). It returns the indices (in
+// the supplied slice) of pairs that break the chain. A deleted or inserted
+// record is always flagged, because the expected interval is recomputable
+// from the older timestamp alone.
+func (s *StatelessIrregular) VerifyIrregularChain(recs []Record, tolerance sim.Ticks) []int {
+	var bad []int
+	for i := 1; i < len(recs); i++ {
+		older := recs[i].T
+		newer := recs[i-1].T
+		if newer <= older {
+			bad = append(bad, i)
+			continue
+		}
+		want := uint64(s.IntervalAfter(older))
+		got := newer - older
+		diff := int64(got) - int64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > int64(tolerance) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}

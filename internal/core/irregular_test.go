@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+func newStateless(t *testing.T) *StatelessIrregular {
+	t.Helper()
+	s, err := NewStatelessIrregular(mac.KeyedBLAKE2s, testKey, 10*sim.Minute, 70*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStatelessIrregularValidation(t *testing.T) {
+	if _, err := NewStatelessIrregular(mac.Algorithm(0), testKey, 1, 2); err == nil {
+		t.Error("invalid alg accepted")
+	}
+	if _, err := NewStatelessIrregular(mac.HMACSHA256, nil, 1, 2); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := NewStatelessIrregular(mac.HMACSHA256, testKey, 0, 2); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := NewStatelessIrregular(mac.HMACSHA256, testKey, 5, 5); err == nil {
+		t.Error("U=L accepted")
+	}
+}
+
+func TestStatelessIrregularBoundsAndDeterminism(t *testing.T) {
+	s := newStateless(t)
+	l, u := s.Bounds()
+	for i := 0; i < 300; i++ {
+		tv := uint64(i) * 977
+		iv := s.IntervalAfter(tv)
+		if iv < l || iv >= u {
+			t.Fatalf("interval %v outside [%v,%v)", iv, l, u)
+		}
+		if iv != s.IntervalAfter(tv) {
+			t.Fatal("not deterministic")
+		}
+	}
+	if s.NominalTM() != 40*sim.Minute {
+		t.Fatalf("NominalTM = %v", s.NominalTM())
+	}
+	if s.Stateless() {
+		t.Fatal("stateless-irregular must use sequence slot addressing")
+	}
+}
+
+func TestStatelessIrregularKeySeparation(t *testing.T) {
+	a := newStateless(t)
+	b, _ := NewStatelessIrregular(mac.KeyedBLAKE2s, []byte("other"), 10*sim.Minute, 70*sim.Minute)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.IntervalAfter(uint64(i)) == b.IntervalAfter(uint64(i)) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("%d/100 intervals coincide across keys", same)
+	}
+}
+
+func TestVerifyIrregularChainAcceptsTrueHistory(t *testing.T) {
+	s := newStateless(t)
+	// Build the exact chain the prover would produce.
+	ts := []uint64{1_000_000_000}
+	for i := 0; i < 6; i++ {
+		ts = append(ts, ts[len(ts)-1]+uint64(s.IntervalAfter(ts[len(ts)-1])))
+	}
+	recs := make([]Record, 0, len(ts))
+	for i := len(ts) - 1; i >= 0; i-- { // newest first
+		recs = append(recs, Record{T: ts[i]})
+	}
+	if bad := s.VerifyIrregularChain(recs, sim.Second); len(bad) != 0 {
+		t.Fatalf("true chain rejected at %v", bad)
+	}
+}
+
+func TestVerifyIrregularChainCatchesDeletion(t *testing.T) {
+	s := newStateless(t)
+	ts := []uint64{1_000_000_000}
+	for i := 0; i < 6; i++ {
+		ts = append(ts, ts[len(ts)-1]+uint64(s.IntervalAfter(ts[len(ts)-1])))
+	}
+	// Delete the middle timestamp: the surrounding pair's gap no longer
+	// equals IntervalAfter(older) (probability ~1).
+	cut := append(append([]uint64{}, ts[:3]...), ts[4:]...)
+	recs := make([]Record, 0, len(cut))
+	for i := len(cut) - 1; i >= 0; i-- {
+		recs = append(recs, Record{T: cut[i]})
+	}
+	if bad := s.VerifyIrregularChain(recs, sim.Second); len(bad) == 0 {
+		t.Fatal("deletion not caught by chain verification")
+	}
+}
+
+func TestVerifyIrregularChainCatchesReorderAndInsert(t *testing.T) {
+	s := newStateless(t)
+	t0 := uint64(5_000_000_000)
+	t1 := t0 + uint64(s.IntervalAfter(t0))
+	t2 := t1 + uint64(s.IntervalAfter(t1))
+	// Reorder.
+	if bad := s.VerifyIrregularChain([]Record{{T: t1}, {T: t2}, {T: t0}}, sim.Second); len(bad) == 0 {
+		t.Fatal("reorder not caught")
+	}
+	// Insert a fabricated timestamp between t1 and t2.
+	forged := t1 + uint64(10*sim.Minute)
+	if bad := s.VerifyIrregularChain([]Record{{T: t2}, {T: forged}, {T: t1}, {T: t0}}, sim.Second); len(bad) == 0 {
+		t.Fatal("insertion not caught")
+	}
+}
+
+// Property: the chain verifier accepts every honestly generated chain and
+// the intervals stay within bounds.
+func TestPropertyStatelessChainSound(t *testing.T) {
+	s := newStateless(t)
+	f := func(start uint32, steps uint8) bool {
+		n := int(steps)%8 + 2
+		ts := []uint64{uint64(start) + 1}
+		for i := 0; i < n; i++ {
+			ts = append(ts, ts[len(ts)-1]+uint64(s.IntervalAfter(ts[len(ts)-1])))
+		}
+		recs := make([]Record, 0, len(ts))
+		for i := len(ts) - 1; i >= 0; i-- {
+			recs = append(recs, Record{T: ts[i]})
+		}
+		return len(s.VerifyIrregularChain(recs, 0)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// End to end: a prover driven by the stateless schedule produces a history
+// that passes chain verification, and erasing one record breaks it.
+func TestStatelessIrregularProverIntegration(t *testing.T) {
+	e := sim.NewEngine()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 256,
+		StoreSize: 32 * RecordSize(mac.KeyedBLAKE2s),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewStatelessIrregular(mac.KeyedBLAKE2s, testKey, 10*sim.Minute, 40*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(dev, ProverConfig{Alg: mac.KeyedBLAKE2s, Schedule: sched, Slots: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	e.RunUntil(4 * sim.Hour)
+	p.Stop()
+	recs, _ := p.HandleCollect(32)
+	if len(recs) < 6 {
+		t.Fatalf("only %d records", len(recs))
+	}
+	// Queueing delays the measurement start slightly after the timer, so
+	// allow a small tolerance (measurement duration ≈ 0.12 s at 256 B).
+	if bad := sched.VerifyIrregularChain(recs, sim.Second); len(bad) != 0 {
+		t.Fatalf("live chain rejected at %v", bad)
+	}
+	// Malware erases a record: the collection shrinks and the chain
+	// breaks at the splice.
+	p.Buffer().Erase(3)
+	recs, _ = p.HandleCollect(32)
+	if bad := sched.VerifyIrregularChain(recs, sim.Second); len(bad) == 0 {
+		t.Fatal("erasure not caught by chain verification")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"erasmus/internal/crypto/mac"
+)
+
+// Wire encodings for the collection protocols, used over the simulated UDP
+// network (internal/netsim) and by the swarm relay protocol. All integers
+// are big-endian; record lists are length-prefixed with a uint16 count.
+
+// Packet kind discriminators.
+const (
+	KindCollectRequest  = "erasmus/collect-req"
+	KindCollectResponse = "erasmus/collect-resp"
+	KindODRequest       = "erasmus/od-req"
+	KindODResponse      = "erasmus/od-resp"
+)
+
+// CollectRequest asks for the k latest self-measurements (Fig. 2). It is
+// deliberately unauthenticated: serving it costs the prover nothing
+// cryptographic, so there is no DoS surface (§3).
+type CollectRequest struct {
+	K int
+}
+
+// Encode serializes the request.
+func (r CollectRequest) Encode() []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(r.K))
+	return b[:]
+}
+
+// DecodeCollectRequest parses a request.
+func DecodeCollectRequest(b []byte) (CollectRequest, error) {
+	if len(b) != 4 {
+		return CollectRequest{}, fmt.Errorf("core: collect request length %d, want 4", len(b))
+	}
+	return CollectRequest{K: int(binary.BigEndian.Uint32(b))}, nil
+}
+
+// encodeRecords serializes a newest-first record list.
+func encodeRecords(alg mac.Algorithm, recs []Record) []byte {
+	out := make([]byte, 2, 2+len(recs)*RecordSize(alg))
+	binary.BigEndian.PutUint16(out, uint16(len(recs)))
+	for _, r := range recs {
+		out = append(out, r.Encode(alg)...)
+	}
+	return out
+}
+
+// decodeRecords parses a record list.
+func decodeRecords(alg mac.Algorithm, b []byte) ([]Record, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("core: record list truncated")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	rs := RecordSize(alg)
+	if len(b) < n*rs {
+		return nil, nil, fmt.Errorf("core: record list holds %d bytes, want %d", len(b), n*rs)
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := DecodeRecord(alg, b[i*rs:(i+1)*rs])
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, r)
+	}
+	return recs, b[n*rs:], nil
+}
+
+// CollectResponse carries the collected history, newest first.
+type CollectResponse struct {
+	Records []Record
+}
+
+// Encode serializes the response.
+func (r CollectResponse) Encode(alg mac.Algorithm) []byte {
+	return encodeRecords(alg, r.Records)
+}
+
+// DecodeCollectResponse parses a response.
+func DecodeCollectResponse(alg mac.Algorithm, b []byte) (CollectResponse, error) {
+	recs, rest, err := decodeRecords(alg, b)
+	if err != nil {
+		return CollectResponse{}, err
+	}
+	if len(rest) != 0 {
+		return CollectResponse{}, fmt.Errorf("core: %d trailing bytes in collect response", len(rest))
+	}
+	return CollectResponse{Records: recs}, nil
+}
+
+// ODRequest is the authenticated ERASMUS+OD / on-demand request
+// <treq, k, MAC_K(treq, k)> of Fig. 4.
+type ODRequest struct {
+	Treq uint64
+	K    int
+	MAC  []byte
+}
+
+// NewODRequest builds and authenticates a request.
+func NewODRequest(alg mac.Algorithm, key []byte, treq uint64, k int) ODRequest {
+	return ODRequest{Treq: treq, K: k, MAC: NewODRequestMAC(alg, key, treq, k)}
+}
+
+// Encode serializes the request.
+func (r ODRequest) Encode() []byte {
+	out := make([]byte, 12+len(r.MAC))
+	binary.BigEndian.PutUint64(out, r.Treq)
+	binary.BigEndian.PutUint32(out[8:], uint32(r.K))
+	copy(out[12:], r.MAC)
+	return out
+}
+
+// DecodeODRequest parses a request for the given algorithm's MAC size.
+func DecodeODRequest(alg mac.Algorithm, b []byte) (ODRequest, error) {
+	want := 12 + alg.Size()
+	if len(b) != want {
+		return ODRequest{}, fmt.Errorf("core: OD request length %d, want %d", len(b), want)
+	}
+	return ODRequest{
+		Treq: binary.BigEndian.Uint64(b),
+		K:    int(binary.BigEndian.Uint32(b[8:])),
+		MAC:  append([]byte(nil), b[12:]...),
+	}, nil
+}
+
+// ODResponse carries the fresh measurement M0 plus the stored history.
+type ODResponse struct {
+	M0      Record
+	Records []Record
+}
+
+// Encode serializes the response: M0 then the history list.
+func (r ODResponse) Encode(alg mac.Algorithm) []byte {
+	out := r.M0.Encode(alg)
+	return append(out, encodeRecords(alg, r.Records)...)
+}
+
+// DecodeODResponse parses a response.
+func DecodeODResponse(alg mac.Algorithm, b []byte) (ODResponse, error) {
+	rs := RecordSize(alg)
+	if len(b) < rs {
+		return ODResponse{}, fmt.Errorf("core: OD response truncated")
+	}
+	m0, err := DecodeRecord(alg, b[:rs])
+	if err != nil {
+		return ODResponse{}, err
+	}
+	recs, rest, err := decodeRecords(alg, b[rs:])
+	if err != nil {
+		return ODResponse{}, err
+	}
+	if len(rest) != 0 {
+		return ODResponse{}, fmt.Errorf("core: %d trailing bytes in OD response", len(rest))
+	}
+	return ODResponse{M0: m0, Records: recs}, nil
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"testing"
+
+	"erasmus/internal/costmodel"
+	"erasmus/internal/crypto/drbg"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+// newMCUPair builds an MSP430 device and a prover with a regular schedule.
+func newMCUPair(t *testing.T, e *sim.Engine, tm sim.Ticks, slots int) (*mcu.Device, *Prover) {
+	t.Helper()
+	dev, err := mcu.New(mcu.Config{
+		Engine:     e,
+		MemorySize: 1024,
+		StoreSize:  slots * RecordSize(mac.HMACSHA256),
+		Key:        testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewRegular(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(dev, ProverConfig{Alg: mac.HMACSHA256, Schedule: sched, Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, p
+}
+
+func TestNewProverValidation(t *testing.T) {
+	e := sim.NewEngine()
+	dev, _ := mcu.New(mcu.Config{Engine: e, MemorySize: 8, StoreSize: 8, Key: testKey})
+	sched, _ := NewRegular(sim.Second)
+	cases := []struct {
+		dev Device
+		cfg ProverConfig
+	}{
+		{nil, ProverConfig{Alg: mac.HMACSHA256, Schedule: sched, Slots: 1}},
+		{dev, ProverConfig{Alg: mac.HMACSHA256, Slots: 1}},                     // no schedule
+		{dev, ProverConfig{Alg: mac.Algorithm(42), Schedule: sched, Slots: 1}}, // bad alg
+		{dev, ProverConfig{Alg: mac.HMACSHA256, Schedule: sched, Slots: 100}},  // store too small
+		{dev, ProverConfig{Alg: mac.HMACSHA256, Schedule: sched, Slots: 0}},    // zero slots
+	}
+	for i, c := range cases {
+		if _, err := NewProver(c.dev, c.cfg); err == nil {
+			t.Errorf("case %d: invalid prover accepted", i)
+		}
+	}
+}
+
+func TestSelfMeasurementLoop(t *testing.T) {
+	e := sim.NewEngine()
+	_, p := newMCUPair(t, e, sim.Hour, 8)
+	p.Start()
+	e.RunUntil(4*sim.Hour + 30*sim.Minute)
+	p.Stop()
+	if got := p.Stats().Measurements; got != 4 {
+		t.Fatalf("measurements = %d, want 4 in 4.5 hours at TM=1h", got)
+	}
+	// Records landed in consecutive slots with valid MACs.
+	recs, _ := p.HandleCollect(4)
+	if len(recs) != 4 {
+		t.Fatalf("collected %d records", len(recs))
+	}
+	for i, r := range recs {
+		if !r.VerifyMAC(mac.HMACSHA256, testKey) {
+			t.Fatalf("record %d fails MAC", i)
+		}
+	}
+	// Newest first, spaced by TM.
+	for i := 1; i < len(recs); i++ {
+		gap := recs[i-1].T - recs[i].T
+		if gap != uint64(sim.Hour) {
+			t.Fatalf("gap %d ns, want 1h", gap)
+		}
+	}
+}
+
+func TestStopCancelsSchedule(t *testing.T) {
+	e := sim.NewEngine()
+	_, p := newMCUPair(t, e, sim.Hour, 8)
+	p.Start()
+	e.RunUntil(90 * sim.Minute)
+	p.Stop()
+	e.RunUntil(10 * sim.Hour)
+	if got := p.Stats().Measurements; got != 1 {
+		t.Fatalf("measurements after Stop = %d, want 1", got)
+	}
+	// Start is idempotent while running.
+	p.Start()
+	p.Start()
+	e.RunUntil(11 * sim.Hour)
+	p.Stop()
+}
+
+func TestMeasurementTimestampsAlignedToTM(t *testing.T) {
+	e := sim.NewEngine()
+	_, p := newMCUPair(t, e, 10*sim.Minute, 16)
+	p.Start()
+	e.RunUntil(sim.Hour)
+	p.Stop()
+	recs, _ := p.HandleCollect(16)
+	for _, r := range recs {
+		// Timestamps sit at window starts (plus zero queueing here).
+		if r.T%uint64(10*sim.Minute) != 0 {
+			t.Fatalf("timestamp %d not aligned to TM", r.T)
+		}
+	}
+}
+
+func TestCollectIsCryptoFree(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	p.Start()
+	e.RunUntil(3 * sim.Hour)
+	p.Stop()
+	recs, timing := p.HandleCollect(2)
+	if len(recs) != 2 {
+		t.Fatalf("collected %d", len(recs))
+	}
+	if timing.VerifyRequest != 0 || timing.ComputeMeasurement != 0 {
+		t.Fatal("plain collection performed cryptographic work")
+	}
+	if timing.Total() <= 0 {
+		t.Fatal("collection cost not accounted")
+	}
+	// Collection must be vastly cheaper than a measurement.
+	mt := costmodel.MeasurementTime(dev.Arch(), mac.HMACSHA256, len(dev.Memory()))
+	if timing.Total()*100 > mt {
+		t.Fatalf("collection %v not ≪ measurement %v", timing.Total(), mt)
+	}
+}
+
+func TestCollectBeforeAnyMeasurement(t *testing.T) {
+	e := sim.NewEngine()
+	_, p := newMCUPair(t, e, sim.Hour, 8)
+	recs, _ := p.HandleCollect(5)
+	if len(recs) != 0 {
+		t.Fatalf("fresh prover returned %d records", len(recs))
+	}
+}
+
+func TestMeasureNow(t *testing.T) {
+	e := sim.NewEngine()
+	_, p := newMCUPair(t, e, sim.Hour, 8)
+	p.MeasureNow()
+	e.Run()
+	if p.Stats().Measurements != 1 {
+		t.Fatal("MeasureNow did not commit")
+	}
+	if p.LastMeasurementTime() == 0 {
+		t.Fatal("LastMeasurementTime not updated")
+	}
+}
+
+func TestODRequestRoundTrip(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	p.Start()
+	e.RunUntil(3 * sim.Hour)
+	p.Stop()
+
+	treq := dev.RROC() + 1
+	reqMAC := NewODRequestMAC(mac.HMACSHA256, testKey, treq, 2)
+	m0, hist, timing, err := p.HandleCollectOD(treq, 2, reqMAC)
+	if err != nil {
+		t.Fatalf("HandleCollectOD: %v", err)
+	}
+	if !m0.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("M0 not authentic")
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history = %d records", len(hist))
+	}
+	if timing.ComputeMeasurement <= 0 || timing.VerifyRequest <= 0 {
+		t.Fatal("OD timing components missing")
+	}
+	if p.Stats().ODMeasured != 1 {
+		t.Fatal("OD measurement not counted")
+	}
+}
+
+func TestODRejectsBadMAC(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	treq := dev.RROC() + 1
+	_, _, _, err := p.HandleCollectOD(treq, 1, []byte("forged"))
+	if err != ErrBadRequest {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if p.Stats().ODRejected != 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestODRejectsStaleAndReplay(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	e.RunUntil(sim.Hour)
+
+	old := dev.RROC() - uint64(time20s())
+	if _, _, _, err := p.HandleCollectOD(old, 1, NewODRequestMAC(mac.HMACSHA256, testKey, old, 1)); err != ErrStaleRequest {
+		t.Fatalf("stale: err = %v", err)
+	}
+	treq := dev.RROC() + 1
+	if _, _, _, err := p.HandleCollectOD(treq, 1, NewODRequestMAC(mac.HMACSHA256, testKey, treq, 1)); err != nil {
+		t.Fatalf("fresh request rejected: %v", err)
+	}
+	// Replaying the same treq fails even with a valid MAC.
+	if _, _, _, err := p.HandleCollectOD(treq, 1, NewODRequestMAC(mac.HMACSHA256, testKey, treq, 1)); err != ErrReplay {
+		t.Fatalf("replay: err = %v", err)
+	}
+}
+
+func time20s() sim.Ticks { return 20 * sim.Second }
+
+// The anti-DoS property: a rejected request costs only the auth check,
+// never a measurement.
+func TestODRejectionIsCheap(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	treq := dev.RROC() + 1
+	_, _, timing, err := p.HandleCollectOD(treq, 1, []byte("forged"))
+	if err == nil {
+		t.Fatal("forged request accepted")
+	}
+	if timing.ComputeMeasurement != 0 {
+		t.Fatal("rejected request still computed a measurement")
+	}
+	if timing.VerifyRequest != costmodel.AuthTime(dev.Arch()) {
+		t.Fatal("auth cost mismatch")
+	}
+}
+
+func TestPureOnDemandBaseline(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	treq := dev.RROC() + 1
+	rec, timing, err := p.HandleOnDemand(treq, NewODRequestMAC(mac.HMACSHA256, testKey, treq, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("on-demand record not authentic")
+	}
+	if timing.ComputeMeasurement <= 0 {
+		t.Fatal("no measurement cost")
+	}
+	if timing.ReadBuffer != 0 {
+		t.Fatal("on-demand baseline read the history buffer")
+	}
+}
+
+func TestIrregularScheduleDrivesProver(t *testing.T) {
+	e := sim.NewEngine()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 256,
+		StoreSize: 16 * RecordSize(mac.KeyedBLAKE2s),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewIrregular(drbg.New(testKey, []byte("dev")), 10*sim.Minute, 50*sim.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProver(dev, ProverConfig{Alg: mac.KeyedBLAKE2s, Schedule: sched, Slots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	e.RunUntil(6 * sim.Hour)
+	p.Stop()
+	n := p.Stats().Measurements
+	// 6h with intervals in [10m, 50m): between 7 and 36 measurements.
+	if n < 7 || n > 36 {
+		t.Fatalf("measurements = %d, outside plausible range", n)
+	}
+	recs, _ := p.HandleCollect(16)
+	for i := 1; i < len(recs); i++ {
+		gap := sim.Ticks(recs[i-1].T - recs[i].T)
+		if gap < 10*sim.Minute {
+			t.Fatalf("gap %v below lower bound", gap)
+		}
+		// Gap may exceed U due to measurement queueing, but not by much.
+		if gap > 51*sim.Minute {
+			t.Fatalf("gap %v above upper bound", gap)
+		}
+	}
+}
+
+func TestProverOnIMX6(t *testing.T) {
+	e := sim.NewEngine()
+	dev, err := imx6.New(imx6.Config{
+		Engine: e, MemorySize: 1 << 20,
+		StoreSize: 8 * RecordSize(mac.KeyedBLAKE2s),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	sched, _ := NewRegular(sim.Minute)
+	p, err := NewProver(dev, ProverConfig{Alg: mac.KeyedBLAKE2s, Schedule: sched, Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	e.RunUntil(5*sim.Minute + 30*sim.Second)
+	p.Stop()
+	// First measurement fires at the first minute boundary of the RROC
+	// (epoch mod 1min = 53s → sim t ≈ 7s), then every minute: 6 in 5.5min.
+	if got := p.Stats().Measurements; got != 6 {
+		t.Fatalf("measurements = %d, want 6", got)
+	}
+	recs, _ := p.HandleCollect(8)
+	for _, r := range recs {
+		if !r.VerifyMAC(mac.KeyedBLAKE2s, testKey) {
+			t.Fatal("invalid record from HYDRA prover")
+		}
+	}
+}
+
+// firstAligned returns the simulation time of the first measurement under
+// a regular schedule: the next RROC multiple of tm after the default epoch.
+func firstAligned(tm sim.Ticks) sim.Ticks {
+	return sim.Ticks(uint64(tm) - mcu.DefaultEpoch%uint64(tm))
+}
+
+func TestAbortStrictSchedulingLosesWindow(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	p.Start()
+	// Abort the first measurement shortly after it starts (it takes
+	// ~0.7 s on this device/memory).
+	first := firstAligned(sim.Hour)
+	dev.SetOneShotTimer(first+100*sim.Millisecond, func() {
+		if !p.AbortMeasurement() {
+			t.Error("nothing to abort during the first measurement")
+		}
+	})
+	e.RunUntil(first + 30*sim.Minute)
+	p.Stop()
+	st := p.Stats()
+	if st.Aborted != 1 || st.Missed != 1 || st.Measurements != 0 {
+		t.Fatalf("stats = %+v, want 1 aborted, 1 missed, 0 committed", st)
+	}
+}
+
+func TestAbortLenientReschedulesWithinWindow(t *testing.T) {
+	e := sim.NewEngine()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 1024,
+		StoreSize: 8 * RecordSize(mac.HMACSHA256),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := NewRegular(sim.Hour)
+	p, err := NewProver(dev, ProverConfig{
+		Alg: mac.HMACSHA256, Schedule: sched, Slots: 8,
+		LenientWindow: 1.5, // retry allowed until 1.5×TM after schedule
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	first := firstAligned(sim.Hour)
+	dev.SetOneShotTimer(first+100*sim.Millisecond, func() { p.AbortMeasurement() })
+	// Run past the retry deadline (first + 1.5 h) and two more scheduled
+	// windows (first + 1 h, first + 2 h).
+	e.RunUntil(first + 150*sim.Minute)
+	p.Stop()
+	st := p.Stats()
+	if st.Aborted != 1 {
+		t.Fatalf("aborted = %d", st.Aborted)
+	}
+	if st.RetriesQueued != 1 {
+		t.Fatalf("retries = %d", st.RetriesQueued)
+	}
+	// Three commits: the retried first window (at its deadline, first +
+	// 1.5 h) plus the on-time windows at first + 1 h and first + 2 h.
+	if st.Measurements != 3 {
+		t.Fatalf("measurements = %d, want 3 (retried + two on-time)", st.Measurements)
+	}
+	if st.Missed != 0 {
+		t.Fatalf("missed = %d, want 0 under lenient scheduling", st.Missed)
+	}
+}
+
+// §3.2: scheduling is stateless — i = ⌊t/TM⌋ mod n depends only on the
+// RROC, so a rebooted prover (fresh runtime state over the same store)
+// resumes writing the correct slots and the combined history verifies.
+func TestRebootRecoversStatelessSlots(t *testing.T) {
+	e := sim.NewEngine()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 512,
+		StoreSize: 8 * RecordSize(mac.HMACSHA256),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := NewRegular(sim.Hour)
+	cfg := ProverConfig{Alg: mac.HMACSHA256, Schedule: sched, Slots: 8}
+
+	p1, err := NewProver(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Start()
+	e.RunUntil(3 * sim.Hour)
+	p1.Stop()
+	before := p1.Stats().Measurements
+
+	// "Reboot": all prover RAM state is lost; the store survives.
+	p2, err := NewProver(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Start()
+	e.RunUntil(6 * sim.Hour)
+	p2.Stop()
+	after := p2.Stats().Measurements
+	if before == 0 || after == 0 {
+		t.Fatalf("measurements: %d before, %d after reboot", before, after)
+	}
+
+	recs, _ := p2.HandleCollect(before + after)
+	if len(recs) != before+after {
+		t.Fatalf("combined history has %d records, want %d", len(recs), before+after)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].T-recs[i].T != uint64(sim.Hour) {
+			t.Fatalf("reboot broke the measurement grid: gap %d", recs[i-1].T-recs[i].T)
+		}
+	}
+}
+
+func TestAbortWhenIdleReturnsFalse(t *testing.T) {
+	e := sim.NewEngine()
+	_, p := newMCUPair(t, e, sim.Hour, 8)
+	if p.AbortMeasurement() {
+		t.Fatal("abort succeeded with no measurement running")
+	}
+}

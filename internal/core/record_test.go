@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"erasmus/internal/crypto/mac"
+)
+
+var testKey = []byte("test-device-key-0123456789abcdef")
+
+func TestComputeRecordFields(t *testing.T) {
+	memory := []byte("program image contents")
+	for _, alg := range mac.Algorithms() {
+		rec := ComputeRecord(alg, testKey, 42, memory)
+		if rec.T != 42 {
+			t.Errorf("%v: T = %d", alg, rec.T)
+		}
+		if len(rec.Hash) != alg.HashSize() {
+			t.Errorf("%v: hash length %d", alg, len(rec.Hash))
+		}
+		if len(rec.MAC) != alg.Size() {
+			t.Errorf("%v: MAC length %d", alg, len(rec.MAC))
+		}
+		if !bytes.Equal(rec.Hash, mac.HashSum(alg, memory)) {
+			t.Errorf("%v: hash is not H(mem)", alg)
+		}
+		if !rec.VerifyMAC(alg, testKey) {
+			t.Errorf("%v: self-verification failed", alg)
+		}
+	}
+}
+
+func TestVerifyMACRejectsWrongKey(t *testing.T) {
+	rec := ComputeRecord(mac.HMACSHA256, testKey, 1, []byte("mem"))
+	if rec.VerifyMAC(mac.HMACSHA256, []byte("other key")) {
+		t.Fatal("record verified under wrong key")
+	}
+}
+
+func TestTimestampBoundToMAC(t *testing.T) {
+	// §3.4: malware cannot re-stamp a record; changing T invalidates it.
+	rec := ComputeRecord(mac.HMACSHA256, testKey, 100, []byte("mem"))
+	rec.T = 200
+	if rec.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("re-stamped record verified")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, alg := range mac.Algorithms() {
+		rec := ComputeRecord(alg, testKey, 1492453673, []byte("mem image"))
+		enc := rec.Encode(alg)
+		if len(enc) != RecordSize(alg) {
+			t.Errorf("%v: encoded %d bytes, want %d", alg, len(enc), RecordSize(alg))
+		}
+		dec, err := DecodeRecord(alg, enc)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", alg, err)
+		}
+		if dec.T != rec.T || !bytes.Equal(dec.Hash, rec.Hash) || !bytes.Equal(dec.MAC, rec.MAC) {
+			t.Errorf("%v: round trip mismatch", alg)
+		}
+		if !dec.VerifyMAC(alg, testKey) {
+			t.Errorf("%v: decoded record fails verification", alg)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongLength(t *testing.T) {
+	if _, err := DecodeRecord(mac.HMACSHA256, make([]byte, 10)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeRecord(mac.HMACSHA256, make([]byte, RecordSize(mac.HMACSHA256)+1)); err == nil {
+		t.Fatal("long buffer accepted")
+	}
+}
+
+func TestEncodePanicsOnMismatchedFields(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with wrong field sizes did not panic")
+		}
+	}()
+	Record{T: 1, Hash: []byte{1}, MAC: []byte{2}}.Encode(mac.HMACSHA256)
+}
+
+func TestRecordSize(t *testing.T) {
+	if got := RecordSize(mac.HMACSHA256); got != 8+32+32 {
+		t.Errorf("SHA256 record size = %d", got)
+	}
+	if got := RecordSize(mac.HMACSHA1); got != 8+20+20 {
+		t.Errorf("SHA1 record size = %d", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	zero, err := DecodeRecord(mac.HMACSHA256, make([]byte, RecordSize(mac.HMACSHA256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !zero.IsZero() {
+		t.Fatal("all-zero record not detected")
+	}
+	rec := ComputeRecord(mac.HMACSHA256, testKey, 0, nil)
+	if rec.IsZero() {
+		t.Fatal("real record (t=0) reported zero")
+	}
+	if (Record{T: 1}).IsZero() {
+		t.Fatal("nonzero T reported zero")
+	}
+}
+
+// Property: any single-bit corruption of an encoded record is detected.
+func TestPropertyEncodedTamperDetected(t *testing.T) {
+	f := func(tstamp uint64, memory []byte, bit uint16) bool {
+		rec := ComputeRecord(mac.KeyedBLAKE2s, testKey, tstamp, memory)
+		enc := rec.Encode(mac.KeyedBLAKE2s)
+		i := int(bit) % (len(enc) * 8)
+		enc[i/8] ^= 1 << (i % 8)
+		dec, err := DecodeRecord(mac.KeyedBLAKE2s, enc)
+		if err != nil {
+			return true // length errors also count as detection
+		}
+		return !dec.VerifyMAC(mac.KeyedBLAKE2s, testKey)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: records for different memory states never share a MAC.
+func TestPropertyStateBinding(t *testing.T) {
+	f := func(m1, m2 []byte) bool {
+		r1 := ComputeRecord(mac.HMACSHA256, testKey, 7, m1)
+		r2 := ComputeRecord(mac.HMACSHA256, testKey, 7, m2)
+		if bytes.Equal(m1, m2) {
+			return bytes.Equal(r1.MAC, r2.MAC)
+		}
+		return !bytes.Equal(r1.MAC, r2.MAC)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"erasmus/internal/costmodel"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+func TestRegionValidate(t *testing.T) {
+	cases := []struct {
+		r  MemoryRegion
+		ok bool
+	}{
+		{MemoryRegion{0, 10}, true},
+		{MemoryRegion{90, 10}, true},
+		{MemoryRegion{-1, 5}, false},
+		{MemoryRegion{0, 0}, false},
+		{MemoryRegion{95, 10}, false},
+		{MemoryRegion{100, 1}, false},
+	}
+	for _, c := range cases {
+		err := c.r.Validate(100)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.r, err, c.ok)
+		}
+	}
+}
+
+func TestRegionRecordRoundTrip(t *testing.T) {
+	memory := []byte("0123456789abcdefghij")
+	r := MemoryRegion{Offset: 5, Length: 8}
+	rec, err := ComputeRegionRecord(mac.HMACSHA256, testKey, 42, memory, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("self-verification failed")
+	}
+	// The hash covers exactly the region.
+	want := mac.HashSum(mac.HMACSHA256, memory[5:13])
+	if !bytes.Equal(rec.Hash, want) {
+		t.Fatal("hash does not cover the region")
+	}
+}
+
+// The MAC binds the region bounds: a prover cannot present a digest of
+// region A as an answer about region B.
+func TestRegionBindingInMAC(t *testing.T) {
+	memory := bytes.Repeat([]byte{7}, 64) // uniform memory: equal hashes
+	a, _ := ComputeRegionRecord(mac.HMACSHA256, testKey, 1, memory, MemoryRegion{0, 16})
+	b, _ := ComputeRegionRecord(mac.HMACSHA256, testKey, 1, memory, MemoryRegion{16, 16})
+	if !bytes.Equal(a.Hash, b.Hash) {
+		t.Fatal("test premise broken: uniform memory should hash equal")
+	}
+	if bytes.Equal(a.MAC, b.MAC) {
+		t.Fatal("MAC does not bind the region bounds")
+	}
+	// Swapping the claimed region invalidates the record.
+	a.Region = MemoryRegion{16, 16}
+	if a.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("region swap not detected")
+	}
+}
+
+func TestHandleOnDemandRegion(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	dev.WriteMemory(100, []byte("interesting segment"))
+
+	region := MemoryRegion{Offset: 100, Length: 64}
+	treq := dev.RROC() + 1
+	rec, timing, err := p.HandleOnDemandRegion(treq, region,
+		NewRegionRequestMAC(mac.HMACSHA256, testKey, treq, region))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("region record not authentic")
+	}
+	if rec.Region != region {
+		t.Fatalf("region echoed wrong: %+v", rec.Region)
+	}
+	want := mac.HashSum(mac.HMACSHA256, dev.Memory()[100:164])
+	if !bytes.Equal(rec.Hash, want) {
+		t.Fatal("wrong memory measured")
+	}
+	// Cost proportional to the region, not the image.
+	full := costmodel.MeasurementTime(dev.Arch(), mac.HMACSHA256, len(dev.Memory()))
+	if timing.ComputeMeasurement*4 > full {
+		t.Fatalf("region measurement %v not ≪ full %v", timing.ComputeMeasurement, full)
+	}
+}
+
+func TestHandleOnDemandRegionRejections(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	region := MemoryRegion{Offset: 0, Length: 64}
+
+	// Bad MAC.
+	treq := dev.RROC() + 1
+	if _, _, err := p.HandleOnDemandRegion(treq, region, []byte("nope")); err != ErrBadRequest {
+		t.Fatalf("bad MAC: err = %v", err)
+	}
+	// Invalid region (request even refused before crypto).
+	huge := MemoryRegion{Offset: 0, Length: 1 << 20}
+	if _, _, err := p.HandleOnDemandRegion(treq, huge,
+		NewRegionRequestMAC(mac.HMACSHA256, testKey, treq, huge)); err == nil {
+		t.Fatal("oversized region accepted")
+	}
+	// Replay.
+	good := dev.RROC() + 2
+	if _, _, err := p.HandleOnDemandRegion(good, region,
+		NewRegionRequestMAC(mac.HMACSHA256, testKey, good, region)); err != nil {
+		t.Fatalf("fresh request rejected: %v", err)
+	}
+	if _, _, err := p.HandleOnDemandRegion(good, region,
+		NewRegionRequestMAC(mac.HMACSHA256, testKey, good, region)); err != ErrReplay {
+		t.Fatalf("replay: err = %v", err)
+	}
+	// Stale.
+	e.RunUntil(e.Now() + sim.Hour)
+	old := dev.RROC() - uint64(sim.Minute)
+	if _, _, err := p.HandleOnDemandRegion(old, region,
+		NewRegionRequestMAC(mac.HMACSHA256, testKey, old, region)); err != ErrStaleRequest {
+		t.Fatalf("stale: err = %v", err)
+	}
+}
+
+func TestRegionRequestMACBindsRegion(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	// A valid token for region A must not authorize measuring region B.
+	a := MemoryRegion{Offset: 0, Length: 64}
+	b := MemoryRegion{Offset: 64, Length: 64}
+	treq := dev.RROC() + 1
+	tokenA := NewRegionRequestMAC(mac.HMACSHA256, testKey, treq, a)
+	if _, _, err := p.HandleOnDemandRegion(treq, b, tokenA); err != ErrBadRequest {
+		t.Fatalf("cross-region token accepted: err = %v", err)
+	}
+}
+
+func TestRegionTimeAdvantage(t *testing.T) {
+	adv := RegionTimeAdvantage(0, mac.HMACSHA256, 10*1024, MemoryRegion{0, 1024})
+	if adv < 5 || adv > 11 {
+		t.Fatalf("1KB-of-10KB advantage = %.1f, want ≈10×", adv)
+	}
+}
+
+// Property: region records verify iff untampered and bind (t, region).
+func TestPropertyRegionRecordIntegrity(t *testing.T) {
+	memory := make([]byte, 256)
+	for i := range memory {
+		memory[i] = byte(i * 31)
+	}
+	f := func(off, ln uint8, tstamp uint64, flip uint8) bool {
+		r := MemoryRegion{Offset: int(off) % 200, Length: int(ln)%50 + 1}
+		rec, err := ComputeRegionRecord(mac.KeyedBLAKE2s, testKey, tstamp, memory, r)
+		if err != nil {
+			return true
+		}
+		if !rec.VerifyMAC(mac.KeyedBLAKE2s, testKey) {
+			return false
+		}
+		mut := rec
+		switch flip % 3 {
+		case 0:
+			mut.T++
+		case 1:
+			mut.Region.Offset++
+		default:
+			mut.Hash = append([]byte(nil), rec.Hash...)
+			mut.Hash[0] ^= 1
+		}
+		return !mut.VerifyMAC(mac.KeyedBLAKE2s, testKey)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"erasmus/internal/crypto/drbg"
+	"erasmus/internal/sim"
+)
+
+// Schedule decides when the prover takes its next self-measurement.
+type Schedule interface {
+	// NextInterval returns the delay from the measurement taken at RROC
+	// time t (ns) until the next scheduled measurement.
+	NextInterval(t uint64) sim.Ticks
+	// NominalTM returns the nominal measurement period, used for buffer
+	// slot arithmetic, QoA accounting and the lenient window size.
+	NominalTM() sim.Ticks
+	// Stateless reports whether the schedule is a pure function of the
+	// RROC (true for regular schedules), enabling the paper's stateless
+	// slot addressing i = ⌊t/TM⌋ mod n.
+	Stateless() bool
+}
+
+// Regular measures every TM, at RROC times ≡ Phase (mod TM); this is the
+// paper's default and enables stateless scheduling (§3.2). A zero phase
+// aligns measurements to multiples of TM; distinct phases let a swarm
+// stagger its members so only a bounded fraction measures at once (§6).
+type Regular struct {
+	TM    sim.Ticks
+	Phase sim.Ticks
+}
+
+// NewRegular validates TM and uses phase zero.
+func NewRegular(tm sim.Ticks) (Regular, error) {
+	return NewRegularWithPhase(tm, 0)
+}
+
+// NewRegularWithPhase validates TM and a phase offset (taken mod TM).
+func NewRegularWithPhase(tm, phase sim.Ticks) (Regular, error) {
+	if tm <= 0 {
+		return Regular{}, fmt.Errorf("core: TM must be positive, got %v", tm)
+	}
+	if phase < 0 {
+		return Regular{}, fmt.Errorf("core: phase must be non-negative, got %v", phase)
+	}
+	return Regular{TM: tm, Phase: phase % tm}, nil
+}
+
+// NextInterval returns the delay to the next time ≡ Phase (mod TM) strictly
+// after t.
+func (r Regular) NextInterval(t uint64) sim.Ticks {
+	sincePhase := sim.Ticks((t + uint64(r.TM) - uint64(r.Phase)%uint64(r.TM)) % uint64(r.TM))
+	return r.TM - sincePhase
+}
+
+// NominalTM returns TM.
+func (r Regular) NominalTM() sim.Ticks { return r.TM }
+
+// Stateless returns true: the slot index is derived from the RROC alone.
+func (r Regular) Stateless() bool { return true }
+
+// Irregular draws each interval from a CSPRNG keyed with the device secret
+// (§3.5): TM_next = map(CSPRNG_K(t_i)), map: x ↦ x mod (U−L) + L. Mobile
+// malware cannot read K, so it cannot predict when to leave the device.
+// The verifier, who knows K, reproduces the same sequence.
+type Irregular struct {
+	mapper drbg.IntervalMapper
+	rng    *drbg.DRBG
+}
+
+// NewIrregular builds a CSPRNG-driven schedule with intervals in [l, u).
+// The generator must be seeded with K (plus a device personalization) —
+// both sides construct it with drbg.New(K, deviceID).
+func NewIrregular(rng *drbg.DRBG, l, u sim.Ticks) (*Irregular, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: irregular schedule needs a CSPRNG")
+	}
+	if l <= 0 || u <= l {
+		return nil, fmt.Errorf("core: irregular bounds [%v,%v) invalid", l, u)
+	}
+	m, err := drbg.NewIntervalMapper(uint64(l), uint64(u))
+	if err != nil {
+		return nil, err
+	}
+	return &Irregular{mapper: m, rng: rng}, nil
+}
+
+// NextInterval draws the interval following the measurement at t.
+func (i *Irregular) NextInterval(t uint64) sim.Ticks {
+	return sim.Ticks(i.mapper.Next(i.rng, t))
+}
+
+// NominalTM returns the mean of the interval bounds.
+func (i *Irregular) NominalTM() sim.Ticks {
+	return sim.Ticks((i.mapper.L + i.mapper.U) / 2)
+}
+
+// Stateless returns false: slots are addressed by sequence number instead.
+func (i *Irregular) Stateless() bool { return false }
+
+// Bounds returns [L, U) in ticks.
+func (i *Irregular) Bounds() (l, u sim.Ticks) {
+	return sim.Ticks(i.mapper.L), sim.Ticks(i.mapper.U)
+}

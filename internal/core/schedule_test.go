@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"erasmus/internal/crypto/drbg"
+	"erasmus/internal/sim"
+)
+
+func TestNewRegularValidation(t *testing.T) {
+	if _, err := NewRegular(0); err == nil {
+		t.Error("TM=0 accepted")
+	}
+	if _, err := NewRegular(-1); err == nil {
+		t.Error("TM<0 accepted")
+	}
+	r, err := NewRegular(10 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NominalTM() != 10*sim.Second || !r.Stateless() {
+		t.Error("regular schedule properties wrong")
+	}
+}
+
+func TestRegularAlignsToMultiples(t *testing.T) {
+	r, _ := NewRegular(100)
+	cases := []struct {
+		t    uint64
+		want sim.Ticks
+	}{
+		{0, 100},   // exactly aligned: full period to the next
+		{1, 99},    //
+		{99, 1},    //
+		{100, 100}, //
+		{250, 50},  //
+	}
+	for _, c := range cases {
+		if got := r.NextInterval(c.t); got != c.want {
+			t.Errorf("NextInterval(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestRegularPhase(t *testing.T) {
+	r, err := NewRegularWithPhase(100, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    uint64
+		want sim.Ticks
+	}{
+		{0, 30}, {29, 1}, {30, 100}, {31, 99}, {129, 1}, {130, 100},
+	}
+	for _, c := range cases {
+		if got := r.NextInterval(c.t); got != c.want {
+			t.Errorf("phase=30: NextInterval(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Phase is reduced mod TM.
+	r2, _ := NewRegularWithPhase(100, 230)
+	if r2.Phase != 30 {
+		t.Errorf("phase not reduced: %v", r2.Phase)
+	}
+	if _, err := NewRegularWithPhase(100, -1); err == nil {
+		t.Error("negative phase accepted")
+	}
+}
+
+// Property: with any phase, t + NextInterval(t) ≡ phase (mod TM) and the
+// interval is in (0, TM].
+func TestPropertyRegularPhaseAlignment(t *testing.T) {
+	f := func(tstamp uint64, tmRaw uint16, phaseRaw uint16) bool {
+		tm := sim.Ticks(tmRaw) + 1
+		r, err := NewRegularWithPhase(tm, sim.Ticks(phaseRaw))
+		if err != nil {
+			return false
+		}
+		iv := r.NextInterval(tstamp)
+		if iv <= 0 || iv > tm {
+			return false
+		}
+		return (tstamp+uint64(iv))%uint64(tm) == uint64(r.Phase)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: t + NextInterval(t) is always a multiple of TM, and the
+// interval is in (0, TM].
+func TestPropertyRegularAlignment(t *testing.T) {
+	f := func(tstamp uint64, tmRaw uint16) bool {
+		tm := sim.Ticks(tmRaw) + 1
+		r, err := NewRegular(tm)
+		if err != nil {
+			return false
+		}
+		iv := r.NextInterval(tstamp)
+		if iv <= 0 || iv > tm {
+			return false
+		}
+		return (tstamp+uint64(iv))%uint64(tm) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewIrregularValidation(t *testing.T) {
+	rng := drbg.New([]byte("K"), nil)
+	if _, err := NewIrregular(nil, 1, 2); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewIrregular(rng, 0, 5); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := NewIrregular(rng, 5, 5); err == nil {
+		t.Error("U=L accepted")
+	}
+	s, err := NewIrregular(rng, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stateless() {
+		t.Error("irregular schedule claims stateless")
+	}
+	if s.NominalTM() != 15 {
+		t.Errorf("NominalTM = %v, want midpoint 15", s.NominalTM())
+	}
+	if l, u := s.Bounds(); l != 10 || u != 20 {
+		t.Errorf("Bounds = %v,%v", l, u)
+	}
+}
+
+func TestIrregularWithinBounds(t *testing.T) {
+	s, _ := NewIrregular(drbg.New([]byte("K"), []byte("dev")), sim.Second, 10*sim.Second)
+	for i := 0; i < 200; i++ {
+		iv := s.NextInterval(uint64(i) * 1000)
+		if iv < sim.Second || iv >= 10*sim.Second {
+			t.Fatalf("interval %v outside [1s,10s)", iv)
+		}
+	}
+}
+
+// §3.5: prover and verifier derive the same interval sequence from K.
+func TestIrregularReproducibleFromKey(t *testing.T) {
+	mk := func() *Irregular {
+		s, _ := NewIrregular(drbg.New([]byte("K"), []byte("dev")), 100, 1000)
+		return s
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 50; i++ {
+		tstamp := uint64(i * 37)
+		if a.NextInterval(tstamp) != b.NextInterval(tstamp) {
+			t.Fatal("same key produced different schedules")
+		}
+	}
+}
+
+// §3.5: malware without K sees a different (unpredictable) schedule.
+func TestIrregularKeySeparation(t *testing.T) {
+	a, _ := NewIrregular(drbg.New([]byte("K1"), nil), 100, 100000)
+	b, _ := NewIrregular(drbg.New([]byte("K2"), nil), 100, 100000)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.NextInterval(uint64(i)) == b.NextInterval(uint64(i)) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/50 intervals coincide across keys", same)
+	}
+}
+
+func TestIrregularVariance(t *testing.T) {
+	s, _ := NewIrregular(drbg.New([]byte("K"), nil), 100, 1_000_000)
+	seen := map[sim.Ticks]bool{}
+	for i := 0; i < 64; i++ {
+		seen[s.NextInterval(uint64(i))] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("only %d distinct intervals", len(seen))
+	}
+}

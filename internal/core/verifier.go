@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// QoA captures the Quality-of-Attestation parameters of §3.1: how often
+// the prover measures itself (TM) and how often the verifier collects
+// (TC). It is the temporal analogue of QoSA.
+type QoA struct {
+	TM sim.Ticks
+	TC sim.Ticks
+}
+
+// Validate checks the parameters.
+func (q QoA) Validate() error {
+	if q.TM <= 0 || q.TC <= 0 {
+		return fmt.Errorf("core: QoA periods must be positive (TM=%v, TC=%v)", q.TM, q.TC)
+	}
+	return nil
+}
+
+// RecordsPerCollection returns k = ⌈TC/TM⌉, the history size at which each
+// measurement is collected exactly once.
+func (q QoA) RecordsPerCollection() int {
+	return int((q.TC + q.TM - 1) / q.TM)
+}
+
+// MinBufferSlots returns the smallest n satisfying TC ≤ n·TM, the §3.2
+// constraint guaranteeing no record is overwritten before collection.
+func (q QoA) MinBufferSlots() int { return q.RecordsPerCollection() }
+
+// ExpectedFreshness returns the mean freshness E[f] = TM/2 (§3.1: f ranges
+// over [0, TM], averaging TM/2).
+func (q QoA) ExpectedFreshness() sim.Ticks { return q.TM / 2 }
+
+// MaxDetectionDelay bounds the time from a persistent infection to the
+// verifier learning about it: at most TM (next measurement) + TC (next
+// collection).
+func (q QoA) MaxDetectionDelay() sim.Ticks { return q.TM + q.TC }
+
+// Verdict classifies one collected record.
+type Verdict int
+
+const (
+	// VerdictOK: authentic record of a whitelisted memory state.
+	VerdictOK Verdict = iota
+	// VerdictBadMAC: the record fails authentication — the store was
+	// tampered with (or the slot held garbage).
+	VerdictBadMAC
+	// VerdictInfected: the record is authentic but digests a memory state
+	// outside the whitelist — malware was present at measurement time.
+	VerdictInfected
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictBadMAC:
+		return "bad-mac"
+	case VerdictInfected:
+		return "infected"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// VerifiedRecord pairs a record with its verdict.
+type VerifiedRecord struct {
+	Record  Record
+	Verdict Verdict
+}
+
+// Report is the outcome of validating one collected history.
+type Report struct {
+	// Records holds per-record verdicts in the order received
+	// (newest first).
+	Records []VerifiedRecord
+	// TamperDetected: at least one record failed authentication, was out
+	// of order, carried an impossible timestamp, or the history was
+	// shorter than the schedule requires. Per §3.4 any of these
+	// immediately indicates malware (or loss) on the prover.
+	TamperDetected bool
+	// InfectionDetected: at least one authentic record shows a
+	// non-whitelisted memory state.
+	InfectionDetected bool
+	// MissingRecords is the shortfall versus the expected history length.
+	MissingRecords int
+	// ScheduleGaps counts consecutive-record spacings outside the
+	// expected bounds.
+	ScheduleGaps int
+	// Freshness is now − T of the newest record (§3.1's f).
+	Freshness sim.Ticks
+	// Issues lists human-readable findings.
+	Issues []string
+}
+
+// Healthy reports a clean history: nothing tampered, no infection, no
+// missing records or schedule gaps.
+func (r Report) Healthy() bool {
+	return !r.TamperDetected && !r.InfectionDetected && r.MissingRecords == 0 && r.ScheduleGaps == 0
+}
+
+// VerifierConfig parameterizes a verifier.
+type VerifierConfig struct {
+	// Alg and Key mirror the prover's provisioning.
+	Alg mac.Algorithm
+	Key []byte
+	// GoldenHashes whitelists known-good memory digests (multiple entries
+	// allow sanctioned software versions).
+	GoldenHashes [][]byte
+	// MinGap/MaxGap bound the expected spacing between consecutive
+	// measurements: for a regular schedule TM±tolerance; for an irregular
+	// schedule [L, U) widened by tolerance.
+	MinGap, MaxGap sim.Ticks
+	// FreshnessBound is the largest acceptable age of the newest record
+	// at collection time; zero disables the check.
+	FreshnessBound sim.Ticks
+}
+
+// Verifier validates collected measurement histories. Verifiers can be
+// untrusted couriers in ERASMUS — records are self-authenticating — but
+// this Verifier is the party holding K that performs final validation.
+type Verifier struct {
+	cfg VerifierConfig
+}
+
+// NewVerifier validates the configuration.
+func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
+	if !cfg.Alg.Valid() {
+		return nil, fmt.Errorf("core: invalid MAC algorithm %d", int(cfg.Alg))
+	}
+	if len(cfg.Key) == 0 {
+		return nil, errors.New("core: verifier key required")
+	}
+	if cfg.MinGap < 0 || cfg.MaxGap < 0 || (cfg.MaxGap > 0 && cfg.MaxGap < cfg.MinGap) {
+		return nil, fmt.Errorf("core: gap bounds [%v,%v] invalid", cfg.MinGap, cfg.MaxGap)
+	}
+	return &Verifier{cfg: cfg}, nil
+}
+
+// golden reports whether h digests a whitelisted memory state.
+func (v *Verifier) golden(h []byte) bool {
+	for _, g := range v.cfg.GoldenHashes {
+		if bytes.Equal(g, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyHistory validates records collected at RROC time now, expecting
+// expectedK records (pass 0 to skip the length check, e.g. right after
+// boot). Records must arrive newest-first, as HandleCollect returns them.
+func (v *Verifier) VerifyHistory(recs []Record, now uint64, expectedK int) Report {
+	var rep Report
+	rep.Records = make([]VerifiedRecord, 0, len(recs))
+
+	if expectedK > 0 && len(recs) < expectedK {
+		rep.MissingRecords = expectedK - len(recs)
+		rep.TamperDetected = true
+		rep.Issues = append(rep.Issues,
+			fmt.Sprintf("history has %d records, schedule requires %d", len(recs), expectedK))
+	}
+
+	for idx, rec := range recs {
+		vr := VerifiedRecord{Record: rec}
+		switch {
+		case !rec.VerifyMAC(v.cfg.Alg, v.cfg.Key):
+			vr.Verdict = VerdictBadMAC
+			rep.TamperDetected = true
+			rep.Issues = append(rep.Issues, fmt.Sprintf("record %d: MAC verification failed", idx))
+		case !v.golden(rec.Hash):
+			vr.Verdict = VerdictInfected
+			rep.InfectionDetected = true
+			rep.Issues = append(rep.Issues,
+				fmt.Sprintf("record %d (t=%d): authentic but unknown memory state", idx, rec.T))
+		default:
+			vr.Verdict = VerdictOK
+		}
+		if rec.T > now {
+			rep.TamperDetected = true
+			rep.Issues = append(rep.Issues, fmt.Sprintf("record %d: timestamp %d in the future", idx, rec.T))
+		}
+		rep.Records = append(rep.Records, vr)
+	}
+
+	// Ordering and spacing: newest-first means strictly decreasing T.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T >= recs[i-1].T {
+			rep.TamperDetected = true
+			rep.Issues = append(rep.Issues,
+				fmt.Sprintf("records %d/%d out of order (%d ≥ %d)", i-1, i, recs[i].T, recs[i-1].T))
+			continue
+		}
+		gap := sim.Ticks(recs[i-1].T - recs[i].T)
+		if v.cfg.MinGap > 0 && gap < v.cfg.MinGap {
+			rep.ScheduleGaps++
+			rep.Issues = append(rep.Issues,
+				fmt.Sprintf("records %d/%d: spacing %v below minimum %v", i-1, i, gap, v.cfg.MinGap))
+		}
+		if v.cfg.MaxGap > 0 && gap > v.cfg.MaxGap {
+			rep.ScheduleGaps++
+			rep.Issues = append(rep.Issues,
+				fmt.Sprintf("records %d/%d: spacing %v above maximum %v (missing measurements?)", i-1, i, gap, v.cfg.MaxGap))
+		}
+	}
+
+	if len(recs) > 0 {
+		newest := recs[0].T
+		if now >= newest {
+			rep.Freshness = sim.Ticks(now - newest)
+		}
+		if v.cfg.FreshnessBound > 0 && rep.Freshness > v.cfg.FreshnessBound {
+			rep.Issues = append(rep.Issues,
+				fmt.Sprintf("newest record is %v old, bound %v", rep.Freshness, v.cfg.FreshnessBound))
+			rep.TamperDetected = true
+		}
+	}
+	return rep
+}
+
+// VerifyODResponse validates an ERASMUS+OD response (Fig. 4): M0 must be
+// authentic, whitelisted and essentially fresh; the history is then
+// validated as usual.
+func (v *Verifier) VerifyODResponse(m0 Record, history []Record, now uint64, expectedK int, m0FreshBound sim.Ticks) Report {
+	rep := v.VerifyHistory(history, now, expectedK)
+	vr := VerifiedRecord{Record: m0}
+	switch {
+	case !m0.VerifyMAC(v.cfg.Alg, v.cfg.Key):
+		vr.Verdict = VerdictBadMAC
+		rep.TamperDetected = true
+		rep.Issues = append(rep.Issues, "M0: MAC verification failed")
+	case !v.golden(m0.Hash):
+		vr.Verdict = VerdictInfected
+		rep.InfectionDetected = true
+		rep.Issues = append(rep.Issues, "M0: authentic but unknown memory state")
+	default:
+		vr.Verdict = VerdictOK
+	}
+	if m0FreshBound > 0 && (m0.T > now || sim.Ticks(now-m0.T) > m0FreshBound) {
+		rep.TamperDetected = true
+		rep.Issues = append(rep.Issues, "M0: not fresh")
+	}
+	// M0 is the newest evidence; report freshness relative to it.
+	if now >= m0.T {
+		rep.Freshness = sim.Ticks(now - m0.T)
+	}
+	rep.Records = append([]VerifiedRecord{vr}, rep.Records...)
+	return rep
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+const alg = mac.HMACSHA256
+
+// history builds a newest-first record chain of count records ending at
+// endT, spaced by tm, over the given memory image.
+func history(count int, endT uint64, tm sim.Ticks, memory []byte) []Record {
+	recs := make([]Record, 0, count)
+	for i := 0; i < count; i++ {
+		recs = append(recs, ComputeRecord(alg, testKey, endT-uint64(i)*uint64(tm), memory))
+	}
+	return recs
+}
+
+func newTestVerifier(t *testing.T, golden ...[]byte) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(VerifierConfig{
+		Alg:          alg,
+		Key:          testKey,
+		GoldenHashes: golden,
+		MinGap:       sim.Hour - sim.Minute,
+		MaxGap:       sim.Hour + sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func goldenFor(memory []byte) []byte { return mac.HashSum(alg, memory) }
+
+func TestNewVerifierValidation(t *testing.T) {
+	if _, err := NewVerifier(VerifierConfig{Alg: mac.Algorithm(42), Key: testKey}); err == nil {
+		t.Error("bad alg accepted")
+	}
+	if _, err := NewVerifier(VerifierConfig{Alg: alg}); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := NewVerifier(VerifierConfig{Alg: alg, Key: testKey, MinGap: 10, MaxGap: 5}); err == nil {
+		t.Error("MaxGap < MinGap accepted")
+	}
+}
+
+func TestHealthyHistory(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(100 * sim.Hour)
+	recs := history(5, endT, sim.Hour, memory)
+	rep := v.VerifyHistory(recs, endT+uint64(30*sim.Minute), 5)
+	if !rep.Healthy() {
+		t.Fatalf("healthy history flagged: %+v", rep.Issues)
+	}
+	if rep.Freshness != 30*sim.Minute {
+		t.Fatalf("freshness = %v", rep.Freshness)
+	}
+	for i, r := range rep.Records {
+		if r.Verdict != VerdictOK {
+			t.Fatalf("record %d verdict %v", i, r.Verdict)
+		}
+	}
+}
+
+func TestDetectsInfectedState(t *testing.T) {
+	clean := []byte("clean image")
+	infected := []byte("clean image + implant")
+	v := newTestVerifier(t, goldenFor(clean))
+	endT := uint64(100 * sim.Hour)
+	recs := history(4, endT, sim.Hour, clean)
+	// The second-newest measurement caught malware resident.
+	recs[1] = ComputeRecord(alg, testKey, endT-uint64(sim.Hour), infected)
+	rep := v.VerifyHistory(recs, endT, 4)
+	if !rep.InfectionDetected {
+		t.Fatal("infection not detected")
+	}
+	if rep.TamperDetected {
+		t.Fatal("infection misreported as tampering")
+	}
+	if rep.Records[1].Verdict != VerdictInfected {
+		t.Fatalf("verdict = %v", rep.Records[1].Verdict)
+	}
+}
+
+func TestDetectsTamperedMAC(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(10 * sim.Hour)
+	recs := history(3, endT, sim.Hour, memory)
+	recs[2].MAC[0] ^= 1
+	rep := v.VerifyHistory(recs, endT, 3)
+	if !rep.TamperDetected {
+		t.Fatal("tampered MAC not detected")
+	}
+	if rep.Records[2].Verdict != VerdictBadMAC {
+		t.Fatalf("verdict = %v", rep.Records[2].Verdict)
+	}
+}
+
+func TestDetectsReordering(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(10 * sim.Hour)
+	recs := history(3, endT, sim.Hour, memory)
+	recs[0], recs[1] = recs[1], recs[0] // malware reorders records
+	rep := v.VerifyHistory(recs, endT, 3)
+	if !rep.TamperDetected {
+		t.Fatal("reordering not detected")
+	}
+}
+
+func TestDetectsDeletion(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(10 * sim.Hour)
+	recs := history(5, endT, sim.Hour, memory)
+	// Malware deletes the middle record: count drops and a double gap
+	// appears.
+	recs = append(recs[:2], recs[3:]...)
+	rep := v.VerifyHistory(recs, endT, 5)
+	if !rep.TamperDetected {
+		t.Fatal("deletion not detected via count")
+	}
+	if rep.MissingRecords != 1 {
+		t.Fatalf("missing = %d", rep.MissingRecords)
+	}
+	if rep.ScheduleGaps == 0 {
+		t.Fatal("deletion did not surface as a schedule gap")
+	}
+}
+
+func TestDetectsFutureTimestamp(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	rec := ComputeRecord(alg, testKey, uint64(100*sim.Hour), memory)
+	rep := v.VerifyHistory([]Record{rec}, uint64(99*sim.Hour), 0)
+	if !rep.TamperDetected {
+		t.Fatal("future timestamp accepted")
+	}
+}
+
+func TestFreshnessBound(t *testing.T) {
+	memory := []byte("clean")
+	v, err := NewVerifier(VerifierConfig{
+		Alg: alg, Key: testKey,
+		GoldenHashes:   [][]byte{goldenFor(memory)},
+		FreshnessBound: sim.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ComputeRecord(alg, testKey, uint64(10*sim.Hour), memory)
+	rep := v.VerifyHistory([]Record{rec}, uint64(13*sim.Hour), 0)
+	if !rep.TamperDetected {
+		t.Fatal("stale history accepted under freshness bound")
+	}
+	found := false
+	for _, is := range rep.Issues {
+		if strings.Contains(is, "old") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("staleness issue not reported")
+	}
+}
+
+func TestExpectedKZeroSkipsLengthCheck(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(10 * sim.Hour)
+	rep := v.VerifyHistory(history(2, endT, sim.Hour, memory), endT, 0)
+	if rep.MissingRecords != 0 || !rep.Healthy() {
+		t.Fatalf("short-but-unchecked history flagged: %+v", rep)
+	}
+}
+
+func TestMultipleGoldenStates(t *testing.T) {
+	v1 := []byte("firmware v1")
+	v2 := []byte("firmware v2")
+	v := newTestVerifier(t, goldenFor(v1), goldenFor(v2))
+	endT := uint64(10 * sim.Hour)
+	recs := []Record{
+		ComputeRecord(alg, testKey, endT, v2),
+		ComputeRecord(alg, testKey, endT-uint64(sim.Hour), v1),
+	}
+	rep := v.VerifyHistory(recs, endT, 2)
+	if rep.InfectionDetected {
+		t.Fatal("sanctioned firmware upgrade flagged as infection")
+	}
+}
+
+func TestVerifyODResponse(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(10 * sim.Hour)
+	hist := history(3, endT, sim.Hour, memory)
+	now := endT + uint64(10*sim.Second)
+	m0 := ComputeRecord(alg, testKey, now-uint64(sim.Second), memory)
+
+	rep := v.VerifyODResponse(m0, hist, now, 3, 10*sim.Second)
+	if !rep.Healthy() {
+		t.Fatalf("healthy OD response flagged: %v", rep.Issues)
+	}
+	// Freshness is now relative to M0, i.e. much better than TM/2.
+	if rep.Freshness != sim.Second {
+		t.Fatalf("freshness = %v, want 1s", rep.Freshness)
+	}
+	if len(rep.Records) != 4 || rep.Records[0].Record.T != m0.T {
+		t.Fatal("M0 not included first in the report")
+	}
+}
+
+func TestVerifyODResponseStaleM0(t *testing.T) {
+	memory := []byte("clean")
+	v := newTestVerifier(t, goldenFor(memory))
+	now := uint64(10 * sim.Hour)
+	m0 := ComputeRecord(alg, testKey, now-uint64(sim.Minute), memory)
+	rep := v.VerifyODResponse(m0, nil, now, 0, 10*sim.Second)
+	if !rep.TamperDetected {
+		t.Fatal("stale M0 accepted")
+	}
+}
+
+func TestVerifyODResponseInfectedM0(t *testing.T) {
+	clean := []byte("clean")
+	v := newTestVerifier(t, goldenFor(clean))
+	now := uint64(10 * sim.Hour)
+	m0 := ComputeRecord(alg, testKey, now, []byte("evil"))
+	rep := v.VerifyODResponse(m0, nil, now, 0, 10*sim.Second)
+	if !rep.InfectionDetected {
+		t.Fatal("infected M0 not flagged")
+	}
+}
+
+func TestQoAMath(t *testing.T) {
+	q := QoA{TM: sim.Hour, TC: 6 * sim.Hour}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.RecordsPerCollection() != 6 {
+		t.Errorf("k = %d, want 6", q.RecordsPerCollection())
+	}
+	if q.MinBufferSlots() != 6 {
+		t.Errorf("n = %d", q.MinBufferSlots())
+	}
+	if q.ExpectedFreshness() != 30*sim.Minute {
+		t.Errorf("E[f] = %v", q.ExpectedFreshness())
+	}
+	if q.MaxDetectionDelay() != 7*sim.Hour {
+		t.Errorf("max delay = %v", q.MaxDetectionDelay())
+	}
+	// Non-dividing TC: k = ceil.
+	q2 := QoA{TM: sim.Hour, TC: 90 * sim.Minute}
+	if q2.RecordsPerCollection() != 2 {
+		t.Errorf("ceil k = %d, want 2", q2.RecordsPerCollection())
+	}
+	if (QoA{TM: 0, TC: 1}).Validate() == nil {
+		t.Error("TM=0 validated")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictOK: "ok", VerdictBadMAC: "bad-mac", VerdictInfected: "infected", Verdict(9): "Verdict(9)",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", int(v), v.String())
+		}
+	}
+}

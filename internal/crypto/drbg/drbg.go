@@ -1,0 +1,135 @@
+// Package drbg implements an HMAC-DRBG (deterministic random bit generator)
+// in the style of NIST SP 800-90A, using HMAC-SHA256.
+//
+// ERASMUS §3.5 uses a CSPRNG seeded with the shared secret K to derive
+// irregular measurement intervals:
+//
+//	TM_next = map(CSPRNG_K(t_i)), map: x ↦ x mod (U−L) + L
+//
+// Because both prover and verifier know K, the verifier can recompute the
+// expected measurement times while schedule-aware malware (which cannot read
+// K) cannot predict them. This package provides the deterministic generator
+// plus the interval mapper.
+package drbg
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+const outLen = sha256.Size
+
+// DRBG is a deterministic HMAC-SHA256 bit generator. It is NOT safe for
+// concurrent use; each prover owns one instance inside its protected
+// attestation code.
+type DRBG struct {
+	k [outLen]byte
+	v [outLen]byte
+}
+
+// New instantiates the generator from seed material (the device secret K,
+// optionally with a personalization string such as the device ID).
+func New(seed, personalization []byte) *DRBG {
+	d := &DRBG{}
+	for i := range d.v {
+		d.v[i] = 0x01
+	}
+	// d.k is zero-initialized per SP 800-90A.
+	d.update(seed, personalization)
+	return d
+}
+
+// update is the HMAC-DRBG Update function with up to two provided-data parts.
+func (d *DRBG) update(parts ...[]byte) {
+	provided := false
+	for _, p := range parts {
+		if len(p) > 0 {
+			provided = true
+		}
+	}
+	mac := hmac.New(sha256.New, d.k[:])
+	mac.Write(d.v[:])
+	mac.Write([]byte{0x00})
+	for _, p := range parts {
+		mac.Write(p)
+	}
+	copy(d.k[:], mac.Sum(nil))
+
+	mac = hmac.New(sha256.New, d.k[:])
+	mac.Write(d.v[:])
+	copy(d.v[:], mac.Sum(nil))
+
+	if !provided {
+		return
+	}
+	mac = hmac.New(sha256.New, d.k[:])
+	mac.Write(d.v[:])
+	mac.Write([]byte{0x01})
+	for _, p := range parts {
+		mac.Write(p)
+	}
+	copy(d.k[:], mac.Sum(nil))
+
+	mac = hmac.New(sha256.New, d.k[:])
+	mac.Write(d.v[:])
+	copy(d.v[:], mac.Sum(nil))
+}
+
+// Read fills p with pseudo-random bytes. It never fails.
+func (d *DRBG) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		mac := hmac.New(sha256.New, d.k[:])
+		mac.Write(d.v[:])
+		copy(d.v[:], mac.Sum(nil))
+		c := copy(p, d.v[:])
+		p = p[c:]
+	}
+	d.update(nil)
+	return n, nil
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (d *DRBG) Uint64() uint64 {
+	var b [8]byte
+	d.Read(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Reseed mixes additional entropy/state into the generator.
+func (d *DRBG) Reseed(material []byte) { d.update(material) }
+
+// IntervalMapper maps CSPRNG output x to a measurement interval in
+// [L, U): map(x) = x mod (U−L) + L, exactly as in ERASMUS §3.5.
+type IntervalMapper struct {
+	// L and U are the lower (inclusive) and upper (exclusive) bounds of
+	// the generated interval, in the caller's time unit.
+	L, U uint64
+}
+
+// NewIntervalMapper validates the bounds. U must exceed L and L must be
+// positive (a zero interval would schedule back-to-back measurements).
+func NewIntervalMapper(l, u uint64) (IntervalMapper, error) {
+	if l == 0 {
+		return IntervalMapper{}, fmt.Errorf("drbg: lower bound must be positive, got 0")
+	}
+	if u <= l {
+		return IntervalMapper{}, fmt.Errorf("drbg: upper bound %d must exceed lower bound %d", u, l)
+	}
+	return IntervalMapper{L: l, U: u}, nil
+}
+
+// Map applies map: x ↦ x mod (U−L) + L.
+func (m IntervalMapper) Map(x uint64) uint64 { return x%(m.U-m.L) + m.L }
+
+// Next draws the next interval from the generator. The paper keys the
+// CSPRNG on K and feeds it the current measurement time t_i; we mix t into
+// the stream for the same effect (verifier reproducibility given K and t_i).
+func (m IntervalMapper) Next(d *DRBG, t uint64) uint64 {
+	var tb [8]byte
+	binary.BigEndian.PutUint64(tb[:], t)
+	d.Reseed(tb[:])
+	return m.Map(d.Uint64())
+}

@@ -1,0 +1,148 @@
+package drbg
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := New([]byte("seed"), []byte("dev-1"))
+	b := New([]byte("seed"), []byte("dev-1"))
+	ba := make([]byte, 128)
+	bb := make([]byte, 128)
+	a.Read(ba)
+	b.Read(bb)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same seed produced different streams")
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a := New([]byte("seed-a"), nil)
+	b := New([]byte("seed-b"), nil)
+	ba := make([]byte, 64)
+	bb := make([]byte, 64)
+	a.Read(ba)
+	b.Read(bb)
+	if bytes.Equal(ba, bb) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestPersonalizationSeparation(t *testing.T) {
+	a := New([]byte("seed"), []byte("dev-1"))
+	b := New([]byte("seed"), []byte("dev-2"))
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different personalization produced identical output")
+	}
+}
+
+func TestStreamAdvances(t *testing.T) {
+	d := New([]byte("seed"), nil)
+	x := d.Uint64()
+	y := d.Uint64()
+	if x == y {
+		t.Fatal("consecutive Uint64 outputs identical")
+	}
+}
+
+func TestReadChunkingEquivalence(t *testing.T) {
+	// Reading 64 bytes at once differs from two 32-byte reads in HMAC-DRBG
+	// only via the post-read update; within one Read call, chunking of the
+	// output buffer is internal. Verify a single large read is internally
+	// consistent (deterministic) and nonzero.
+	d := New([]byte("seed"), nil)
+	buf := make([]byte, 100)
+	n, err := d.Read(buf)
+	if n != 100 || err != nil {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if bytes.Equal(buf, make([]byte, 100)) {
+		t.Fatal("DRBG produced all-zero output")
+	}
+}
+
+func TestReseedChangesStream(t *testing.T) {
+	a := New([]byte("seed"), nil)
+	b := New([]byte("seed"), nil)
+	a.Reseed([]byte("extra"))
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("reseed had no effect")
+	}
+}
+
+func TestNewIntervalMapperValidation(t *testing.T) {
+	if _, err := NewIntervalMapper(0, 10); err == nil {
+		t.Error("L=0 accepted")
+	}
+	if _, err := NewIntervalMapper(10, 10); err == nil {
+		t.Error("U==L accepted")
+	}
+	if _, err := NewIntervalMapper(10, 5); err == nil {
+		t.Error("U<L accepted")
+	}
+	if _, err := NewIntervalMapper(5, 10); err != nil {
+		t.Errorf("valid bounds rejected: %v", err)
+	}
+}
+
+func TestMapBounds(t *testing.T) {
+	m, _ := NewIntervalMapper(100, 200)
+	for _, x := range []uint64{0, 1, 99, 100, 101, 1 << 63, ^uint64(0)} {
+		got := m.Map(x)
+		if got < 100 || got >= 200 {
+			t.Errorf("Map(%d) = %d outside [100,200)", x, got)
+		}
+	}
+}
+
+// Property: Map output always lies in [L, U).
+func TestPropertyMapInRange(t *testing.T) {
+	f := func(l, span uint32, x uint64) bool {
+		lo := uint64(l%1000) + 1
+		hi := lo + uint64(span%1000) + 1
+		m, err := NewIntervalMapper(lo, hi)
+		if err != nil {
+			return false
+		}
+		got := m.Map(x)
+		return got >= lo && got < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prover and verifier derive identical interval sequences from
+// the same K and measurement times (the §3.5 reproducibility requirement).
+func TestPropertyVerifierReproducibility(t *testing.T) {
+	f := func(seed []byte, times []uint32) bool {
+		m, _ := NewIntervalMapper(10, 1000)
+		prv := New(seed, []byte("dev"))
+		vrf := New(seed, []byte("dev"))
+		for _, tt := range times {
+			if m.Next(prv, uint64(tt)) != m.Next(vrf, uint64(tt)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalDispersion(t *testing.T) {
+	// Irregular intervals must actually vary; a constant sequence would be
+	// predictable by schedule-aware malware.
+	m, _ := NewIntervalMapper(1, 1_000_000)
+	d := New([]byte("K"), nil)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[m.Next(d, uint64(i))] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("only %d distinct intervals in 64 draws", len(seen))
+	}
+}

@@ -1,0 +1,267 @@
+// Package fleet is the verifier-side operations layer for a population of
+// unattended ERASMUS provers: per-device keys and QoA policies, staggered
+// collection scheduling over the lossy network, report history, and an
+// alert stream (infection, tampering, unreachable device).
+//
+// The paper's verifier is deliberately thin — ERASMUS moves all the state
+// to the prover — but any real deployment needs exactly this bookkeeping:
+// who to poll, when, with which key, and what to do with the verdicts.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/netsim"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+)
+
+// AlertKind classifies fleet events.
+type AlertKind string
+
+// Alert kinds raised by the manager.
+const (
+	AlertInfection   AlertKind = "infection"
+	AlertTamper      AlertKind = "tamper"
+	AlertUnreachable AlertKind = "unreachable"
+	AlertRecovered   AlertKind = "recovered"
+)
+
+// Alert is one fleet event.
+type Alert struct {
+	Time   sim.Ticks
+	Device string
+	Kind   AlertKind
+	Detail string
+}
+
+// DeviceConfig registers one prover with the manager.
+type DeviceConfig struct {
+	// Addr is the device's network address.
+	Addr string
+	// Key is the device-unique secret shared at provisioning.
+	Key []byte
+	// Alg is the device's measurement MAC.
+	Alg mac.Algorithm
+	// QoA sets TM (the device's measurement period, needed to judge
+	// schedule gaps and freshness) and TC (how often to collect).
+	QoA core.QoA
+	// GoldenHashes whitelists the device's sanctioned memory states.
+	GoldenHashes [][]byte
+}
+
+// DeviceStatus summarizes one device for dashboards.
+type DeviceStatus struct {
+	Addr        string
+	LastContact sim.Ticks
+	Healthy     bool
+	Freshness   sim.Ticks
+	Collections int
+	Failures    int // consecutive unanswered collections
+}
+
+type device struct {
+	cfg      DeviceConfig
+	verifier *core.Verifier
+	client   *session.VerifierClient
+	stop     func()
+
+	lastContact sim.Ticks
+	healthy     bool
+	freshness   sim.Ticks
+	collections int
+	failures    int
+}
+
+// Manager runs the fleet.
+type Manager struct {
+	engine *sim.Engine
+	net    *netsim.Network
+	addr   string
+	clock  func() uint64
+
+	devices map[string]*device
+	alerts  []Alert
+	started bool
+}
+
+// NewManager builds a fleet manager communicating from addr. clock is the
+// verifier's time base (loosely synchronized with device RROCs), used for
+// freshness judgments and on-demand requests.
+func NewManager(e *sim.Engine, n *netsim.Network, addr string, clock func() uint64) (*Manager, error) {
+	if e == nil || n == nil {
+		return nil, errors.New("fleet: nil engine or network")
+	}
+	if clock == nil {
+		return nil, errors.New("fleet: clock required")
+	}
+	return &Manager{
+		engine: e, net: n, addr: addr, clock: clock,
+		devices: make(map[string]*device),
+	}, nil
+}
+
+// Register adds a device. Must be called before Start.
+func (m *Manager) Register(cfg DeviceConfig) error {
+	if m.started {
+		return errors.New("fleet: Register after Start")
+	}
+	if cfg.Addr == "" {
+		return errors.New("fleet: device address required")
+	}
+	if _, dup := m.devices[cfg.Addr]; dup {
+		return fmt.Errorf("fleet: device %q already registered", cfg.Addr)
+	}
+	if err := cfg.QoA.Validate(); err != nil {
+		return err
+	}
+	vrf, err := core.NewVerifier(core.VerifierConfig{
+		Alg: cfg.Alg, Key: cfg.Key,
+		GoldenHashes: cfg.GoldenHashes,
+		MinGap:       cfg.QoA.TM - cfg.QoA.TM/10,
+		MaxGap:       cfg.QoA.TM + cfg.QoA.TM/2,
+	})
+	if err != nil {
+		return err
+	}
+	client, err := session.NewVerifierClient(m.net, m.engine,
+		m.addr+"/"+cfg.Addr, cfg.Alg, cfg.Key, m.clock)
+	if err != nil {
+		return err
+	}
+	m.devices[cfg.Addr] = &device{cfg: cfg, verifier: vrf, client: client, healthy: true}
+	return nil
+}
+
+// Start schedules collections: device i of n is polled every TC with phase
+// i×TC/n, spreading verifier traffic (and prover buffer pressure) evenly.
+func (m *Manager) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	addrs := m.Addresses()
+	for i, addr := range addrs {
+		dev := m.devices[addr]
+		phase := sim.Ticks(int64(dev.cfg.QoA.TC) * int64(i) / int64(len(addrs)))
+		dev.stop = m.engine.Ticker(m.engine.Now()+phase+dev.cfg.QoA.TC, dev.cfg.QoA.TC, func() {
+			m.collect(dev)
+		})
+	}
+}
+
+// Stop cancels all scheduled collections.
+func (m *Manager) Stop() {
+	for _, d := range m.devices {
+		if d.stop != nil {
+			d.stop()
+			d.stop = nil
+		}
+	}
+	m.started = false
+}
+
+func (m *Manager) collect(d *device) {
+	k := d.cfg.QoA.RecordsPerCollection()
+	err := d.client.Collect(d.cfg.Addr, k, func(res session.CollectResult, err error) {
+		if err != nil {
+			d.failures++
+			m.alert(d, AlertUnreachable, fmt.Sprintf("%d attempts failed", res.Attempts))
+			return
+		}
+		d.failures = 0
+		d.lastContact = m.engine.Now()
+		d.collections++
+		// Skip the length check during warm-up: a device younger than
+		// k×TM cannot have a full history yet.
+		expected := k
+		if m.engine.Now() < sim.Ticks(k)*d.cfg.QoA.TM {
+			expected = 0
+		}
+		rep := d.verifier.VerifyHistory(res.Records, m.clock(), expected)
+		d.freshness = rep.Freshness
+		wasHealthy := d.healthy
+		d.healthy = rep.Healthy()
+		switch {
+		case rep.InfectionDetected:
+			m.alert(d, AlertInfection, firstIssue(rep))
+		case rep.TamperDetected:
+			m.alert(d, AlertTamper, firstIssue(rep))
+		case !wasHealthy && d.healthy:
+			m.alert(d, AlertRecovered, "history healthy again")
+		}
+	})
+	if err != nil {
+		// A previous collection is still outstanding (device very slow or
+		// TC shorter than the timeout budget); count it as a failure.
+		d.failures++
+	}
+}
+
+func firstIssue(rep core.Report) string {
+	if len(rep.Issues) == 0 {
+		return ""
+	}
+	return rep.Issues[0]
+}
+
+func (m *Manager) alert(d *device, kind AlertKind, detail string) {
+	m.alerts = append(m.alerts, Alert{
+		Time: m.engine.Now(), Device: d.cfg.Addr, Kind: kind, Detail: detail,
+	})
+}
+
+// Alerts returns all recorded alerts in order.
+func (m *Manager) Alerts() []Alert { return append([]Alert(nil), m.alerts...) }
+
+// AlertsFor filters alerts by device address.
+func (m *Manager) AlertsFor(addr string) []Alert {
+	var out []Alert
+	for _, a := range m.alerts {
+		if a.Device == addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Addresses lists registered devices, sorted.
+func (m *Manager) Addresses() []string {
+	out := make([]string, 0, len(m.devices))
+	for addr := range m.devices {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Status reports one device's dashboard line.
+func (m *Manager) Status(addr string) (DeviceStatus, error) {
+	d, ok := m.devices[addr]
+	if !ok {
+		return DeviceStatus{}, fmt.Errorf("fleet: unknown device %q", addr)
+	}
+	return DeviceStatus{
+		Addr:        addr,
+		LastContact: d.lastContact,
+		Healthy:     d.healthy,
+		Freshness:   d.freshness,
+		Collections: d.collections,
+		Failures:    d.failures,
+	}, nil
+}
+
+// HealthyCount returns how many devices currently have healthy histories.
+func (m *Manager) HealthyCount() int {
+	n := 0
+	for _, d := range m.devices {
+		if d.healthy {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/netsim"
+	"erasmus/internal/qoa"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+)
+
+const alg = mac.KeyedBLAKE2s
+
+type testbed struct {
+	engine  *sim.Engine
+	net     *netsim.Network
+	manager *Manager
+	devs    []*mcu.Device
+	provers []*core.Prover
+	keys    [][]byte
+}
+
+// newTestbed provisions n devices with hourly self-measurement and a
+// manager collecting every 4 h.
+func newTestbed(t *testing.T, n int, netCfg netsim.Config) *testbed {
+	t.Helper()
+	e := sim.NewEngine()
+	nw, err := netsim.New(e, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := func() uint64 { return mcu.DefaultEpoch + uint64(e.Now()) }
+	mgr, err := NewManager(e, nw, "vrf", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &testbed{engine: e, net: nw, manager: mgr}
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("fleet-device-key-%02d", i))
+		dev, err := mcu.New(mcu.Config{
+			Engine: e, MemorySize: 1024,
+			StoreSize: 16 * core.RecordSize(alg),
+			Key:       key,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _ := core.NewRegular(sim.Hour)
+		p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("prv-%02d", i)
+		if _, err := session.AttachProver(nw, e, addr, p, alg); err != nil {
+			t.Fatal(err)
+		}
+		golden := mac.HashSum(alg, dev.Memory())
+		err = mgr.Register(DeviceConfig{
+			Addr: addr, Key: key, Alg: alg,
+			QoA:          core.QoA{TM: sim.Hour, TC: 4 * sim.Hour},
+			GoldenHashes: [][]byte{golden},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		tb.devs = append(tb.devs, dev)
+		tb.provers = append(tb.provers, p)
+		tb.keys = append(tb.keys, key)
+	}
+	return tb
+}
+
+func TestRegisterValidation(t *testing.T) {
+	e := sim.NewEngine()
+	nw, _ := netsim.New(e, netsim.Config{})
+	mgr, err := NewManager(e, nw, "vrf", func() uint64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := DeviceConfig{
+		Addr: "d1", Key: []byte("k"), Alg: alg,
+		QoA: core.QoA{TM: sim.Hour, TC: 2 * sim.Hour},
+	}
+	if err := mgr.Register(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Register(good); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	bad := good
+	bad.Addr = ""
+	if err := mgr.Register(bad); err == nil {
+		t.Error("empty address accepted")
+	}
+	bad = good
+	bad.Addr = "d2"
+	bad.QoA = core.QoA{}
+	if err := mgr.Register(bad); err == nil {
+		t.Error("invalid QoA accepted")
+	}
+	mgr.Start()
+	if err := mgr.Register(DeviceConfig{Addr: "late", Key: []byte("k"), Alg: alg,
+		QoA: core.QoA{TM: 1, TC: 1}}); err == nil {
+		t.Error("Register after Start accepted")
+	}
+	mgr.Stop()
+}
+
+func TestManagerConstructorValidation(t *testing.T) {
+	e := sim.NewEngine()
+	nw, _ := netsim.New(e, netsim.Config{})
+	if _, err := NewManager(nil, nw, "v", func() uint64 { return 0 }); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewManager(e, nw, "v", nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestHealthyFleet(t *testing.T) {
+	tb := newTestbed(t, 5, netsim.Config{Latency: 2 * sim.Millisecond})
+	tb.manager.Start()
+	tb.engine.RunUntil(25 * sim.Hour)
+	tb.manager.Stop()
+
+	if got := tb.manager.HealthyCount(); got != 5 {
+		t.Fatalf("healthy = %d/5", got)
+	}
+	for _, addr := range tb.manager.Addresses() {
+		st, err := tb.manager.Status(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Healthy || st.Collections < 5 {
+			t.Errorf("%s: %+v", addr, st)
+		}
+		if st.Freshness <= 0 || st.Freshness > sim.Hour {
+			t.Errorf("%s: freshness %v outside (0, TM]", addr, st.Freshness)
+		}
+	}
+	for _, a := range tb.manager.Alerts() {
+		t.Errorf("unexpected alert: %+v", a)
+	}
+}
+
+func TestInfectionAlert(t *testing.T) {
+	tb := newTestbed(t, 3, netsim.Config{})
+	// Persist malware on device 1 at t = 6h.
+	tb.engine.At(6*sim.Hour, func() {
+		tb.devs[1].WriteMemory(0, []byte("persistent implant"))
+	})
+	tb.manager.Start()
+	tb.engine.RunUntil(25 * sim.Hour)
+	tb.manager.Stop()
+
+	infected := tb.manager.AlertsFor("prv-01")
+	found := false
+	for _, a := range infected {
+		if a.Kind == AlertInfection {
+			found = true
+			// Detection within TM + TC of the infection.
+			if a.Time < 6*sim.Hour || a.Time > 6*sim.Hour+5*sim.Hour {
+				t.Errorf("detection at %v outside the QoA bound", a.Time)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no infection alert for prv-01; alerts: %+v", tb.manager.Alerts())
+	}
+	// Other devices stay clean.
+	for _, addr := range []string{"prv-00", "prv-02"} {
+		for _, a := range tb.manager.AlertsFor(addr) {
+			if a.Kind == AlertInfection {
+				t.Errorf("%s falsely flagged", addr)
+			}
+		}
+	}
+	if tb.manager.HealthyCount() != 2 {
+		t.Fatalf("healthy = %d, want 2", tb.manager.HealthyCount())
+	}
+}
+
+func TestTamperAlert(t *testing.T) {
+	tb := newTestbed(t, 2, netsim.Config{})
+	// Malware zeroes part of device 0's store at 6h (after some records
+	// exist), deleting history.
+	tb.engine.At(6*sim.Hour, func() {
+		store := tb.devs[0].Store()
+		for i := range store {
+			store[i] = 0
+		}
+	})
+	tb.manager.Start()
+	tb.engine.RunUntil(13 * sim.Hour)
+	tb.manager.Stop()
+
+	found := false
+	for _, a := range tb.manager.AlertsFor("prv-00") {
+		if a.Kind == AlertTamper {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("store wipe not alerted; alerts: %+v", tb.manager.Alerts())
+	}
+}
+
+func TestUnreachableAndRecovery(t *testing.T) {
+	tb := newTestbed(t, 2, netsim.Config{})
+	// Device 1 goes dark between 5h and 14h (e.g. radio failure).
+	var ep *session.ProverEndpoint
+	tb.engine.At(5*sim.Hour, func() {
+		tb.net.Attach("prv-01", nil)
+	})
+	tb.engine.At(14*sim.Hour, func() {
+		var err error
+		ep, err = session.AttachProver(tb.net, tb.engine, "prv-01", tb.provers[1], alg)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	tb.manager.Start()
+	tb.engine.RunUntil(25 * sim.Hour)
+	tb.manager.Stop()
+	_ = ep
+
+	var sawUnreachable bool
+	for _, a := range tb.manager.AlertsFor("prv-01") {
+		if a.Kind == AlertUnreachable {
+			sawUnreachable = true
+		}
+	}
+	if !sawUnreachable {
+		t.Fatal("dark period produced no unreachable alert")
+	}
+	st, _ := tb.manager.Status("prv-01")
+	if st.Failures != 0 {
+		t.Fatalf("failures not reset after recovery: %+v", st)
+	}
+	// ERASMUS's point: the dark period's measurements are recovered at
+	// the next successful collection — the device ends healthy with a
+	// full history.
+	if !st.Healthy {
+		t.Fatal("device not healthy after recovery")
+	}
+}
+
+func TestStatusUnknownDevice(t *testing.T) {
+	tb := newTestbed(t, 1, netsim.Config{})
+	if _, err := tb.manager.Status("nope"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestStartIdempotentStopRestarts(t *testing.T) {
+	tb := newTestbed(t, 1, netsim.Config{})
+	tb.manager.Start()
+	tb.manager.Start() // no-op
+	tb.engine.RunUntil(9 * sim.Hour)
+	tb.manager.Stop()
+	st, _ := tb.manager.Status("prv-00")
+	after := st.Collections
+	tb.engine.RunUntil(20 * sim.Hour)
+	st, _ = tb.manager.Status("prv-00")
+	if st.Collections != after {
+		t.Fatal("collections continued after Stop")
+	}
+}
+
+// The qoa package's mobile-malware math holds through the full network
+// stack: a dwell shorter than the measurement gap goes unseen.
+func TestFleetMissesMobileMalwareAtCoarseTM(t *testing.T) {
+	tb := newTestbed(t, 1, netsim.Config{})
+	inf := qoa.Infection{Enter: 3*sim.Hour + 35*sim.Minute, Dwell: 20 * sim.Minute}
+	tb.engine.At(inf.Enter, func() { tb.devs[0].WriteMemory(0, []byte("ghost")) })
+	tb.engine.At(inf.Enter+inf.Dwell, func() {
+		tb.devs[0].WriteMemory(0, make([]byte, 5))
+	})
+	tb.manager.Start()
+	tb.engine.RunUntil(25 * sim.Hour)
+	tb.manager.Stop()
+	for _, a := range tb.manager.Alerts() {
+		if a.Kind == AlertInfection {
+			t.Fatalf("mobile malware between measurements was flagged: %+v", a)
+		}
+	}
+}

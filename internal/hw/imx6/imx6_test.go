@@ -1,0 +1,280 @@
+package imx6
+
+import (
+	"bytes"
+	"testing"
+
+	"erasmus/internal/costmodel"
+	"erasmus/internal/hw/cpu"
+	"erasmus/internal/kernel/sel4"
+	"erasmus/internal/sim"
+)
+
+func newDevice(t *testing.T, e *sim.Engine) *Device {
+	t.Helper()
+	d, err := New(Config{
+		Engine:     e,
+		MemorySize: 4096,
+		StoreSize:  2048,
+		Key:        []byte("hydra-secret-K"),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	cases := []Config{
+		{Engine: nil, MemorySize: 1, StoreSize: 1, Key: []byte("k")},
+		{Engine: e, MemorySize: 0, StoreSize: 1, Key: []byte("k")},
+		{Engine: e, MemorySize: 1, StoreSize: 0, Key: []byte("k")},
+		{Engine: e, MemorySize: 1, StoreSize: 1, Key: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestArch(t *testing.T) {
+	if newDevice(t, sim.NewEngine()).Arch() != costmodel.IMX6 {
+		t.Fatal("wrong arch")
+	}
+}
+
+func TestRROCStartsAtEpoch(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if d.RROC() != DefaultEpoch {
+		t.Fatalf("RROC at boot = %d, want %d", d.RROC(), DefaultEpoch)
+	}
+}
+
+func TestRROCAdvances(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	e.RunUntil(10 * sim.Second)
+	got := d.RROC() - DefaultEpoch
+	// GPT quantization: 66 MHz granularity ≈ 15 ns.
+	if got < uint64(10*sim.Second)-100 || got > uint64(10*sim.Second)+100 {
+		t.Fatalf("RROC advanced %d ns over 10 s", got)
+	}
+}
+
+// The GPT wraps every ~65 s; the software clock must stay monotone and
+// accurate across many wraps (this is the Brasser-style RROC construction).
+func TestRROCMonotoneAcrossGPTWraps(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	var prev uint64
+	// 10-minute run crosses ~9 wrap boundaries.
+	for step := sim.Ticks(0); step <= 10*sim.Minute; step += 7 * sim.Second {
+		e.RunUntil(step)
+		got := d.RROC()
+		if got < prev {
+			t.Fatalf("clock went backwards at %v: %d < %d", step, got, prev)
+		}
+		prev = got
+	}
+	// Absolute accuracy after 10 minutes: within GPT quantization.
+	e.RunUntil(10 * sim.Minute)
+	final := d.RROC()
+	if final < prev {
+		t.Fatalf("clock went backwards at the end: %d < %d", final, prev)
+	}
+	want := DefaultEpoch + uint64(10*sim.Minute)
+	diff := int64(final) - int64(want)
+	if diff < -1000 || diff > 1000 {
+		t.Fatalf("clock drift after 10 min: %d ns", diff)
+	}
+}
+
+// Reading the clock exactly at a wrap boundary, before the interrupt
+// handler has run, must still return the right value (rollover-pending
+// compensation).
+func TestRROCAtExactWrapInstant(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	wrapAt := cyclesToTicks(gptWrapCycles)
+	var got uint64
+	// Schedule the read at the wrap tick; it was scheduled before the
+	// device's ticker rescheduled, but FIFO ordering at equal times means
+	// the wrap handler (scheduled at boot) fires first. Schedule a fresh
+	// event now, which runs after the handler — then read one tick before
+	// the wrap, where the handler has definitely not run.
+	e.At(wrapAt-1, func() { got = d.RROC() })
+	e.RunUntil(wrapAt - 1)
+	want := DefaultEpoch + uint64(cyclesToTicks(d.gptCycles()))
+	if got != want {
+		t.Fatalf("pre-wrap read = %d, want %d", got, want)
+	}
+	// And just after the wrap.
+	e.RunUntil(wrapAt + sim.Second)
+	after := d.RROC()
+	if after <= got {
+		t.Fatalf("clock did not advance across wrap: %d then %d", got, after)
+	}
+}
+
+func TestWriteRROCDeniedByCapability(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	before := d.RROC()
+	if err := d.WriteRROC(12345); err == nil {
+		t.Fatal("normal-world RROC write succeeded")
+	}
+	if d.RROC() != before {
+		t.Fatal("denied write changed clock")
+	}
+	if d.Violations().Count(cpu.ViolationCapability) == 0 {
+		t.Fatal("capability violation not logged")
+	}
+}
+
+func TestWritableClockAblation(t *testing.T) {
+	e := sim.NewEngine()
+	d, err := New(Config{
+		Engine: e, MemorySize: 1, StoreSize: 1, Key: []byte("k"),
+		WritableClock: true, Epoch: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.WriteRROC(777); err != nil {
+		t.Fatalf("ablation write failed: %v", err)
+	}
+	if d.RROC() != 777 {
+		t.Fatalf("RROC = %d after reset", d.RROC())
+	}
+}
+
+func TestAttestProvidesKeyAndCleansUp(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	var held []byte
+	err := d.Attest(func(k []byte) {
+		if !bytes.Equal(k, []byte("hydra-secret-K")) {
+			t.Error("wrong key in attestation")
+		}
+		if !d.InAttestation() {
+			t.Error("InAttestation false inside Attest")
+		}
+		held = k
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range held {
+		if b != 0 {
+			t.Fatal("key copy not zeroed after exit")
+		}
+	}
+	if d.InAttestation() {
+		t.Fatal("still in attestation")
+	}
+}
+
+func TestAttestNotReentrant(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	var inner error
+	d.Attest(func([]byte) {
+		inner = d.Attest(func([]byte) { t.Error("nested attestation ran") })
+	})
+	if inner == nil {
+		t.Fatal("re-entrant Attest succeeded")
+	}
+}
+
+func TestAttestRefusesWhenKeyNotExclusive(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	k := d.Kernel()
+	// Simulate a configuration bug: key capability leaked to the app.
+	if err := k.GrantCap(k.PrAtt(), appOf(d), "key", sel4.Read); err != nil {
+		t.Fatalf("test setup grant failed: %v", err)
+	}
+	if err := d.Attest(func([]byte) { t.Error("attestation ran with leaked key cap") }); err == nil {
+		t.Fatal("Attest succeeded despite non-exclusive key")
+	}
+}
+
+// appOf reaches the untrusted app process for tests.
+func appOf(d *Device) *sel4.Process { return d.appProc }
+
+func TestKeyUnprivilegedDenied(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if _, err := d.KeyUnprivileged(); err == nil {
+		t.Fatal("app read K")
+	}
+	if d.Violations().Count(cpu.ViolationCapability) == 0 {
+		t.Fatal("violation not logged")
+	}
+}
+
+func TestMemoryAndStore(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if err := d.WriteMemory(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteMemory(4095, []byte{1, 2}); err == nil {
+		t.Fatal("OOB write accepted")
+	}
+	d.Store()[0] = 0x5A
+	if d.Store()[0] != 0x5A {
+		t.Fatal("store not writable")
+	}
+}
+
+func TestEPITTimers(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	count := 0
+	stop := d.SetPeriodicTimer(sim.Second, func() { count++ })
+	oneshot := false
+	d.SetOneShotTimer(2500*sim.Millisecond, func() { oneshot = true })
+	e.RunUntil(3500 * sim.Millisecond)
+	stop()
+	if count != 3 {
+		t.Fatalf("EPIT fired %d times, want 3", count)
+	}
+	if !oneshot {
+		t.Fatal("one-shot timer never fired")
+	}
+}
+
+func TestPrAttPriorityDefault(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if d.Kernel().PrAtt().Priority != 255 {
+		t.Fatalf("PrAtt priority = %d", d.Kernel().PrAtt().Priority)
+	}
+	// The normal world runs strictly below PrAtt.
+	if appOf(d).Priority >= 255 {
+		t.Fatal("app priority not below PrAtt")
+	}
+}
+
+func TestCloseStopsWrapTicker(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	d.Close()
+	d.Close() // idempotent
+	// After Close the engine should eventually drain (the ticker would
+	// otherwise keep scheduling forever).
+	e.RunUntil(cyclesToTicks(gptWrapCycles) * 3)
+	if e.Pending() > 1 {
+		t.Fatalf("pending events after Close: %d", e.Pending())
+	}
+}
+
+func TestGPTCycleMath(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	e.RunUntil(sim.Second)
+	if got := d.gptCycles(); got != GPTFrequencyHz {
+		t.Fatalf("gptCycles(1s) = %d, want %d", got, GPTFrequencyHz)
+	}
+	if got := cyclesToTicks(GPTFrequencyHz); got != sim.Second {
+		t.Fatalf("cyclesToTicks(66e6) = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,242 @@
+package mcu
+
+import (
+	"bytes"
+	"testing"
+
+	"erasmus/internal/costmodel"
+	"erasmus/internal/hw/cpu"
+	"erasmus/internal/sim"
+)
+
+func newDevice(t *testing.T, e *sim.Engine) *Device {
+	t.Helper()
+	d, err := New(Config{
+		Engine:     e,
+		MemorySize: 1024,
+		StoreSize:  512,
+		Key:        []byte("device-secret-K"),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	cases := []Config{
+		{Engine: nil, MemorySize: 1, StoreSize: 1, Key: []byte("k")},
+		{Engine: e, MemorySize: 0, StoreSize: 1, Key: []byte("k")},
+		{Engine: e, MemorySize: 1, StoreSize: 0, Key: []byte("k")},
+		{Engine: e, MemorySize: 1, StoreSize: 1, Key: nil},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestArch(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if d.Arch() != costmodel.MSP430 {
+		t.Fatalf("Arch = %v", d.Arch())
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if err := d.WriteMemory(10, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.Memory()[10:13], []byte{1, 2, 3}) {
+		t.Fatal("write not visible")
+	}
+	if err := d.WriteMemory(-1, []byte{1}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := d.WriteMemory(1023, []byte{1, 2}); err == nil {
+		t.Error("out-of-bounds write accepted")
+	}
+}
+
+func TestMemoryIsLive(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	d.Memory()[0] = 0xAA
+	if d.Memory()[0] != 0xAA {
+		t.Fatal("Memory() is not the live image")
+	}
+}
+
+func TestStoreIsInsecure(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	d.Store()[0] = 0xFF // malware tampering must be possible
+	if d.Store()[0] != 0xFF {
+		t.Fatal("store not writable")
+	}
+	if len(d.Store()) != 512 {
+		t.Fatalf("store size = %d", len(d.Store()))
+	}
+}
+
+func TestRROCAdvancesWithTime(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	t0 := d.RROC()
+	if t0 != DefaultEpoch {
+		t.Fatalf("RROC at boot = %d, want epoch %d", t0, DefaultEpoch)
+	}
+	e.RunUntil(5 * sim.Second)
+	if got := d.RROC(); got != DefaultEpoch+uint64(5*sim.Second) {
+		t.Fatalf("RROC after 5s = %d", got)
+	}
+}
+
+func TestRROCCustomEpoch(t *testing.T) {
+	e := sim.NewEngine()
+	d, err := New(Config{Engine: e, MemorySize: 1, StoreSize: 1, Key: []byte("k"), Epoch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RROC() != 1000 {
+		t.Fatalf("RROC = %d, want 1000", d.RROC())
+	}
+}
+
+func TestRROCWriteBlocked(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	before := d.RROC()
+	if err := d.WriteRROC(42); err == nil {
+		t.Fatal("RROC write succeeded on read-only clock")
+	}
+	if d.RROC() != before {
+		t.Fatal("blocked write changed the clock")
+	}
+	if d.Violations().Count(cpu.ViolationClockWrite) != 1 {
+		t.Fatal("clock-write violation not logged")
+	}
+}
+
+func TestWritableClockAblation(t *testing.T) {
+	e := sim.NewEngine()
+	d, err := New(Config{
+		Engine: e, MemorySize: 1, StoreSize: 1, Key: []byte("k"),
+		WritableClock: true, Epoch: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRROC(500); err != nil {
+		t.Fatalf("writable clock rejected write: %v", err)
+	}
+	if d.RROC() != 500 {
+		t.Fatalf("RROC = %d after reset to 500", d.RROC())
+	}
+	e.RunUntil(100)
+	if d.RROC() != 600 {
+		t.Fatalf("RROC = %d, want 600 (reset + elapsed)", d.RROC())
+	}
+}
+
+func TestAttestProvidesKey(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	var seen []byte
+	err := d.Attest(func(k []byte) {
+		seen = append([]byte(nil), k...)
+		if !d.InAttestation() {
+			t.Error("InAttestation false inside Attest")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seen, []byte("device-secret-K")) {
+		t.Fatal("key not provided to attestation code")
+	}
+	if d.InAttestation() {
+		t.Fatal("still in attestation after exit")
+	}
+}
+
+func TestAttestKeyCopyZeroedAfterExit(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	var held []byte
+	d.Attest(func(k []byte) { held = k })
+	for _, b := range held {
+		if b != 0 {
+			t.Fatal("key copy not cleaned up after attestation exit")
+		}
+	}
+}
+
+func TestAttestNotReentrant(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	var inner error
+	d.Attest(func([]byte) {
+		inner = d.Attest(func([]byte) { t.Error("nested attestation executed") })
+	})
+	if inner == nil {
+		t.Fatal("re-entrant Attest succeeded")
+	}
+	if d.Violations().Count(cpu.ViolationAtomicity) != 1 {
+		t.Fatal("atomicity violation not logged")
+	}
+}
+
+func TestKeyUnprivilegedAlwaysFailsAndLogs(t *testing.T) {
+	d := newDevice(t, sim.NewEngine())
+	if _, err := d.KeyUnprivileged(); err == nil {
+		t.Fatal("unprivileged key read succeeded")
+	}
+	d.Attest(func([]byte) {
+		if _, err := d.KeyUnprivileged(); err == nil {
+			t.Error("unprivileged key read succeeded during attestation")
+		}
+	})
+	if d.Violations().Count(cpu.ViolationKeyAccess) != 2 {
+		t.Fatalf("key violations = %d, want 2", d.Violations().Count(cpu.ViolationKeyAccess))
+	}
+}
+
+func TestPeriodicTimer(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	var fires []sim.Ticks
+	stop := d.SetPeriodicTimer(10*sim.Second, func() { fires = append(fires, e.Now()) })
+	e.RunUntil(35 * sim.Second)
+	stop()
+	e.RunUntil(60 * sim.Second)
+	if len(fires) != 3 {
+		t.Fatalf("timer fired %d times, want 3: %v", len(fires), fires)
+	}
+	if fires[0] != 10*sim.Second || fires[2] != 30*sim.Second {
+		t.Fatalf("fires = %v", fires)
+	}
+}
+
+func TestOneShotTimer(t *testing.T) {
+	e := sim.NewEngine()
+	d := newDevice(t, e)
+	fired := false
+	d.SetOneShotTimer(5*sim.Second, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("one-shot timer never fired")
+	}
+}
+
+func TestDeviceKeyIsIsolatedCopy(t *testing.T) {
+	e := sim.NewEngine()
+	key := []byte("mutable")
+	d, err := New(Config{Engine: e, MemorySize: 1, StoreSize: 1, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key[0] = 'X' // caller mutates its slice after provisioning
+	var seen []byte
+	d.Attest(func(k []byte) { seen = append([]byte(nil), k...) })
+	if !bytes.Equal(seen, []byte("mutable")) {
+		t.Fatal("device key aliased caller's slice")
+	}
+}

@@ -1,0 +1,68 @@
+package mcu
+
+import (
+	"erasmus/internal/hw/cpu"
+)
+
+// Peripheral bus model. The MSP430 peripheral space is 16-bit-word
+// addressed; the RROC is exposed as four read-only words. Because software
+// reads a 64-bit counter over a 16-bit bus, the hardware must latch the
+// upper words when the lowest word is read — otherwise a carry rippling
+// between two bus reads yields a torn (inconsistent) timestamp, which
+// would let malware dispute measurement times. The latch is part of the
+// RROC netlist (the sync_stage registers in internal/hw/rtl).
+
+// Peripheral word addresses of the RROC (word offsets in the peripheral
+// space, mirroring an omsp peripheral at 0x0190).
+const (
+	RROCWord0 uint16 = 0x0190 + 2*iota // bits 15..0; reading latches 63..16
+	RROCWord1                          // bits 31..16 (latched)
+	RROCWord2                          // bits 47..32 (latched)
+	RROCWord3                          // bits 63..48 (latched)
+)
+
+// PeripheralRead performs a 16-bit bus read. Reading RROCWord0 samples the
+// full counter and latches the upper words; reading words 1–3 returns the
+// latched snapshot, so a multi-word read sequence started at word 0 always
+// observes one consistent counter value regardless of elapsed cycles.
+func (d *Device) PeripheralRead(addr uint16) (uint16, error) {
+	switch addr {
+	case RROCWord0:
+		v := d.RROC()
+		d.rrocLatch = v
+		return uint16(v), nil
+	case RROCWord1:
+		return uint16(d.rrocLatch >> 16), nil
+	case RROCWord2:
+		return uint16(d.rrocLatch >> 32), nil
+	case RROCWord3:
+		return uint16(d.rrocLatch >> 48), nil
+	default:
+		return 0, d.viol.Record(cpu.ViolationKind("bus-decode"),
+			"read of unmapped peripheral address")
+	}
+}
+
+// PeripheralWrite performs a 16-bit bus write. The RROC words have no
+// write decode at all — the write-enable wire was removed (§4.1) — so any
+// write in their range is a violation.
+func (d *Device) PeripheralWrite(addr uint16, v uint16) error {
+	switch addr {
+	case RROCWord0, RROCWord1, RROCWord2, RROCWord3:
+		return d.viol.Record(cpu.ViolationClockWrite, "bus write to RROC word")
+	default:
+		return d.viol.Record(cpu.ViolationKind("bus-decode"),
+			"write to unmapped peripheral address")
+	}
+}
+
+// ReadRROCViaBus performs the 4-word read sequence the ROM clock driver
+// uses, returning the reconstructed 64-bit value. It is torn-read safe by
+// construction of the latch.
+func (d *Device) ReadRROCViaBus() uint64 {
+	w0, _ := d.PeripheralRead(RROCWord0)
+	w1, _ := d.PeripheralRead(RROCWord1)
+	w2, _ := d.PeripheralRead(RROCWord2)
+	w3, _ := d.PeripheralRead(RROCWord3)
+	return uint64(w0) | uint64(w1)<<16 | uint64(w2)<<32 | uint64(w3)<<48
+}

@@ -1,0 +1,186 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourcesAdd(t *testing.T) {
+	a := Resources{Registers: 3, LUTs: 5}
+	b := Resources{Registers: 7, LUTs: 11}
+	got := a.Add(b)
+	if got != (Resources{Registers: 10, LUTs: 16}) {
+		t.Fatalf("Add = %+v", got)
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	if got := (Resources{2, 3}).String(); got != "2 regs, 3 LUTs" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPrimitiveCosts(t *testing.T) {
+	cases := []struct {
+		c    Component
+		want Resources
+	}{
+		{Register("r", 64), Resources{Registers: 64}},
+		{Incrementer("i", 64), Resources{LUTs: 64}},
+		{MagnitudeComparator("m", 16), Resources{LUTs: 16}},
+		{Mux("x", 16, 4), Resources{LUTs: 48}},
+		{Mux("x", 16, 2), Resources{LUTs: 16}},
+		{FSM("f", 3, 12), Resources{Registers: 2, LUTs: 12}},
+		{FSM("f", 4, 0), Resources{Registers: 2}},
+		{FSM("f", 5, 0), Resources{Registers: 3}},
+		{Logic("g", 9), Resources{LUTs: 9}},
+		{Macro("m", 579, 1731), Resources{Registers: 579, LUTs: 1731}},
+		{EqComparator("e", 16), Resources{LUTs: 11}},
+	}
+	for _, c := range cases {
+		if got := c.c.Resources(); got != c.want {
+			t.Errorf("%s: got %+v, want %+v", c.c.Name(), got, c.want)
+		}
+	}
+}
+
+func TestPrimitiveValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Register("r", 0) },
+		func() { Incrementer("i", -1) },
+		func() { MagnitudeComparator("m", 0) },
+		func() { EqComparator("e", 0) },
+		func() { Mux("x", 0, 2) },
+		func() { Mux("x", 8, 1) },
+		func() { FSM("f", 1, 0) },
+		func() { FSM("f", 3, -1) },
+		func() { Logic("g", -1) },
+		func() { Macro("m", -1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid primitive did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModuleAggregation(t *testing.T) {
+	m := NewModule("top").Add(
+		Register("a", 8),
+		NewModule("sub").Add(Logic("l", 5), Register("b", 2)),
+	)
+	if got := m.Resources(); got != (Resources{Registers: 10, LUTs: 5}) {
+		t.Fatalf("Resources = %+v", got)
+	}
+	if len(m.Children()) != 2 {
+		t.Fatalf("Children = %d", len(m.Children()))
+	}
+}
+
+func TestChildrenIsACopy(t *testing.T) {
+	m := NewModule("top").Add(Register("a", 1))
+	kids := m.Children()
+	kids[0] = Register("tampered", 99)
+	if m.Resources().Registers != 1 {
+		t.Fatal("Children() exposed internal slice")
+	}
+}
+
+func TestReportContainsHierarchy(t *testing.T) {
+	r := ModifiedCore().Report()
+	for _, want := range []string{"openmsp430_erasmus", "rroc", "counter", "atomic_exec_monitor"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}
+
+// §4.1 anchors: 579/1731 baseline, 655/1969 modified.
+func TestPaperSynthesisNumbers(t *testing.T) {
+	c := Compare()
+	if c.Baseline != (Resources{Registers: 579, LUTs: 1731}) {
+		t.Errorf("baseline = %+v, want 579/1731", c.Baseline)
+	}
+	if c.Modified != (Resources{Registers: 655, LUTs: 1969}) {
+		t.Errorf("modified = %+v, want 655/1969", c.Modified)
+	}
+}
+
+// §4.1: "roughly 13% and 14% additional registers and look-up tables".
+func TestOverheadPercentages(t *testing.T) {
+	c := Compare()
+	if got := c.RegisterOverhead(); got < 0.125 || got > 0.14 {
+		t.Errorf("register overhead = %.3f, want ~0.13", got)
+	}
+	if got := c.LUTOverhead(); got < 0.13 || got > 0.145 {
+		t.Errorf("LUT overhead = %.3f, want ~0.14", got)
+	}
+}
+
+// The RROC counter dominates the register overhead: a 64-bit free-running
+// counter is 64 of the 76 added flip-flops.
+func TestRROCStructure(t *testing.T) {
+	r := RROC().Resources()
+	if r.Registers != 64 {
+		t.Errorf("RROC registers = %d, want 64", r.Registers)
+	}
+	if r.LUTs < 64 {
+		t.Errorf("RROC LUTs = %d, want ≥64 (incrementer alone)", r.LUTs)
+	}
+}
+
+// ERASMUS and on-demand share the identical modification netlist.
+func TestModsSharedBetweenDesigns(t *testing.T) {
+	a := ErasmusModifications().Resources()
+	b := ErasmusModifications().Resources()
+	if a != b {
+		t.Fatal("modification netlist not deterministic")
+	}
+	if a != (Resources{Registers: 76, LUTs: 238}) {
+		t.Fatalf("modifications = %+v, want 76/238", a)
+	}
+}
+
+// Property: module resources are additive — a module of any primitives has
+// exactly the sum of its parts.
+func TestPropertyAdditivity(t *testing.T) {
+	f := func(widths []uint8) bool {
+		m := NewModule("m")
+		var want Resources
+		for i, w := range widths {
+			width := int(w)%32 + 1
+			var c Component
+			switch i % 3 {
+			case 0:
+				c = Register("r", width)
+			case 1:
+				c = Incrementer("i", width)
+			default:
+				c = Logic("l", width)
+			}
+			want = want.Add(c.Resources())
+			m.Add(c)
+		}
+		return m.Resources() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FSM state register count is ceil(log2(states)).
+func TestPropertyFSMStateBits(t *testing.T) {
+	f := func(s uint8) bool {
+		states := int(s)%100 + 2
+		bits := FSM("f", states, 0).Resources().Registers
+		return 1<<bits >= states && 1<<(bits-1) < states
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package rtl
+
+// Static timing model: each primitive contributes a register-to-register
+// propagation delay, and a module's critical path is the slowest of its
+// components (the added ERASMUS blocks are architecturally parallel — the
+// RROC incrementer, the access-rule comparators and the FSM sit on
+// independent paths off the core's existing registers).
+//
+// The paper does not report timing, but the implicit requirement is that
+// the modifications must not break the 8 MHz operating point of the
+// OpenMSP430 (a 125 ns cycle). The constants below are generic 4-LUT FPGA
+// class numbers; the conclusion (the 64-bit carry chain clears 125 ns by
+// more than an order of magnitude) is robust to any reasonable choice.
+
+// FPGA timing constants in nanoseconds.
+const (
+	ClkToQ      = 0.50 // register clock-to-output
+	LUTDelay    = 0.90 // one 4-LUT traversal
+	CarryPerBit = 0.05 // dedicated carry-chain propagation per bit
+	RouteDelay  = 0.60 // average net routing between levels
+	Setup       = 0.40 // register setup time
+)
+
+// Delay returns the register-to-register critical path in nanoseconds
+// contributed by a component. Unknown components (opaque macros) report
+// their stored delay.
+func Delay(c Component) float64 {
+	switch v := c.(type) {
+	case *Module:
+		worst := 0.0
+		for _, child := range v.Children() {
+			if d := Delay(child); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	case leaf:
+		return v.delay
+	default:
+		return 0
+	}
+}
+
+// MaxFrequencyMHz converts a critical path to a clock ceiling.
+func MaxFrequencyMHz(c Component) float64 {
+	d := Delay(c)
+	if d <= 0 {
+		return 0
+	}
+	return 1000.0 / d
+}
+
+// MeetsTiming reports whether the component closes timing at the given
+// clock frequency.
+func MeetsTiming(c Component, clockMHz float64) bool {
+	return MaxFrequencyMHz(c) >= clockMHz
+}
+
+// Primitive delay formulas, used by the constructors in rtl.go.
+
+func registerDelay(int) float64 { return ClkToQ + RouteDelay + Setup }
+
+func incrementerDelay(width int) float64 {
+	// One LUT to start the chain, then a dedicated carry cell per bit.
+	return ClkToQ + LUTDelay + float64(width-1)*CarryPerBit + RouteDelay + Setup
+}
+
+func magnitudeDelay(width int) float64 {
+	return ClkToQ + LUTDelay + float64(width-1)*CarryPerBit + RouteDelay + Setup
+}
+
+func eqDelay(width int) float64 {
+	// XNOR level plus a log4 AND-reduction tree.
+	levels := 1
+	for n := (width + 1) / 2; n > 1; n = (n + 3) / 4 {
+		levels++
+	}
+	return ClkToQ + float64(levels)*(LUTDelay+RouteDelay) + Setup
+}
+
+func muxDelay(ways int) float64 {
+	// 2:1 tree depth.
+	levels := 0
+	for n := ways; n > 1; n = (n + 1) / 2 {
+		levels++
+	}
+	return ClkToQ + float64(levels)*(LUTDelay+RouteDelay) + Setup
+}
+
+func fsmDelay(logicLUTs int) float64 {
+	// Next-state logic depth grows slowly with the LUT budget; two levels
+	// cover the small monitors modeled here.
+	levels := 1
+	if logicLUTs > 8 {
+		levels = 2
+	}
+	return ClkToQ + float64(levels)*(LUTDelay+RouteDelay) + Setup
+}
+
+func logicDelay(luts int) float64 {
+	levels := 1
+	if luts > 8 {
+		levels = 2
+	}
+	return ClkToQ + float64(levels)*(LUTDelay+RouteDelay) + Setup
+}

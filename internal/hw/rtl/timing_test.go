@@ -1,0 +1,100 @@
+package rtl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveDelaysPositive(t *testing.T) {
+	for _, c := range []Component{
+		Register("r", 8),
+		Incrementer("i", 64),
+		MagnitudeComparator("m", 16),
+		EqComparator("e", 16),
+		Mux("x", 16, 4),
+		FSM("f", 3, 12),
+		Logic("g", 10),
+	} {
+		if Delay(c) <= 0 {
+			t.Errorf("%s: non-positive delay %v", c.Name(), Delay(c))
+		}
+	}
+	if Delay(Macro("m", 1, 1)) != 0 {
+		t.Error("untimed macro has a delay")
+	}
+	if Delay(TimedMacro("m", 1, 1, 42)) != 42 {
+		t.Error("timed macro delay lost")
+	}
+}
+
+func TestCarryChainScalesWithWidth(t *testing.T) {
+	if Delay(Incrementer("a", 64)) <= Delay(Incrementer("b", 16)) {
+		t.Fatal("wider carry chain not slower")
+	}
+}
+
+func TestModuleCriticalPathIsMax(t *testing.T) {
+	m := NewModule("m").Add(
+		TimedMacro("slow", 0, 0, 30),
+		TimedMacro("fast", 0, 0, 5),
+		NewModule("sub").Add(TimedMacro("mid", 0, 0, 12)),
+	)
+	if got := Delay(m); got != 30 {
+		t.Fatalf("critical path = %v, want 30", got)
+	}
+}
+
+// The key timing conclusion: the ERASMUS additions are far faster than
+// the core's own critical path, so the modified core still closes timing
+// at 8 MHz (and at the core's native ~20 MHz).
+func TestModificationsDoNotDegradeTiming(t *testing.T) {
+	mods := Delay(ErasmusModifications())
+	if mods <= 0 {
+		t.Fatal("modifications have no modeled delay")
+	}
+	if mods >= baselineDelayNS {
+		t.Fatalf("modifications (%.1f ns) would become the critical path (core %.1f ns)", mods, baselineDelayNS)
+	}
+	if Delay(ModifiedCore()) != baselineDelayNS {
+		t.Fatalf("modified core critical path %v, want the core's own %v", Delay(ModifiedCore()), baselineDelayNS)
+	}
+	if !MeetsTiming(ModifiedCore(), 8) {
+		t.Fatal("modified core fails 8 MHz timing")
+	}
+	if MeetsTiming(ModifiedCore(), 100) {
+		t.Fatal("modified core claims 100 MHz — model broken")
+	}
+}
+
+func TestRROCIncrementerClears125ns(t *testing.T) {
+	// The 64-bit counter must update every cycle at 8 MHz.
+	if f := MaxFrequencyMHz(RROC()); f < 8 {
+		t.Fatalf("RROC Fmax = %.1f MHz < 8", f)
+	}
+}
+
+func TestMaxFrequencyZeroDelay(t *testing.T) {
+	if MaxFrequencyMHz(Macro("m", 0, 0)) != 0 {
+		t.Fatal("zero-delay Fmax should be 0 (unknown)")
+	}
+}
+
+// Property: a module's delay equals the max over its children for any
+// composition.
+func TestPropertyModuleDelayMax(t *testing.T) {
+	f := func(delays []uint16) bool {
+		m := NewModule("m")
+		worst := 0.0
+		for _, d := range delays {
+			v := float64(d) / 100
+			m.Add(TimedMacro("x", 0, 0, v))
+			if v > worst {
+				worst = v
+			}
+		}
+		return Delay(m) == worst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package sel4 models the seL4-based software security architecture that
+// HYDRA builds on (§2, §4.2 of the paper).
+//
+// HYDRA's guarantees come from seL4's formally verified isolation rather
+// than hard-wired MCU rules:
+//
+//   - memory isolation and access control are capability-based and
+//     enforced in software by the kernel;
+//   - the attestation process PrAtt is the initial user-space process and
+//     has the highest scheduling priority, which makes its measurement
+//     effectively atomic (no other user process can preempt it);
+//   - PrAtt holds the *only* capabilities to the key region, to its own
+//     thread control block, and to the RROC components (exclusive write
+//     access to the software clock);
+//   - all other processes are spawned by PrAtt with strictly lower
+//     priorities;
+//   - hardware-enforced secure boot establishes integrity of the kernel
+//     and PrAtt at initialization.
+//
+// The model implements exactly these mechanisms: a region registry, a
+// capability table with grant-delegation, a priority rule, and a
+// secure-boot hash check. It deliberately does not model seL4's IPC or
+// virtual memory beyond what the paper's argument needs.
+package sel4
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"erasmus/internal/hw/cpu"
+	"erasmus/internal/sim"
+)
+
+// Rights is a capability rights mask.
+type Rights uint8
+
+// Capability rights bits.
+const (
+	Read Rights = 1 << iota
+	Write
+	Grant // permission to delegate this capability
+)
+
+// Has reports whether r includes all bits of want.
+func (r Rights) Has(want Rights) bool { return r&want == want }
+
+func (r Rights) String() string {
+	s := ""
+	if r.Has(Read) {
+		s += "r"
+	}
+	if r.Has(Write) {
+		s += "w"
+	}
+	if r.Has(Grant) {
+		s += "g"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Region is a named kernel-managed memory object.
+type Region struct {
+	Name string
+	Data []byte
+}
+
+// Process is a schedulable protection domain with a capability space.
+type Process struct {
+	Name     string
+	Priority int // higher runs first; PrAtt must be the maximum
+	Parent   *Process
+	caps     map[string]Rights
+}
+
+// Caps returns a copy of the process's capability table.
+func (p *Process) Caps() map[string]Rights {
+	out := make(map[string]Rights, len(p.caps))
+	for k, v := range p.caps {
+		out[k] = v
+	}
+	return out
+}
+
+// BootImage is what secure boot measures: the kernel and PrAtt binaries.
+type BootImage struct {
+	Kernel []byte
+	PrAtt  []byte
+}
+
+// Digest returns the secure-boot measurement of the image.
+func (b BootImage) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(b.Kernel)
+	h.Write([]byte{0}) // domain separation between the two binaries
+	h.Write(b.PrAtt)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Kernel is a booted seL4 model instance.
+type Kernel struct {
+	viol    *cpu.ViolationLog
+	regions map[string]*Region
+	procs   map[string]*Process
+	prAtt   *Process
+}
+
+// ErrBootIntegrity is returned when secure boot rejects the image.
+var ErrBootIntegrity = errors.New("sel4: secure boot hash mismatch")
+
+// Boot verifies the image against the golden hash (hardware-enforced
+// secure boot) and, on success, starts the kernel with PrAtt as the
+// initial process at the given priority.
+func Boot(e *sim.Engine, img BootImage, golden [sha256.Size]byte, prAttPriority int) (*Kernel, error) {
+	viol := cpu.NewViolationLog(e)
+	if img.Digest() != golden {
+		viol.Record(cpu.ViolationBootIntegrty, "kernel/PrAtt image rejected")
+		return nil, ErrBootIntegrity
+	}
+	k := &Kernel{
+		viol:    viol,
+		regions: make(map[string]*Region),
+		procs:   make(map[string]*Process),
+	}
+	k.prAtt = &Process{Name: "PrAtt", Priority: prAttPriority, caps: make(map[string]Rights)}
+	k.procs[k.prAtt.Name] = k.prAtt
+	return k, nil
+}
+
+// Violations exposes the kernel's access-violation log.
+func (k *Kernel) Violations() *cpu.ViolationLog { return k.viol }
+
+// PrAtt returns the attestation process.
+func (k *Kernel) PrAtt() *Process { return k.prAtt }
+
+// CreateRegion registers a memory object of the given size and hands the
+// full capability (rwg) to owner. Region names must be unique.
+func (k *Kernel) CreateRegion(name string, size int, owner *Process) (*Region, error) {
+	if _, dup := k.regions[name]; dup {
+		return nil, fmt.Errorf("sel4: region %q already exists", name)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("sel4: negative region size %d", size)
+	}
+	if err := k.known(owner); err != nil {
+		return nil, err
+	}
+	r := &Region{Name: name, Data: make([]byte, size)}
+	k.regions[name] = r
+	owner.caps[name] = Read | Write | Grant
+	return r, nil
+}
+
+// Spawn creates a child process. Per HYDRA's design, only processes may be
+// created by an ancestor chain rooted at PrAtt, and every child must have
+// strictly lower priority than PrAtt (this is what makes the measurement
+// effectively atomic).
+func (k *Kernel) Spawn(parent *Process, name string, priority int) (*Process, error) {
+	if err := k.known(parent); err != nil {
+		return nil, err
+	}
+	if _, dup := k.procs[name]; dup {
+		return nil, fmt.Errorf("sel4: process %q already exists", name)
+	}
+	if priority >= k.prAtt.Priority {
+		k.viol.Record(cpu.ViolationCapability,
+			fmt.Sprintf("spawn %q at priority %d ≥ PrAtt %d", name, priority, k.prAtt.Priority))
+		return nil, fmt.Errorf("sel4: child priority %d must be below PrAtt's %d", priority, k.prAtt.Priority)
+	}
+	p := &Process{Name: name, Priority: priority, Parent: parent, caps: make(map[string]Rights)}
+	k.procs[name] = p
+	return p, nil
+}
+
+// GrantCap delegates rights on region from one process to another. The
+// granter must hold Grant plus every delegated right.
+func (k *Kernel) GrantCap(from, to *Process, region string, rights Rights) error {
+	if err := k.known(from); err != nil {
+		return err
+	}
+	if err := k.known(to); err != nil {
+		return err
+	}
+	if _, ok := k.regions[region]; !ok {
+		return fmt.Errorf("sel4: unknown region %q", region)
+	}
+	held := from.caps[region]
+	if !held.Has(Grant) || !held.Has(rights&^Grant) {
+		return k.viol.Record(cpu.ViolationCapability,
+			fmt.Sprintf("%s cannot grant %v on %q (holds %v)", from.Name, rights, region, held))
+	}
+	to.caps[region] |= rights
+	return nil
+}
+
+// RevokeCap removes all rights on region from a process. Only the region's
+// grant-holder (or the process itself) may revoke; PrAtt uses this to keep
+// exclusive access to K.
+func (k *Kernel) RevokeCap(by, from *Process, region string) error {
+	if err := k.known(by); err != nil {
+		return err
+	}
+	if by != from && !by.caps[region].Has(Grant) {
+		return k.viol.Record(cpu.ViolationCapability,
+			fmt.Sprintf("%s cannot revoke %q from %s", by.Name, region, from.Name))
+	}
+	delete(from.caps, region)
+	return nil
+}
+
+// Access checks a read or write by p on region and returns the region on
+// success. Failed checks are logged as capability violations.
+func (k *Kernel) Access(p *Process, region string, want Rights) (*Region, error) {
+	if err := k.known(p); err != nil {
+		return nil, err
+	}
+	r, ok := k.regions[region]
+	if !ok {
+		return nil, fmt.Errorf("sel4: unknown region %q", region)
+	}
+	if !p.caps[region].Has(want) {
+		return nil, k.viol.Record(cpu.ViolationCapability,
+			fmt.Sprintf("%s lacks %v on %q", p.Name, want, region))
+	}
+	return r, nil
+}
+
+// ExclusiveHolder reports whether p is the only process holding any rights
+// on region — the property HYDRA requires for the key region, PrAtt's TCB
+// and the RROC components.
+func (k *Kernel) ExclusiveHolder(p *Process, region string) bool {
+	if _, ok := p.caps[region]; !ok {
+		return false
+	}
+	for _, other := range k.procs {
+		if other == p {
+			continue
+		}
+		if _, ok := other.caps[region]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// HighestPriority returns the process that the seL4 scheduler would run
+// among the given candidates (nil candidates = all processes). Ties break
+// by name for determinism.
+func (k *Kernel) HighestPriority(candidates []*Process) *Process {
+	if candidates == nil {
+		for _, p := range k.procs {
+			candidates = append(candidates, p)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Priority != candidates[j].Priority {
+			return candidates[i].Priority > candidates[j].Priority
+		}
+		return candidates[i].Name < candidates[j].Name
+	})
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[0]
+}
+
+// Processes returns all processes sorted by name.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (k *Kernel) known(p *Process) error {
+	if p == nil {
+		return errors.New("sel4: nil process")
+	}
+	if k.procs[p.Name] != p {
+		return fmt.Errorf("sel4: process %q not registered with this kernel", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package sel4
+
+import (
+	"testing"
+
+	"erasmus/internal/hw/cpu"
+	"erasmus/internal/sim"
+)
+
+func bootKernel(t *testing.T) *Kernel {
+	t.Helper()
+	img := BootImage{Kernel: []byte("sel4-kernel"), PrAtt: []byte("pratt-binary")}
+	k, err := Boot(sim.NewEngine(), img, img.Digest(), 255)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	return k
+}
+
+func TestSecureBootAcceptsGoldenImage(t *testing.T) {
+	k := bootKernel(t)
+	if k.PrAtt() == nil || k.PrAtt().Name != "PrAtt" {
+		t.Fatal("PrAtt not created at boot")
+	}
+	if k.PrAtt().Priority != 255 {
+		t.Fatalf("PrAtt priority = %d", k.PrAtt().Priority)
+	}
+}
+
+func TestSecureBootRejectsTamperedImage(t *testing.T) {
+	img := BootImage{Kernel: []byte("sel4-kernel"), PrAtt: []byte("pratt-binary")}
+	golden := img.Digest()
+	img.PrAtt = []byte("pratt-binary-with-rootkit")
+	if _, err := Boot(sim.NewEngine(), img, golden, 255); err != ErrBootIntegrity {
+		t.Fatalf("Boot with tampered image: err = %v, want ErrBootIntegrity", err)
+	}
+}
+
+func TestBootDigestDomainSeparation(t *testing.T) {
+	a := BootImage{Kernel: []byte("ab"), PrAtt: []byte("c")}
+	b := BootImage{Kernel: []byte("a"), PrAtt: []byte("bc")}
+	if a.Digest() == b.Digest() {
+		t.Fatal("boundary-shifted images share a digest")
+	}
+}
+
+func TestCreateRegionGivesOwnerFullCap(t *testing.T) {
+	k := bootKernel(t)
+	r, err := k.CreateRegion("key", 32, k.PrAtt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Data) != 32 {
+		t.Fatalf("region size = %d", len(r.Data))
+	}
+	if !k.PrAtt().Caps()["key"].Has(Read | Write | Grant) {
+		t.Fatal("owner lacks full rights")
+	}
+	if _, err := k.CreateRegion("key", 1, k.PrAtt()); err == nil {
+		t.Fatal("duplicate region accepted")
+	}
+	if _, err := k.CreateRegion("neg", -1, k.PrAtt()); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestSpawnPriorityRule(t *testing.T) {
+	k := bootKernel(t)
+	if _, err := k.Spawn(k.PrAtt(), "app", 100); err != nil {
+		t.Fatalf("legitimate spawn failed: %v", err)
+	}
+	if _, err := k.Spawn(k.PrAtt(), "evil", 255); err == nil {
+		t.Fatal("spawn at PrAtt priority accepted")
+	}
+	if _, err := k.Spawn(k.PrAtt(), "evil2", 300); err == nil {
+		t.Fatal("spawn above PrAtt priority accepted")
+	}
+	if k.Violations().Count(cpu.ViolationCapability) == 0 {
+		t.Fatal("priority violation not logged")
+	}
+	if _, err := k.Spawn(k.PrAtt(), "app", 10); err == nil {
+		t.Fatal("duplicate process name accepted")
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	k := bootKernel(t)
+	k.CreateRegion("key", 32, k.PrAtt())
+	app, _ := k.Spawn(k.PrAtt(), "app", 10)
+
+	if _, err := k.Access(k.PrAtt(), "key", Read|Write); err != nil {
+		t.Fatalf("owner access denied: %v", err)
+	}
+	if _, err := k.Access(app, "key", Read); err == nil {
+		t.Fatal("capability-less read allowed")
+	}
+	if _, err := k.Access(app, "nosuch", Read); err == nil {
+		t.Fatal("unknown region access allowed")
+	}
+	if k.Violations().Count(cpu.ViolationCapability) != 1 {
+		t.Fatalf("violations = %d, want 1", k.Violations().Count(cpu.ViolationCapability))
+	}
+}
+
+func TestGrantDelegation(t *testing.T) {
+	k := bootKernel(t)
+	k.CreateRegion("buf", 64, k.PrAtt())
+	app, _ := k.Spawn(k.PrAtt(), "app", 10)
+
+	if err := k.GrantCap(k.PrAtt(), app, "buf", Read); err != nil {
+		t.Fatalf("grant failed: %v", err)
+	}
+	if _, err := k.Access(app, "buf", Read); err != nil {
+		t.Fatalf("granted read denied: %v", err)
+	}
+	if _, err := k.Access(app, "buf", Write); err == nil {
+		t.Fatal("ungranted write allowed")
+	}
+	// app holds no Grant right, so it cannot re-delegate.
+	app2, _ := k.Spawn(k.PrAtt(), "app2", 10)
+	if err := k.GrantCap(app, app2, "buf", Read); err == nil {
+		t.Fatal("delegation without Grant right succeeded")
+	}
+	// Granting rights you don't hold fails.
+	if err := k.GrantCap(app, app2, "nosuch", Read); err == nil {
+		t.Fatal("grant on unknown region succeeded")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	k := bootKernel(t)
+	k.CreateRegion("buf", 64, k.PrAtt())
+	app, _ := k.Spawn(k.PrAtt(), "app", 10)
+	k.GrantCap(k.PrAtt(), app, "buf", Read)
+
+	other, _ := k.Spawn(k.PrAtt(), "other", 10)
+	if err := k.RevokeCap(other, app, "buf"); err == nil {
+		t.Fatal("non-holder revoked a capability")
+	}
+	if err := k.RevokeCap(k.PrAtt(), app, "buf"); err != nil {
+		t.Fatalf("grant-holder revoke failed: %v", err)
+	}
+	if _, err := k.Access(app, "buf", Read); err == nil {
+		t.Fatal("access allowed after revoke")
+	}
+}
+
+func TestExclusiveHolder(t *testing.T) {
+	k := bootKernel(t)
+	k.CreateRegion("key", 32, k.PrAtt())
+	app, _ := k.Spawn(k.PrAtt(), "app", 10)
+
+	if !k.ExclusiveHolder(k.PrAtt(), "key") {
+		t.Fatal("PrAtt should be exclusive holder of key")
+	}
+	k.GrantCap(k.PrAtt(), app, "key", Read)
+	if k.ExclusiveHolder(k.PrAtt(), "key") {
+		t.Fatal("exclusivity claimed after delegation")
+	}
+	k.RevokeCap(k.PrAtt(), app, "key")
+	if !k.ExclusiveHolder(k.PrAtt(), "key") {
+		t.Fatal("exclusivity not restored after revoke")
+	}
+	if k.ExclusiveHolder(app, "key") {
+		t.Fatal("non-holder reported exclusive")
+	}
+}
+
+func TestSchedulerPicksPrAtt(t *testing.T) {
+	k := bootKernel(t)
+	k.Spawn(k.PrAtt(), "app-a", 100)
+	k.Spawn(k.PrAtt(), "app-b", 100)
+	if got := k.HighestPriority(nil); got != k.PrAtt() {
+		t.Fatalf("scheduler chose %q, want PrAtt", got.Name)
+	}
+}
+
+func TestSchedulerTieBreaksByName(t *testing.T) {
+	k := bootKernel(t)
+	a, _ := k.Spawn(k.PrAtt(), "aaa", 100)
+	k.Spawn(k.PrAtt(), "bbb", 100)
+	got := k.HighestPriority([]*Process{k.procsLookup("bbb"), a})
+	if got != a {
+		t.Fatalf("tie-break chose %q, want aaa", got.Name)
+	}
+}
+
+// procsLookup is a test helper reaching into the kernel's registry.
+func (k *Kernel) procsLookup(name string) *Process { return k.procs[name] }
+
+func TestForeignProcessRejected(t *testing.T) {
+	k1 := bootKernel(t)
+	k2 := bootKernel(t)
+	stranger, _ := k2.Spawn(k2.PrAtt(), "stranger", 1)
+	if _, err := k1.CreateRegion("r", 1, stranger); err == nil {
+		t.Fatal("foreign process accepted as region owner")
+	}
+	if _, err := k1.Access(stranger, "r", Read); err == nil {
+		t.Fatal("foreign process access allowed")
+	}
+	if _, err := k1.Spawn(nil, "x", 1); err == nil {
+		t.Fatal("nil parent accepted")
+	}
+}
+
+func TestProcessesSorted(t *testing.T) {
+	k := bootKernel(t)
+	k.Spawn(k.PrAtt(), "zeta", 1)
+	k.Spawn(k.PrAtt(), "alpha", 2)
+	ps := k.Processes()
+	if len(ps) != 3 || ps[0].Name != "PrAtt" || ps[1].Name != "alpha" || ps[2].Name != "zeta" {
+		names := []string{}
+		for _, p := range ps {
+			names = append(names, p.Name)
+		}
+		t.Fatalf("Processes() = %v", names)
+	}
+}
+
+func TestRightsString(t *testing.T) {
+	if (Read | Write | Grant).String() != "rwg" {
+		t.Error("rwg string wrong")
+	}
+	if Rights(0).String() != "-" {
+		t.Error("empty rights string wrong")
+	}
+}
+
+func TestHighestPriorityEmpty(t *testing.T) {
+	k := bootKernel(t)
+	if k.HighestPriority([]*Process{}) != nil {
+		t.Fatal("empty candidate set returned a process")
+	}
+}

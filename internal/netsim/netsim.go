@@ -1,0 +1,113 @@
+// Package netsim provides a deterministic simulated datagram network for
+// verifier–prover and swarm experiments.
+//
+// The model is UDP-like, matching the paper's collection transport: framed
+// datagrams, configurable one-way latency and loss, no delivery guarantee,
+// no ordering guarantee beyond the latency model. Loss is driven by a
+// seeded PRNG so every experiment is reproducible.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"erasmus/internal/sim"
+)
+
+// Packet is one datagram in flight.
+type Packet struct {
+	From, To string
+	Kind     string // protocol discriminator, e.g. "collect-req"
+	Payload  []byte
+}
+
+// Handler consumes packets delivered to an endpoint.
+type Handler func(Packet)
+
+// Config parameterizes a network.
+type Config struct {
+	// Latency is the one-way delivery delay. Default 0.
+	Latency sim.Ticks
+	// Jitter adds a uniform random extra delay in [0, Jitter). Default 0.
+	Jitter sim.Ticks
+	// LossRate is the probability in [0,1] that a packet is dropped.
+	LossRate float64
+	// Seed makes loss and jitter deterministic. Default 1.
+	Seed int64
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent, Delivered, Dropped int
+	BytesSent                int
+}
+
+// Network is a broadcast-free datagram fabric.
+type Network struct {
+	engine   *sim.Engine
+	cfg      Config
+	rng      *rand.Rand
+	handlers map[string]Handler
+	stats    Stats
+}
+
+// New creates a network bound to the engine.
+func New(e *sim.Engine, cfg Config) (*Network, error) {
+	if e == nil {
+		return nil, errors.New("netsim: nil engine")
+	}
+	if cfg.LossRate < 0 || cfg.LossRate > 1 {
+		return nil, fmt.Errorf("netsim: loss rate %v outside [0,1]", cfg.LossRate)
+	}
+	if cfg.Latency < 0 || cfg.Jitter < 0 {
+		return nil, fmt.Errorf("netsim: negative latency/jitter")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		engine:   e,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed)),
+		handlers: make(map[string]Handler),
+	}, nil
+}
+
+// Attach registers (or replaces) the handler for an address.
+func (n *Network) Attach(addr string, h Handler) {
+	if h == nil {
+		delete(n.handlers, addr)
+		return
+	}
+	n.handlers[addr] = h
+}
+
+// Send queues a datagram. Unknown destinations and lossy drops are silent,
+// exactly like UDP. The payload is copied so sender-side reuse is safe.
+func (n *Network) Send(p Packet) {
+	n.stats.Sent++
+	n.stats.BytesSent += len(p.Payload)
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		delay += sim.Ticks(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	payload := append([]byte(nil), p.Payload...)
+	n.engine.After(delay, func() {
+		h, ok := n.handlers[p.To]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		h(Packet{From: p.From, To: p.To, Kind: p.Kind, Payload: payload})
+	})
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+func TestDelivery(t *testing.T) {
+	e := sim.NewEngine()
+	n, err := New(e, Config{Latency: 5 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	var at sim.Ticks
+	n.Attach("vrf", func(p Packet) { got = p; at = e.Now() })
+	n.Send(Packet{From: "prv", To: "vrf", Kind: "resp", Payload: []byte("hi")})
+	e.Run()
+	if string(got.Payload) != "hi" || got.From != "prv" || got.Kind != "resp" {
+		t.Fatalf("got %+v", got)
+	}
+	if at != 5*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	e := sim.NewEngine()
+	n, _ := New(e, Config{})
+	var got []byte
+	n.Attach("dst", func(p Packet) { got = p.Payload })
+	buf := []byte{1, 2, 3}
+	n.Send(Packet{To: "dst", Payload: buf})
+	buf[0] = 99 // sender reuses its buffer before delivery
+	e.Run()
+	if got[0] != 1 {
+		t.Fatal("payload aliased sender buffer")
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	e := sim.NewEngine()
+	n, _ := New(e, Config{})
+	n.Send(Packet{To: "nobody", Payload: []byte("x")})
+	e.Run()
+	s := n.Stats()
+	if s.Sent != 1 || s.Dropped != 1 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	e := sim.NewEngine()
+	n, _ := New(e, Config{LossRate: 0.5, Seed: 42})
+	received := 0
+	n.Attach("dst", func(Packet) { received++ })
+	const total = 1000
+	for i := 0; i < total; i++ {
+		n.Send(Packet{To: "dst", Payload: []byte{byte(i)}})
+	}
+	e.Run()
+	s := n.Stats()
+	if s.Sent != total || s.Delivered != received || s.Delivered+s.Dropped != total {
+		t.Fatalf("stats inconsistent: %+v received=%d", s, received)
+	}
+	if received < 400 || received > 600 {
+		t.Fatalf("received %d of %d at 50%% loss", received, total)
+	}
+}
+
+func TestDeterministicLoss(t *testing.T) {
+	run := func() int {
+		e := sim.NewEngine()
+		n, _ := New(e, Config{LossRate: 0.3, Seed: 7})
+		received := 0
+		n.Attach("dst", func(Packet) { received++ })
+		for i := 0; i < 200; i++ {
+			n.Send(Packet{To: "dst"})
+		}
+		e.Run()
+		return received
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different loss patterns")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	e := sim.NewEngine()
+	n, _ := New(e, Config{Latency: 10, Jitter: 5, Seed: 3})
+	var times []sim.Ticks
+	n.Attach("dst", func(Packet) { times = append(times, e.Now()) })
+	for i := 0; i < 50; i++ {
+		at := e.Now()
+		n.Send(Packet{To: "dst"})
+		e.RunUntil(at + 100)
+	}
+	for _, tt := range times {
+		d := tt % 100
+		if d < 10 || d >= 15 {
+			t.Fatalf("delivery offset %v outside [10,15)", d)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(e, Config{LossRate: -0.1}); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, err := New(e, Config{LossRate: 1.1}); err == nil {
+		t.Error("loss > 1 accepted")
+	}
+	if _, err := New(e, Config{Latency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestDetachHandler(t *testing.T) {
+	e := sim.NewEngine()
+	n, _ := New(e, Config{})
+	called := false
+	n.Attach("dst", func(Packet) { called = true })
+	n.Attach("dst", nil) // detach
+	n.Send(Packet{To: "dst"})
+	e.Run()
+	if called {
+		t.Fatal("detached handler called")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatal("packet to detached endpoint not counted as dropped")
+	}
+}

@@ -1,0 +1,155 @@
+package qoa
+
+import (
+	"errors"
+
+	"erasmus/internal/core"
+	"erasmus/internal/costmodel"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/cpu"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+// Availability reproduces §5: on a device running a time-sensitive
+// application, self-measurements (≈7 s on an 8 MHz MCU with 10 KB memory)
+// monopolize the CPU and make critical tasks miss deadlines. The lenient
+// variant lets the application abort a measurement and have it retried at
+// the end of a w×TM window.
+
+// AvailabilityPolicy selects how measurement/task conflicts are handled.
+type AvailabilityPolicy int
+
+const (
+	// PolicyStrict: measurements are never aborted; tasks queue behind
+	// them (the pure on-demand / strict-ERASMUS situation of §5).
+	PolicyStrict AvailabilityPolicy = iota
+	// PolicyAbort: tasks abort in-flight measurements; without a lenient
+	// window the aborted measurement is lost.
+	PolicyAbort
+	// PolicyLenient: tasks abort in-flight measurements and the prover
+	// retries before the w×TM window closes (§5's proposal).
+	PolicyLenient
+)
+
+func (p AvailabilityPolicy) String() string {
+	switch p {
+	case PolicyStrict:
+		return "strict"
+	case PolicyAbort:
+		return "abort"
+	case PolicyLenient:
+		return "lenient"
+	default:
+		return "unknown"
+	}
+}
+
+// AvailabilityConfig parameterizes the experiment.
+type AvailabilityConfig struct {
+	// TM is the measurement period.
+	TM sim.Ticks
+	// MemorySize sets the measurement cost (10 KB ≈ 7 s at 8 MHz).
+	MemorySize int
+	// TaskPeriod and TaskDuration describe the periodic critical task;
+	// its deadline is one period (it must finish before the next release).
+	TaskPeriod, TaskDuration sim.Ticks
+	// Policy selects conflict handling.
+	Policy AvailabilityPolicy
+	// Window is w for PolicyLenient (e.g. 2.0).
+	Window float64
+	// Duration is the simulated horizon.
+	Duration sim.Ticks
+}
+
+// AvailabilityResult reports task- and attestation-side outcomes, the §5
+// trade-off.
+type AvailabilityResult struct {
+	TasksReleased   int
+	DeadlineMisses  int
+	Measurements    int // committed
+	MissedWindows   int // measurement windows lost
+	Aborts          int
+	MeanTaskLatency sim.Ticks // release-to-completion average
+}
+
+// MissRate returns the fraction of task releases that missed the deadline.
+func (r AvailabilityResult) MissRate() float64 {
+	if r.TasksReleased == 0 {
+		return 0
+	}
+	return float64(r.DeadlineMisses) / float64(r.TasksReleased)
+}
+
+// RunAvailability executes the experiment on an MSP430-class device.
+func RunAvailability(cfg AvailabilityConfig) (AvailabilityResult, error) {
+	if cfg.TM <= 0 || cfg.TaskPeriod <= 0 || cfg.TaskDuration <= 0 || cfg.Duration <= 0 {
+		return AvailabilityResult{}, errors.New("qoa: availability config requires positive periods")
+	}
+	if cfg.MemorySize <= 0 {
+		cfg.MemorySize = 10 * 1024
+	}
+	const alg = mac.HMACSHA256
+	e := sim.NewEngine()
+	key := []byte("qoa-availability-key")
+	slots := int(cfg.Duration/cfg.TM) + 4
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: cfg.MemorySize,
+		StoreSize: slots * core.RecordSize(alg),
+		Key:       key,
+	})
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	sched, err := core.NewRegular(cfg.TM)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	pcfg := core.ProverConfig{Alg: alg, Schedule: sched, Slots: slots}
+	if cfg.Policy == PolicyLenient {
+		if cfg.Window <= 1 {
+			cfg.Window = 2.0
+		}
+		pcfg.LenientWindow = cfg.Window
+	}
+	prv, err := core.NewProver(dev, pcfg)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+
+	var res AvailabilityResult
+	var totalLatency sim.Ticks
+	e.Ticker(cfg.TaskPeriod, cfg.TaskPeriod, func() {
+		res.TasksReleased++
+		release := e.Now()
+		if cfg.Policy != PolicyStrict && dev.CPU().ActiveKind() == cpu.KindMeasurement {
+			if prv.AbortMeasurement() {
+				res.Aborts++
+			}
+		}
+		occ := dev.CPU().Occupy(cpu.KindTask, cfg.TaskDuration)
+		latency := occ.End - release
+		totalLatency += latency
+		if latency > cfg.TaskPeriod {
+			res.DeadlineMisses++
+		}
+	})
+
+	prv.Start()
+	e.RunUntil(cfg.Duration)
+	prv.Stop()
+
+	st := prv.Stats()
+	res.Measurements = st.Measurements
+	res.MissedWindows = st.Missed
+	if res.TasksReleased > 0 {
+		res.MeanTaskLatency = totalLatency / sim.Ticks(res.TasksReleased)
+	}
+	return res, nil
+}
+
+// MeasurementDuration exposes the modeled cost driving the experiment
+// (≈7 s for 10 KB HMAC-SHA256 at 8 MHz, the number §5 quotes).
+func MeasurementDuration(memBytes int) sim.Ticks {
+	return costmodel.MeasurementTime(costmodel.MSP430, mac.HMACSHA256, memBytes)
+}

@@ -1,0 +1,124 @@
+package qoa
+
+import (
+	"math"
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+// §5 quotes ~7 s for a 10 KB measurement at 8 MHz.
+func TestMeasurementDurationAnchor(t *testing.T) {
+	got := MeasurementDuration(10 * 1024).Seconds()
+	if math.Abs(got-7.0) > 0.1 {
+		t.Fatalf("10KB measurement = %.2fs, want ≈7", got)
+	}
+}
+
+func TestAvailabilityValidation(t *testing.T) {
+	if _, err := RunAvailability(AvailabilityConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func availabilityBase() AvailabilityConfig {
+	return AvailabilityConfig{
+		TM:           10 * sim.Minute,
+		MemorySize:   10 * 1024,             // ≈7 s measurements
+		TaskPeriod:   2 * sim.Second,        // task every 2 s...
+		TaskDuration: 500 * sim.Millisecond, // ...needing 0.5 s
+		Duration:     2 * sim.Hour,
+	}
+}
+
+// Under strict scheduling, every measurement makes several consecutive
+// tasks miss their deadlines (a 7 s CPU hog vs a 2 s period).
+func TestStrictPolicyMissesDeadlines(t *testing.T) {
+	cfg := availabilityBase()
+	cfg.Policy = PolicyStrict
+	res, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Fatal("strict policy missed no deadlines despite 7s measurements")
+	}
+	if res.MissedWindows != 0 {
+		t.Fatalf("strict policy lost %d measurement windows", res.MissedWindows)
+	}
+	if res.Measurements < 10 {
+		t.Fatalf("measurements = %d, want ~12 in 2h at TM=10m", res.Measurements)
+	}
+}
+
+// Aborting without a retry window protects every deadline but sacrifices
+// the attestation windows.
+func TestAbortPolicyTradesAttestation(t *testing.T) {
+	cfg := availabilityBase()
+	cfg.Policy = PolicyAbort
+	res, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("abort policy still missed %d deadlines", res.DeadlineMisses)
+	}
+	if res.Aborts == 0 {
+		t.Fatal("no aborts recorded")
+	}
+	if res.Measurements != 0 {
+		t.Fatalf("every window should be lost at this task rate; committed %d", res.Measurements)
+	}
+}
+
+// The lenient window recovers measurement windows that abort-only loses.
+// An 11 s task period against 7.17 s measurements at TM = 10 min makes the
+// collision phase sweep across windows (600 mod 11 = 6), so some initial
+// attempts are aborted while their end-of-window retries land in task gaps.
+func TestLenientPolicyRecoversMeasurements(t *testing.T) {
+	cfg := availabilityBase()
+	cfg.TaskPeriod = 11 * sim.Second
+	cfg.TaskDuration = sim.Second
+	cfg.Policy = PolicyLenient
+	cfg.Window = 2.0
+	lenient, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lenient.DeadlineMisses != 0 {
+		t.Fatalf("lenient policy missed %d deadlines", lenient.DeadlineMisses)
+	}
+	if lenient.Aborts == 0 {
+		t.Fatal("no collisions occurred; the experiment exercises nothing")
+	}
+
+	cfg.Policy = PolicyAbort
+	abortOnly, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abortOnly.DeadlineMisses != 0 {
+		t.Fatalf("abort policy missed %d deadlines", abortOnly.DeadlineMisses)
+	}
+	if lenient.Measurements <= abortOnly.Measurements {
+		t.Fatalf("lenient committed %d ≤ abort-only %d; retry window had no effect",
+			lenient.Measurements, abortOnly.Measurements)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyStrict.String() != "strict" || PolicyAbort.String() != "abort" ||
+		PolicyLenient.String() != "lenient" || AvailabilityPolicy(9).String() != "unknown" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	r := AvailabilityResult{TasksReleased: 10, DeadlineMisses: 3}
+	if r.MissRate() != 0.3 {
+		t.Fatalf("MissRate = %v", r.MissRate())
+	}
+	if (AvailabilityResult{}).MissRate() != 0 {
+		t.Fatal("empty MissRate not 0")
+	}
+}

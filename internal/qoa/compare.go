@@ -1,0 +1,96 @@
+package qoa
+
+import (
+	"errors"
+	"math/rand"
+
+	"erasmus/internal/sim"
+)
+
+// Compare quantifies the paper's headline claim (§1, §3): on-demand
+// attestation only observes the prover's state at collection instants, so
+// mobile malware that leaves between two verifier contacts is invisible to
+// it; ERASMUS observes every measurement window.
+//
+// For a transient infection with dwell d arriving at a uniformly random
+// phase:
+//
+//   - on-demand at period TC detects it iff a collection instant falls
+//     inside the residency: P = min(1, d/TC);
+//   - ERASMUS with measurement period TM detects it iff a measurement
+//     falls inside the residency — P = min(1, d/TM) — regardless of how
+//     rarely collections happen.
+//
+// Since TM ⋘ TC is the economical operating point (measurements are local,
+// collections cost communication), ERASMUS detection dominates.
+
+// ComparisonPoint is one dwell-time sample of the detection comparison.
+type ComparisonPoint struct {
+	Dwell sim.Ticks
+	// OnDemand is the simulated detection probability for on-demand RA
+	// polling every TC.
+	OnDemand float64
+	// Erasmus is the simulated detection probability for ERASMUS with
+	// measurement period TM (collections arbitrary, TC ≥ TM).
+	Erasmus float64
+	// OnDemandAnalytic and ErasmusAnalytic are min(1, d/TC), min(1, d/TM).
+	OnDemandAnalytic, ErasmusAnalytic float64
+}
+
+// CompareDetection Monte-Carlo-samples transient infections with uniform
+// random phase and reports detection probabilities of both designs for
+// each dwell value.
+func CompareDetection(tm, tc sim.Ticks, dwells []sim.Ticks, trials int, seed int64) ([]ComparisonPoint, error) {
+	if tm <= 0 || tc < tm {
+		return nil, errors.New("qoa: need 0 < TM ≤ TC")
+	}
+	if trials <= 0 {
+		return nil, errors.New("qoa: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ComparisonPoint, 0, len(dwells))
+	for _, d := range dwells {
+		if d < 0 {
+			return nil, errors.New("qoa: negative dwell")
+		}
+		var odHits, erHits int
+		for i := 0; i < trials; i++ {
+			// Infection arrives at a uniform offset within a TC period;
+			// on-demand checks at multiples of TC, ERASMUS measures at
+			// multiples of TM (phases coincide at 0 WLOG).
+			enter := sim.Ticks(rng.Int63n(int64(tc)))
+			leave := enter + d
+			// On-demand: a collection at TC lands inside [enter, leave)?
+			if leave > tc {
+				odHits++
+			}
+			// ERASMUS: any multiple of TM inside [enter, leave)?
+			next := ((enter + tm - 1) / tm) * tm
+			if next == enter {
+				next = enter // measurement at the entry instant counts
+			}
+			if next < leave {
+				erHits++
+			}
+		}
+		p := ComparisonPoint{
+			Dwell:            d,
+			OnDemand:         float64(odHits) / float64(trials),
+			Erasmus:          float64(erHits) / float64(trials),
+			OnDemandAnalytic: clamp01(float64(d) / float64(tc)),
+			ErasmusAnalytic:  clamp01(float64(d) / float64(tm)),
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func clamp01(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}

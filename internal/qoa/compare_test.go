@@ -1,0 +1,90 @@
+package qoa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"erasmus/internal/sim"
+)
+
+func TestCompareDetectionValidation(t *testing.T) {
+	if _, err := CompareDetection(0, sim.Hour, nil, 10, 1); err == nil {
+		t.Error("TM=0 accepted")
+	}
+	if _, err := CompareDetection(sim.Hour, sim.Minute, nil, 10, 1); err == nil {
+		t.Error("TC < TM accepted")
+	}
+	if _, err := CompareDetection(sim.Hour, sim.Hour, nil, 0, 1); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	if _, err := CompareDetection(sim.Hour, sim.Hour, []sim.Ticks{-1}, 10, 1); err == nil {
+		t.Error("negative dwell accepted")
+	}
+}
+
+// Simulated probabilities must track the analytic values min(1, d/TC) and
+// min(1, d/TM).
+func TestCompareDetectionMatchesAnalytic(t *testing.T) {
+	tm := 10 * sim.Minute
+	tc := 4 * sim.Hour
+	dwells := []sim.Ticks{sim.Minute, 10 * sim.Minute, sim.Hour, 4 * sim.Hour}
+	pts, err := CompareDetection(tm, tc, dwells, 50000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if math.Abs(p.OnDemand-p.OnDemandAnalytic) > 0.01 {
+			t.Errorf("dwell %v: on-demand %.3f vs analytic %.3f", p.Dwell, p.OnDemand, p.OnDemandAnalytic)
+		}
+		if math.Abs(p.Erasmus-p.ErasmusAnalytic) > 0.01 {
+			t.Errorf("dwell %v: erasmus %.3f vs analytic %.3f", p.Dwell, p.Erasmus, p.ErasmusAnalytic)
+		}
+	}
+}
+
+// The headline claim: for any dwell below TC, ERASMUS detection dominates
+// on-demand when TM < TC.
+func TestErasmusDominatesOnDemand(t *testing.T) {
+	pts, err := CompareDetection(10*sim.Minute, 4*sim.Hour,
+		[]sim.Ticks{5 * sim.Minute, 30 * sim.Minute, 2 * sim.Hour}, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Erasmus < p.OnDemand {
+			t.Errorf("dwell %v: erasmus %.3f < on-demand %.3f", p.Dwell, p.Erasmus, p.OnDemand)
+		}
+	}
+	// A 30-minute visit: ERASMUS certain, on-demand ~12.5%.
+	if pts[1].Erasmus < 0.99 {
+		t.Errorf("30m dwell at TM=10m should be near-certain, got %.3f", pts[1].Erasmus)
+	}
+	if pts[1].OnDemand > 0.2 {
+		t.Errorf("30m dwell at TC=4h should be rare for on-demand, got %.3f", pts[1].OnDemand)
+	}
+}
+
+// Property: probabilities are monotone in dwell and within [0,1].
+func TestPropertyDetectionMonotone(t *testing.T) {
+	f := func(d1, d2 uint16) bool {
+		a, b := sim.Ticks(d1)*sim.Second, sim.Ticks(d2)*sim.Second
+		if a > b {
+			a, b = b, a
+		}
+		pts, err := CompareDetection(sim.Minute, sim.Hour, []sim.Ticks{a, b}, 4000, 11)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if p.OnDemand < 0 || p.OnDemand > 1 || p.Erasmus < 0 || p.Erasmus > 1 {
+				return false
+			}
+		}
+		// Allow Monte-Carlo noise of a few percent.
+		return pts[1].Erasmus >= pts[0].Erasmus-0.05 && pts[1].OnDemand >= pts[0].OnDemand-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

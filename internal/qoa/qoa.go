@@ -1,0 +1,417 @@
+// Package qoa provides the Quality-of-Attestation experiment harness: the
+// malware and adversary models, and the measurement/collection scenarios
+// that reproduce the paper's security arguments (Fig. 1, §3.4, §3.5, §5).
+//
+// A scenario wires a simulated device, an ERASMUS prover, a verifier and a
+// set of infections into one discrete-event run, then reports per-infection
+// detection, per-collection verdicts and freshness samples.
+package qoa
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/drbg"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+// Device extends the core prover surface with the normal-world write
+// access malware has. Both hardware models satisfy it.
+type Device interface {
+	core.Device
+	WriteMemory(off int, b []byte) error
+}
+
+// Infection is one malware visit to the prover.
+type Infection struct {
+	// Enter is when malware lands (simulation time).
+	Enter sim.Ticks
+	// Dwell is how long it stays before leaving and covering its tracks.
+	// Zero means persistent: it never leaves.
+	Dwell sim.Ticks
+}
+
+// Leaves reports whether the malware is transient.
+func (inf Infection) Leaves() bool { return inf.Dwell > 0 }
+
+// Active reports whether the malware is resident at simulation time t.
+func (inf Infection) Active(t sim.Ticks) bool {
+	if t < inf.Enter {
+		return false
+	}
+	return !inf.Leaves() || t < inf.Enter+inf.Dwell
+}
+
+// implant is the byte pattern malware writes into attested memory; any
+// change to the image flips H(mem), which is all detection needs.
+var implant = []byte("\xde\xad\xbe\xef malware implant \xde\xad\xbe\xef")
+
+// ScheduleKind selects the prover's measurement schedule.
+type ScheduleKind int
+
+const (
+	// ScheduleRegular measures every TM (the paper's default).
+	ScheduleRegular ScheduleKind = iota
+	// ScheduleIrregular draws intervals from CSPRNG_K in [L, U) (§3.5).
+	ScheduleIrregular
+)
+
+// ScenarioConfig parameterizes one end-to-end run.
+type ScenarioConfig struct {
+	// Alg is the measurement MAC (default keyed BLAKE2s).
+	Alg mac.Algorithm
+	// TM is the measurement period (regular schedules). Required unless
+	// irregular bounds are set.
+	TM sim.Ticks
+	// IrregularL/IrregularU bound irregular intervals; both set selects
+	// ScheduleIrregular.
+	IrregularL, IrregularU sim.Ticks
+	// TC is the collection period. Required.
+	TC sim.Ticks
+	// Slots is the buffer size n (default: minimum satisfying TC ≤ n·TM).
+	Slots int
+	// K is the records-per-collection (default ⌈TC/TM⌉).
+	K int
+	// Duration is the simulated horizon. Required.
+	Duration sim.Ticks
+	// MemorySize is the attested image size (default 1 KiB).
+	MemorySize int
+	// Infections lists the malware visits.
+	Infections []Infection
+	// OnEvent, if set, receives the prover's runtime event stream.
+	OnEvent func(core.Event)
+}
+
+func (c *ScenarioConfig) fillDefaults() error {
+	if !c.Alg.Valid() {
+		c.Alg = mac.KeyedBLAKE2s
+	}
+	irregular := c.IrregularL > 0 || c.IrregularU > 0
+	if irregular && (c.IrregularL <= 0 || c.IrregularU <= c.IrregularL) {
+		return fmt.Errorf("qoa: irregular bounds [%v,%v) invalid", c.IrregularL, c.IrregularU)
+	}
+	if !irregular && c.TM <= 0 {
+		return errors.New("qoa: TM required for a regular schedule")
+	}
+	if irregular && c.TM <= 0 {
+		c.TM = (c.IrregularL + c.IrregularU) / 2
+	}
+	if c.TC <= 0 {
+		return errors.New("qoa: TC required")
+	}
+	if c.Duration <= 0 {
+		return errors.New("qoa: Duration required")
+	}
+	if c.MemorySize <= 0 {
+		c.MemorySize = 1024
+	}
+	q := core.QoA{TM: c.TM, TC: c.TC}
+	if c.K <= 0 {
+		c.K = q.RecordsPerCollection()
+	}
+	if c.Slots <= 0 {
+		c.Slots = q.MinBufferSlots() + 2 // slack for queueing jitter
+	}
+	return nil
+}
+
+// InfectionOutcome records how one infection fared.
+type InfectionOutcome struct {
+	Infection Infection
+	// Measured: at least one self-measurement ran while malware was
+	// resident (an infected record exists).
+	Measured bool
+	// Detected: a collection surfaced an infected record to the verifier.
+	Detected bool
+	// DetectedAt is the simulation time of the detecting collection.
+	DetectedAt sim.Ticks
+}
+
+// ScenarioResult aggregates one run.
+type ScenarioResult struct {
+	Config     ScenarioConfig
+	Outcomes   []InfectionOutcome
+	Reports    []core.Report
+	Freshness  []sim.Ticks
+	ProverStat core.ProverStats
+}
+
+// DetectedCount returns how many infections were detected.
+func (r *ScenarioResult) DetectedCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanFreshness averages the per-collection freshness samples (§3.1
+// predicts TM/2 on average).
+func (r *ScenarioResult) MeanFreshness() sim.Ticks {
+	if len(r.Freshness) == 0 {
+		return 0
+	}
+	var sum sim.Ticks
+	for _, f := range r.Freshness {
+		sum += f
+	}
+	return sum / sim.Ticks(len(r.Freshness))
+}
+
+// RunScenario executes a full measure→infect→collect→verify simulation on
+// an MSP430-class device and returns the outcome.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine()
+	key := []byte("qoa-scenario-device-key")
+	dev, err := mcu.New(mcu.Config{
+		Engine:     e,
+		MemorySize: cfg.MemorySize,
+		StoreSize:  cfg.Slots * core.RecordSize(cfg.Alg),
+		Key:        key,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var sched core.Schedule
+	if cfg.IrregularL > 0 {
+		s, err := core.NewIrregular(drbg.New(key, []byte("sched")), cfg.IrregularL, cfg.IrregularU)
+		if err != nil {
+			return nil, err
+		}
+		sched = s
+	} else {
+		s, err := core.NewRegular(cfg.TM)
+		if err != nil {
+			return nil, err
+		}
+		sched = s
+	}
+
+	prv, err := core.NewProver(dev, core.ProverConfig{
+		Alg: cfg.Alg, Schedule: sched, Slots: cfg.Slots, OnEvent: cfg.OnEvent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cleanHash := mac.HashSum(cfg.Alg, dev.Memory())
+	maxGap := sim.Ticks(0)
+	minGap := sim.Ticks(0)
+	if cfg.IrregularL > 0 {
+		minGap, maxGap = cfg.IrregularL-sim.Second, cfg.IrregularU+cfg.TM
+	} else {
+		minGap, maxGap = cfg.TM-sim.Second, cfg.TM+cfg.TM/2
+	}
+	vrf, err := core.NewVerifier(core.VerifierConfig{
+		Alg: cfg.Alg, Key: key,
+		GoldenHashes: [][]byte{cleanHash},
+		MinGap:       minGap, MaxGap: maxGap,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{Config: cfg}
+	res.Outcomes = make([]InfectionOutcome, len(cfg.Infections))
+	for i := range cfg.Infections {
+		res.Outcomes[i].Infection = cfg.Infections[i]
+	}
+
+	// Schedule infections: write the implant on entry; restore the clean
+	// image on exit (mobile malware covers its tracks, Fig. 1).
+	for i, inf := range cfg.Infections {
+		inf := inf
+		i := i
+		e.At(inf.Enter, func() {
+			if err := dev.WriteMemory(0, implant); err != nil {
+				panic(err)
+			}
+		})
+		if inf.Leaves() {
+			e.At(inf.Enter+inf.Dwell, func() {
+				clean := make([]byte, len(implant))
+				if err := dev.WriteMemory(0, clean); err != nil {
+					panic(err)
+				}
+			})
+		}
+		_ = i
+	}
+
+	// Collections every TC.
+	e.Ticker(cfg.TC, cfg.TC, func() {
+		recs, _ := prv.HandleCollect(cfg.K)
+		rep := vrf.VerifyHistory(recs, dev.RROC(), 0)
+		res.Reports = append(res.Reports, rep)
+		if len(recs) > 0 {
+			res.Freshness = append(res.Freshness, rep.Freshness)
+		}
+		if !rep.InfectionDetected {
+			return
+		}
+		// Attribute each infected record to the infection resident at
+		// its measurement time.
+		for _, vr := range rep.Records {
+			if vr.Verdict != core.VerdictInfected {
+				continue
+			}
+			mt := sim.Ticks(vr.Record.T - mcu.DefaultEpoch)
+			for i := range res.Outcomes {
+				if res.Outcomes[i].Infection.Active(mt) {
+					res.Outcomes[i].Measured = true
+					if !res.Outcomes[i].Detected {
+						res.Outcomes[i].Detected = true
+						res.Outcomes[i].DetectedAt = e.Now()
+					}
+				}
+			}
+		}
+	})
+
+	prv.Start()
+	e.RunUntil(cfg.Duration)
+	prv.Stop()
+	res.ProverStat = prv.Stats()
+	return res, nil
+}
+
+// DetectionProbability estimates, by Monte-Carlo over random infection
+// phases, the probability that transient malware with the given dwell time
+// is caught by a measurement. For a regular schedule the analytic value is
+// min(1, dwell/TM); the §3.5 experiments compare regular and irregular
+// schedules against schedule-aware malware via EvasionProbability instead.
+func DetectionProbability(tm, dwell sim.Ticks, trials int, seed int64) float64 {
+	if trials <= 0 || tm <= 0 || dwell < 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hits := 0
+	for i := 0; i < trials; i++ {
+		// Malware enters at a uniform phase within a window; it is caught
+		// iff its residency covers the next measurement instant.
+		phase := sim.Ticks(rng.Int63n(int64(tm)))
+		if phase+dwell >= tm {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// EvasionResult summarizes the §3.5 schedule-aware malware experiment.
+type EvasionResult struct {
+	Trials  int
+	Caught  int
+	Evasion float64 // fraction of visits that escaped detection
+}
+
+// EvasionProbability simulates schedule-aware mobile malware: it watches
+// for a measurement to complete, enters immediately after, dwells, and
+// leaves. Under a regular schedule it knows the full TM window and always
+// escapes when dwell < TM; under an irregular schedule the next
+// measurement arrives after an unpredictable interval in [L, U), so it is
+// caught whenever that interval undercuts its dwell.
+func EvasionProbability(cfg ScenarioConfig, dwell sim.Ticks, visits int) (EvasionResult, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return EvasionResult{}, err
+	}
+	if visits <= 0 {
+		return EvasionResult{}, errors.New("qoa: visits must be positive")
+	}
+	// Horizon: enough windows for the requested visits plus slack.
+	horizon := sim.Ticks(visits+4) * (cfg.TM + dwell + sim.Second)
+	shortest := cfg.TM
+	if cfg.IrregularU > 0 {
+		horizon = sim.Ticks(visits+4) * (cfg.IrregularU + dwell + sim.Second)
+		shortest = cfg.IrregularL
+	}
+	// One record per window; keep every window of the horizon so no
+	// infected record is overwritten before the final sweep below.
+	if want := int(horizon/shortest) + 16; cfg.Slots < want {
+		cfg.Slots = want
+	}
+
+	e := sim.NewEngine()
+	key := []byte("qoa-evasion-device-key")
+	dev, err := mcu.New(mcu.Config{
+		Engine:     e,
+		MemorySize: cfg.MemorySize,
+		StoreSize:  cfg.Slots * core.RecordSize(cfg.Alg),
+		Key:        key,
+	})
+	if err != nil {
+		return EvasionResult{}, err
+	}
+	var sched core.Schedule
+	if cfg.IrregularL > 0 {
+		s, err := core.NewIrregular(drbg.New(key, []byte("sched")), cfg.IrregularL, cfg.IrregularU)
+		if err != nil {
+			return EvasionResult{}, err
+		}
+		sched = s
+	} else {
+		s, _ := core.NewRegular(cfg.TM)
+		sched = s
+	}
+	prv, err := core.NewProver(dev, core.ProverConfig{Alg: cfg.Alg, Schedule: sched, Slots: cfg.Slots})
+	if err != nil {
+		return EvasionResult{}, err
+	}
+	clean := mac.HashSum(cfg.Alg, dev.Memory())
+
+	// The malware process: poll for measurement completions (it can watch
+	// CPU activity), then enter right after one and dwell.
+	res := EvasionResult{}
+	resident := false
+	visitsDone := 0
+	lastSeen := uint64(0)
+	var poll func()
+	poll = func() {
+		if visitsDone >= visits {
+			return
+		}
+		if lt := prv.LastMeasurementTime(); lt > lastSeen && !resident {
+			lastSeen = lt
+			resident = true
+			visitsDone++
+			dev.WriteMemory(0, implant)
+			e.After(dwell, func() {
+				dev.WriteMemory(0, make([]byte, len(implant)))
+				resident = false
+			})
+		}
+		e.After(sim.Second, poll)
+	}
+	e.After(sim.Second, poll)
+
+	prv.Start()
+	e.RunUntil(horizon)
+	prv.Stop()
+
+	// Count infected records across the whole buffer.
+	recs, _ := prv.HandleCollect(cfg.Slots)
+	caughtTimes := map[uint64]bool{}
+	for _, r := range recs {
+		if r.VerifyMAC(cfg.Alg, key) && !bytes.Equal(r.Hash, clean) {
+			caughtTimes[r.T] = true
+		}
+	}
+	res.Trials = visitsDone
+	res.Caught = len(caughtTimes)
+	if res.Caught > res.Trials {
+		res.Caught = res.Trials
+	}
+	if res.Trials > 0 {
+		res.Evasion = 1 - float64(res.Caught)/float64(res.Trials)
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package qoa
+
+import (
+	"fmt"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+// Tamper reproduces §3.4's argument: measurements live in unprotected
+// storage, so malware can modify, reorder or delete them — but cannot forge
+// them, so every manipulation is detected at the next collection.
+
+// TamperKind selects the adversary's store manipulation.
+type TamperKind string
+
+// The §3.4 tampering classes.
+const (
+	TamperModify  TamperKind = "modify"  // flip bits inside a stored record
+	TamperReorder TamperKind = "reorder" // swap two stored records
+	TamperDelete  TamperKind = "delete"  // zero a stored record
+	TamperForge   TamperKind = "forge"   // overwrite with a fabricated record
+)
+
+// TamperKinds lists all modeled manipulations.
+func TamperKinds() []TamperKind {
+	return []TamperKind{TamperModify, TamperReorder, TamperDelete, TamperForge}
+}
+
+// TamperOutcome reports one tamper experiment.
+type TamperOutcome struct {
+	Kind     TamperKind
+	Detected bool
+	Report   core.Report
+}
+
+// RunTamper builds a healthy history of `windows` measurements, applies the
+// manipulation to the prover's store (as resident malware would), collects,
+// and verifies. The returned outcome says whether the verifier noticed.
+func RunTamper(kind TamperKind, windows int) (TamperOutcome, error) {
+	if windows < 3 {
+		return TamperOutcome{}, fmt.Errorf("qoa: tamper experiment needs ≥3 windows, got %d", windows)
+	}
+	const alg = mac.KeyedBLAKE2s
+	tm := sim.Hour
+	e := sim.NewEngine()
+	key := []byte("qoa-tamper-device-key")
+	slots := windows + 2
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 1024,
+		StoreSize: slots * core.RecordSize(alg),
+		Key:       key,
+	})
+	if err != nil {
+		return TamperOutcome{}, err
+	}
+	sched, _ := core.NewRegular(tm)
+	prv, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: slots})
+	if err != nil {
+		return TamperOutcome{}, err
+	}
+	golden := mac.HashSum(alg, dev.Memory())
+	vrf, err := core.NewVerifier(core.VerifierConfig{
+		Alg: alg, Key: key,
+		GoldenHashes: [][]byte{golden},
+		MinGap:       tm - sim.Minute, MaxGap: tm + sim.Minute,
+	})
+	if err != nil {
+		return TamperOutcome{}, err
+	}
+
+	prv.Start()
+	e.RunUntil(sim.Ticks(windows+1) * tm)
+	prv.Stop()
+
+	// The adversary manipulates the raw store. Slot addressing is
+	// time-based; find two adjacent written slots via the buffer.
+	buf := prv.Buffer()
+	written := []int{}
+	for s := 0; s < slots; s++ {
+		if r, err := buf.Get(s); err == nil && !r.IsZero() {
+			written = append(written, s)
+		}
+	}
+	if len(written) < 3 {
+		return TamperOutcome{}, fmt.Errorf("qoa: only %d records written", len(written))
+	}
+	switch kind {
+	case TamperModify:
+		store := dev.Store()
+		store[written[1]*core.RecordSize(alg)+9] ^= 0x40 // a hash byte
+	case TamperReorder:
+		a, b := written[0], written[1]
+		ra, _ := buf.Get(a)
+		rb, _ := buf.Get(b)
+		buf.Put(a, rb)
+		buf.Put(b, ra)
+	case TamperDelete:
+		buf.Erase(written[1])
+	case TamperForge:
+		// Malware fabricates a "clean" record without knowing K.
+		forged := core.Record{
+			T:    mcu.DefaultEpoch + uint64(sim.Ticks(windows)*tm),
+			Hash: golden,
+			MAC:  make([]byte, alg.Size()),
+		}
+		buf.Put(written[1], forged)
+	default:
+		return TamperOutcome{}, fmt.Errorf("qoa: unknown tamper kind %q", kind)
+	}
+
+	recs, _ := prv.HandleCollect(windows)
+	rep := vrf.VerifyHistory(recs, dev.RROC(), windows)
+	return TamperOutcome{Kind: kind, Detected: !rep.Healthy(), Report: rep}, nil
+}
+
+// ClockAttackOutcome reports the §3.4 RROC-reset experiment.
+type ClockAttackOutcome struct {
+	// WritableClock is the ablation switch: true models hypothetically
+	// flawed hardware whose clock malware can rewind.
+	WritableClock bool
+	// AttackMounted: the malware's clock write succeeded.
+	AttackMounted bool
+	// Detected: the verifier noticed anything wrong.
+	Detected bool
+	Report   core.Report
+}
+
+// RunClockAttack demonstrates why the RROC must be read-only (§3.4).
+// Malware enters, is caught by one measurement, and then tries to erase
+// the evidence: it deletes the incriminating record and rewinds the clock
+// so the prover re-measures the same window while clean, refilling the
+// slot with a plausible record.
+//
+// With writable=true the attack succeeds and the verifier sees a healthy
+// history (the paper's hypothetical). With writable=false the clock write
+// is blocked, the deletion leaves a hole, and the verifier detects it.
+func RunClockAttack(writable bool) (ClockAttackOutcome, error) {
+	const alg = mac.KeyedBLAKE2s
+	tm := sim.Hour
+	const windows = 6
+	e := sim.NewEngine()
+	key := []byte("qoa-clock-attack-key")
+	slots := windows + 4
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 1024,
+		StoreSize:     slots * core.RecordSize(alg),
+		Key:           key,
+		WritableClock: writable,
+	})
+	if err != nil {
+		return ClockAttackOutcome{}, err
+	}
+	sched, _ := core.NewRegular(tm)
+	prv, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: slots})
+	if err != nil {
+		return ClockAttackOutcome{}, err
+	}
+	golden := mac.HashSum(alg, dev.Memory())
+	vrf, err := core.NewVerifier(core.VerifierConfig{
+		Alg: alg, Key: key,
+		GoldenHashes: [][]byte{golden},
+		MinGap:       tm - sim.Minute, MaxGap: tm + sim.Minute,
+	})
+	if err != nil {
+		return ClockAttackOutcome{}, err
+	}
+
+	out := ClockAttackOutcome{WritableClock: writable}
+
+	// Timeline: the first measurement fires at `first`, then every TM.
+	first := sim.Ticks(uint64(tm) - mcu.DefaultEpoch%uint64(tm))
+	infectAt := first + 2*tm - 10*sim.Minute // resident across measurement #3
+
+	e.At(infectAt, func() {
+		dev.WriteMemory(0, implant)
+	})
+	// After measurement #3 catches it, the malware cleans up and attacks
+	// the evidence.
+	cleanupAt := first + 2*tm + 10*sim.Minute
+	e.At(cleanupAt, func() {
+		dev.WriteMemory(0, make([]byte, len(implant)))
+		// Locate and erase the infected record.
+		buf := prv.Buffer()
+		for s := 0; s < slots; s++ {
+			r, err := buf.Get(s)
+			if err != nil || r.IsZero() {
+				continue
+			}
+			if r.VerifyMAC(alg, key) && !bytesEqual(r.Hash, golden) {
+				buf.Erase(s)
+			}
+		}
+		// Rewind the clock to just before the incriminating window so the
+		// prover re-measures it while clean.
+		if err := dev.WriteRROC(dev.RROC() - uint64(tm)); err == nil {
+			out.AttackMounted = true
+		}
+	})
+
+	prv.Start()
+	e.RunUntil(first + sim.Ticks(windows)*tm + 30*sim.Minute)
+	prv.Stop()
+
+	recs, _ := prv.HandleCollect(windows)
+	rep := vrf.VerifyHistory(recs, dev.RROC(), windows)
+	out.Report = rep
+	out.Detected = !rep.Healthy()
+	return out, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

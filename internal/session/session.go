@@ -1,0 +1,237 @@
+// Package session runs the ERASMUS collection protocols over the
+// simulated datagram network: a prover endpoint that serves collection and
+// on-demand requests with the modeled prover-side delays, and a verifier
+// client with timeouts and retries (the transport is UDP-like and lossy,
+// exactly as in the paper's deployment).
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/netsim"
+	"erasmus/internal/sim"
+)
+
+// ProverEndpoint serves a prover's collection phase on a network address.
+type ProverEndpoint struct {
+	net    *netsim.Network
+	engine *sim.Engine
+	addr   string
+	prover *core.Prover
+	alg    mac.Algorithm
+}
+
+// AttachProver binds the prover to addr. Incoming collect requests are
+// served with no cryptography; on-demand requests go through the full
+// authenticate-then-measure path. Responses are sent after the modeled
+// prover-side processing time.
+func AttachProver(n *netsim.Network, e *sim.Engine, addr string, p *core.Prover, alg mac.Algorithm) (*ProverEndpoint, error) {
+	if n == nil || e == nil || p == nil {
+		return nil, errors.New("session: nil network, engine or prover")
+	}
+	if !alg.Valid() {
+		return nil, fmt.Errorf("session: invalid algorithm %d", int(alg))
+	}
+	ep := &ProverEndpoint{net: n, engine: e, addr: addr, prover: p, alg: alg}
+	n.Attach(addr, ep.handle)
+	return ep, nil
+}
+
+// Detach removes the endpoint from the network.
+func (ep *ProverEndpoint) Detach() { ep.net.Attach(ep.addr, nil) }
+
+func (ep *ProverEndpoint) handle(pkt netsim.Packet) {
+	switch pkt.Kind {
+	case core.KindCollectRequest:
+		req, err := core.DecodeCollectRequest(pkt.Payload)
+		if err != nil {
+			return // malformed datagrams are dropped, as UDP services do
+		}
+		recs, timing := ep.prover.HandleCollect(req.K)
+		resp := core.CollectResponse{Records: recs}.Encode(ep.alg)
+		ep.engine.After(timing.Total(), func() {
+			ep.net.Send(netsim.Packet{
+				From: ep.addr, To: pkt.From,
+				Kind: core.KindCollectResponse, Payload: resp,
+			})
+		})
+	case core.KindODRequest:
+		req, err := core.DecodeODRequest(ep.alg, pkt.Payload)
+		if err != nil {
+			return
+		}
+		m0, hist, timing, err := ep.prover.HandleCollectOD(req.Treq, req.K, req.MAC)
+		if err != nil {
+			// Rejected requests get no reply (anti-DoS: silence is cheaper
+			// than an authenticated error).
+			return
+		}
+		resp := core.ODResponse{M0: m0, Records: hist}.Encode(ep.alg)
+		ep.engine.After(timing.Total(), func() {
+			ep.net.Send(netsim.Packet{
+				From: ep.addr, To: pkt.From,
+				Kind: core.KindODResponse, Payload: resp,
+			})
+		})
+	}
+}
+
+// CollectResult is delivered to the verifier's callback.
+type CollectResult struct {
+	// Records is the returned history (newest first). For ERASMUS+OD the
+	// fresh M0 is prepended by the caller-visible OD flag below.
+	Records []core.Record
+	// M0 is the on-demand record (ERASMUS+OD only).
+	M0 *core.Record
+	// Attempts counts transmissions used (1 = no retransmission).
+	Attempts int
+	// RTT is request-to-response latency of the successful attempt.
+	RTT sim.Ticks
+}
+
+// ErrTimeout is reported when all attempts expire unanswered.
+var ErrTimeout = errors.New("session: request timed out")
+
+// VerifierClient issues collections over the network. One outstanding
+// request per prover address at a time.
+type VerifierClient struct {
+	net    *netsim.Network
+	engine *sim.Engine
+	addr   string
+	alg    mac.Algorithm
+	key    []byte
+	// Clock returns the verifier's time base for on-demand request
+	// freshness; it must be loosely synchronized with the prover's RROC.
+	Clock func() uint64
+
+	// Timeout per attempt and maximum attempts.
+	Timeout  sim.Ticks
+	Attempts int
+
+	pending map[string]*pendingReq
+	nonce   uint64
+}
+
+type pendingReq struct {
+	od       bool
+	k        int
+	attempt  int
+	sentAt   sim.Ticks
+	timer    *sim.Event
+	callback func(CollectResult, error)
+	payload  []byte
+	kind     string
+}
+
+// NewVerifierClient builds a client listening on addr.
+func NewVerifierClient(n *netsim.Network, e *sim.Engine, addr string, alg mac.Algorithm, key []byte, clock func() uint64) (*VerifierClient, error) {
+	if n == nil || e == nil {
+		return nil, errors.New("session: nil network or engine")
+	}
+	if !alg.Valid() {
+		return nil, fmt.Errorf("session: invalid algorithm %d", int(alg))
+	}
+	if clock == nil {
+		return nil, errors.New("session: clock required")
+	}
+	c := &VerifierClient{
+		net: n, engine: e, addr: addr, alg: alg,
+		key:      append([]byte(nil), key...),
+		Clock:    clock,
+		Timeout:  500 * sim.Millisecond,
+		Attempts: 3,
+		pending:  make(map[string]*pendingReq),
+	}
+	n.Attach(addr, c.handle)
+	return c, nil
+}
+
+// Collect requests the k latest records from the prover at proverAddr and
+// invokes cb when the response arrives or every attempt times out.
+func (c *VerifierClient) Collect(proverAddr string, k int, cb func(CollectResult, error)) error {
+	payload := core.CollectRequest{K: k}.Encode()
+	return c.start(proverAddr, &pendingReq{
+		k: k, callback: cb, payload: payload, kind: core.KindCollectRequest,
+	})
+}
+
+// CollectOD issues an authenticated ERASMUS+OD request: the prover will
+// compute a fresh measurement M0 and return it with the history.
+func (c *VerifierClient) CollectOD(proverAddr string, k int, cb func(CollectResult, error)) error {
+	c.nonce++
+	treq := c.Clock() + c.nonce // strictly increasing even within one tick
+	req := core.NewODRequest(c.alg, c.key, treq, k)
+	return c.start(proverAddr, &pendingReq{
+		od: true, k: k, callback: cb, payload: req.Encode(), kind: core.KindODRequest,
+	})
+}
+
+func (c *VerifierClient) start(proverAddr string, p *pendingReq) error {
+	if _, busy := c.pending[proverAddr]; busy {
+		return fmt.Errorf("session: request to %s already outstanding", proverAddr)
+	}
+	c.pending[proverAddr] = p
+	c.transmit(proverAddr, p)
+	return nil
+}
+
+func (c *VerifierClient) transmit(proverAddr string, p *pendingReq) {
+	p.attempt++
+	p.sentAt = c.engine.Now()
+	if p.od && p.attempt > 1 {
+		// Retransmissions need a fresh treq: the prover's anti-replay
+		// floor already consumed the previous one if the response (not
+		// the request) was lost.
+		c.nonce++
+		req := core.NewODRequest(c.alg, c.key, c.Clock()+c.nonce, p.k)
+		p.payload = req.Encode()
+	}
+	c.net.Send(netsim.Packet{From: c.addr, To: proverAddr, Kind: p.kind, Payload: p.payload})
+	p.timer = c.engine.After(c.Timeout, func() {
+		if p.attempt >= c.Attempts {
+			delete(c.pending, proverAddr)
+			p.callback(CollectResult{Attempts: p.attempt}, ErrTimeout)
+			return
+		}
+		c.transmit(proverAddr, p)
+	})
+}
+
+func (c *VerifierClient) handle(pkt netsim.Packet) {
+	p, ok := c.pending[pkt.From]
+	if !ok {
+		return // stale or duplicate response
+	}
+	switch pkt.Kind {
+	case core.KindCollectResponse:
+		if p.od {
+			return
+		}
+		resp, err := core.DecodeCollectResponse(c.alg, pkt.Payload)
+		if err != nil {
+			return // corrupted datagram; let the timeout retry
+		}
+		c.finish(pkt.From, p, CollectResult{Records: resp.Records})
+	case core.KindODResponse:
+		if !p.od {
+			return
+		}
+		resp, err := core.DecodeODResponse(c.alg, pkt.Payload)
+		if err != nil {
+			return
+		}
+		m0 := resp.M0
+		c.finish(pkt.From, p, CollectResult{Records: resp.Records, M0: &m0})
+	}
+}
+
+func (c *VerifierClient) finish(proverAddr string, p *pendingReq, res CollectResult) {
+	p.timer.Cancel()
+	delete(c.pending, proverAddr)
+	res.Attempts = p.attempt
+	res.RTT = c.engine.Now() - p.sentAt
+	p.callback(res, nil)
+}

@@ -1,0 +1,294 @@
+package session
+
+import (
+	"testing"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/netsim"
+	"erasmus/internal/sim"
+)
+
+const alg = mac.KeyedBLAKE2s
+
+var key = []byte("session-test-device-key")
+
+type fixture struct {
+	engine *sim.Engine
+	net    *netsim.Network
+	dev    *mcu.Device
+	prover *core.Prover
+	client *VerifierClient
+}
+
+func newFixture(t *testing.T, netCfg netsim.Config) *fixture {
+	t.Helper()
+	e := sim.NewEngine()
+	n, err := netsim.New(e, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 1024,
+		StoreSize: 16 * core.RecordSize(alg),
+		Key:       key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _ := core.NewRegular(sim.Hour)
+	p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachProver(n, e, "prv-1", p, alg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewVerifierClient(n, e, "vrf", alg, key, dev.RROC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{engine: e, net: n, dev: dev, prover: p, client: c}
+}
+
+func (f *fixture) warmup(t *testing.T, hours int) {
+	t.Helper()
+	f.prover.Start()
+	f.engine.RunUntil(f.engine.Now() + sim.Ticks(hours)*sim.Hour)
+	f.prover.Stop()
+}
+
+func TestCollectOverNetwork(t *testing.T) {
+	f := newFixture(t, netsim.Config{Latency: 5 * sim.Millisecond})
+	f.warmup(t, 5)
+
+	var got CollectResult
+	var gotErr error
+	done := false
+	err := f.client.Collect("prv-1", 4, func(r CollectResult, err error) {
+		got, gotErr, done = r, err, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if !done {
+		t.Fatal("callback never invoked")
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if len(got.Records) != 4 {
+		t.Fatalf("got %d records", len(got.Records))
+	}
+	for _, r := range got.Records {
+		if !r.VerifyMAC(alg, key) {
+			t.Fatal("record corrupted in transit")
+		}
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d", got.Attempts)
+	}
+	// RTT = 2×latency + prover processing (sub-millisecond).
+	if got.RTT < 10*sim.Millisecond || got.RTT > 12*sim.Millisecond {
+		t.Fatalf("RTT = %v", got.RTT)
+	}
+}
+
+func TestCollectODOverNetwork(t *testing.T) {
+	f := newFixture(t, netsim.Config{Latency: sim.Millisecond})
+	f.warmup(t, 3)
+
+	var got CollectResult
+	done := false
+	err := f.client.CollectOD("prv-1", 2, func(r CollectResult, err error) {
+		if err != nil {
+			t.Errorf("CollectOD: %v", err)
+		}
+		got, done = r, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + 10*sim.Second)
+	if !done {
+		t.Fatal("callback never invoked")
+	}
+	if got.M0 == nil || !got.M0.VerifyMAC(alg, key) {
+		t.Fatal("missing or invalid M0")
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("history = %d records", len(got.Records))
+	}
+	// M0 is fresher than the stored history.
+	if got.M0.T <= got.Records[0].T {
+		t.Fatal("M0 not fresher than the newest stored record")
+	}
+	if f.prover.Stats().ODMeasured != 1 {
+		t.Fatal("prover did not compute an on-demand measurement")
+	}
+}
+
+func TestRetriesUnderLoss(t *testing.T) {
+	f := newFixture(t, netsim.Config{Latency: sim.Millisecond, LossRate: 0.5, Seed: 5})
+	f.warmup(t, 3)
+	f.client.Attempts = 10
+
+	succeeded := 0
+	attemptsTotal := 0
+	for i := 0; i < 10; i++ {
+		done := false
+		err := f.client.Collect("prv-1", 2, func(r CollectResult, err error) {
+			done = true
+			if err == nil {
+				succeeded++
+				attemptsTotal += r.Attempts
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.engine.RunUntil(f.engine.Now() + time30s())
+		if !done {
+			t.Fatal("no callback after all attempts")
+		}
+	}
+	if succeeded < 8 {
+		t.Fatalf("only %d/10 collections under 50%% loss with 10 attempts", succeeded)
+	}
+	if attemptsTotal <= succeeded {
+		t.Fatal("no retransmissions recorded under 50% loss")
+	}
+}
+
+func time30s() sim.Ticks { return 30 * sim.Second }
+
+func TestTimeoutWhenProverUnreachable(t *testing.T) {
+	f := newFixture(t, netsim.Config{})
+	var gotErr error
+	done := false
+	err := f.client.Collect("prv-missing", 2, func(r CollectResult, err error) {
+		gotErr, done = err, true
+		if r.Attempts != 3 {
+			t.Errorf("attempts = %d, want 3", r.Attempts)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + 10*sim.Second)
+	if !done {
+		t.Fatal("no timeout callback")
+	}
+	if gotErr != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", gotErr)
+	}
+}
+
+func TestOutstandingRequestRejected(t *testing.T) {
+	f := newFixture(t, netsim.Config{Latency: sim.Second})
+	if err := f.client.Collect("prv-1", 1, func(CollectResult, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.client.Collect("prv-1", 1, func(CollectResult, error) {}); err == nil {
+		t.Fatal("second outstanding request accepted")
+	}
+}
+
+func TestODRetransmissionUsesFreshTreq(t *testing.T) {
+	// Drop the first two transmissions; the third must still pass the
+	// prover's freshness/anti-replay checks.
+	f := newFixture(t, netsim.Config{Latency: sim.Millisecond, LossRate: 0.55, Seed: 17})
+	f.warmup(t, 3)
+	f.client.Attempts = 12
+
+	ok := false
+	err := f.client.CollectOD("prv-1", 1, func(r CollectResult, err error) {
+		ok = err == nil && r.M0 != nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + sim.Minute)
+	if !ok {
+		t.Fatal("OD collection failed under loss")
+	}
+}
+
+func TestMalformedDatagramsIgnored(t *testing.T) {
+	f := newFixture(t, netsim.Config{})
+	f.warmup(t, 2)
+	// Garbage straight to the prover endpoint: silently dropped.
+	f.net.Send(netsim.Packet{From: "vrf", To: "prv-1", Kind: core.KindCollectRequest, Payload: []byte{1}})
+	f.net.Send(netsim.Packet{From: "vrf", To: "prv-1", Kind: core.KindODRequest, Payload: []byte{2, 3}})
+	f.net.Send(netsim.Packet{From: "vrf", To: "prv-1", Kind: "unknown", Payload: nil})
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	// Prover still fully functional afterward.
+	done := false
+	f.client.Collect("prv-1", 1, func(r CollectResult, err error) { done = err == nil })
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if !done {
+		t.Fatal("prover broken by malformed datagrams")
+	}
+}
+
+func TestForgedODRequestGetsNoReply(t *testing.T) {
+	f := newFixture(t, netsim.Config{})
+	f.warmup(t, 2)
+	bad, err := NewVerifierClient(f.net, f.engine, "attacker", alg, []byte("wrong-key"), f.dev.RROC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	bad.Collect("prv-1", 1, func(r CollectResult, err error) {
+		// Plain collection needs no key — it succeeds even for strangers.
+		gotErr = err
+	})
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if gotErr != nil {
+		t.Fatalf("plain collection should succeed without the key: %v", gotErr)
+	}
+
+	timedOut := false
+	bad.CollectOD("prv-1", 1, func(r CollectResult, err error) { timedOut = err == ErrTimeout })
+	f.engine.RunUntil(f.engine.Now() + 10*sim.Second)
+	if !timedOut {
+		t.Fatal("forged OD request was answered")
+	}
+	if f.prover.Stats().ODRejected == 0 {
+		t.Fatal("prover did not log the rejection")
+	}
+	if f.prover.Stats().ODMeasured != 0 {
+		t.Fatal("forged request triggered a measurement (DoS!)")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	f := newFixture(t, netsim.Config{})
+	ep, err := AttachProver(f.net, f.engine, "prv-2", f.prover, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Detach()
+	timedOut := false
+	f.client.Collect("prv-2", 1, func(r CollectResult, err error) { timedOut = err == ErrTimeout })
+	f.engine.RunUntil(f.engine.Now() + 10*sim.Second)
+	if !timedOut {
+		t.Fatal("detached endpoint still serving")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	e := sim.NewEngine()
+	n, _ := netsim.New(e, netsim.Config{})
+	if _, err := AttachProver(nil, e, "x", nil, alg); err == nil {
+		t.Error("nil args accepted")
+	}
+	if _, err := NewVerifierClient(n, e, "x", alg, key, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+	if _, err := NewVerifierClient(n, e, "x", mac.Algorithm(0), key, func() uint64 { return 0 }); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterRelativeScheduling(t *testing.T) {
+	e := NewEngine()
+	var at Ticks = -1
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	later := e.At(20, func() { fired = true })
+	e.At(10, func() { later.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event fired despite being cancelled by an earlier event")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Ticks
+	for _, at := range []Ticks{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(15)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 5,10,15", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now() = %v, want 15", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want 4 events", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100 after RunUntil(100)", e.Now())
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(50)
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil(past) did not panic")
+		}
+	}()
+	e.RunUntil(10)
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var times []Ticks
+	stop := e.Ticker(10, 5, func() { times = append(times, e.Now()) })
+	e.At(26, func() { stop() })
+	e.Run()
+	want := []Ticks{10, 15, 20, 25}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var stop func()
+	stop = e.Ticker(0, 1, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestTickerNonPositiveIntervalPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("Ticker(interval=0) did not panic")
+		}
+	}()
+	e.Ticker(0, 0, func() {})
+}
+
+func TestTickerStartInPastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(100)
+	var first Ticks = -1
+	stop := e.Ticker(0, 10, func() {
+		if first < 0 {
+			first = e.Now()
+		}
+	})
+	e.RunUntil(130)
+	stop()
+	if first != 100 {
+		t.Fatalf("first tick at %v, want clamp to 100", first)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Ticks(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestTicksString(t *testing.T) {
+	cases := []struct {
+		t    Ticks
+		want string
+	}{
+		{2 * Second, "2.000s"},
+		{3 * Millisecond, "3.000ms"},
+		{7 * Microsecond, "7.000µs"},
+		{42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds() = %v, want 2.5", got)
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in sorted order
+// and the engine clock is monotone.
+func TestPropertyMonotoneExecution(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		last := Ticks(-1)
+		monotone := true
+		for _, off := range offsets {
+			e.At(Ticks(off), func() {
+				if e.Now() < last {
+					monotone = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return monotone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Fired equals the number of scheduled, non-cancelled events.
+func TestPropertyFiredCount(t *testing.T) {
+	f := func(offsets []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		want := 0
+		for i, off := range offsets {
+			ev := e.At(Ticks(off), func() {})
+			if i < len(cancelMask) && cancelMask[i] {
+				ev.Cancel()
+			} else {
+				want++
+			}
+		}
+		e.Run()
+		return e.Fired() == uint64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

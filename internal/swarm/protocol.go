@@ -1,0 +1,205 @@
+package swarm
+
+import (
+	"erasmus/internal/core"
+	"erasmus/internal/costmodel"
+	"erasmus/internal/sim"
+)
+
+// Message-level collective attestation. RunOnDemand/RunErasmusCollection
+// evaluate an instance analytically against the mobility trail; the
+// implementations here execute the same protocols as discrete events —
+// per-hop request flooding, per-node computation, per-hop report relay —
+// with every link checked at the instant a packet actually crosses it.
+// They exist to validate the analytic shortcut and to expose protocol
+// internals (flood order, per-node latencies) to experiments.
+
+// NodeOutcome traces one node through a message-level instance.
+type NodeOutcome struct {
+	// Reached: the request flood arrived at the node.
+	Reached bool
+	// ReachedAt is the request arrival time.
+	ReachedAt sim.Ticks
+	// Reported: the node's response made it back to the root.
+	Reported bool
+	// ReportedAt is when the root received it.
+	ReportedAt sim.Ticks
+}
+
+// ProtocolResult is the outcome of a message-level instance.
+type ProtocolResult struct {
+	Reached   int
+	Completed int
+	Duration  sim.Ticks
+	PerNode   []NodeOutcome
+}
+
+// protoInstance tracks one in-flight flood.
+type protoInstance struct {
+	s        *Swarm
+	root     int
+	t0       sim.Ticks
+	visited  []bool
+	outcome  []NodeOutcome
+	inflight int
+	done     func(ProtocolResult)
+}
+
+func (s *Swarm) newInstance(root int, done func(ProtocolResult)) *protoInstance {
+	inst := &protoInstance{
+		s: s, root: root, t0: s.cfg.Engine.Now(),
+		visited: make([]bool, len(s.Nodes)),
+		outcome: make([]NodeOutcome, len(s.Nodes)),
+		done:    done,
+	}
+	return inst
+}
+
+// track wraps event scheduling with completion accounting: when the last
+// scheduled event resolves, the instance finalizes.
+func (inst *protoInstance) track(delay sim.Ticks, fn func()) {
+	inst.inflight++
+	inst.s.cfg.Engine.After(delay, func() {
+		fn()
+		inst.inflight--
+		if inst.inflight == 0 {
+			inst.finalize()
+		}
+	})
+}
+
+func (inst *protoInstance) finalize() {
+	res := ProtocolResult{PerNode: inst.outcome}
+	for _, o := range inst.outcome {
+		if o.Reached {
+			res.Reached++
+		}
+		if o.Reported {
+			res.Completed++
+			if d := o.ReportedAt - inst.t0; d > res.Duration {
+				res.Duration = d
+			}
+		}
+	}
+	if inst.done != nil {
+		inst.done(res)
+	}
+}
+
+// relayReport forwards a node's response toward the root along the flood's
+// reverse path, one hop at a time, checking each link as the packet
+// crosses it. parentOf must reflect the flood tree (set during flooding).
+func (inst *protoInstance) relayReport(u int, parentOf []int) {
+	cur := u
+	var hop func()
+	hop = func() {
+		p := parentOf[cur]
+		if p < 0 {
+			inst.outcome[u].Reported = true
+			inst.outcome[u].ReportedAt = inst.s.cfg.Engine.Now()
+			return
+		}
+		from := cur
+		inst.track(inst.s.cfg.HopLatency, func() {
+			if !inst.s.Connected(from, p, inst.s.cfg.Engine.Now()) {
+				return // link died mid-relay; report lost
+			}
+			cur = p
+			hop()
+		})
+	}
+	hop()
+}
+
+// RunOnDemandProtocol executes one SEDA-style instance as discrete events
+// starting now, invoking done with the result when the last packet
+// resolves. Each reached node authenticates the request and computes a
+// full real-time measurement before reporting.
+func (s *Swarm) RunOnDemandProtocol(root int, done func(ProtocolResult)) {
+	inst := s.newInstance(root, done)
+	parentOf := make([]int, len(s.Nodes))
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+	measureDur := costmodel.MeasurementTime(costmodel.MSP430, s.cfg.Alg, s.cfg.MemorySize) +
+		costmodel.AuthTime(costmodel.MSP430)
+
+	onReceive := func(u int, at sim.Ticks) {
+		n := s.Nodes[u]
+		// Authenticate + measure on the real prover (charges its CPU).
+		treq := n.Dev.RROC() + 1
+		_, _, err := n.Prover.HandleOnDemand(treq,
+			core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, 0))
+		if err != nil {
+			return
+		}
+		inst.track(measureDur, func() {
+			inst.relayReport(u, parentOf)
+		})
+	}
+	floodWithParents(inst, root, parentOf, onReceive)
+}
+
+// RunErasmusProtocol executes one ERASMUS + relay collection instance as
+// discrete events: reached nodes answer from their buffers within the
+// modeled (sub-millisecond) collection time.
+func (s *Swarm) RunErasmusProtocol(root, k int, done func(ProtocolResult)) {
+	inst := s.newInstance(root, done)
+	parentOf := make([]int, len(s.Nodes))
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+	onReceive := func(u int, at sim.Ticks) {
+		n := s.Nodes[u]
+		recs, timing := n.Prover.HandleCollect(k)
+		ok := true
+		for _, r := range recs {
+			if !r.VerifyMAC(s.cfg.Alg, n.Key) {
+				ok = false
+			}
+		}
+		if !ok {
+			return
+		}
+		inst.track(timing.Total(), func() {
+			inst.relayReport(u, parentOf)
+		})
+	}
+	floodWithParents(inst, root, parentOf, onReceive)
+}
+
+// floodWithParents is inst.flood with parent recording: each node's parent
+// is the flooding node whose rebroadcast reached it first.
+func floodWithParents(inst *protoInstance, root int, parentOf []int, onReceive func(int, sim.Ticks)) {
+	var visit func(u int)
+	visit = func(u int) {
+		inst.visited[u] = true
+		at := inst.s.cfg.Engine.Now()
+		inst.outcome[u].Reached = true
+		inst.outcome[u].ReachedAt = at
+		onReceive(u, at)
+		for v := range inst.s.Nodes {
+			if v == u || inst.visited[v] {
+				continue
+			}
+			if !inst.s.Connected(u, v, at) {
+				continue
+			}
+			v := v
+			from := u
+			inst.track(inst.s.cfg.HopLatency, func() {
+				if inst.visited[v] {
+					return
+				}
+				if !inst.s.Connected(from, v, inst.s.cfg.Engine.Now()) {
+					return
+				}
+				parentOf[v] = from
+				visit(v)
+			})
+		}
+	}
+	// Root has no parent; kick off with one tracked no-op so a fully
+	// isolated root still finalizes.
+	inst.track(0, func() { visit(root) })
+}

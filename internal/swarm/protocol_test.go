@@ -1,0 +1,139 @@
+package swarm
+
+import (
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+func TestProtocolStaticFullCoverage(t *testing.T) {
+	e := sim.NewEngine()
+	s := staticSwarm(t, e, 8)
+	e.RunUntil(30 * sim.Minute)
+
+	var od, er ProtocolResult
+	odDone, erDone := false, false
+	s.RunOnDemandProtocol(0, func(r ProtocolResult) { od, odDone = r, true })
+	e.RunUntil(e.Now() + sim.Hour)
+	if !odDone {
+		t.Fatal("on-demand protocol never finalized")
+	}
+	s.RunErasmusProtocol(0, 2, func(r ProtocolResult) { er, erDone = r, true })
+	e.RunUntil(e.Now() + sim.Hour)
+	if !erDone {
+		t.Fatal("erasmus protocol never finalized")
+	}
+
+	if od.Reached != 8 || od.Completed != 8 {
+		t.Fatalf("on-demand static: %+v", od)
+	}
+	if er.Reached != 8 || er.Completed != 8 {
+		t.Fatalf("erasmus static: %+v", er)
+	}
+	// Instance duration: on-demand is dominated by the measurement
+	// (seconds); erasmus by hops (milliseconds).
+	if er.Duration >= od.Duration {
+		t.Fatalf("erasmus %v not faster than on-demand %v", er.Duration, od.Duration)
+	}
+	if er.Duration > 100*sim.Millisecond {
+		t.Fatalf("erasmus instance took %v, want milliseconds", er.Duration)
+	}
+}
+
+func TestProtocolIsolatedRootFinalizes(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{N: 3, Area: 10000, Radius: 1, Speed: 0, Seed: 4, Engine: e, MemorySize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(25 * sim.Minute)
+	done := false
+	var res ProtocolResult
+	s.RunErasmusProtocol(0, 1, func(r ProtocolResult) { res, done = r, true })
+	e.RunUntil(e.Now() + sim.Minute)
+	if !done {
+		t.Fatal("isolated-root instance never finalized")
+	}
+	if res.Reached != 1 || res.Completed != 1 {
+		t.Fatalf("isolated root: %+v", res)
+	}
+}
+
+// The message-level protocols agree qualitatively with the analytic
+// evaluators: ERASMUS completes more nodes than on-demand under mobility.
+func TestProtocolMobilityOrdering(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 16, Area: 150, Radius: 60, Speed: 12, Seed: 11,
+		Engine: e, MemorySize: 10 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(25 * sim.Minute)
+
+	var odC, odR, erC, erR int
+	for trial := 0; trial < 5; trial++ {
+		e.RunUntil(e.Now() + sim.Minute)
+		doneOD := false
+		s.RunOnDemandProtocol(0, func(r ProtocolResult) {
+			odC += r.Completed
+			odR += r.Reached
+			doneOD = true
+		})
+		e.RunUntil(e.Now() + 5*sim.Minute)
+		if !doneOD {
+			t.Fatal("on-demand instance stuck")
+		}
+		doneER := false
+		s.RunErasmusProtocol(0, 2, func(r ProtocolResult) {
+			erC += r.Completed
+			erR += r.Reached
+			doneER = true
+		})
+		e.RunUntil(e.Now() + 5*sim.Minute)
+		if !doneER {
+			t.Fatal("erasmus instance stuck")
+		}
+	}
+	if odR == 0 || erR == 0 {
+		t.Fatal("no nodes reached in any instance")
+	}
+	odRate := float64(odC) / float64(odR)
+	erRate := float64(erC) / float64(erR)
+	if erRate <= odRate {
+		t.Fatalf("message-level: erasmus %.2f ≤ on-demand %.2f under mobility", erRate, odRate)
+	}
+	if erRate < 0.75 {
+		t.Fatalf("message-level erasmus completion %.2f too low", erRate)
+	}
+}
+
+func TestProtocolPerNodeTrace(t *testing.T) {
+	e := sim.NewEngine()
+	s := staticSwarm(t, e, 5)
+	e.RunUntil(25 * sim.Minute)
+	var res ProtocolResult
+	s.RunErasmusProtocol(0, 1, func(r ProtocolResult) { res = r })
+	e.RunUntil(e.Now() + sim.Minute)
+
+	if len(res.PerNode) != 5 {
+		t.Fatalf("per-node trace has %d entries", len(res.PerNode))
+	}
+	for i, o := range res.PerNode {
+		if !o.Reached || !o.Reported {
+			t.Fatalf("node %d not traced: %+v", i, o)
+		}
+		if o.ReportedAt < o.ReachedAt {
+			t.Fatalf("node %d reported before reached", i)
+		}
+	}
+	// Non-root nodes are reached strictly later than the root (≥ one hop).
+	for i := 1; i < 5; i++ {
+		if res.PerNode[i].ReachedAt <= res.PerNode[0].ReachedAt {
+			t.Fatalf("node %d reached no later than the root", i)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package swarm
+
+import (
+	"bytes"
+	"fmt"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// QoSA — Quality of Swarm Attestation — is the information dimension of
+// collective attestation introduced by LISA and discussed in §6: the same
+// collection can be reported at different granularities, from a single
+// healthy/unhealthy bit to per-device state plus topology. QoA (temporal)
+// and QoSA (informational) compose: this file implements the QoSA axis on
+// top of the ERASMUS relay collection.
+
+// QoSALevel selects how much information the collective report carries.
+type QoSALevel int
+
+const (
+	// QoSABinary answers only "is the whole swarm healthy?".
+	QoSABinary QoSALevel = iota
+	// QoSAList reports per-device health bits.
+	QoSAList
+	// QoSAFull reports per-device health, evidence counts and the
+	// collection-time topology snapshot.
+	QoSAFull
+)
+
+func (l QoSALevel) String() string {
+	switch l {
+	case QoSABinary:
+		return "binary"
+	case QoSAList:
+		return "list"
+	case QoSAFull:
+		return "full"
+	default:
+		return fmt.Sprintf("QoSALevel(%d)", int(l))
+	}
+}
+
+// DeviceVerdict is one node's outcome within a collective report.
+type DeviceVerdict struct {
+	// Reached: the node was in the collector's component.
+	Reached bool
+	// Responded: its records made it back through the relay.
+	Responded bool
+	// Healthy: every returned record authenticated and digested the
+	// node's known-good state.
+	Healthy bool
+	// Records is how many records were returned.
+	Records int
+}
+
+// CollectiveReport is the outcome of one QoSA-graded swarm collection.
+type CollectiveReport struct {
+	Level QoSALevel
+	// Healthy is the binary answer: every reached node responded with a
+	// healthy history. Present at every level.
+	Healthy bool
+	// Devices holds per-node verdicts (QoSAList and QoSAFull).
+	Devices map[int]DeviceVerdict
+	// Topology is the BFS snapshot at collection time (QoSAFull only).
+	Topology *Tree
+	// Bytes estimates the report size on the verifier link — the cost
+	// axis that makes lower QoSA levels attractive.
+	Bytes int
+}
+
+// CollectiveAttest runs one ERASMUS relay collection rooted at root and
+// grades the result at the requested QoSA level, verifying each node's
+// evidence against the clean state captured at swarm construction.
+func (s *Swarm) CollectiveAttest(root, k int, level QoSALevel) CollectiveReport {
+	e := s.cfg.Engine
+	t0 := e.Now()
+	tree := s.SnapshotTree(root, t0)
+
+	rep := CollectiveReport{Level: level, Healthy: true}
+	verdicts := make(map[int]DeviceVerdict, len(s.Nodes))
+
+	for i, n := range s.Nodes {
+		v := DeviceVerdict{}
+		if tree.Reachable(i) {
+			v.Reached = true
+			reqAt := t0
+			ok := true
+			path := pathToRoot(tree, i)
+			for j := len(path) - 1; j >= 1; j-- {
+				reqAt += s.cfg.HopLatency
+				if !s.Connected(path[j], path[j-1], reqAt) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				recs, timing := n.Prover.HandleCollect(k)
+				if _, alive := s.relayUp(tree, i, reqAt+timing.Total()); alive {
+					v.Responded = true
+					v.Records = len(recs)
+					v.Healthy = len(recs) > 0
+					for _, r := range recs {
+						if !r.VerifyMAC(s.cfg.Alg, n.Key) || !bytes.Equal(r.Hash, n.golden) {
+							v.Healthy = false
+						}
+					}
+				}
+			}
+		}
+		if v.Reached && (!v.Responded || !v.Healthy) {
+			rep.Healthy = false
+		}
+		verdicts[i] = v
+	}
+
+	// Report contents (and wire size) by level. Binary: one bit rounded
+	// to a byte. List: one byte per device. Full: verdict bytes plus
+	// parent pointers for the topology.
+	switch level {
+	case QoSABinary:
+		rep.Bytes = 1
+	case QoSAList:
+		rep.Devices = verdicts
+		rep.Bytes = len(s.Nodes)
+	case QoSAFull:
+		rep.Devices = verdicts
+		rep.Topology = &tree
+		rep.Bytes = len(s.Nodes) * 3 // verdict + 2-byte parent per node
+	}
+	return rep
+}
+
+// Golden returns node i's known-good memory digest (captured clean at
+// construction) — what a deployment would provision into the verifier.
+func (s *Swarm) Golden(i int) []byte { return append([]byte(nil), s.Nodes[i].golden...) }
+
+// Infect writes an implant into node i's attested memory (test and
+// experiment hook, standing in for real malware).
+func (s *Swarm) Infect(i int, implant []byte) error {
+	return s.Nodes[i].Dev.WriteMemory(0, implant)
+}
+
+// Disinfect restores node i's clean image prefix.
+func (s *Swarm) Disinfect(i int, length int) error {
+	return s.Nodes[i].Dev.WriteMemory(0, make([]byte, length))
+}
+
+// UnhealthyDevices lists node IDs that a report marks unhealthy; empty for
+// binary reports (that is the point of the level).
+func (r CollectiveReport) UnhealthyDevices() []int {
+	var out []int
+	for id, v := range r.Devices {
+		if v.Reached && (!v.Responded || !v.Healthy) {
+			out = append(out, id)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// captureGolden records each node's clean-state digest; called by New.
+func (s *Swarm) captureGolden() {
+	for _, n := range s.Nodes {
+		n.golden = mac.HashSum(s.cfg.Alg, n.Dev.Memory())
+	}
+}
+
+// staggerWindow returns the per-node phase used by staggered schedules;
+// exported for tests via MaxConcurrentMeasuring rather than directly.
+func staggerWindow(tm sim.Ticks, i, n int) sim.Ticks {
+	return sim.Ticks(int64(tm) * int64(i) / int64(n))
+}

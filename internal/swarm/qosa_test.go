@@ -1,0 +1,143 @@
+package swarm
+
+import (
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+func qosaSwarm(t *testing.T, e *sim.Engine) *Swarm {
+	t.Helper()
+	s, err := New(Config{
+		N: 6, Area: 100, Radius: 200, Speed: 0, Seed: 21, Engine: e,
+		MemorySize: 2048, TM: 10 * sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	// Warm up: every node holds a few records.
+	e.RunUntil(35 * sim.Minute)
+	return s
+}
+
+func TestQoSALevelString(t *testing.T) {
+	if QoSABinary.String() != "binary" || QoSAList.String() != "list" ||
+		QoSAFull.String() != "full" || QoSALevel(9).String() == "" {
+		t.Error("level strings wrong")
+	}
+}
+
+func TestCollectiveHealthyAtAllLevels(t *testing.T) {
+	e := sim.NewEngine()
+	s := qosaSwarm(t, e)
+	for _, level := range []QoSALevel{QoSABinary, QoSAList, QoSAFull} {
+		rep := s.CollectiveAttest(0, 2, level)
+		if !rep.Healthy {
+			t.Fatalf("%v: clean swarm unhealthy", level)
+		}
+		switch level {
+		case QoSABinary:
+			if rep.Devices != nil || rep.Topology != nil {
+				t.Error("binary report leaks device detail")
+			}
+			if rep.Bytes != 1 {
+				t.Errorf("binary report = %d bytes", rep.Bytes)
+			}
+		case QoSAList:
+			if len(rep.Devices) != 6 || rep.Topology != nil {
+				t.Error("list report shape wrong")
+			}
+		case QoSAFull:
+			if len(rep.Devices) != 6 || rep.Topology == nil {
+				t.Error("full report shape wrong")
+			}
+		}
+	}
+}
+
+func TestCollectiveDetectsInfectedNode(t *testing.T) {
+	e := sim.NewEngine()
+	s := qosaSwarm(t, e)
+	if err := s.Infect(3, []byte("swarm implant")); err != nil {
+		t.Fatal(err)
+	}
+	// The infection must be *measured* before a collection can see it.
+	e.RunUntil(e.Now() + 12*sim.Minute)
+
+	binary := s.CollectiveAttest(0, 1, QoSABinary)
+	if binary.Healthy {
+		t.Fatal("binary report healthy despite infected node")
+	}
+	if len(binary.UnhealthyDevices()) != 0 {
+		t.Fatal("binary report identifies devices — too much information")
+	}
+
+	list := s.CollectiveAttest(0, 1, QoSAList)
+	bad := list.UnhealthyDevices()
+	if len(bad) != 1 || bad[0] != 3 {
+		t.Fatalf("list report blames %v, want [3]", bad)
+	}
+
+	full := s.CollectiveAttest(0, 1, QoSAFull)
+	if full.Topology == nil || !full.Topology.Reachable(3) {
+		t.Fatal("full report missing topology")
+	}
+	if full.Bytes <= list.Bytes || list.Bytes <= binary.Bytes {
+		t.Fatalf("report sizes not ordered: %d/%d/%d", binary.Bytes, list.Bytes, full.Bytes)
+	}
+}
+
+func TestCollectiveHistoryCatchesPastInfection(t *testing.T) {
+	// The QoA benefit composed with QoSA: the malware leaves before the
+	// collection, but its measured window is still in the history.
+	e := sim.NewEngine()
+	s := qosaSwarm(t, e)
+	s.Infect(2, []byte("transient"))
+	e.RunUntil(e.Now() + 12*sim.Minute) // one measurement window passes
+	s.Disinfect(2, len("transient"))
+	e.RunUntil(e.Now() + 2*sim.Minute)
+
+	rep := s.CollectiveAttest(0, 3, QoSAList)
+	bad := rep.UnhealthyDevices()
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("departed malware not caught in history: %v", bad)
+	}
+}
+
+func TestCollectiveUnreachableNodeNotBlamed(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 3, Area: 10000, Radius: 10, Speed: 0, Seed: 33, Engine: e,
+		MemorySize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(25 * sim.Minute)
+	rep := s.CollectiveAttest(0, 1, QoSAList)
+	// Far-apart nodes are unreached; unreached ≠ unhealthy for the
+	// binary verdict (the collector knows only about its component).
+	for id, v := range rep.Devices {
+		if id != 0 && v.Reached {
+			t.Fatalf("node %d unexpectedly reachable", id)
+		}
+	}
+	if !rep.Healthy {
+		t.Fatal("unreached nodes flipped the healthy bit")
+	}
+}
+
+func TestGoldenAccessors(t *testing.T) {
+	e := sim.NewEngine()
+	s := qosaSwarm(t, e)
+	g := s.Golden(0)
+	if len(g) == 0 {
+		t.Fatal("no golden digest")
+	}
+	g[0] ^= 1
+	if s.Golden(0)[0] == g[0] {
+		t.Fatal("Golden exposed internal slice")
+	}
+}

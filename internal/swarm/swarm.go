@@ -1,0 +1,437 @@
+// Package swarm reproduces §6: collective attestation of a group of
+// interconnected devices, comparing on-demand swarm RA (SEDA/LISA-style,
+// which needs the topology to stay essentially static for the whole
+// instance) against ERASMUS self-measurement with a LISA-α-style relay
+// collection (which only needs links to live for a millisecond-scale
+// relay).
+//
+// Nodes are full prover devices (MSP430-class models running real ERASMUS
+// provers) placed on a plane with a random-waypoint mobility model; two
+// nodes can exchange packets while within communication radius. An
+// attestation instance floods a request down a BFS tree snapshotted at the
+// start and relays responses back up; every hop requires the link to be
+// alive at the moment the packet crosses it, so long-running instances
+// break under mobility.
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"erasmus/internal/core"
+	"erasmus/internal/costmodel"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+// Config parameterizes a swarm.
+type Config struct {
+	// N is the number of devices (≥ 2).
+	N int
+	// Area is the side of the square deployment region, in meters.
+	Area float64
+	// Radius is the communication range, in meters.
+	Radius float64
+	// Speed is the node speed for random-waypoint mobility, in m/s
+	// (0 = static).
+	Speed float64
+	// Seed drives placement and mobility deterministically.
+	Seed int64
+	// Engine is the shared simulation. Required.
+	Engine *sim.Engine
+	// Alg is the measurement MAC (default keyed BLAKE2s).
+	Alg mac.Algorithm
+	// TM is the self-measurement period (default 10 min).
+	TM sim.Ticks
+	// MemorySize is each device's attested memory (default 10 KB: ≈4.5 s
+	// measurements at 8 MHz with BLAKE2s, the §6 pain point).
+	MemorySize int
+	// Slots is the per-node buffer size (default 16).
+	Slots int
+	// HopLatency is the one-hop packet latency (default 2 ms).
+	HopLatency sim.Ticks
+	// Stagger offsets each node's schedule by i×TM/N so only a bounded
+	// fraction of the swarm measures concurrently (§6's availability
+	// argument).
+	Stagger bool
+}
+
+// Node is one swarm member.
+type Node struct {
+	ID     int
+	Dev    *mcu.Device
+	Prover *core.Prover
+	Key    []byte
+
+	golden   []byte    // clean-state memory digest for QoSA verdicts
+	segments []segment // mobility trail, generated lazily
+	rng      *rand.Rand
+}
+
+// segment is one straight random-waypoint leg.
+type segment struct {
+	t0, t1         sim.Ticks
+	x0, y0, x1, y1 float64
+}
+
+// Swarm is the full group.
+type Swarm struct {
+	cfg   Config
+	Nodes []*Node
+}
+
+// New builds the swarm: places nodes uniformly, provisions per-device
+// keys, starts every prover's self-measurement loop (staggered if asked).
+func New(cfg Config) (*Swarm, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("swarm: Engine required")
+	}
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("swarm: need ≥2 nodes, got %d", cfg.N)
+	}
+	if cfg.Area <= 0 || cfg.Radius <= 0 {
+		return nil, fmt.Errorf("swarm: Area and Radius must be positive")
+	}
+	if cfg.Speed < 0 {
+		return nil, fmt.Errorf("swarm: negative speed")
+	}
+	if !cfg.Alg.Valid() {
+		cfg.Alg = mac.KeyedBLAKE2s
+	}
+	if cfg.TM <= 0 {
+		cfg.TM = 10 * sim.Minute
+	}
+	if cfg.MemorySize <= 0 {
+		cfg.MemorySize = 10 * 1024
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 16
+	}
+	if cfg.HopLatency <= 0 {
+		cfg.HopLatency = 2 * sim.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	master := rand.New(rand.NewSource(seed))
+
+	s := &Swarm{cfg: cfg}
+	for i := 0; i < cfg.N; i++ {
+		key := make([]byte, 32)
+		master.Read(key)
+		dev, err := mcu.New(mcu.Config{
+			Engine:     cfg.Engine,
+			MemorySize: cfg.MemorySize,
+			StoreSize:  cfg.Slots * core.RecordSize(cfg.Alg),
+			Key:        key,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Staggering assigns node i the schedule phase i×TM/N, so at most
+		// ⌈N×measurement/TM⌉ nodes measure concurrently (§6).
+		phase := sim.Ticks(0)
+		if cfg.Stagger {
+			phase = staggerWindow(cfg.TM, i, cfg.N)
+		}
+		sched, err := core.NewRegularWithPhase(cfg.TM, phase)
+		if err != nil {
+			return nil, err
+		}
+		prv, err := core.NewProver(dev, core.ProverConfig{Alg: cfg.Alg, Schedule: sched, Slots: cfg.Slots})
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{
+			ID:     i,
+			Dev:    dev,
+			Prover: prv,
+			Key:    key,
+			rng:    rand.New(rand.NewSource(seed + int64(i)*7919)),
+		}
+		// Initial placement and first mobility leg.
+		x, y := n.rng.Float64()*cfg.Area, n.rng.Float64()*cfg.Area
+		n.segments = []segment{{t0: 0, t1: 0, x0: x, y0: y, x1: x, y1: y}}
+		s.Nodes = append(s.Nodes, n)
+		prv.Start()
+	}
+	s.captureGolden()
+	return s, nil
+}
+
+// Stop halts every prover.
+func (s *Swarm) Stop() {
+	for _, n := range s.Nodes {
+		n.Prover.Stop()
+	}
+}
+
+// extendTrail generates mobility legs until the trail covers t.
+func (s *Swarm) extendTrail(n *Node, t sim.Ticks) {
+	last := n.segments[len(n.segments)-1]
+	for last.t1 < t {
+		// Pick the next waypoint; travel at cfg.Speed.
+		nx, ny := n.rng.Float64()*s.cfg.Area, n.rng.Float64()*s.cfg.Area
+		dist := math.Hypot(nx-last.x1, ny-last.y1)
+		var dur sim.Ticks
+		if s.cfg.Speed > 0 {
+			dur = sim.Ticks(dist / s.cfg.Speed * float64(sim.Second))
+		} else {
+			// Static swarm: one segment parked forever.
+			dur = sim.MaxTicks - last.t1
+			nx, ny = last.x1, last.y1
+		}
+		if dur <= 0 {
+			dur = sim.Millisecond
+		}
+		next := segment{t0: last.t1, t1: last.t1 + dur, x0: last.x1, y0: last.y1, x1: nx, y1: ny}
+		n.segments = append(n.segments, next)
+		last = next
+	}
+}
+
+// Position returns node i's coordinates at time t.
+func (s *Swarm) Position(i int, t sim.Ticks) (x, y float64) {
+	n := s.Nodes[i]
+	s.extendTrail(n, t)
+	// Find the covering segment (trails are short; linear scan from the
+	// end is fine because queries are mostly recent).
+	for j := len(n.segments) - 1; j >= 0; j-- {
+		seg := n.segments[j]
+		if t >= seg.t0 {
+			if seg.t1 == seg.t0 {
+				return seg.x1, seg.y1
+			}
+			frac := float64(t-seg.t0) / float64(seg.t1-seg.t0)
+			if frac > 1 {
+				frac = 1
+			}
+			return seg.x0 + (seg.x1-seg.x0)*frac, seg.y0 + (seg.y1-seg.y0)*frac
+		}
+	}
+	first := n.segments[0]
+	return first.x0, first.y0
+}
+
+// Connected reports whether nodes a and b are within radio range at t.
+func (s *Swarm) Connected(a, b int, t sim.Ticks) bool {
+	ax, ay := s.Position(a, t)
+	bx, by := s.Position(b, t)
+	return math.Hypot(ax-bx, ay-by) <= s.cfg.Radius
+}
+
+// Tree is a BFS spanning forest snapshot rooted at Root.
+type Tree struct {
+	Root   int
+	Parent []int // -1 for root and unreachable nodes
+	Depth  []int // -1 for unreachable nodes
+}
+
+// Reachable reports whether node i was in the root's component.
+func (t Tree) Reachable(i int) bool { return t.Depth[i] >= 0 }
+
+// SnapshotTree builds the BFS tree over the topology as it stands at time
+// t — the tree both protocols flood along.
+func (s *Swarm) SnapshotTree(root int, t sim.Ticks) Tree {
+	n := len(s.Nodes)
+	tree := Tree{Root: root, Parent: make([]int, n), Depth: make([]int, n)}
+	for i := range tree.Parent {
+		tree.Parent[i] = -1
+		tree.Depth[i] = -1
+	}
+	tree.Depth[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if v == u || tree.Depth[v] >= 0 {
+				continue
+			}
+			if s.Connected(u, v, t) {
+				tree.Parent[v] = u
+				tree.Depth[v] = tree.Depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return tree
+}
+
+// InstanceResult reports one collective attestation instance.
+type InstanceResult struct {
+	// Reached counts nodes in the root's component at the snapshot.
+	Reached int
+	// Completed counts nodes whose response made it back to the root with
+	// every hop's link alive at crossing time.
+	Completed int
+	// Verified counts completed nodes whose evidence passed verification.
+	Verified int
+	// Duration is the span from request injection to the last response.
+	Duration sim.Ticks
+	// BusyTime sums prover-side CPU time consumed by the instance.
+	BusyTime sim.Ticks
+}
+
+// Coverage is Completed / swarm size.
+func (r InstanceResult) Coverage(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(n)
+}
+
+// linkAliveOnPath checks that each hop from node up to the root is alive
+// at the successive instants a packet would cross it.
+func (s *Swarm) relayUp(tree Tree, node int, start sim.Ticks) (sim.Ticks, bool) {
+	t := start
+	for u := node; tree.Parent[u] >= 0; u = tree.Parent[u] {
+		t += s.cfg.HopLatency
+		if !s.Connected(u, tree.Parent[u], t) {
+			return t, false
+		}
+	}
+	return t, true
+}
+
+// RunOnDemand executes one SEDA-style collective on-demand instance at the
+// current engine time: flood the authenticated request down the snapshot
+// tree, every node computes a real-time measurement, responses relay up.
+// Each node's measurement takes the full calibrated measurement time, so
+// under mobility the topology has often changed before responses travel.
+func (s *Swarm) RunOnDemand(root int) InstanceResult {
+	e := s.cfg.Engine
+	t0 := e.Now()
+	tree := s.SnapshotTree(root, t0)
+	res := InstanceResult{}
+	measureDur := costmodel.MeasurementTime(costmodel.MSP430, s.cfg.Alg, s.cfg.MemorySize)
+
+	for i, n := range s.Nodes {
+		if !tree.Reachable(i) {
+			continue
+		}
+		res.Reached++
+		// Request arrives after depth hops; every downstream link must be
+		// alive as the request crosses it.
+		reqAt := t0
+		ok := true
+		path := pathToRoot(tree, i)
+		for j := len(path) - 1; j >= 1; j-- {
+			reqAt += s.cfg.HopLatency
+			if !s.Connected(path[j], path[j-1], reqAt) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// The node authenticates and measures: full real-time cost.
+		treq := n.Dev.RROC() + uint64(i) + 1
+		rec, timing, err := n.Prover.HandleOnDemand(treq,
+			core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, 0))
+		if err != nil {
+			continue
+		}
+		res.BusyTime += timing.Total()
+		doneAt := reqAt + measureDur
+		// The response relays back up; the topology has moved on by then.
+		endAt, alive := s.relayUp(tree, i, doneAt)
+		if !alive {
+			continue
+		}
+		res.Completed++
+		if rec.VerifyMAC(s.cfg.Alg, n.Key) {
+			res.Verified++
+		}
+		if endAt-t0 > res.Duration {
+			res.Duration = endAt - t0
+		}
+	}
+	return res
+}
+
+// RunErasmusCollection executes one ERASMUS + LISA-α-style collection at
+// the current engine time: the request floods down, nodes answer from
+// their buffers with no computation, responses relay straight back.
+func (s *Swarm) RunErasmusCollection(root int, k int) InstanceResult {
+	e := s.cfg.Engine
+	t0 := e.Now()
+	tree := s.SnapshotTree(root, t0)
+	res := InstanceResult{}
+
+	for i, n := range s.Nodes {
+		if !tree.Reachable(i) {
+			continue
+		}
+		res.Reached++
+		reqAt := t0
+		ok := true
+		path := pathToRoot(tree, i)
+		for j := len(path) - 1; j >= 1; j-- {
+			reqAt += s.cfg.HopLatency
+			if !s.Connected(path[j], path[j-1], reqAt) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		recs, timing := n.Prover.HandleCollect(k)
+		res.BusyTime += timing.Total()
+		doneAt := reqAt + timing.Total()
+		endAt, alive := s.relayUp(tree, i, doneAt)
+		if !alive {
+			continue
+		}
+		res.Completed++
+		verified := len(recs) > 0
+		for _, r := range recs {
+			if !r.VerifyMAC(s.cfg.Alg, n.Key) {
+				verified = false
+			}
+		}
+		if verified {
+			res.Verified++
+		}
+		if endAt-t0 > res.Duration {
+			res.Duration = endAt - t0
+		}
+	}
+	return res
+}
+
+func pathToRoot(tree Tree, node int) []int {
+	path := []int{node}
+	for u := node; tree.Parent[u] >= 0; u = tree.Parent[u] {
+		path = append(path, tree.Parent[u])
+	}
+	return path
+}
+
+// MaxConcurrentMeasuring samples the horizon and returns the peak number
+// of nodes measuring simultaneously — the §6 availability metric that
+// staggered scheduling bounds.
+func (s *Swarm) MaxConcurrentMeasuring(from, to, step sim.Ticks) int {
+	peak := 0
+	for t := from; t <= to; t += step {
+		busy := 0
+		for _, n := range s.Nodes {
+			for _, occ := range n.Dev.CPU().Log() {
+				if occ.Kind == "measurement" && occ.Start <= t && t < occ.End {
+					busy++
+					break
+				}
+			}
+		}
+		if busy > peak {
+			peak = busy
+		}
+	}
+	return peak
+}

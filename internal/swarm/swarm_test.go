@@ -1,0 +1,210 @@
+package swarm
+
+import (
+	"math"
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+func staticSwarm(t *testing.T, e *sim.Engine, n int) *Swarm {
+	t.Helper()
+	s, err := New(Config{
+		N: n, Area: 100, Radius: 200, // everyone in range of everyone
+		Speed: 0, Seed: 42, Engine: e,
+		MemorySize: 4 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{N: 5, Area: 10, Radius: 5},                       // no engine
+		{N: 1, Area: 10, Radius: 5, Engine: e},            // too few
+		{N: 5, Area: 0, Radius: 5, Engine: e},             // no area
+		{N: 5, Area: 10, Radius: 0, Engine: e},            // no radius
+		{N: 5, Area: 10, Radius: 5, Speed: -1, Engine: e}, // bad speed
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestStaticPositionsStable(t *testing.T) {
+	e := sim.NewEngine()
+	s := staticSwarm(t, e, 5)
+	x0, y0 := s.Position(2, 0)
+	x1, y1 := s.Position(2, sim.Hour)
+	if x0 != x1 || y0 != y1 {
+		t.Fatal("static node moved")
+	}
+}
+
+func TestMobilityMovesNodes(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 4, Area: 1000, Radius: 50, Speed: 10, Seed: 7, Engine: e,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	x0, y0 := s.Position(1, 0)
+	x1, y1 := s.Position(1, sim.Minute)
+	moved := math.Hypot(x1-x0, y1-y0)
+	if moved == 0 {
+		t.Fatal("mobile node did not move")
+	}
+	// Speed bound: cannot exceed Speed × t.
+	if moved > 10*60+1 {
+		t.Fatalf("node moved %.1fm in 60s at 10m/s", moved)
+	}
+}
+
+func TestPositionsStayInArea(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{N: 3, Area: 200, Radius: 50, Speed: 25, Seed: 3, Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	for i := 0; i < 3; i++ {
+		for tt := sim.Ticks(0); tt < 10*sim.Minute; tt += 13 * sim.Second {
+			x, y := s.Position(i, tt)
+			if x < -1e-9 || y < -1e-9 || x > 200+1e-9 || y > 200+1e-9 {
+				t.Fatalf("node %d at (%.1f,%.1f) outside area", i, x, y)
+			}
+		}
+	}
+}
+
+func TestSnapshotTreeFullyConnected(t *testing.T) {
+	e := sim.NewEngine()
+	s := staticSwarm(t, e, 6)
+	tree := s.SnapshotTree(0, 0)
+	for i := 0; i < 6; i++ {
+		if !tree.Reachable(i) {
+			t.Fatalf("node %d unreachable in a clique", i)
+		}
+	}
+	if tree.Depth[0] != 0 || tree.Parent[0] != -1 {
+		t.Fatal("root malformed")
+	}
+}
+
+func TestSnapshotTreePartition(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{N: 2, Area: 1000, Radius: 1, Speed: 0, Seed: 9, Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	tree := s.SnapshotTree(0, 0)
+	if tree.Reachable(1) {
+		t.Fatal("distant node reachable with 1m radius")
+	}
+}
+
+// Static swarm: both protocols achieve full coverage.
+func TestStaticSwarmBothProtocolsSucceed(t *testing.T) {
+	e := sim.NewEngine()
+	s := staticSwarm(t, e, 8)
+	e.RunUntil(30 * sim.Minute) // several TM=10min windows pass
+
+	od := s.RunOnDemand(0)
+	if od.Completed != 8 || od.Verified != 8 {
+		t.Fatalf("on-demand static: completed=%d verified=%d", od.Completed, od.Verified)
+	}
+	er := s.RunErasmusCollection(0, 2)
+	if er.Completed != 8 || er.Verified != 8 {
+		t.Fatalf("erasmus static: completed=%d verified=%d", er.Completed, er.Verified)
+	}
+	if er.Duration >= od.Duration {
+		t.Fatalf("erasmus instance (%v) not faster than on-demand (%v)", er.Duration, od.Duration)
+	}
+	if er.BusyTime*100 > od.BusyTime {
+		t.Fatalf("erasmus busy time %v not ≪ on-demand %v", er.BusyTime, od.BusyTime)
+	}
+}
+
+// §6's claim: under high mobility, on-demand collective attestation
+// collapses while ERASMUS collection keeps working.
+func TestMobilityBreaksOnDemandNotErasmus(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 16, Area: 150, Radius: 60,
+		Speed: 12, // link lifetime ~5s vs ~4.5s measurements
+		Seed:  11, Engine: e,
+		MemorySize: 10 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(25 * sim.Minute)
+
+	var odTotal, erTotal, reachedOD, reachedER int
+	for trial := 0; trial < 6; trial++ {
+		e.RunUntil(e.Now() + sim.Minute)
+		od := s.RunOnDemand(0)
+		odTotal += od.Completed
+		reachedOD += od.Reached
+		e.RunUntil(e.Now() + sim.Minute)
+		er := s.RunErasmusCollection(0, 2)
+		erTotal += er.Completed
+		reachedER += er.Reached
+	}
+	if reachedOD == 0 || reachedER == 0 {
+		t.Fatal("swarm never connected; tune the test topology")
+	}
+	odRate := float64(odTotal) / float64(reachedOD)
+	erRate := float64(erTotal) / float64(reachedER)
+	if erRate <= odRate {
+		t.Fatalf("erasmus completion %.2f not above on-demand %.2f under mobility", erRate, odRate)
+	}
+	if erRate < 0.8 {
+		t.Fatalf("erasmus completion %.2f too low — relay should survive mobility", erRate)
+	}
+}
+
+// §6: staggered schedules bound the number of simultaneously-busy nodes.
+func TestStaggerBoundsConcurrentMeasurement(t *testing.T) {
+	aligned := func(stagger bool) int {
+		e := sim.NewEngine()
+		s, err := New(Config{
+			N: 10, Area: 100, Radius: 200, Speed: 0, Seed: 5, Engine: e,
+			MemorySize: 10 * 1024, Stagger: stagger,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Stop()
+		e.RunUntil(35 * sim.Minute)
+		return s.MaxConcurrentMeasuring(0, 35*sim.Minute, sim.Second)
+	}
+	all := aligned(false)
+	few := aligned(true)
+	if all != 10 {
+		t.Fatalf("aligned schedules: peak = %d, want all 10 measuring together", all)
+	}
+	if few > 2 {
+		t.Fatalf("staggered schedules: peak = %d, want ≤ 2", few)
+	}
+}
+
+func TestCoverageMath(t *testing.T) {
+	r := InstanceResult{Completed: 3}
+	if r.Coverage(4) != 0.75 {
+		t.Fatalf("coverage = %v", r.Coverage(4))
+	}
+	if r.Coverage(0) != 0 {
+		t.Fatal("division by zero")
+	}
+}

@@ -1,0 +1,287 @@
+// Package udptransport serves the ERASMUS collection protocols over real
+// UDP sockets (standard library net), turning a simulated prover into a
+// daemon a verifier can poll across an actual network.
+//
+// The prover's runtime is event-driven on virtual time; this package
+// bridges the two clocks by pumping the simulation forward to track the
+// wall clock: one virtual nanosecond per elapsed wall nanosecond. The
+// measurement schedule therefore fires in real time, and collection
+// requests observe the same buffer state a hardware deployment would.
+//
+// All packets are a single datagram: one type byte followed by the wire
+// encodings from internal/core.
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// Message type bytes.
+const (
+	msgCollectReq  = 0x01
+	msgCollectResp = 0x02
+	msgODReq       = 0x03
+	msgODResp      = 0x04
+)
+
+const maxDatagram = 64 * 1024
+
+// Server exposes one prover on a UDP socket.
+type Server struct {
+	conn   *net.UDPConn
+	alg    mac.Algorithm
+	prover *core.Prover
+
+	mu        sync.Mutex // guards engine and prover
+	engine    *sim.Engine
+	wallStart time.Time
+	simStart  sim.Ticks
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and starts serving the prover.
+// The caller must have built prover on engine; after Serve returns, the
+// engine is owned by the server's clock pump and must not be driven
+// directly.
+func Serve(addr string, engine *sim.Engine, prover *core.Prover, alg mac.Algorithm) (*Server, error) {
+	if engine == nil || prover == nil {
+		return nil, errors.New("udptransport: nil engine or prover")
+	}
+	if !alg.Valid() {
+		return nil, fmt.Errorf("udptransport: invalid algorithm %d", int(alg))
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		conn:      conn,
+		alg:       alg,
+		prover:    prover,
+		engine:    engine,
+		wallStart: time.Now(),
+		simStart:  engine.Now(),
+		done:      make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.pumpClock()
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the server and releases the socket.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// advance drives virtual time to the current wall offset. Callers hold mu.
+func (s *Server) advanceLocked() {
+	target := s.simStart + sim.Ticks(time.Since(s.wallStart))
+	if target > s.engine.Now() {
+		s.engine.RunUntil(target)
+	}
+}
+
+// pumpClock keeps the schedule firing even when no requests arrive.
+func (s *Server) pumpClock() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			s.advanceLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue // transient socket error; keep serving
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		resp := s.handle(buf[:n])
+		if resp != nil {
+			s.conn.WriteToUDP(resp, peer)
+		}
+	}
+}
+
+// handle parses one datagram and produces the reply (nil = drop silently,
+// matching the simulation transport's semantics for malformed or rejected
+// requests).
+func (s *Server) handle(dgram []byte) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+
+	switch dgram[0] {
+	case msgCollectReq:
+		req, err := core.DecodeCollectRequest(dgram[1:])
+		if err != nil {
+			return nil
+		}
+		recs, _ := s.prover.HandleCollect(req.K)
+		return append([]byte{msgCollectResp}, core.CollectResponse{Records: recs}.Encode(s.alg)...)
+	case msgODReq:
+		req, err := core.DecodeODRequest(s.alg, dgram[1:])
+		if err != nil {
+			return nil
+		}
+		m0, hist, _, err := s.prover.HandleCollectOD(req.Treq, req.K, req.MAC)
+		if err != nil {
+			return nil
+		}
+		return append([]byte{msgODResp}, core.ODResponse{M0: m0, Records: hist}.Encode(s.alg)...)
+	default:
+		return nil
+	}
+}
+
+// Client collects from a remote prover over UDP.
+type Client struct {
+	conn *net.UDPConn
+	alg  mac.Algorithm
+	key  []byte
+
+	// Timeout per attempt and total attempts (defaults 500 ms × 3).
+	Timeout  time.Duration
+	Attempts int
+
+	nonce uint64
+}
+
+// Dial connects (in the UDP sense) to a prover server.
+func Dial(server string, alg mac.Algorithm, key []byte) (*Client, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("udptransport: invalid algorithm %d", int(alg))
+	}
+	addr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn, alg: alg, key: append([]byte(nil), key...),
+		Timeout: 500 * time.Millisecond, Attempts: 3,
+	}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ErrTimeout is returned when every attempt expires unanswered.
+var ErrTimeout = errors.New("udptransport: request timed out")
+
+// roundTrip sends a request datagram and waits for the expected response
+// type, retrying per the client budget.
+func (c *Client) roundTrip(req []byte, wantType byte, fresh func() []byte) ([]byte, error) {
+	buf := make([]byte, maxDatagram)
+	for attempt := 0; attempt < c.Attempts; attempt++ {
+		if attempt > 0 && fresh != nil {
+			req = fresh()
+		}
+		if _, err := c.conn.Write(req); err != nil {
+			return nil, err
+		}
+		deadline := time.Now().Add(c.Timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				break // timeout or socket error: next attempt
+			}
+			if n > 0 && buf[0] == wantType {
+				out := make([]byte, n-1)
+				copy(out, buf[1:n])
+				return out, nil
+			}
+			// Unexpected datagram (stale response): keep reading until
+			// the attempt deadline.
+		}
+	}
+	return nil, ErrTimeout
+}
+
+// Collect fetches the k latest records.
+func (c *Client) Collect(k int) ([]core.Record, error) {
+	req := append([]byte{msgCollectReq}, core.CollectRequest{K: k}.Encode()...)
+	raw, err := c.roundTrip(req, msgCollectResp, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := core.DecodeCollectResponse(c.alg, raw)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// CollectOD issues an authenticated ERASMUS+OD request. clock supplies the
+// verifier's time base (must be loosely synchronized with the prover's
+// RROC). Retransmissions carry fresh treq values so the prover's
+// anti-replay floor never blocks them.
+func (c *Client) CollectOD(k int, clock func() uint64) (core.Record, []core.Record, error) {
+	if clock == nil {
+		return core.Record{}, nil, errors.New("udptransport: clock required")
+	}
+	build := func() []byte {
+		c.nonce++
+		req := core.NewODRequest(c.alg, c.key, clock()+c.nonce, k)
+		return append([]byte{msgODReq}, req.Encode()...)
+	}
+	raw, err := c.roundTrip(build(), msgODResp, build)
+	if err != nil {
+		return core.Record{}, nil, err
+	}
+	resp, err := core.DecodeODResponse(c.alg, raw)
+	if err != nil {
+		return core.Record{}, nil, err
+	}
+	return resp.M0, resp.Records, nil
+}

@@ -1,0 +1,167 @@
+package udptransport
+
+import (
+	"testing"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/sim"
+)
+
+const alg = mac.KeyedBLAKE2s
+
+var key = []byte("udp-test-device-key")
+
+// startServer boots an i.MX6-class prover with a 30 ms measurement period
+// (1.8 ms modeled measurements) and serves it on loopback UDP.
+func startServer(t *testing.T) (*Server, time.Time) {
+	t.Helper()
+	e := sim.NewEngine()
+	dev, err := imx6.New(imx6.Config{
+		Engine:     e,
+		MemorySize: 64 * 1024,
+		StoreSize:  64 * core.RecordSize(alg),
+		Key:        key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := core.NewRegular(30 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	started := time.Now()
+	srv, err := Serve("127.0.0.1:0", e, p, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, started
+}
+
+func dialServer(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr().String(), alg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCollectOverRealUDP(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dialServer(t, srv)
+
+	// Let the wall clock (and hence the virtual schedule) run.
+	time.Sleep(250 * time.Millisecond)
+
+	recs, err := c.Collect(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("got %d records after 250ms at TM=30ms", len(recs))
+	}
+	for i, r := range recs {
+		if !r.VerifyMAC(alg, key) {
+			t.Fatalf("record %d fails authentication", i)
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T >= recs[i-1].T {
+			t.Fatal("records not newest-first")
+		}
+	}
+}
+
+func TestCollectODOverRealUDP(t *testing.T) {
+	srv, started := startServer(t)
+	c := dialServer(t, srv)
+	time.Sleep(120 * time.Millisecond)
+
+	clock := func() uint64 { return imx6.DefaultEpoch + uint64(time.Since(started)) }
+	m0, hist, err := c.CollectOD(4, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m0.VerifyMAC(alg, key) {
+		t.Fatal("M0 not authentic")
+	}
+	if len(hist) == 0 {
+		t.Fatal("no history returned")
+	}
+	if m0.T <= hist[0].T {
+		t.Fatal("M0 not fresher than stored history")
+	}
+}
+
+func TestForgedODRequestIgnored(t *testing.T) {
+	srv, started := startServer(t)
+	bad, err := Dial(srv.Addr().String(), alg, []byte("wrong-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	bad.Timeout = 100 * time.Millisecond
+	bad.Attempts = 2
+	clock := func() uint64 { return imx6.DefaultEpoch + uint64(time.Since(started)) }
+	if _, _, err := bad.CollectOD(1, clock); err != ErrTimeout {
+		t.Fatalf("forged OD request: err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestMalformedDatagramsDropped(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dialServer(t, srv)
+	// Raw garbage via the same socket path.
+	c.conn.Write([]byte{0x99, 1, 2, 3})
+	c.conn.Write([]byte{msgCollectReq, 1}) // truncated request
+	time.Sleep(80 * time.Millisecond)
+	// Server is still alive.
+	if _, err := c.Collect(1); err != nil {
+		t.Fatalf("server wedged by malformed datagrams: %v", err)
+	}
+}
+
+func TestClientTimeoutAgainstDeadServer(t *testing.T) {
+	srv, _ := startServer(t)
+	addr := srv.Addr().String()
+	srv.Close()
+	c, err := Dial(addr, alg, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 50 * time.Millisecond
+	c.Attempts = 2
+	if _, err := c.Collect(1); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil, nil, alg); err == nil {
+		t.Error("nil engine/prover accepted")
+	}
+	if _, err := Dial("127.0.0.1:1", mac.Algorithm(0), key); err == nil {
+		t.Error("invalid algorithm accepted")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
