@@ -20,6 +20,7 @@ import (
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/hw/imx6"
 	"erasmus/internal/hw/rtl"
+	"erasmus/internal/popsim"
 	"erasmus/internal/qoa"
 	"erasmus/internal/sim"
 	"erasmus/internal/swarm"
@@ -413,6 +414,87 @@ func BenchmarkAblationStagger(b *testing.B) {
 				s.Stop()
 			}
 			b.ReportMetric(float64(peak), "peak-busy-nodes")
+		})
+	}
+}
+
+// BenchmarkBatchVerify measures verifier-side throughput: a fixed corpus
+// of collected histories (device-unique keys, a sprinkling of infected and
+// tampered records) validated through the BatchVerifier at 1, 4 and 8
+// workers. Histories from distinct devices share no state, so the speedup
+// over workers=1 tracks available cores; the histories/s metric is the
+// verifier-scaling series BENCH_*.json trends.
+func BenchmarkBatchVerify(b *testing.B) {
+	const devices, k = 256, 8
+	alg := mac.KeyedBLAKE2s
+	jobs := make([]core.VerifyJob, 0, devices)
+	for d := 0; d < devices; d++ {
+		key := []byte(fmt.Sprintf("batch-bench-device-%04d-key", d))
+		golden := make([]byte, 256)
+		golden[0] = byte(d)
+		vrf, err := core.NewVerifier(core.VerifierConfig{
+			Alg: alg, Key: key,
+			GoldenHashes: [][]byte{mac.HashSum(alg, golden)},
+			MinGap:       sim.Minute - sim.Second,
+			MaxGap:       sim.Minute + sim.Minute/2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := uint64(1_000_000_000_000) + uint64(d)*uint64(sim.Hour)
+		recs := make([]core.Record, 0, k)
+		for j := 0; j < k; j++ {
+			mem := golden
+			if d%7 == 0 && j == 2 {
+				mem = append([]byte("infected"), golden[8:]...)
+			}
+			rec := core.ComputeRecord(alg, key, base-uint64(j)*uint64(sim.Minute), mem)
+			if d%11 == 0 && j == 5 {
+				rec.MAC[0] ^= 0x5a
+			}
+			recs = append(recs, rec)
+		}
+		jobs = append(jobs, core.VerifyJob{Verifier: vrf, Records: recs, Now: base + 1, ExpectedK: k})
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			bv := core.NewBatchVerifier(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bv.Verify(jobs)
+			}
+			b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "histories/s")
+			b.ReportMetric(float64(devices*k)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkPopulationSim measures the sharded fleet runtime end to end:
+// simulated device-seconds advanced per wall-clock second for 1k and 10k
+// prover populations with churn, a lossy network and an infection wave.
+func BenchmarkPopulationSim(b *testing.B) {
+	for _, pop := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", pop), func(b *testing.B) {
+			var res *popsim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = popsim.Run(popsim.Config{
+					Population:   pop,
+					Seed:         1,
+					QoA:          core.QoA{TM: sim.Minute, TC: 4 * sim.Minute},
+					Duration:     12 * sim.Minute,
+					IMX6Fraction: 0.25,
+					Loss:         0.01,
+					Churn:        popsim.ChurnConfig{LateJoinFraction: 0.1, RetireFraction: 0.05},
+					Wave:         popsim.WaveConfig{Coverage: 0.2, Start: 3 * sim.Minute, Spread: 2 * sim.Minute},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.DeviceSecondsPerSecond(), "device-s/s")
+			b.ReportMetric(float64(res.Stats.Measurements), "measurements")
+			b.ReportMetric(float64(res.Stats.HistoriesVerified), "histories")
 		})
 	}
 }

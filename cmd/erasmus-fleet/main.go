@@ -1,0 +1,133 @@
+// Command erasmus-fleet runs a population-scale ERASMUS scenario — a
+// sharded fleet of 10⁵-class provers with churn, an infection wave, a
+// lossy network and batched parallel verification — and prints a scaling
+// and detection report.
+//
+// Example (the acceptance scenario: 100k mixed-architecture devices):
+//
+//	erasmus-fleet -population 100000 -shards 8 -imx6 0.25 \
+//	    -tm 10m -tc 40m -duration 4h -loss 0.01 \
+//	    -join 0.1 -retire 0.05 \
+//	    -wave-coverage 0.3 -wave-start 1h -wave-spread 30m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/popsim"
+	"erasmus/internal/sim"
+)
+
+func main() {
+	var (
+		population = flag.Int("population", 100_000, "number of prover devices")
+		shards     = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "scenario seed")
+		algName    = flag.String("alg", "blake2s", "MAC algorithm: sha1, sha256, blake2s")
+		tm         = flag.Duration("tm", 10*time.Minute, "measurement period TM")
+		tc         = flag.Duration("tc", 40*time.Minute, "collection period TC")
+		duration   = flag.Duration("duration", 4*time.Hour, "simulated horizon")
+		step       = flag.Duration("step", 0, "barrier epoch (0 = TC)")
+		imx6Frac   = flag.Float64("imx6", 0.25, "fraction of i.MX6-class devices (rest MSP430)")
+		loss       = flag.Float64("loss", 0.01, "collection loss probability")
+		join       = flag.Float64("join", 0.10, "fraction of devices joining mid-run")
+		retire     = flag.Float64("retire", 0.05, "fraction of devices retiring mid-run")
+		waveCov    = flag.Float64("wave-coverage", 0.30, "fraction of devices hit by the infection wave (0 disables)")
+		waveStart  = flag.Duration("wave-start", time.Hour, "when the wave begins")
+		waveSpread = flag.Duration("wave-spread", 30*time.Minute, "window over which infections land")
+		waveDwell  = flag.Duration("wave-dwell", 0, "malware dwell time (0 = persistent)")
+		workers    = flag.Int("workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	alg, err := mac.ParseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
+		os.Exit(2)
+	}
+	cfg := popsim.Config{
+		Population:   *population,
+		Shards:       *shards,
+		Seed:         *seed,
+		Alg:          alg,
+		QoA:          core.QoA{TM: sim.Ticks(*tm), TC: sim.Ticks(*tc)},
+		Duration:     sim.Ticks(*duration),
+		Step:         sim.Ticks(*step),
+		IMX6Fraction: *imx6Frac,
+		Loss:         *loss,
+		Churn: popsim.ChurnConfig{
+			LateJoinFraction: *join,
+			RetireFraction:   *retire,
+		},
+		Wave: popsim.WaveConfig{
+			Coverage: *waveCov,
+			Start:    sim.Ticks(*waveStart),
+			Spread:   sim.Ticks(*waveSpread),
+			Dwell:    sim.Ticks(*waveDwell),
+		},
+		VerifyWorkers: *workers,
+	}
+
+	res, err := popsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
+		os.Exit(1)
+	}
+	report(res)
+}
+
+func report(res *popsim.Result) {
+	cfg, st := res.Config, res.Stats
+	k := cfg.QoA.RecordsPerCollection()
+	fmt.Println("erasmus-fleet: population-scale attestation simulation")
+	fmt.Printf("  population %d (%d MSP430 / %d i.MX6), %d shards, seed %d, %s\n",
+		st.Devices, st.MSP430Devices, st.IMX6Devices, len(res.Shards), cfg.Seed, cfg.Alg)
+	fmt.Printf("  QoA TM=%v TC=%v (k=%d), horizon %v, barrier step %v\n",
+		cfg.QoA.TM, cfg.QoA.TC, k, cfg.Duration, cfg.Step)
+	fmt.Printf("  churn: %d late joiners, %d retirements; network loss %.1f%%\n",
+		st.LateJoiners, st.Retirements, 100*cfg.Loss)
+	if cfg.Wave.Coverage > 0 {
+		dwell := "persistent"
+		if cfg.Wave.Dwell > 0 {
+			dwell = fmt.Sprintf("dwell %v", cfg.Wave.Dwell)
+		}
+		fmt.Printf("  wave: %.0f%% coverage starting %v over %v (%s)\n",
+			100*cfg.Wave.Coverage, cfg.Wave.Start, cfg.Wave.Spread, dwell)
+	}
+
+	fmt.Println("\nper-shard throughput:")
+	fmt.Println("  shard   devices      events        wall    events/s")
+	for _, sr := range res.Shards {
+		evps := 0.0
+		if sr.Wall > 0 {
+			evps = float64(sr.EventsFired) / sr.Wall.Seconds()
+		}
+		fmt.Printf("  %5d  %8d  %10d  %10v  %10.0f\n",
+			sr.Shard, sr.Devices, sr.EventsFired, sr.Wall.Round(time.Millisecond), evps)
+	}
+
+	fmt.Println("\naggregate:")
+	fmt.Printf("  measurements %d (aborted %d, missed %d)\n", st.Measurements, st.Aborted, st.Missed)
+	fmt.Printf("  collections %d: %d verified, %d lost (%.2f%%), %d empty\n",
+		st.Collections, st.HistoriesVerified, st.LostCollections, 100*st.LossRate(), st.EmptyCollections)
+	fmt.Printf("  records verified %d in %d batches via %d workers (%v)\n",
+		st.RecordsVerified, res.Batches, cfg.VerifyWorkers, res.VerifyWall.Round(time.Millisecond))
+	fmt.Printf("  freshness mean %v (§3.1 predicts TM/2 = %v)\n",
+		st.MeanFreshness(), cfg.QoA.TM/2)
+	fmt.Printf("  tamper reports %d, schedule-gap findings %d\n", st.TamperReports, st.GapReports)
+	if st.InfectionsSeeded > 0 {
+		fmt.Printf("  infections: %d seeded, %d detected (%.1f%%), %d infected reports\n",
+			st.InfectionsSeeded, st.InfectionsDetected, 100*st.DetectionRate(), st.InfectedReports)
+		fmt.Printf("  detection latency mean %v, max %v (bound TM+TC = %v); first at %v\n",
+			st.MeanDetectionLatency(), st.DetectionLatencyMax,
+			cfg.QoA.MaxDetectionDelay(), st.FirstDetectionAt)
+	}
+	fmt.Printf("\nwall: build %v, run %v (verify %v) — %.0f simulated device-seconds/s\n",
+		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond),
+		res.VerifyWall.Round(time.Millisecond), res.DeviceSecondsPerSecond())
+}

@@ -36,6 +36,7 @@ import (
 	"erasmus/internal/hw/imx6"
 	"erasmus/internal/hw/mcu"
 	"erasmus/internal/netsim"
+	"erasmus/internal/popsim"
 	"erasmus/internal/qoa"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
@@ -131,6 +132,20 @@ func NewProver(dev Device, cfg ProverConfig) (*Prover, error) { return core.NewP
 
 // NewVerifier builds a verifier.
 func NewVerifier(cfg VerifierConfig) (*Verifier, error) { return core.NewVerifier(cfg) }
+
+// Batched verification: validating many collected histories concurrently.
+type (
+	// BatchVerifier fans history validation out over a worker pool;
+	// results are verdict-for-verdict identical to sequential
+	// VerifyHistory calls.
+	BatchVerifier = core.BatchVerifier
+	// VerifyJob is one history (with its device's verifier) in a batch.
+	VerifyJob = core.VerifyJob
+)
+
+// NewBatchVerifier builds a batch verifier with the given worker count
+// (≤ 0 selects GOMAXPROCS).
+func NewBatchVerifier(workers int) *BatchVerifier { return core.NewBatchVerifier(workers) }
 
 // NewRegularSchedule measures every tm (phase 0).
 func NewRegularSchedule(tm Ticks) (Schedule, error) {
@@ -267,6 +282,27 @@ const (
 func NewFleetManager(e *Engine, n *Network, addr string, clock func() uint64) (*FleetManager, error) {
 	return fleet.NewManager(e, n, addr, clock)
 }
+
+// Population-scale simulation: a sharded fleet of 10⁵-class provers with
+// churn, infection waves and batched parallel verification.
+type (
+	// PopulationConfig parameterizes a popsim run.
+	PopulationConfig = popsim.Config
+	// PopulationResult aggregates one run.
+	PopulationResult = popsim.Result
+	// PopulationStats is the streaming aggregate over the population.
+	PopulationStats = popsim.Stats
+	// PopulationShardReport is one shard's throughput contribution.
+	PopulationShardReport = popsim.ShardReport
+	// ChurnConfig models devices joining and retiring mid-run.
+	ChurnConfig = popsim.ChurnConfig
+	// WaveConfig models an infection wave sweeping the population.
+	WaveConfig = popsim.WaveConfig
+)
+
+// RunPopulation executes a population-scale scenario across engine shards;
+// the same seed yields identical aggregate statistics for any shard count.
+func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) { return popsim.Run(cfg) }
 
 // DefaultEpoch is the RROC value at simulation time zero for both device
 // models (the paper's Fig. 3 timestamp), in nanoseconds; verifier clocks

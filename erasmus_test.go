@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"erasmus"
+	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
 )
 
@@ -232,5 +233,50 @@ func TestPublicAPIMeasurementTime(t *testing.T) {
 	}
 	if len(erasmus.Algorithms()) != 3 {
 		t.Fatal("algorithm list wrong")
+	}
+}
+
+// Population scale and batched verification through the public API only.
+func TestPublicAPIPopulation(t *testing.T) {
+	res, err := erasmus.RunPopulation(erasmus.PopulationConfig{
+		Population: 120,
+		Shards:     3,
+		Seed:       3,
+		QoA:        erasmus.QoA{TM: erasmus.Minute, TC: 4 * erasmus.Minute},
+		Duration:   16 * erasmus.Minute,
+		Wave:       erasmus.WaveConfig{Coverage: 0.5, Start: 5 * erasmus.Minute, Spread: 2 * erasmus.Minute},
+		Churn:      erasmus.ChurnConfig{LateJoinFraction: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Devices != 120 || res.Stats.InfectionsDetected == 0 {
+		t.Fatalf("population run went wrong: %+v", res.Stats)
+	}
+}
+
+func TestPublicAPIBatchVerifier(t *testing.T) {
+	alg := erasmus.KeyedBLAKE2s
+	key := []byte("public-batch-key")
+	golden := []byte("golden memory image")
+	vrf, err := erasmus.NewVerifier(erasmus.VerifierConfig{
+		Alg: alg, Key: key, GoldenHashes: [][]byte{mac.HashSum(alg, golden)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []erasmus.VerifyJob
+	for i := 0; i < 8; i++ {
+		rec := core.ComputeRecord(alg, key, 1000+uint64(i), golden)
+		jobs = append(jobs, erasmus.VerifyJob{Verifier: vrf, Records: []erasmus.Record{rec}, Now: 2000})
+	}
+	reports := erasmus.NewBatchVerifier(4).Verify(jobs)
+	if len(reports) != len(jobs) {
+		t.Fatalf("got %d reports for %d jobs", len(reports), len(jobs))
+	}
+	for i, rep := range reports {
+		if !rep.Healthy() {
+			t.Errorf("job %d: healthy history judged unhealthy: %+v", i, rep.Issues)
+		}
 	}
 }

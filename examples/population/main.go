@@ -1,0 +1,76 @@
+// Population: attestation at fleet scale.
+//
+// Ten thousand unattended devices — a mixed MSP430/i.MX6 fleet — self-
+// measure every ten minutes while a verifier collects each history every
+// forty minutes over a 2%-lossy network. A tenth of the fleet comes online
+// mid-run and a twentieth is decommissioned. Two hours in, a worm sweeps a
+// quarter of the population, dwelling only fifteen minutes on each device
+// before covering its tracks — the classic on-demand-evading mobile
+// malware of Fig. 1. Because every visit longer than TM is measured into
+// the rolling buffer, the wave is detected anyway, and the report
+// quantifies the end-to-end detection latency against the §3.1 bound
+// TM + TC.
+//
+// The population is partitioned across engine shards (one goroutine each,
+// barrier-synchronized virtual time) and histories are validated through
+// the batched parallel verifier; the same seed yields identical aggregate
+// statistics for any shard count.
+//
+// Run with:
+//
+//	go run ./examples/population
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"erasmus"
+)
+
+func main() {
+	cfg := erasmus.PopulationConfig{
+		Population:   10_000,
+		Seed:         2018, // DATE 2018
+		QoA:          erasmus.QoA{TM: 10 * erasmus.Minute, TC: 40 * erasmus.Minute},
+		Duration:     6 * erasmus.Hour,
+		IMX6Fraction: 0.25,
+		Loss:         0.02,
+		Churn: erasmus.ChurnConfig{
+			LateJoinFraction: 0.10,
+			RetireFraction:   0.05,
+		},
+		Wave: erasmus.WaveConfig{
+			Coverage: 0.25,
+			Start:    2 * erasmus.Hour,
+			Spread:   30 * erasmus.Minute,
+			Dwell:    15 * erasmus.Minute, // leaves before any collector calls
+		},
+	}
+	res, err := erasmus.RunPopulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := res.Stats
+	fmt.Printf("fleet: %d devices (%d MSP430, %d i.MX6) across %d shards\n",
+		st.Devices, st.MSP430Devices, st.IMX6Devices, len(res.Shards))
+	fmt.Printf("churn: %d joined late, %d retired\n", st.LateJoiners, st.Retirements)
+	fmt.Printf("activity: %d self-measurements, %d collections (%.1f%% lost)\n",
+		st.Measurements, st.Collections, 100*st.LossRate())
+	fmt.Printf("freshness: mean %v — §3.1 predicts TM/2 = %v\n",
+		st.MeanFreshness(), cfg.QoA.TM/2)
+	fmt.Printf("wave: %d devices hit for %v each; %d detected (%.1f%%)\n",
+		st.InfectionsSeeded, cfg.Wave.Dwell, st.InfectionsDetected, 100*st.DetectionRate())
+	fmt.Printf("detection latency: mean %v, max %v (bound TM+TC = %v)\n",
+		st.MeanDetectionLatency(), st.DetectionLatencyMax, cfg.QoA.MaxDetectionDelay())
+	fmt.Printf("throughput: %.0f simulated device-seconds per wall second\n",
+		res.DeviceSecondsPerSecond())
+
+	// An on-demand verifier polling every TC would have seen nothing: the
+	// malware is resident for 15 minutes, the poll comes every 40.
+	if st.InfectionsDetected > 0 && cfg.Wave.Dwell < cfg.QoA.TC {
+		fmt.Println("note: every detected visit was shorter than the collection" +
+			" period — on-demand attestation at the same network cost misses all of them")
+	}
+}

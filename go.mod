@@ -1,0 +1,3 @@
+module erasmus
+
+go 1.22

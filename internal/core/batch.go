@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyJob is one history awaiting validation. Each job carries its own
+// Verifier because ERASMUS keys are device-unique: a fleet-scale batch
+// mixes histories from many devices, each validated under its own K and
+// whitelist. The same Verifier may appear in any number of jobs.
+type VerifyJob struct {
+	// Verifier validates this history. Required.
+	Verifier *Verifier
+	// Records is the collected history, newest first.
+	Records []Record
+	// Now is the verifier-side RROC reading at collection time.
+	Now uint64
+	// ExpectedK is the schedule-required history length (0 skips the
+	// length check, e.g. during device warm-up).
+	ExpectedK int
+	// Tag is an opaque caller context (device id, collection time, …)
+	// carried through untouched; the batch verifier never inspects it.
+	Tag any
+}
+
+// BatchVerifier validates many collected histories concurrently. The
+// verifier side of ERASMUS is embarrassingly parallel — histories from
+// distinct devices share no state — so throughput scales with cores;
+// per-record MAC recomputation is amortized by each Verifier's golden-hash
+// set and optional MAC cache, both safe under concurrent workers.
+type BatchVerifier struct {
+	workers int
+}
+
+// NewBatchVerifier builds a batch verifier fanning work out to the given
+// number of workers; workers ≤ 0 selects GOMAXPROCS.
+func NewBatchVerifier(workers int) *BatchVerifier {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &BatchVerifier{workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (b *BatchVerifier) Workers() int { return b.workers }
+
+// Verify validates every job and returns the reports in job order. The
+// result is verdict-for-verdict identical to calling
+// job.Verifier.VerifyHistory(job.Records, job.Now, job.ExpectedK)
+// sequentially — batching changes throughput, never outcomes.
+func (b *BatchVerifier) Verify(jobs []VerifyJob) []Report {
+	out := make([]Report, len(jobs))
+	w := b.workers
+	if w > len(jobs) {
+		w = len(jobs)
+	}
+	if w <= 1 {
+		for i, j := range jobs {
+			out[i] = j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+		}
+		return out
+	}
+	// Workers pull job indices from a shared atomic cursor: cheap dynamic
+	// load balancing (history lengths vary with churn and warm-up) without
+	// channel traffic per job.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				out[i] = j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// VerifyHistories validates many histories collected from devices sharing
+// this verifier's provisioning (key, whitelist, schedule bounds) — the §6
+// swarm case — across the given number of workers. Reports are returned in
+// history order and match sequential VerifyHistory exactly.
+func (v *Verifier) VerifyHistories(histories [][]Record, now uint64, expectedK, workers int) ([]Report, error) {
+	if v == nil {
+		return nil, errors.New("core: nil verifier")
+	}
+	jobs := make([]VerifyJob, len(histories))
+	for i, h := range histories {
+		jobs[i] = VerifyJob{Verifier: v, Records: h, Now: now, ExpectedK: expectedK}
+	}
+	return NewBatchVerifier(workers).Verify(jobs), nil
+}

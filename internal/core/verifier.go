@@ -1,9 +1,9 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/sim"
@@ -122,13 +122,27 @@ type VerifierConfig struct {
 	// FreshnessBound is the largest acceptable age of the newest record
 	// at collection time; zero disables the check.
 	FreshnessBound sim.Ticks
+	// MACCacheSize, when positive, remembers up to that many records whose
+	// MACs already verified, so histories that overlap across collections
+	// (k > new records per TC, or repeated batch validation) skip the MAC
+	// recomputation. Only successful verifications are cached — the cache
+	// key is the full record content, so a forged record can never hit.
+	MACCacheSize int
 }
 
 // Verifier validates collected measurement histories. Verifiers can be
 // untrusted couriers in ERASMUS — records are self-authenticating — but
 // this Verifier is the party holding K that performs final validation.
+//
+// A Verifier is safe for concurrent use: all configuration is immutable
+// after NewVerifier and the optional MAC cache is internally synchronized,
+// so a BatchVerifier may fan the same instance out across workers.
 type Verifier struct {
-	cfg VerifierConfig
+	cfg    VerifierConfig
+	golden map[string]struct{} // whitelist as a set: O(1) per record
+
+	cacheMu  sync.Mutex
+	macCache map[string]struct{}
 }
 
 // NewVerifier validates the configuration.
@@ -142,17 +156,58 @@ func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
 	if cfg.MinGap < 0 || cfg.MaxGap < 0 || (cfg.MaxGap > 0 && cfg.MaxGap < cfg.MinGap) {
 		return nil, fmt.Errorf("core: gap bounds [%v,%v] invalid", cfg.MinGap, cfg.MaxGap)
 	}
-	return &Verifier{cfg: cfg}, nil
+	if cfg.MACCacheSize < 0 {
+		return nil, fmt.Errorf("core: negative MAC cache size %d", cfg.MACCacheSize)
+	}
+	v := &Verifier{cfg: cfg, golden: make(map[string]struct{}, len(cfg.GoldenHashes))}
+	for _, g := range cfg.GoldenHashes {
+		v.golden[string(g)] = struct{}{}
+	}
+	if cfg.MACCacheSize > 0 {
+		v.macCache = make(map[string]struct{}, cfg.MACCacheSize)
+	}
+	return v, nil
 }
 
-// golden reports whether h digests a whitelisted memory state.
-func (v *Verifier) golden(h []byte) bool {
-	for _, g := range v.cfg.GoldenHashes {
-		if bytes.Equal(g, h) {
-			return true
-		}
+// isGolden reports whether h digests a whitelisted memory state.
+func (v *Verifier) isGolden(h []byte) bool {
+	_, ok := v.golden[string(h)]
+	return ok
+}
+
+// verifyMAC authenticates one record, consulting the cache when enabled.
+func (v *Verifier) verifyMAC(rec Record) bool {
+	if v.macCache == nil {
+		return rec.VerifyMAC(v.cfg.Alg, v.cfg.Key)
 	}
-	return false
+	key := cacheKey(rec)
+	v.cacheMu.Lock()
+	_, hit := v.macCache[key]
+	v.cacheMu.Unlock()
+	if hit {
+		return true
+	}
+	if !rec.VerifyMAC(v.cfg.Alg, v.cfg.Key) {
+		return false
+	}
+	v.cacheMu.Lock()
+	if len(v.macCache) >= v.cfg.MACCacheSize {
+		clear(v.macCache) // cheap bound; the working set refills immediately
+	}
+	v.macCache[key] = struct{}{}
+	v.cacheMu.Unlock()
+	return true
+}
+
+// cacheKey serializes the complete record so any bit flip misses.
+func cacheKey(rec Record) string {
+	b := make([]byte, 0, 8+len(rec.Hash)+len(rec.MAC))
+	b = append(b,
+		byte(rec.T>>56), byte(rec.T>>48), byte(rec.T>>40), byte(rec.T>>32),
+		byte(rec.T>>24), byte(rec.T>>16), byte(rec.T>>8), byte(rec.T))
+	b = append(b, rec.Hash...)
+	b = append(b, rec.MAC...)
+	return string(b)
 }
 
 // VerifyHistory validates records collected at RROC time now, expecting
@@ -172,11 +227,11 @@ func (v *Verifier) VerifyHistory(recs []Record, now uint64, expectedK int) Repor
 	for idx, rec := range recs {
 		vr := VerifiedRecord{Record: rec}
 		switch {
-		case !rec.VerifyMAC(v.cfg.Alg, v.cfg.Key):
+		case !v.verifyMAC(rec):
 			vr.Verdict = VerdictBadMAC
 			rep.TamperDetected = true
 			rep.Issues = append(rep.Issues, fmt.Sprintf("record %d: MAC verification failed", idx))
-		case !v.golden(rec.Hash):
+		case !v.isGolden(rec.Hash):
 			vr.Verdict = VerdictInfected
 			rep.InfectionDetected = true
 			rep.Issues = append(rep.Issues,
@@ -233,11 +288,11 @@ func (v *Verifier) VerifyODResponse(m0 Record, history []Record, now uint64, exp
 	rep := v.VerifyHistory(history, now, expectedK)
 	vr := VerifiedRecord{Record: m0}
 	switch {
-	case !m0.VerifyMAC(v.cfg.Alg, v.cfg.Key):
+	case !v.verifyMAC(m0):
 		vr.Verdict = VerdictBadMAC
 		rep.TamperDetected = true
 		rep.Issues = append(rep.Issues, "M0: MAC verification failed")
-	case !v.golden(m0.Hash):
+	case !v.isGolden(m0.Hash):
 		vr.Verdict = VerdictInfected
 		rep.InfectionDetected = true
 		rep.Issues = append(rep.Issues, "M0: authentic but unknown memory state")

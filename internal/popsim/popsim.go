@@ -1,0 +1,367 @@
+// Package popsim scales ERASMUS to verifier-side population sizes the
+// single-engine harnesses cannot touch: 10⁵–10⁶ unattended provers under
+// one logical verifier (the §6 swarm setting taken to fleet scale).
+//
+// The design exploits the property the paper engineers for — provers are
+// temporally decoupled from the verifier and from each other — so the
+// population is partitioned across N independent sim.Engine shards, each
+// advanced in its own goroutine. A coordinator drives all shards through
+// the same sequence of virtual-time epochs with a barrier at every epoch
+// boundary; at each barrier the histories collected during the epoch are
+// validated through a core.BatchVerifier worker pool. Wall-clock therefore
+// scales with cores while virtual time stays globally coherent.
+//
+// Scenarios are generated per device from (seed, device id) alone — never
+// from the shard — so the same seed yields bit-identical aggregate Stats
+// for any shard count: sharding is a performance knob, not a semantic one.
+package popsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// implant is the byte pattern wave malware writes into attested memory.
+var implant = []byte("\xde\xad\xbe\xef popsim wave implant \xde\xad\xbe\xef")
+
+// ChurnConfig models fleet membership change: a fraction of the
+// population comes online only part-way through the run, and another
+// fraction is decommissioned before the horizon.
+type ChurnConfig struct {
+	// LateJoinFraction of devices join at a uniform time in (0, JoinWindow].
+	LateJoinFraction float64
+	// JoinWindow bounds late-join times; default Duration/2.
+	JoinWindow sim.Ticks
+	// RetireFraction of devices retire at a uniform time in
+	// [RetireAfter, Duration).
+	RetireFraction float64
+	// RetireAfter is the earliest retirement; default Duration/2.
+	RetireAfter sim.Ticks
+}
+
+// WaveConfig models an infection wave sweeping the population: each
+// covered device is compromised at a uniform time in [Start, Start+Spread).
+type WaveConfig struct {
+	// Coverage is the fraction of devices the wave reaches; 0 disables it.
+	Coverage float64
+	// Start is when the wave begins; default Duration/4.
+	Start sim.Ticks
+	// Spread is the window over which infections land; default TM.
+	Spread sim.Ticks
+	// Dwell is how long the malware stays before covering its tracks;
+	// 0 means persistent until remediated on detection. ERASMUS's pitch is
+	// that even Dwell > 0 visits leave collectible evidence behind.
+	Dwell sim.Ticks
+}
+
+// Config parameterizes a population run.
+type Config struct {
+	// Population is the number of prover devices. Required.
+	Population int
+	// Shards partitions the population across independent engines;
+	// default GOMAXPROCS, capped at Population.
+	Shards int
+	// Seed drives every per-device random draw.
+	Seed int64
+	// Alg is the measurement MAC (default keyed BLAKE2s).
+	Alg mac.Algorithm
+	// QoA sets TM/TC for every device (default TM=10m, TC=4×TM).
+	QoA core.QoA
+	// Slots is the per-device buffer size (default minimum + 2).
+	Slots int
+	// Duration is the simulated horizon (default 6×TC).
+	Duration sim.Ticks
+	// Step is the barrier epoch length; queued histories are batch-
+	// verified at each boundary (default TC, clamped to Duration).
+	Step sim.Ticks
+	// IMX6Fraction of devices are i.MX6-class (HYDRA); the rest are
+	// MSP430-class (SMART+).
+	IMX6Fraction float64
+	// MSP430Memory / IMX6Memory are the attested image sizes in bytes
+	// (defaults 256 and 1024 — small enough that a million devices fit in
+	// host memory while all cryptography stays real).
+	MSP430Memory, IMX6Memory int
+	// Loss is the probability a collection response is lost in [0, 1).
+	Loss float64
+	// Churn and Wave configure the scenario generators.
+	Churn ChurnConfig
+	Wave  WaveConfig
+	// VerifyWorkers sizes the batch-verification pool (default GOMAXPROCS).
+	VerifyWorkers int
+	// MACCacheSize enables each device verifier's MAC cache (0 disables;
+	// useful when k exceeds the records produced per TC).
+	MACCacheSize int
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Population <= 0 {
+		return errors.New("popsim: Population must be positive")
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > c.Population {
+		c.Shards = c.Population
+	}
+	if !c.Alg.Valid() {
+		c.Alg = mac.KeyedBLAKE2s
+	}
+	if c.QoA.TM <= 0 {
+		c.QoA.TM = 10 * sim.Minute
+	}
+	if c.QoA.TC <= 0 {
+		c.QoA.TC = 4 * c.QoA.TM
+	}
+	if err := c.QoA.Validate(); err != nil {
+		return err
+	}
+	if c.Slots <= 0 {
+		c.Slots = c.QoA.MinBufferSlots() + 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = 6 * c.QoA.TC
+	}
+	if c.Duration < c.QoA.TC {
+		return fmt.Errorf("popsim: duration %v shorter than one collection period %v", c.Duration, c.QoA.TC)
+	}
+	if c.Step <= 0 {
+		c.Step = c.QoA.TC
+	}
+	if c.Step > c.Duration {
+		c.Step = c.Duration
+	}
+	if c.MSP430Memory <= 0 {
+		c.MSP430Memory = 256
+	}
+	if c.IMX6Memory <= 0 {
+		c.IMX6Memory = 1024
+	}
+	if min := len(implant); c.MSP430Memory < min || c.IMX6Memory < min {
+		return fmt.Errorf("popsim: attested memory must hold at least %d bytes", min)
+	}
+	if c.IMX6Fraction < 0 || c.IMX6Fraction > 1 {
+		return fmt.Errorf("popsim: IMX6Fraction %v outside [0,1]", c.IMX6Fraction)
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("popsim: Loss %v outside [0,1)", c.Loss)
+	}
+	if f := c.Churn.LateJoinFraction; f < 0 || f > 1 {
+		return fmt.Errorf("popsim: LateJoinFraction %v outside [0,1]", f)
+	}
+	if f := c.Churn.RetireFraction; f < 0 || f > 1 {
+		return fmt.Errorf("popsim: RetireFraction %v outside [0,1]", f)
+	}
+	if c.Churn.JoinWindow <= 0 {
+		c.Churn.JoinWindow = c.Duration / 2
+	}
+	if c.Churn.JoinWindow > c.Duration {
+		return fmt.Errorf("popsim: JoinWindow %v beyond the horizon %v", c.Churn.JoinWindow, c.Duration)
+	}
+	if c.Churn.RetireAfter <= 0 {
+		c.Churn.RetireAfter = c.Duration / 2
+	}
+	if c.Churn.RetireFraction > 0 && c.Churn.RetireAfter >= c.Duration {
+		return fmt.Errorf("popsim: RetireAfter %v not before the horizon %v", c.Churn.RetireAfter, c.Duration)
+	}
+	if f := c.Wave.Coverage; f < 0 || f > 1 {
+		return fmt.Errorf("popsim: wave Coverage %v outside [0,1]", f)
+	}
+	if c.Wave.Coverage > 0 {
+		if c.Wave.Start <= 0 {
+			c.Wave.Start = c.Duration / 4
+		}
+		if c.Wave.Spread <= 0 {
+			c.Wave.Spread = c.QoA.TM
+		}
+	}
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// devicePlan is one device's pre-drawn timeline: everything random about
+// the device, derived from (seed, id) only.
+type devicePlan struct {
+	id     int
+	imx6   bool
+	mphase sim.Ticks // measurement phase in [0, TM)
+	cphase sim.Ticks // collection phase in [0, TC)
+	join   sim.Ticks // 0 for the initial population
+	retire sim.Ticks // sim.MaxTicks when the device never retires
+	infect sim.Ticks // -1 when the wave misses this device
+	dwell  sim.Ticks
+}
+
+// planDevice draws one device's plan. The draw sequence is fixed, so a
+// given (seed, id, config) always yields the same plan.
+func planDevice(cfg *Config, id int) devicePlan {
+	r := deviceRNG(cfg.Seed, id, streamPlan)
+	p := devicePlan{id: id, retire: sim.MaxTicks, infect: -1}
+	p.imx6 = r.float64() < cfg.IMX6Fraction
+	p.mphase = r.ticksn(cfg.QoA.TM)
+	p.cphase = r.ticksn(cfg.QoA.TC)
+	if r.float64() < cfg.Churn.LateJoinFraction {
+		p.join = 1 + r.ticksn(cfg.Churn.JoinWindow)
+	}
+	if r.float64() < cfg.Churn.RetireFraction {
+		window := cfg.Duration - cfg.Churn.RetireAfter
+		p.retire = cfg.Churn.RetireAfter + r.ticksn(window)
+		if p.retire <= p.join {
+			// Joined inside its own retirement window: keep it alive.
+			p.retire = sim.MaxTicks
+		}
+	}
+	if cfg.Wave.Coverage > 0 && r.float64() < cfg.Wave.Coverage {
+		at := cfg.Wave.Start + r.ticksn(cfg.Wave.Spread)
+		// The wave only compromises devices that are online when it hits.
+		if at >= p.join && at < p.retire && at < cfg.Duration {
+			p.infect = at
+			p.dwell = cfg.Wave.Dwell
+		}
+	}
+	return p
+}
+
+// ShardReport is one shard's contribution to a run, for throughput
+// accounting.
+type ShardReport struct {
+	Shard       int
+	Devices     int
+	EventsFired uint64
+	// Wall is time spent advancing this shard's engine (excludes the
+	// barrier waits and batch verification).
+	Wall time.Duration
+}
+
+// Result aggregates one population run.
+type Result struct {
+	Config Config
+	Stats  Stats
+	Shards []ShardReport
+	// Batches is how many barrier flushes went through the batch verifier.
+	Batches int
+	// BuildWall, RunWall and VerifyWall split the real time spent
+	// constructing the population, advancing engines, and batch-verifying.
+	BuildWall, RunWall, VerifyWall time.Duration
+}
+
+// DeviceSecondsPerSecond is the headline throughput metric: simulated
+// device-seconds advanced per wall-clock second of engine time.
+func (r Result) DeviceSecondsPerSecond() float64 {
+	wall := r.RunWall.Seconds()
+	if wall <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Devices) * r.Config.Duration.Seconds() / wall
+}
+
+// Run executes the population scenario.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg}
+
+	// Partition devices round-robin: shard assignment is presentation
+	// only — every per-device draw keys off the device id.
+	shards := make([]*shard, cfg.Shards)
+	for i := range shards {
+		shards[i] = newShard(i, &cfg)
+	}
+	for id := 0; id < cfg.Population; id++ {
+		sh := shards[id%cfg.Shards]
+		sh.plans = append(sh.plans, planDevice(&cfg, id))
+	}
+
+	// Build each shard's devices in parallel.
+	start := time.Now()
+	errc := make(chan error, len(shards))
+	for _, sh := range shards {
+		go func(sh *shard) { errc <- sh.build() }(sh)
+	}
+	for range shards {
+		if err := <-errc; err != nil {
+			return nil, err
+		}
+	}
+	res.BuildWall = time.Since(start)
+
+	// Advance all shards epoch by epoch with a barrier at each boundary,
+	// batch-verifying the histories queued during the epoch.
+	for _, sh := range shards {
+		go sh.run()
+	}
+	bv := core.NewBatchVerifier(cfg.VerifyWorkers)
+	runStart := time.Now()
+	for t := cfg.Step; ; t += cfg.Step {
+		if t > cfg.Duration {
+			t = cfg.Duration
+		}
+		for _, sh := range shards {
+			sh.cmd <- t
+		}
+		for _, sh := range shards {
+			<-sh.done
+		}
+		vStart := time.Now()
+		flushVerify(shards, bv, res)
+		res.VerifyWall += time.Since(vStart)
+		if t == cfg.Duration {
+			break
+		}
+	}
+	for _, sh := range shards {
+		close(sh.cmd)
+	}
+	res.RunWall = time.Since(runStart)
+
+	// Fold prover runtime counters and merge shard aggregates in shard
+	// order (the order is cosmetic: every fold commutes).
+	res.Stats = newStats()
+	for _, sh := range shards {
+		sh.finish()
+		res.Stats.merge(&sh.stats)
+		res.Shards = append(res.Shards, ShardReport{
+			Shard:       sh.id,
+			Devices:     len(sh.devices),
+			EventsFired: sh.engine.Fired(),
+			Wall:        sh.wall,
+		})
+	}
+	return res, nil
+}
+
+// flushVerify drains every shard's pending histories through the batch
+// verifier and folds the reports back into the owning shard's aggregates.
+func flushVerify(shards []*shard, bv *core.BatchVerifier, res *Result) {
+	var jobs []core.VerifyJob
+	for _, sh := range shards {
+		for i := range sh.queue {
+			q := &sh.queue[i]
+			jobs = append(jobs, core.VerifyJob{
+				Verifier: q.dev.vrf, Records: q.recs,
+				Now: q.rroc, ExpectedK: q.expectedK,
+			})
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	reports := bv.Verify(jobs)
+	res.Batches++
+	idx := 0
+	for _, sh := range shards {
+		for i := range sh.queue {
+			sh.fold(&sh.queue[i], &reports[idx])
+			idx++
+		}
+		sh.queue = sh.queue[:0]
+	}
+}

@@ -1,0 +1,200 @@
+package popsim
+
+import (
+	"testing"
+
+	"erasmus/internal/core"
+	"erasmus/internal/sim"
+)
+
+// testConfig is a small but fully-featured scenario: mixed architectures,
+// churn in both directions, a lossy network and a persistent wave.
+func testConfig(population, shards int) Config {
+	return Config{
+		Population:   population,
+		Shards:       shards,
+		Seed:         7,
+		QoA:          core.QoA{TM: sim.Minute, TC: 4 * sim.Minute},
+		Duration:     24 * sim.Minute,
+		IMX6Fraction: 0.3,
+		Loss:         0.05,
+		Churn: ChurnConfig{
+			LateJoinFraction: 0.2,
+			RetireFraction:   0.15,
+		},
+		Wave: WaveConfig{
+			Coverage: 0.3,
+			Start:    6 * sim.Minute,
+			Spread:   5 * sim.Minute,
+		},
+		VerifyWorkers: 2,
+	}
+}
+
+// TestShardCountInvariance is the subsystem's core guarantee: the same
+// seed yields bit-identical aggregate statistics no matter how the
+// population is sharded.
+func TestShardCountInvariance(t *testing.T) {
+	base, err := Run(testConfig(240, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 4, 7} {
+		res, err := Run(testConfig(240, shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats != base.Stats {
+			t.Errorf("shards=%d: aggregate stats diverge from shards=1\n got: %+v\nwant: %+v",
+				shards, res.Stats, base.Stats)
+		}
+		if len(res.Shards) != shards {
+			t.Errorf("shards=%d: got %d shard reports", shards, len(res.Shards))
+		}
+	}
+}
+
+// TestDeterminism: same config, same seed, repeated runs agree; a
+// different seed produces a different population timeline.
+func TestDeterminism(t *testing.T) {
+	a, err := Run(testConfig(120, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(120, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatal("repeated runs with identical config diverge")
+	}
+	cfg := testConfig(120, 3)
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats == a.Stats {
+		t.Fatal("different seeds produced identical statistics (suspicious)")
+	}
+}
+
+// TestPersistentWaveDetection: with a lossless network, every persistent
+// infection is caught, and never faster than physics allows nor later than
+// the §3.1 bound (TM to next measurement + TC to next collection) plus the
+// warm-up/churn slack of one extra collection period.
+func TestPersistentWaveDetection(t *testing.T) {
+	cfg := testConfig(150, 4)
+	cfg.Loss = 0
+	cfg.Churn = ChurnConfig{} // every device online for the whole run
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.InfectionsSeeded == 0 {
+		t.Fatal("wave seeded no infections")
+	}
+	if st.InfectionsDetected != st.InfectionsSeeded {
+		t.Fatalf("detected %d of %d persistent infections", st.InfectionsDetected, st.InfectionsSeeded)
+	}
+	bound := cfg.QoA.MaxDetectionDelay() + cfg.QoA.TC
+	if st.DetectionLatencyMax > bound {
+		t.Errorf("max detection latency %v exceeds bound %v", st.DetectionLatencyMax, bound)
+	}
+	if st.FirstDetectionAt < cfg.Wave.Start {
+		t.Errorf("first detection %v precedes the wave start %v", st.FirstDetectionAt, cfg.Wave.Start)
+	}
+}
+
+// TestTransientWaveLeavesEvidence: malware that dwells longer than TM is
+// always measured, and the record it leaves behind is collected and
+// detected even though the malware has covered its tracks by then.
+func TestTransientWaveLeavesEvidence(t *testing.T) {
+	cfg := testConfig(120, 3)
+	cfg.Loss = 0
+	cfg.Churn = ChurnConfig{}
+	cfg.Wave.Dwell = cfg.QoA.TM + cfg.QoA.TM/2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.InfectionsSeeded == 0 {
+		t.Fatal("wave seeded no infections")
+	}
+	if st.InfectionsDetected != st.InfectionsSeeded {
+		t.Fatalf("transient malware with dwell > TM must always be caught: %d of %d",
+			st.InfectionsDetected, st.InfectionsSeeded)
+	}
+}
+
+// TestAccounting sanity-checks the aggregate bookkeeping on a churny run.
+func TestAccounting(t *testing.T) {
+	cfg := testConfig(200, 3)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Devices != cfg.Population {
+		t.Errorf("Devices = %d, want %d", st.Devices, cfg.Population)
+	}
+	if st.MSP430Devices+st.IMX6Devices != cfg.Population {
+		t.Errorf("arch mix %d+%d does not cover the population", st.MSP430Devices, st.IMX6Devices)
+	}
+	if st.MSP430Devices == 0 || st.IMX6Devices == 0 {
+		t.Errorf("expected a heterogeneous mix, got %d MSP430 / %d i.MX6",
+			st.MSP430Devices, st.IMX6Devices)
+	}
+	if st.LateJoiners == 0 || st.Retirements == 0 {
+		t.Errorf("churn produced no membership change: %d joiners, %d retirements",
+			st.LateJoiners, st.Retirements)
+	}
+	if st.Measurements == 0 || st.Collections == 0 || st.HistoriesVerified == 0 {
+		t.Errorf("population did not run: %+v", st)
+	}
+	if st.LostCollections == 0 {
+		t.Error("5% loss produced no lost collections")
+	}
+	if got := st.HistoriesVerified + st.LostCollections + st.EmptyCollections; got != st.Collections {
+		t.Errorf("collections %d != verified %d + lost %d + empty %d",
+			st.Collections, st.HistoriesVerified, st.LostCollections, st.EmptyCollections)
+	}
+	// Mean freshness should sit near the §3.1 prediction of TM/2.
+	mean := st.MeanFreshness()
+	if mean < cfg.QoA.TM/4 || mean > 3*cfg.QoA.TM/4 {
+		t.Errorf("mean freshness %v far from TM/2 = %v", mean, cfg.QoA.TM/2)
+	}
+	if res.Batches == 0 {
+		t.Error("no batches went through the batch verifier")
+	}
+	sumDev := 0
+	for _, sr := range res.Shards {
+		sumDev += sr.Devices
+	}
+	if sumDev != cfg.Population {
+		t.Errorf("shard device counts sum to %d, want %d", sumDev, cfg.Population)
+	}
+}
+
+// TestConfigValidation exercises the error paths.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                 // no population
+		{Population: 10, Loss: 1.5},        // loss out of range
+		{Population: 10, IMX6Fraction: -1}, // fraction out of range
+		{Population: 10, Wave: WaveConfig{Coverage: 2}},
+		{Population: 10, Churn: ChurnConfig{LateJoinFraction: 2}},
+		{Population: 10, MSP430Memory: 8}, // too small for the implant
+		{Population: 10, Duration: 10 * sim.Minute, // churn windows beyond the horizon
+			Churn: ChurnConfig{LateJoinFraction: 0.1, JoinWindow: 11 * sim.Minute}},
+		{Population: 10, Duration: 10 * sim.Minute,
+			Churn: ChurnConfig{RetireFraction: 0.1, RetireAfter: 10 * sim.Minute}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d: expected an error", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package popsim
+
+import "erasmus/internal/sim"
+
+// rng is a splitmix64 generator. Population runs hold one per device (plan
+// draws) plus one per device for the loss stream; at 10⁵–10⁶ devices the
+// 8-byte state matters — math/rand's default source is ~5 KB per instance.
+//
+// Every stream is derived from (seed, device id, stream tag), never from
+// the shard, so a device's entire random timeline is identical no matter
+// how the population is partitioned. That is what makes aggregate results
+// shard-count invariant (and testable as such).
+type rng struct{ state uint64 }
+
+// Stream tags keep a device's independent randomness sources (scenario
+// plan, per-collection loss draws, key material) from aliasing.
+const (
+	streamPlan uint64 = iota + 1
+	streamLoss
+	streamKey
+)
+
+// deviceRNG derives the generator for one device and stream tag.
+func deviceRNG(seed int64, id int, stream uint64) rng {
+	r := rng{state: uint64(seed) ^ (uint64(id)+1)*0x9e3779b97f4a7c15 ^ stream*0xbf58476d1ce4e5b9}
+	r.next() // decorrelate nearby ids
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// ticksn returns a uniform duration in [0, n); n ≤ 0 yields 0. The modulo
+// bias is immaterial for scenario placement.
+func (r *rng) ticksn(n sim.Ticks) sim.Ticks {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Ticks(r.next() % uint64(n))
+}
+
+// deviceKey derives the device-unique 16-byte secret K provisioned at
+// manufacture (simulation stand-in for a provisioning PKI).
+func deviceKey(seed int64, id int) []byte {
+	r := deviceRNG(seed, id, streamKey)
+	key := make([]byte, 16)
+	for i := 0; i < len(key); i += 8 {
+		v := r.next()
+		for j := 0; j < 8; j++ {
+			key[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return key
+}

@@ -1,0 +1,271 @@
+package popsim
+
+import (
+	"fmt"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/sim"
+)
+
+// attDevice is the hardware surface a population device needs: the prover
+// runtime plus the normal-world write access malware (and remediation)
+// has. Both device models satisfy it.
+type attDevice interface {
+	core.Device
+	WriteMemory(off int, b []byte) error
+}
+
+// popDevice is one prover in the population.
+type popDevice struct {
+	plan devicePlan
+	dev  attDevice
+	prv  *core.Prover
+	vrf  *core.Verifier
+	loss rng
+
+	clean       []byte // zeroed implant-sized region, for track-covering/remediation
+	stopCollect func()
+	retired     bool
+	detected    bool
+}
+
+// pendingVerify is one collected history awaiting the barrier flush. The
+// collection's virtual time travels with it so detection latency is
+// measured in simulation time, not in verification order.
+type pendingVerify struct {
+	dev       *popDevice
+	recs      []core.Record
+	rroc      uint64
+	expectedK int
+	at        sim.Ticks
+}
+
+// shard owns one engine and its slice of the population.
+type shard struct {
+	id      int
+	cfg     *Config
+	engine  *sim.Engine
+	plans   []devicePlan
+	devices []*popDevice
+	stats   Stats
+	queue   []pendingVerify
+
+	cmd  chan sim.Ticks
+	done chan struct{}
+	wall time.Duration
+}
+
+func newShard(id int, cfg *Config) *shard {
+	return &shard{
+		id: id, cfg: cfg, engine: sim.NewEngine(), stats: newStats(),
+		cmd: make(chan sim.Ticks), done: make(chan struct{}),
+	}
+}
+
+// build constructs every device of the shard and schedules its lifecycle
+// (join, collections, retirement, infection) on the shard engine.
+func (sh *shard) build() error {
+	for _, p := range sh.plans {
+		if err := sh.addDevice(p); err != nil {
+			return fmt.Errorf("popsim: shard %d device %d: %w", sh.id, p.id, err)
+		}
+	}
+	sh.plans = nil
+	return nil
+}
+
+func (sh *shard) addDevice(p devicePlan) error {
+	cfg := sh.cfg
+	key := deviceKey(cfg.Seed, p.id)
+	storeSize := cfg.Slots * core.RecordSize(cfg.Alg)
+
+	var dev attDevice
+	if p.imx6 {
+		d, err := imx6.New(imx6.Config{
+			Engine: sh.engine, MemorySize: cfg.IMX6Memory,
+			StoreSize: storeSize, Key: key,
+		})
+		if err != nil {
+			return err
+		}
+		dev = d
+		sh.stats.IMX6Devices++
+	} else {
+		d, err := mcu.New(mcu.Config{
+			Engine: sh.engine, MemorySize: cfg.MSP430Memory,
+			StoreSize: storeSize, Key: key,
+		})
+		if err != nil {
+			return err
+		}
+		dev = d
+		sh.stats.MSP430Devices++
+	}
+
+	sched, err := core.NewRegularWithPhase(cfg.QoA.TM, p.mphase)
+	if err != nil {
+		return err
+	}
+	prv, err := core.NewProver(dev, core.ProverConfig{
+		Alg: cfg.Alg, Schedule: sched, Slots: cfg.Slots,
+	})
+	if err != nil {
+		return err
+	}
+	cleanHash := mac.HashSum(cfg.Alg, dev.Memory())
+	vrf, err := core.NewVerifier(core.VerifierConfig{
+		Alg: cfg.Alg, Key: key,
+		GoldenHashes: [][]byte{cleanHash},
+		MinGap:       cfg.QoA.TM - cfg.QoA.TM/10,
+		MaxGap:       cfg.QoA.TM + cfg.QoA.TM/2,
+		MACCacheSize: cfg.MACCacheSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	pd := &popDevice{
+		plan: p, dev: dev, prv: prv, vrf: vrf,
+		loss:  deviceRNG(cfg.Seed, p.id, streamLoss),
+		clean: make([]byte, len(implant)),
+	}
+	sh.devices = append(sh.devices, pd)
+	sh.stats.Devices++
+	if p.join > 0 {
+		sh.stats.LateJoiners++
+	}
+	if p.retire < sim.MaxTicks {
+		sh.stats.Retirements++
+	}
+	if p.infect >= 0 {
+		sh.stats.InfectionsSeeded++
+	}
+
+	e := sh.engine
+	e.At(p.join, func() {
+		prv.Start()
+		pd.stopCollect = e.Ticker(p.join+p.cphase+cfg.QoA.TC, cfg.QoA.TC, func() {
+			sh.collect(pd)
+		})
+	})
+	if p.retire < sim.MaxTicks && p.retire <= cfg.Duration {
+		e.At(p.retire, func() {
+			prv.Stop()
+			if pd.stopCollect != nil {
+				pd.stopCollect()
+			}
+			pd.retired = true
+		})
+	}
+	if p.infect >= 0 {
+		e.At(p.infect, func() {
+			if err := dev.WriteMemory(0, implant); err != nil {
+				panic(err)
+			}
+		})
+		if p.dwell > 0 {
+			e.At(p.infect+p.dwell, func() {
+				// Mobile malware leaves and covers its tracks — but the
+				// infected records it was measured into remain collectible.
+				if err := dev.WriteMemory(0, pd.clean); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// collect performs one scheduled collection against a live device and
+// queues the history for the next barrier's batch verification.
+func (sh *shard) collect(pd *popDevice) {
+	if pd.retired {
+		return
+	}
+	cfg := sh.cfg
+	sh.stats.Collections++
+	k := cfg.QoA.RecordsPerCollection()
+	recs, _ := pd.prv.HandleCollect(k)
+	if cfg.Loss > 0 && pd.loss.float64() < cfg.Loss {
+		// The prover served the request but the response never arrived.
+		sh.stats.LostCollections++
+		return
+	}
+	if len(recs) == 0 {
+		sh.stats.EmptyCollections++
+		return
+	}
+	now := sh.engine.Now()
+	// Warm-up: a device younger than (k+1)×TM cannot be expected to hold a
+	// full history yet (the +1 absorbs a measurement still in flight).
+	expected := k
+	if now-pd.plan.join < sim.Ticks(k+1)*cfg.QoA.TM {
+		expected = 0
+	}
+	sh.queue = append(sh.queue, pendingVerify{
+		dev: pd, recs: recs, rroc: pd.dev.RROC(), expectedK: expected, at: now,
+	})
+}
+
+// fold merges one verification report into the shard aggregates. Called by
+// the coordinator between epochs, when no shard goroutine is running.
+func (sh *shard) fold(q *pendingVerify, rep *core.Report) {
+	sh.stats.HistoriesVerified++
+	sh.stats.RecordsVerified += int64(len(rep.Records))
+	sh.stats.FreshnessSum += rep.Freshness
+	sh.stats.FreshnessSamples++
+	sh.stats.GapReports += int64(rep.ScheduleGaps)
+	if rep.TamperDetected {
+		sh.stats.TamperReports++
+	}
+	if !rep.InfectionDetected {
+		return
+	}
+	sh.stats.InfectedReports++
+	pd := q.dev
+	if pd.detected || pd.plan.infect < 0 || q.at < pd.plan.infect {
+		return
+	}
+	pd.detected = true
+	sh.stats.InfectionsDetected++
+	latency := q.at - pd.plan.infect
+	sh.stats.DetectionLatencySum += latency
+	if latency > sh.stats.DetectionLatencyMax {
+		sh.stats.DetectionLatencyMax = latency
+	}
+	if q.at < sh.stats.FirstDetectionAt {
+		sh.stats.FirstDetectionAt = q.at
+	}
+	if pd.plan.dwell == 0 {
+		// Persistent malware: detection triggers remediation (reflash to
+		// the golden image), so subsequent measurements are clean again.
+		if err := pd.dev.WriteMemory(0, pd.clean); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// run advances the engine to each commanded barrier time, signalling the
+// coordinator after every step, until the command channel closes.
+func (sh *shard) run() {
+	for t := range sh.cmd {
+		start := time.Now()
+		sh.engine.RunUntil(t)
+		sh.wall += time.Since(start)
+		sh.done <- struct{}{}
+	}
+}
+
+// finish folds end-of-run prover counters into the shard aggregates.
+func (sh *shard) finish() {
+	for _, pd := range sh.devices {
+		st := pd.prv.Stats()
+		sh.stats.Measurements += int64(st.Measurements)
+		sh.stats.Aborted += int64(st.Aborted)
+		sh.stats.Missed += int64(st.Missed)
+	}
+}

@@ -1,0 +1,113 @@
+package popsim
+
+import "erasmus/internal/sim"
+
+// Stats is the streaming aggregate over the whole population. Every field
+// is an integer count or a Ticks sum/extremum, folded in as collections
+// are verified, so memory stays O(shards) rather than O(devices) and —
+// because every fold is commutative and associative — the merged totals
+// are bit-identical regardless of shard count or goroutine interleaving.
+type Stats struct {
+	// Population composition.
+	Devices          int
+	MSP430Devices    int
+	IMX6Devices      int
+	LateJoiners      int // devices joining after t=0 (churn)
+	Retirements      int // devices retiring before the horizon (churn)
+	InfectionsSeeded int // devices visited by the infection wave
+
+	// Prover-side activity (from per-device runtime counters).
+	Measurements int64
+	Aborted      int64
+	Missed       int64
+
+	// Collection pipeline.
+	Collections      int64 // collection attempts against live devices
+	LostCollections  int64 // responses dropped by the lossy network
+	EmptyCollections int64 // device had no history yet (just joined)
+
+	// Verifier-side outcomes.
+	HistoriesVerified int64
+	RecordsVerified   int64
+	InfectedReports   int64 // reports with at least one infected record
+	TamperReports     int64
+	GapReports        int64 // schedule-gap findings across all reports
+
+	// Quality of Attestation (§3.1): freshness of the newest record at
+	// each collection; the paper predicts a TM/2 mean.
+	FreshnessSum     sim.Ticks
+	FreshnessSamples int64
+
+	// End-to-end detection: from a device's infection instant to the
+	// first collection whose report flags it.
+	InfectionsDetected  int
+	DetectionLatencySum sim.Ticks
+	DetectionLatencyMax sim.Ticks
+	FirstDetectionAt    sim.Ticks // sim.MaxTicks when nothing was detected
+}
+
+func newStats() Stats { return Stats{FirstDetectionAt: sim.MaxTicks} }
+
+// merge folds o into s. All operations are commutative, so merge order
+// never changes the result.
+func (s *Stats) merge(o *Stats) {
+	s.Devices += o.Devices
+	s.MSP430Devices += o.MSP430Devices
+	s.IMX6Devices += o.IMX6Devices
+	s.LateJoiners += o.LateJoiners
+	s.Retirements += o.Retirements
+	s.InfectionsSeeded += o.InfectionsSeeded
+	s.Measurements += o.Measurements
+	s.Aborted += o.Aborted
+	s.Missed += o.Missed
+	s.Collections += o.Collections
+	s.LostCollections += o.LostCollections
+	s.EmptyCollections += o.EmptyCollections
+	s.HistoriesVerified += o.HistoriesVerified
+	s.RecordsVerified += o.RecordsVerified
+	s.InfectedReports += o.InfectedReports
+	s.TamperReports += o.TamperReports
+	s.GapReports += o.GapReports
+	s.FreshnessSum += o.FreshnessSum
+	s.FreshnessSamples += o.FreshnessSamples
+	s.InfectionsDetected += o.InfectionsDetected
+	s.DetectionLatencySum += o.DetectionLatencySum
+	if o.DetectionLatencyMax > s.DetectionLatencyMax {
+		s.DetectionLatencyMax = o.DetectionLatencyMax
+	}
+	if o.FirstDetectionAt < s.FirstDetectionAt {
+		s.FirstDetectionAt = o.FirstDetectionAt
+	}
+}
+
+// MeanFreshness averages the per-collection freshness samples.
+func (s Stats) MeanFreshness() sim.Ticks {
+	if s.FreshnessSamples == 0 {
+		return 0
+	}
+	return s.FreshnessSum / sim.Ticks(s.FreshnessSamples)
+}
+
+// MeanDetectionLatency averages infection-to-detection delays.
+func (s Stats) MeanDetectionLatency() sim.Ticks {
+	if s.InfectionsDetected == 0 {
+		return 0
+	}
+	return s.DetectionLatencySum / sim.Ticks(s.InfectionsDetected)
+}
+
+// DetectionRate is the fraction of seeded infections that were detected.
+func (s Stats) DetectionRate() float64 {
+	if s.InfectionsSeeded == 0 {
+		return 0
+	}
+	return float64(s.InfectionsDetected) / float64(s.InfectionsSeeded)
+}
+
+// LossRate is the fraction of collection attempts lost in the network.
+func (s Stats) LossRate() float64 {
+	if s.Collections == 0 {
+		return 0
+	}
+	return float64(s.LostCollections) / float64(s.Collections)
+}
