@@ -499,6 +499,42 @@ func BenchmarkPopulationSim(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetPipeline measures the fleet-managed collection path end to
+// end — staggered scheduling over the simulated network, the bounded
+// asynchronous queue, batch-verified verdicts re-joined to device state —
+// against the inline-verification baseline, for growing populations.
+func BenchmarkFleetPipeline(b *testing.B) {
+	for _, pop := range []int{200, 1000} {
+		for _, mode := range []struct {
+			name string
+			sync bool
+		}{{"inline", true}, {"pipeline", false}} {
+			b.Run(fmt.Sprintf("n=%d/%s", pop, mode.name), func(b *testing.B) {
+				var res *popsim.ManagedResult
+				for i := 0; i < b.N; i++ {
+					var err error
+					res, err = popsim.RunManaged(popsim.ManagedConfig{
+						Population:       pop,
+						Seed:             1,
+						QoA:              core.QoA{TM: sim.Minute, TC: 4 * sim.Minute},
+						Duration:         12 * sim.Minute,
+						IMX6Fraction:     0.25,
+						Loss:             0.01,
+						LateJoinFraction: 0.1,
+						Wave:             popsim.WaveConfig{Coverage: 0.2, Start: 3 * sim.Minute, Spread: 2 * sim.Minute},
+						Synchronous:      mode.sync,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Devices)*res.Config.Duration.Seconds()/res.RunWall.Seconds(), "device-s/s")
+				b.ReportMetric(float64(len(res.Alerts)), "alerts")
+			})
+		}
+	}
+}
+
 func archShort(a costmodel.Arch) string {
 	if a == costmodel.MSP430 {
 		return "SMART+"

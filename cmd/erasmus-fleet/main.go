@@ -9,6 +9,17 @@
 //	    -tm 10m -tc 40m -duration 4h -loss 0.01 \
 //	    -join 0.1 -retire 0.05 \
 //	    -wave-coverage 0.3 -wave-start 1h -wave-spread 30m
+//
+// With -transport the same seeded scenario runs end-to-end through the
+// fleet.Manager operations layer (staggered scheduling, asynchronous
+// batch-verified pipeline, alert stream) over a pluggable transport:
+//
+//	erasmus-fleet -transport sim -population 1000          # simulated network
+//	erasmus-fleet -transport udp -population 32            # real loopback UDP
+//
+// The udp transport is wall-paced (one virtual nanosecond per wall
+// nanosecond), so it defaults to a milliseconds-scale QoA and a ~2 s
+// horizon unless -tm/-tc/-duration are given explicitly.
 package main
 
 import (
@@ -19,6 +30,7 @@ import (
 
 	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
+	"erasmus/internal/fleet"
 	"erasmus/internal/popsim"
 	"erasmus/internal/sim"
 )
@@ -42,6 +54,10 @@ func main() {
 		waveSpread = flag.Duration("wave-spread", 30*time.Minute, "window over which infections land")
 		waveDwell  = flag.Duration("wave-dwell", 0, "malware dwell time (0 = persistent)")
 		workers    = flag.Int("workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
+		transport  = flag.String("transport", "", "run the fleet-managed pipeline over this transport: udp|sim (empty = sharded popsim runtime)")
+		latency    = flag.Duration("latency", 10*time.Millisecond, "one-way network latency (sim transport)")
+		pool       = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
+		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports)")
 	)
 	flag.Parse()
 
@@ -49,6 +65,68 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
 		os.Exit(2)
+	}
+
+	if *transport != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if *transport == "udp" {
+			// Wall-paced run: compress the default QoA to milliseconds so
+			// the scenario completes in ~2 s unless overridden.
+			if !set["tm"] {
+				*tm = 100 * time.Millisecond
+			}
+			if !set["tc"] {
+				*tc = 400 * time.Millisecond
+			}
+			if !set["duration"] {
+				*duration = 2 * time.Second
+			}
+			if !set["wave-start"] {
+				*waveStart = 500 * time.Millisecond
+			}
+			if !set["wave-spread"] {
+				*waveSpread = 400 * time.Millisecond
+			}
+			if !set["loss"] {
+				*loss = 0
+			}
+			if !set["population"] {
+				*population = 32
+			}
+			if !set["imx6"] {
+				*imx6Frac = 1 // µs-scale measurements keep ms-scale TM feasible
+			}
+		} else if !set["population"] {
+			*population = 1000
+		}
+		mres, err := popsim.RunManaged(popsim.ManagedConfig{
+			Population:       *population,
+			Transport:        *transport,
+			Seed:             *seed,
+			Alg:              alg,
+			QoA:              core.QoA{TM: sim.Ticks(*tm), TC: sim.Ticks(*tc)},
+			Duration:         sim.Ticks(*duration),
+			IMX6Fraction:     *imx6Frac,
+			Loss:             *loss,
+			Latency:          sim.Ticks(*latency),
+			LateJoinFraction: *join,
+			Wave: popsim.WaveConfig{
+				Coverage: *waveCov,
+				Start:    sim.Ticks(*waveStart),
+				Spread:   sim.Ticks(*waveSpread),
+				Dwell:    sim.Ticks(*waveDwell),
+			},
+			VerifyWorkers: *workers,
+			Synchronous:   *syncVerify,
+			UDPPool:       *pool,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
+			os.Exit(1)
+		}
+		reportManaged(mres)
+		return
 	}
 	cfg := popsim.Config{
 		Population:   *population,
@@ -130,4 +208,38 @@ func report(res *popsim.Result) {
 	fmt.Printf("\nwall: build %v, run %v (verify %v) — %.0f simulated device-seconds/s\n",
 		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond),
 		res.VerifyWall.Round(time.Millisecond), res.DeviceSecondsPerSecond())
+}
+
+func reportManaged(res *popsim.ManagedResult) {
+	cfg := res.Config
+	fmt.Printf("erasmus-fleet: fleet-managed attestation over the %s transport\n", cfg.Transport)
+	fmt.Printf("  population %d (%d late joiners), seed %d, %s\n",
+		res.Devices, res.LateJoiners, cfg.Seed, cfg.Alg)
+	fmt.Printf("  QoA TM=%v TC=%v (k=%d), horizon %v\n",
+		cfg.QoA.TM, cfg.QoA.TC, cfg.QoA.RecordsPerCollection(), cfg.Duration)
+	if cfg.Transport == "sim" {
+		fmt.Printf("  network: latency %v, loss %.1f%%\n", cfg.Latency, 100*cfg.Loss)
+	} else {
+		fmt.Printf("  network: loopback UDP, %d pooled sockets\n", cfg.UDPPool)
+	}
+	mode := "async batch-verified pipeline"
+	if cfg.Synchronous {
+		mode = "inline verification"
+	}
+	fmt.Printf("  verification: %s\n", mode)
+
+	fmt.Println("\nalert stream:")
+	for _, kind := range []fleet.AlertKind{
+		fleet.AlertInfection, fleet.AlertTamper, fleet.AlertUnreachable, fleet.AlertRecovered,
+	} {
+		fmt.Printf("  %-12s %d\n", kind, res.AlertCounts[kind])
+	}
+	if res.InfectionsSeeded > 0 {
+		fmt.Printf("\ninfections: %d seeded, %d detected (%.1f%%), %d false positives\n",
+			res.InfectionsSeeded, res.InfectionsDetected,
+			100*float64(res.InfectionsDetected)/float64(res.InfectionsSeeded), res.FalseInfections)
+	}
+	fmt.Printf("healthy: %d/%d devices\n", res.HealthyCount, res.Devices)
+	fmt.Printf("wall: build %v, run %v\n",
+		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
 }

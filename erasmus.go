@@ -41,6 +41,7 @@ import (
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
 	"erasmus/internal/swarm"
+	"erasmus/internal/udptransport"
 )
 
 // Virtual time. One tick is one nanosecond of simulated time.
@@ -257,17 +258,32 @@ func NewVerifierClient(n *Network, e *Engine, addr string, alg Algorithm, key []
 	return session.NewVerifierClient(n, e, addr, alg, key, clock)
 }
 
-// Fleet operations: a verifier managing a population of provers.
+// Fleet operations: a verifier managing a population of provers over a
+// pluggable collection transport, with verdicts computed off the
+// scheduling goroutine by a batch-verified pipeline.
 type (
 	// FleetManager schedules collections and raises alerts for a device
 	// population.
 	FleetManager = fleet.Manager
+	// FleetManagerConfig parameterizes a manager (transport, pipeline
+	// sizing, unreachable threshold).
+	FleetManagerConfig = fleet.ManagerConfig
+	// FleetCollector is the transport a manager drives; implementations
+	// exist for the simulated network and for real UDP sockets.
+	FleetCollector = fleet.Collector
+	// SimCollector collects over the simulated datagram network.
+	SimCollector = fleet.SimCollector
+	// UDPCollector collects over pooled real UDP sockets.
+	UDPCollector = fleet.UDPCollector
 	// FleetDeviceConfig registers one prover with the manager.
 	FleetDeviceConfig = fleet.DeviceConfig
 	// FleetAlert is one fleet event (infection, tamper, unreachable).
 	FleetAlert = fleet.Alert
 	// FleetDeviceStatus is one dashboard line.
 	FleetDeviceStatus = fleet.DeviceStatus
+	// UDPFleetServer hosts many provers on one real UDP socket, demuxed
+	// by a device-id frame.
+	UDPFleetServer = udptransport.Server
 )
 
 // Fleet alert kinds.
@@ -278,10 +294,38 @@ const (
 	AlertRecovered   = fleet.AlertRecovered
 )
 
-// NewFleetManager builds the verifier-side operations layer.
+// NewFleetManager builds the verifier-side operations layer over the
+// simulated network.
 func NewFleetManager(e *Engine, n *Network, addr string, clock func() uint64) (*FleetManager, error) {
 	return fleet.NewManager(e, n, addr, clock)
 }
+
+// NewFleetManagerWith builds a fleet manager over an explicit transport.
+func NewFleetManagerWith(cfg FleetManagerConfig) (*FleetManager, error) {
+	return fleet.NewManagerWith(cfg)
+}
+
+// NewSimCollector builds the simulated-network collection transport.
+func NewSimCollector(n *Network, e *Engine, addr string, clock func() uint64) (*SimCollector, error) {
+	return fleet.NewSimCollector(n, e, addr, clock)
+}
+
+// NewUDPCollector dials a UDP fleet server with a socket pool of the
+// given size (the collection concurrency bound).
+func NewUDPCollector(server string, poolSize int) (*UDPCollector, error) {
+	return fleet.NewUDPCollector(server, poolSize)
+}
+
+// ServeUDPFleet binds a real UDP socket serving any number of provers
+// (added with Host) that live on the given engine; the server pumps the
+// engine to track the wall clock.
+func ServeUDPFleet(addr string, e *Engine, alg Algorithm) (*UDPFleetServer, error) {
+	return udptransport.ServeFleet(addr, e, alg)
+}
+
+// PumpFleetRealTime advances a manager's engine against the wall clock
+// until horizon, for fleets collected over a real-time transport.
+func PumpFleetRealTime(e *Engine, horizon Ticks) { fleet.PumpRealTime(e, horizon, 0) }
 
 // Population-scale simulation: a sharded fleet of 10⁵-class provers with
 // churn, infection waves and batched parallel verification.
@@ -303,6 +347,21 @@ type (
 // RunPopulation executes a population-scale scenario across engine shards;
 // the same seed yields identical aggregate statistics for any shard count.
 func RunPopulation(cfg PopulationConfig) (*PopulationResult, error) { return popsim.Run(cfg) }
+
+// Fleet-managed population runs: the seeded popsim scenario generators
+// driven end-to-end through FleetManager on a chosen transport.
+type (
+	// ManagedPopulationConfig parameterizes a fleet-managed run.
+	ManagedPopulationConfig = popsim.ManagedConfig
+	// ManagedPopulationResult aggregates one fleet-managed run.
+	ManagedPopulationResult = popsim.ManagedResult
+)
+
+// RunManagedPopulation executes a fleet-managed population scenario over
+// the "sim" or "udp" transport.
+func RunManagedPopulation(cfg ManagedPopulationConfig) (*ManagedPopulationResult, error) {
+	return popsim.RunManaged(cfg)
+}
 
 // DefaultEpoch is the RROC value at simulation time zero for both device
 // models (the paper's Fig. 3 timestamp), in nanoseconds; verifier clocks

@@ -1,13 +1,18 @@
-// Fleetops: operating a population of unattended ERASMUS devices.
+// Fleetops: operating a population of unattended ERASMUS devices over a
+// transport-pluggable collection pipeline.
 //
-// Ten remote sensors self-measure hourly. A fleet manager collects each
-// device's history every four hours over a lossy radio link, staggering
-// collections across the period. During the day one device is infected,
-// one has its measurement store wiped by malware, and one drops off the
-// network for six hours — the alert stream catches all three, and the
-// dark device's history is recovered in full once it reappears (the
-// self-measurement advantage: evidence accumulates while the verifier is
-// away).
+// The same seeded scenario — five sensors self-measuring every 60 ms, one
+// carrying an implant from boot, one provisioned with the wrong key —
+// runs twice: once over the in-process simulated network (virtual time,
+// finishes instantly) and once over real loopback UDP sockets (wall-paced,
+// one multi-prover server demuxing all five devices on one socket, a
+// pooled concurrent collector, ~1.1 s of wall time). Collected histories
+// flow through the manager's asynchronous batch-verified pipeline in both
+// runs.
+//
+// The point: the alert stream is a property of the scenario, not of the
+// plumbing. Both transports must produce the identical stream — launch
+// times, devices, kinds and details — which this example verifies.
 //
 // Run with:
 //
@@ -17,97 +22,197 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"erasmus"
 	"erasmus/internal/crypto/mac"
 )
 
-func main() {
-	engine := erasmus.NewEngine()
-	network, err := erasmus.NewNetwork(engine, erasmus.NetworkConfig{
-		Latency:  5 * erasmus.Millisecond,
-		LossRate: 0.10, // flaky radio: 10% datagram loss
-		Seed:     42,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+const (
+	tm      = 60 * erasmus.Millisecond
+	phase   = 30 * erasmus.Millisecond // keeps measurements away from collection ticks
+	tc      = 240 * erasmus.Millisecond
+	horizon = 1100 * erasmus.Millisecond
+	slots   = 8
+	memSize = 1024
+)
 
-	clock := func() uint64 { return erasmus.DefaultEpoch + uint64(engine.Now()) }
-	manager, err := erasmus.NewFleetManager(engine, network, "hq", clock)
-	if err != nil {
-		log.Fatal(err)
-	}
+type sensor struct {
+	addr     string
+	infected bool // implant present from boot
+	wrongKey bool // fleet provisioned with a mismatched key
+}
 
-	const n = 10
-	devices := make([]interface {
-		WriteMemory(int, []byte) error
-		Store() []byte
-	}, 0, n)
+var sensors = []sensor{
+	{addr: "sensor-00"},
+	{addr: "sensor-01", infected: true},
+	{addr: "sensor-02", wrongKey: true},
+	{addr: "sensor-03"},
+	{addr: "sensor-04"},
+}
 
-	for i := 0; i < n; i++ {
-		key := []byte(fmt.Sprintf("sensor-key-%02d-0123456789abcdef", i))
-		dev, err := erasmus.NewMSP430(erasmus.MSP430Config{
+func keyFor(s sensor) []byte { return []byte("fleet-" + s.addr + "-key") }
+
+// buildProvers constructs the scenario's devices on the engine, returning
+// each sensor's prover and clean golden hash.
+func buildProvers(engine *erasmus.Engine) (map[string]*erasmus.Prover, map[string][]byte) {
+	provers := make(map[string]*erasmus.Prover)
+	goldens := make(map[string][]byte)
+	for _, s := range sensors {
+		dev, err := erasmus.NewIMX6(erasmus.IMX6Config{
 			Engine:     engine,
-			MemorySize: 1024,
-			StoreSize:  16 * erasmus.RecordSize(erasmus.KeyedBLAKE2s),
-			Key:        key,
+			MemorySize: memSize,
+			StoreSize:  slots * erasmus.RecordSize(erasmus.KeyedBLAKE2s),
+			Key:        keyFor(s),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		sched, _ := erasmus.NewRegularSchedule(erasmus.Hour)
+		goldens[s.addr] = mac.HashSum(erasmus.KeyedBLAKE2s, dev.Memory())
+		if s.infected {
+			if err := dev.WriteMemory(0, []byte("cryptominer")); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sched, err := erasmus.NewStaggeredSchedule(tm, phase)
+		if err != nil {
+			log.Fatal(err)
+		}
 		prover, err := erasmus.NewProver(dev, erasmus.ProverConfig{
-			Alg: erasmus.KeyedBLAKE2s, Schedule: sched, Slots: 16,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		addr := fmt.Sprintf("sensor-%02d", i)
-		if _, err := erasmus.AttachProver(network, engine, addr, prover, erasmus.KeyedBLAKE2s); err != nil {
-			log.Fatal(err)
-		}
-		err = manager.Register(erasmus.FleetDeviceConfig{
-			Addr: addr, Key: key, Alg: erasmus.KeyedBLAKE2s,
-			QoA:          erasmus.QoA{TM: erasmus.Hour, TC: 4 * erasmus.Hour},
-			GoldenHashes: [][]byte{mac.HashSum(erasmus.KeyedBLAKE2s, dev.Memory())},
+			Alg: erasmus.KeyedBLAKE2s, Schedule: sched, Slots: slots,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		prover.Start()
-		devices = append(devices, dev)
+		provers[s.addr] = prover
 	}
+	return provers, goldens
+}
 
-	// The day's incidents:
-	engine.At(6*erasmus.Hour, func() {
-		devices[3].WriteMemory(0, []byte("cryptominer"))
-	})
-	engine.At(9*erasmus.Hour, func() {
-		store := devices[7].Store()
-		for i := range store {
-			store[i] = 0xFF // malware shreds the evidence buffer
+func register(manager *erasmus.FleetManager, goldens map[string][]byte) {
+	for _, s := range sensors {
+		key := keyFor(s)
+		if s.wrongKey {
+			key = []byte("stale-provisioning-record")
 		}
-	})
-	engine.At(5*erasmus.Hour, func() { network.Attach("sensor-05", nil) })
-	// sensor-05 cannot be re-attached from here without its prover handle;
-	// in a real deployment the endpoint owns reconnection. We simply leave
-	// it dark and watch the alerts.
+		err := manager.Register(erasmus.FleetDeviceConfig{
+			Addr: s.addr, Key: key, Alg: erasmus.KeyedBLAKE2s,
+			QoA:          erasmus.QoA{TM: tm, TC: tc},
+			GoldenHashes: [][]byte{goldens[s.addr]},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}
 
+// runSim drives the scenario over the simulated network in virtual time.
+func runSim() []erasmus.FleetAlert {
+	engine := erasmus.NewEngine()
+	network, err := erasmus.NewNetwork(engine, erasmus.NetworkConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	provers, goldens := buildProvers(engine)
+	for addr, p := range provers {
+		if _, err := erasmus.AttachProver(network, engine, addr, p, erasmus.KeyedBLAKE2s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	clock := func() uint64 { return erasmus.DefaultEpoch + uint64(engine.Now()) }
+	manager, err := erasmus.NewFleetManager(engine, network, "hq", clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	register(manager, goldens)
 	manager.Start()
-	engine.RunUntil(24 * erasmus.Hour)
+	engine.RunUntil(horizon)
 	manager.Stop()
+	manager.Flush()
+	defer manager.Close()
+	return manager.Alerts()
+}
 
-	fmt.Println("alerts:")
-	for _, a := range manager.Alerts() {
-		fmt.Printf("  %9v  %-10s %-12s %s\n", a.Time, a.Device, a.Kind, a.Detail)
+// runUDP drives the scenario over real loopback sockets: provers on one
+// wall-paced engine behind a multi-prover UDP server, the manager on a
+// second engine with a pooled concurrent collector.
+func runUDP() []erasmus.FleetAlert {
+	proverEngine := erasmus.NewEngine()
+	provers, goldens := buildProvers(proverEngine)
+	server, err := erasmus.ServeUDPFleet("127.0.0.1:0", proverEngine, erasmus.KeyedBLAKE2s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	for addr, p := range provers {
+		if err := server.Host(addr, p); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	fmt.Println("\nfleet status after 24h:")
-	for _, addr := range manager.Addresses() {
-		st, _ := manager.Status(addr)
-		fmt.Printf("  %-10s healthy=%-5v collections=%-2d freshness=%v\n",
-			st.Addr, st.Healthy, st.Collections, st.Freshness)
+	collector, err := erasmus.NewUDPCollector(server.Addr().String(), len(sensors))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\n%d/%d devices healthy\n", manager.HealthyCount(), n)
+	managerEngine := erasmus.NewEngine()
+	clock := func() uint64 { return erasmus.DefaultEpoch + uint64(managerEngine.Now()) }
+	manager, err := erasmus.NewFleetManagerWith(erasmus.FleetManagerConfig{
+		Engine: managerEngine, Collector: collector, Clock: clock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	register(manager, goldens)
+	manager.Start()
+	erasmus.PumpFleetRealTime(managerEngine, horizon)
+	manager.Stop()
+	manager.Flush()
+	defer manager.Close()
+	return manager.Alerts()
+}
+
+// canonical orders a stream for comparison: alert content is launch-time
+// stamped and fully deterministic; only the interleaving across devices
+// depends on the transport.
+func canonical(alerts []erasmus.FleetAlert) []erasmus.FleetAlert {
+	out := append([]erasmus.FleetAlert(nil), alerts...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Time < b.Time
+	})
+	return out
+}
+
+func main() {
+	fmt.Println("running the scenario over the simulated network (virtual time)...")
+	simAlerts := canonical(runSim())
+	fmt.Println("running the same scenario over real loopback UDP (~1.1 s)...")
+	udpAlerts := canonical(runUDP())
+
+	fmt.Println("\nalert stream (sim transport):")
+	for _, a := range simAlerts {
+		fmt.Printf("  %10v  %-10s %-10s %s\n", a.Time, a.Device, a.Kind, a.Detail)
+	}
+	fmt.Println("\nalert stream (udp transport):")
+	for _, a := range udpAlerts {
+		fmt.Printf("  %10v  %-10s %-10s %s\n", a.Time, a.Device, a.Kind, a.Detail)
+	}
+
+	identical := len(simAlerts) == len(udpAlerts)
+	if identical {
+		for i := range simAlerts {
+			if simAlerts[i] != udpAlerts[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	fmt.Printf("\ntransports produce identical alert streams: %v\n", identical)
+	if !identical {
+		log.Fatal("fleetops: transport divergence — this is a bug")
+	}
 }

@@ -47,6 +47,19 @@ func NewBatchVerifier(workers int) *BatchVerifier {
 // Workers returns the configured worker count.
 func (b *BatchVerifier) Workers() int { return b.workers }
 
+// run validates one job. A job with a nil Verifier is a verifier-side
+// configuration fault (e.g. a device deregistered mid-flight); it must not
+// panic the worker pool, so it yields an unhealthy error report instead.
+func (j VerifyJob) run() Report {
+	if j.Verifier == nil {
+		return Report{
+			TamperDetected: true,
+			Issues:         []string{"core: VerifyJob with nil Verifier (verifier-side configuration fault)"},
+		}
+	}
+	return j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+}
+
 // Verify validates every job and returns the reports in job order. The
 // result is verdict-for-verdict identical to calling
 // job.Verifier.VerifyHistory(job.Records, job.Now, job.ExpectedK)
@@ -59,7 +72,7 @@ func (b *BatchVerifier) Verify(jobs []VerifyJob) []Report {
 	}
 	if w <= 1 {
 		for i, j := range jobs {
-			out[i] = j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+			out[i] = j.run()
 		}
 		return out
 	}
@@ -77,8 +90,7 @@ func (b *BatchVerifier) Verify(jobs []VerifyJob) []Report {
 				if i >= len(jobs) {
 					return
 				}
-				j := jobs[i]
-				out[i] = j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+				out[i] = jobs[i].run()
 			}
 		}()
 	}

@@ -219,3 +219,31 @@ func TestMACCacheRejectsForgeries(t *testing.T) {
 		}
 	}
 }
+
+// A job with a nil Verifier is a caller bug (e.g. a device deregistered
+// mid-flight); it must produce an unhealthy error report, not panic the
+// worker pool and take every other device's verdict down with it.
+func TestBatchVerifyNilVerifierDoesNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := buildRandomCases(t, rng, 5)
+	jobs := make([]VerifyJob, 0, len(cases)+1)
+	for _, c := range cases {
+		jobs = append(jobs, VerifyJob{Verifier: c.verifier, Records: c.records, Now: c.now, ExpectedK: c.expectedK})
+	}
+	jobs = append(jobs, VerifyJob{Records: cases[0].records, Now: cases[0].now})
+
+	for _, workers := range []int{1, 4} {
+		reports := NewBatchVerifier(workers).Verify(jobs)
+		bad := reports[len(reports)-1]
+		if bad.Healthy() || !bad.TamperDetected || len(bad.Issues) == 0 {
+			t.Fatalf("workers=%d: nil-verifier job not reported as a fault: %+v", workers, bad)
+		}
+		// The healthy jobs around it still get real verdicts.
+		for i, c := range cases {
+			want := c.verifier.VerifyHistory(c.records, c.now, c.expectedK)
+			if !reflect.DeepEqual(reports[i], want) {
+				t.Fatalf("workers=%d: job %d verdict diverged next to a faulty job", workers, i)
+			}
+		}
+	}
+}

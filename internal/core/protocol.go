@@ -108,6 +108,23 @@ func NewODRequest(alg mac.Algorithm, key []byte, treq uint64, k int) ODRequest {
 	return ODRequest{Treq: treq, K: k, MAC: NewODRequestMAC(alg, key, treq, k)}
 }
 
+// NextTreq returns a strictly increasing on-demand request timestamp that
+// tracks the verifier clock, updating *last. It bumps past the previous
+// value only when the clock has not advanced, so the prover's monotone
+// anti-replay floor (the largest accepted treq) stays within one tick of
+// real time and a reconnecting client — fresh floor state, honest clock —
+// is accepted immediately. Both collection transports share this rule; a
+// clock()+nonce scheme with a forever-growing nonce would ratchet the
+// floor ahead of real time without bound.
+func NextTreq(clock func() uint64, last *uint64) uint64 {
+	treq := clock()
+	if treq <= *last {
+		treq = *last + 1
+	}
+	*last = treq
+	return treq
+}
+
 // Encode serializes the request.
 func (r ODRequest) Encode() []byte {
 	out := make([]byte, 12+len(r.MAC))

@@ -122,6 +122,13 @@ type VerifierConfig struct {
 	// FreshnessBound is the largest acceptable age of the newest record
 	// at collection time; zero disables the check.
 	FreshnessBound sim.Ticks
+	// ClockSkew tolerates the prover's RROC running ahead of the
+	// verifier's time base by up to this much before a record timestamp is
+	// flagged as "in the future". The paper assumes loose synchronization
+	// (§2); over a real transport the two clocks drift by pump granularity
+	// and network latency, and a zero tolerance turns that drift into
+	// false tamper alerts. Zero keeps the strict check.
+	ClockSkew sim.Ticks
 	// MACCacheSize, when positive, remembers up to that many records whose
 	// MACs already verified, so histories that overlap across collections
 	// (k > new records per TC, or repeated batch validation) skip the MAC
@@ -158,6 +165,9 @@ func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
 	}
 	if cfg.MACCacheSize < 0 {
 		return nil, fmt.Errorf("core: negative MAC cache size %d", cfg.MACCacheSize)
+	}
+	if cfg.ClockSkew < 0 {
+		return nil, fmt.Errorf("core: negative clock skew tolerance %v", cfg.ClockSkew)
 	}
 	v := &Verifier{cfg: cfg, golden: make(map[string]struct{}, len(cfg.GoldenHashes))}
 	for _, g := range cfg.GoldenHashes {
@@ -239,7 +249,7 @@ func (v *Verifier) VerifyHistory(recs []Record, now uint64, expectedK int) Repor
 		default:
 			vr.Verdict = VerdictOK
 		}
-		if rec.T > now {
+		if rec.T > now+uint64(v.cfg.ClockSkew) {
 			rep.TamperDetected = true
 			rep.Issues = append(rep.Issues, fmt.Sprintf("record %d: timestamp %d in the future", idx, rec.T))
 		}
@@ -299,7 +309,7 @@ func (v *Verifier) VerifyODResponse(m0 Record, history []Record, now uint64, exp
 	default:
 		vr.Verdict = VerdictOK
 	}
-	if m0FreshBound > 0 && (m0.T > now || sim.Ticks(now-m0.T) > m0FreshBound) {
+	if m0FreshBound > 0 && (m0.T > now+uint64(v.cfg.ClockSkew) || (m0.T <= now && sim.Ticks(now-m0.T) > m0FreshBound)) {
 		rep.TamperDetected = true
 		rep.Issues = append(rep.Issues, "M0: not fresh")
 	}

@@ -275,3 +275,35 @@ func TestVerdictString(t *testing.T) {
 		}
 	}
 }
+
+// A record measured just after the verifier's clock reading must not be
+// flagged as tampered when the configured skew tolerance covers the drift
+// — the false-tamper class a real (wall-paced) transport produces.
+func TestClockSkewToleratesDrift(t *testing.T) {
+	memory := []byte("clean image")
+	now := uint64(100 * sim.Hour)
+	rec := ComputeRecord(alg, testKey, now+uint64(5*sim.Millisecond), memory)
+
+	strict := newTestVerifier(t, goldenFor(memory))
+	if rep := strict.VerifyHistory([]Record{rec}, now, 0); !rep.TamperDetected {
+		t.Fatal("zero tolerance must keep the strict future-timestamp check")
+	}
+
+	lenient, err := NewVerifier(VerifierConfig{
+		Alg: alg, Key: testKey, GoldenHashes: [][]byte{goldenFor(memory)},
+		ClockSkew: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := lenient.VerifyHistory([]Record{rec}, now, 0); rep.TamperDetected {
+		t.Fatalf("5ms drift flagged despite 10ms tolerance: %+v", rep.Issues)
+	}
+	far := ComputeRecord(alg, testKey, now+uint64(sim.Second), memory)
+	if rep := lenient.VerifyHistory([]Record{far}, now, 0); !rep.TamperDetected {
+		t.Fatal("1s-future record slipped past a 10ms tolerance")
+	}
+	if _, err := NewVerifier(VerifierConfig{Alg: alg, Key: testKey, ClockSkew: -1}); err == nil {
+		t.Error("negative clock skew accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"erasmus/internal/netsim"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+)
+
+// SimCollector drives collections over the in-process simulated datagram
+// network: one session.VerifierClient per registered device, listening on
+// "<addr>/<device>", with the session layer's timeout-and-retry budget.
+// It is single-threaded by construction — everything happens on the
+// simulation engine's goroutine — and is the deterministic reference
+// transport the UDP backend is tested against.
+type SimCollector struct {
+	net    *netsim.Network
+	engine *sim.Engine
+	addr   string
+	clock  func() uint64
+
+	// Timeout and Attempts, when set before Register, override the
+	// session defaults (500 ms × 3) for subsequently registered devices.
+	Timeout  sim.Ticks
+	Attempts int
+
+	clients map[string]*session.VerifierClient
+}
+
+// NewSimCollector builds a collector sending from addr.
+func NewSimCollector(n *netsim.Network, e *sim.Engine, addr string, clock func() uint64) (*SimCollector, error) {
+	if n == nil || e == nil {
+		return nil, errors.New("fleet: nil network or engine")
+	}
+	if clock == nil {
+		return nil, errors.New("fleet: clock required")
+	}
+	return &SimCollector{
+		net: n, engine: e, addr: addr, clock: clock,
+		clients: make(map[string]*session.VerifierClient),
+	}, nil
+}
+
+// Register provisions one verifier client for the device.
+func (s *SimCollector) Register(cfg DeviceConfig) error {
+	if _, dup := s.clients[cfg.Addr]; dup {
+		return fmt.Errorf("fleet: device %q already registered with collector", cfg.Addr)
+	}
+	client, err := session.NewVerifierClient(s.net, s.engine,
+		s.addr+"/"+cfg.Addr, cfg.Alg, cfg.Key, s.clock)
+	if err != nil {
+		return err
+	}
+	if s.Timeout > 0 {
+		client.Timeout = s.Timeout
+	}
+	if s.Attempts > 0 {
+		client.Attempts = s.Attempts
+	}
+	s.clients[cfg.Addr] = client
+	return nil
+}
+
+// Collect requests the k latest records from the device.
+func (s *SimCollector) Collect(addr string, k int, cb func(session.CollectResult, error)) error {
+	client, ok := s.clients[addr]
+	if !ok {
+		return fmt.Errorf("fleet: device %q not registered with collector", addr)
+	}
+	return client.Collect(addr, k, cb)
+}

@@ -1,17 +1,28 @@
 // Package fleet is the verifier-side operations layer for a population of
 // unattended ERASMUS provers: per-device keys and QoA policies, staggered
-// collection scheduling over the lossy network, report history, and an
-// alert stream (infection, tampering, unreachable device).
+// collection scheduling, report history, and an alert stream (infection,
+// tampering, unreachable device).
 //
 // The paper's verifier is deliberately thin — ERASMUS moves all the state
 // to the prover — but any real deployment needs exactly this bookkeeping:
 // who to poll, when, with which key, and what to do with the verdicts.
+//
+// Collection is transport-pluggable: the Manager drives any Collector
+// (the in-process simulated network via SimCollector, real UDP sockets
+// via UDPCollector) and never blocks its scheduling goroutine on MAC
+// recomputation — collected histories flow through a bounded asynchronous
+// queue into a core.BatchVerifier worker pool, and verdicts are re-joined
+// to per-device state in submission order. The alert stream is therefore
+// identical for any transport driving the same scenario, and identical
+// whether verification runs inline or batched (both enforced by tests).
 package fleet
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
@@ -31,7 +42,10 @@ const (
 	AlertRecovered   AlertKind = "recovered"
 )
 
-// Alert is one fleet event.
+// Alert is one fleet event. Time is the virtual time the triggering
+// collection was launched — not when the verdict was computed — so the
+// stream is deterministic regardless of transport latency or verification
+// batching.
 type Alert struct {
 	Time   sim.Ticks
 	Device string
@@ -41,7 +55,8 @@ type Alert struct {
 
 // DeviceConfig registers one prover with the manager.
 type DeviceConfig struct {
-	// Addr is the device's network address.
+	// Addr is the device's network address (its device id on a fleet
+	// transport).
 	Addr string
 	// Key is the device-unique secret shared at provisioning.
 	Key []byte
@@ -56,42 +71,131 @@ type DeviceConfig struct {
 
 // DeviceStatus summarizes one device for dashboards.
 type DeviceStatus struct {
-	Addr        string
-	LastContact sim.Ticks
-	Healthy     bool
-	Freshness   sim.Ticks
-	Collections int
-	Failures    int // consecutive unanswered collections
+	Addr         string
+	RegisteredAt sim.Ticks
+	LastContact  sim.Ticks
+	Healthy      bool
+	Freshness    sim.Ticks
+	Collections  int
+	Failures     int // consecutive unanswered collections
 }
 
 type device struct {
-	cfg      DeviceConfig
-	verifier *core.Verifier
-	client   *session.VerifierClient
-	stop     func()
+	cfg          DeviceConfig
+	verifier     *core.Verifier
+	registeredAt sim.Ticks
+	stop         func()
 
+	// Mutable state below is guarded by Manager.mu: verdicts are applied
+	// by the pipeline goroutine while the scheduler keeps running.
 	lastContact sim.Ticks
 	healthy     bool
+	unreachable bool
 	freshness   sim.Ticks
 	collections int
 	failures    int
 }
 
+// Collector is the transport a Manager drives. Implementations:
+// SimCollector (the in-process simulated datagram network) and
+// UDPCollector (real sockets against a udptransport fleet server).
+type Collector interface {
+	// Register provisions the transport for one device (address, key,
+	// algorithm) before its first collection.
+	Register(cfg DeviceConfig) error
+	// Collect requests the k latest records from the device at addr. On a
+	// nil return, cb is invoked exactly once — possibly on another
+	// goroutine — with the outcome; on a non-nil return cb is never
+	// invoked (e.g. a previous collection is still outstanding).
+	Collect(addr string, k int, cb func(session.CollectResult, error)) error
+}
+
+// ManagerConfig parameterizes a Manager.
+type ManagerConfig struct {
+	// Engine schedules collections (virtual time). Required.
+	Engine *sim.Engine
+	// Collector is the collection transport. Required.
+	Collector Collector
+	// Clock is the verifier's time base (loosely synchronized with device
+	// RROCs), used for freshness judgments. Required.
+	Clock func() uint64
+	// UnreachableAfter is the consecutive-failure threshold at which a
+	// device is flagged unreachable and marked unhealthy (default 2).
+	UnreachableAfter int
+	// VerifyWorkers sizes the batch-verification pool (default GOMAXPROCS).
+	VerifyWorkers int
+	// QueueDepth bounds the asynchronous verification queue; submissions
+	// beyond it exert backpressure on the collection callbacks
+	// (default 256).
+	QueueDepth int
+	// BatchLimit caps how many queued histories one batch-verifier call
+	// takes (default 64).
+	BatchLimit int
+	// Synchronous verifies each history inline in the collection callback
+	// instead of through the asynchronous pipeline — the pre-pipeline
+	// code path, kept for debugging and for the equivalence tests that
+	// prove batching never changes verdicts.
+	Synchronous bool
+	// OnReport, if set, observes every applied verification report in
+	// application order. It runs with the manager's lock held and must
+	// not call back into the Manager.
+	OnReport func(addr string, rep core.Report)
+}
+
 // Manager runs the fleet.
 type Manager struct {
-	engine *sim.Engine
-	net    *netsim.Network
-	addr   string
-	clock  func() uint64
+	engine           *sim.Engine
+	collector        Collector
+	clock            func() uint64
+	unreachableAfter int
+	onReport         func(string, core.Report)
 
+	pipe *pipeline
+
+	mu      sync.Mutex
 	devices map[string]*device
 	alerts  []Alert
 	started bool
 }
 
-// NewManager builds a fleet manager communicating from addr. clock is the
-// verifier's time base (loosely synchronized with device RROCs), used for
-// freshness judgments and on-demand requests.
+// NewManagerWith builds a fleet manager over an explicit transport.
+func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("fleet: engine required")
+	}
+	if cfg.Collector == nil {
+		return nil, errors.New("fleet: collector required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("fleet: clock required")
+	}
+	if cfg.UnreachableAfter <= 0 {
+		cfg.UnreachableAfter = 2
+	}
+	if cfg.VerifyWorkers <= 0 {
+		cfg.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.BatchLimit <= 0 {
+		cfg.BatchLimit = 64
+	}
+	m := &Manager{
+		engine:           cfg.Engine,
+		collector:        cfg.Collector,
+		clock:            cfg.Clock,
+		unreachableAfter: cfg.UnreachableAfter,
+		onReport:         cfg.OnReport,
+		devices:          make(map[string]*device),
+	}
+	m.pipe = newPipeline(m, cfg)
+	return m, nil
+}
+
+// NewManager builds a fleet manager collecting over the simulated network
+// from addr (one SimCollector per manager) — the transport the in-process
+// experiments use. clock is the verifier's time base.
 func NewManager(e *sim.Engine, n *netsim.Network, addr string, clock func() uint64) (*Manager, error) {
 	if e == nil || n == nil {
 		return nil, errors.New("fleet: nil engine or network")
@@ -99,22 +203,21 @@ func NewManager(e *sim.Engine, n *netsim.Network, addr string, clock func() uint
 	if clock == nil {
 		return nil, errors.New("fleet: clock required")
 	}
-	return &Manager{
-		engine: e, net: n, addr: addr, clock: clock,
-		devices: make(map[string]*device),
-	}, nil
+	col, err := NewSimCollector(n, e, addr, clock)
+	if err != nil {
+		return nil, err
+	}
+	return NewManagerWith(ManagerConfig{Engine: e, Collector: col, Clock: clock})
 }
 
-// Register adds a device. Must be called before Start.
+// Register adds a device. Registration is allowed while the manager is
+// running (fleet churn): a late-joining device starts collecting one TC
+// from now, and its warm-up leniency is measured from this moment — not
+// from the engine epoch — so a young device is never falsely flagged for
+// the full history it cannot have yet.
 func (m *Manager) Register(cfg DeviceConfig) error {
-	if m.started {
-		return errors.New("fleet: Register after Start")
-	}
 	if cfg.Addr == "" {
 		return errors.New("fleet: device address required")
-	}
-	if _, dup := m.devices[cfg.Addr]; dup {
-		return fmt.Errorf("fleet: device %q already registered", cfg.Addr)
 	}
 	if err := cfg.QoA.Validate(); err != nil {
 		return err
@@ -124,38 +227,79 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 		GoldenHashes: cfg.GoldenHashes,
 		MinGap:       cfg.QoA.TM - cfg.QoA.TM/10,
 		MaxGap:       cfg.QoA.TM + cfg.QoA.TM/2,
+		// Loose synchronization (§2): tolerate the prover's RROC leading
+		// the verifier clock by a sliver of TM before crying tamper.
+		ClockSkew: cfg.QoA.TM / 10,
 	})
 	if err != nil {
 		return err
 	}
-	client, err := session.NewVerifierClient(m.net, m.engine,
-		m.addr+"/"+cfg.Addr, cfg.Alg, cfg.Key, m.clock)
-	if err != nil {
+	m.mu.Lock()
+	if _, dup := m.devices[cfg.Addr]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: device %q already registered", cfg.Addr)
+	}
+	m.mu.Unlock()
+	if err := m.collector.Register(cfg); err != nil {
 		return err
 	}
-	m.devices[cfg.Addr] = &device{cfg: cfg, verifier: vrf, client: client, healthy: true}
+	d := &device{
+		cfg: cfg, verifier: vrf, healthy: true,
+		registeredAt: m.engine.Now(),
+	}
+	m.mu.Lock()
+	// Recheck under the same critical section as the insert: a concurrent
+	// Register of the same address must not silently replace a live
+	// device (the Collector extension point need not dup-detect).
+	if _, dup := m.devices[cfg.Addr]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("fleet: device %q already registered", cfg.Addr)
+	}
+	m.devices[cfg.Addr] = d
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		m.startTicker(d, cfg.QoA.TC)
+	}
 	return nil
+}
+
+// startTicker schedules a device's periodic collection, first firing after
+// the given delay.
+func (m *Manager) startTicker(d *device, delay sim.Ticks) {
+	d.stop = m.engine.Ticker(m.engine.Now()+delay, d.cfg.QoA.TC, func() {
+		m.collect(d)
+	})
 }
 
 // Start schedules collections: device i of n is polled every TC with phase
 // i×TC/n, spreading verifier traffic (and prover buffer pressure) evenly.
+// Devices registered after Start are not restaggered.
 func (m *Manager) Start() {
+	m.mu.Lock()
 	if m.started {
+		m.mu.Unlock()
 		return
 	}
 	m.started = true
-	addrs := m.Addresses()
-	for i, addr := range addrs {
-		dev := m.devices[addr]
-		phase := sim.Ticks(int64(dev.cfg.QoA.TC) * int64(i) / int64(len(addrs)))
-		dev.stop = m.engine.Ticker(m.engine.Now()+phase+dev.cfg.QoA.TC, dev.cfg.QoA.TC, func() {
-			m.collect(dev)
-		})
+	devs := make([]*device, 0, len(m.devices))
+	for _, d := range m.devices {
+		devs = append(devs, d)
+	}
+	m.mu.Unlock()
+	sort.Slice(devs, func(i, j int) bool { return devs[i].cfg.Addr < devs[j].cfg.Addr })
+	for i, dev := range devs {
+		phase := sim.Ticks(int64(dev.cfg.QoA.TC) * int64(i) / int64(len(devs)))
+		m.startTicker(dev, phase+dev.cfg.QoA.TC)
 	}
 }
 
-// Stop cancels all scheduled collections.
+// Stop cancels all scheduled collections, then waits for every history
+// already handed to the verification pipeline to be applied. Collections
+// still in flight on the transport are not waited for (their verdicts are
+// applied whenever they complete); use Flush for full quiescence.
 func (m *Manager) Stop() {
+	m.mu.Lock()
 	for _, d := range m.devices {
 		if d.stop != nil {
 			d.stop()
@@ -163,42 +307,87 @@ func (m *Manager) Stop() {
 		}
 	}
 	m.started = false
+	m.mu.Unlock()
+	m.pipe.waitQueued()
+}
+
+// Flush blocks until every launched collection has fully resolved —
+// response or timeout received, verdict computed and applied. On a
+// real-time transport this may wait out the client's retry budget; on the
+// simulated transport the engine must have run past the outstanding
+// timeouts or Flush will wait forever.
+func (m *Manager) Flush() { m.pipe.waitInflight() }
+
+// Close stops the manager and shuts down the verification pipeline. The
+// collector is closed too when it implements io.Closer.
+func (m *Manager) Close() error {
+	m.Stop()
+	m.pipe.close()
+	if c, ok := m.collector.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 func (m *Manager) collect(d *device) {
 	k := d.cfg.QoA.RecordsPerCollection()
-	err := d.client.Collect(d.cfg.Addr, k, func(res session.CollectResult, err error) {
-		if err != nil {
-			d.failures++
-			m.alert(d, AlertUnreachable, fmt.Sprintf("%d attempts failed", res.Attempts))
-			return
-		}
-		d.failures = 0
-		d.lastContact = m.engine.Now()
-		d.collections++
-		// Skip the length check during warm-up: a device younger than
-		// k×TM cannot have a full history yet.
-		expected := k
-		if m.engine.Now() < sim.Ticks(k)*d.cfg.QoA.TM {
-			expected = 0
-		}
-		rep := d.verifier.VerifyHistory(res.Records, m.clock(), expected)
-		d.freshness = rep.Freshness
-		wasHealthy := d.healthy
-		d.healthy = rep.Healthy()
-		switch {
-		case rep.InfectionDetected:
-			m.alert(d, AlertInfection, firstIssue(rep))
-		case rep.TamperDetected:
-			m.alert(d, AlertTamper, firstIssue(rep))
-		case !wasHealthy && d.healthy:
-			m.alert(d, AlertRecovered, "history healthy again")
-		}
+	launched := m.engine.Now()
+	now := m.clock()
+	// Warm-up leniency, measured from registration (not the engine
+	// epoch): a device younger than k×TM cannot have a full history yet,
+	// no matter when in the fleet's life it joined.
+	expected := k
+	if launched-d.registeredAt < sim.Ticks(k)*d.cfg.QoA.TM {
+		expected = 0
+	}
+	m.pipe.launched()
+	err := m.collector.Collect(d.cfg.Addr, k, func(res session.CollectResult, err error) {
+		m.pipe.submit(pipeJob{dev: d, res: res, err: err, now: now, expectedK: expected, at: launched})
 	})
 	if err != nil {
 		// A previous collection is still outstanding (device very slow or
 		// TC shorter than the timeout budget); count it as a failure.
+		m.pipe.submit(pipeJob{dev: d, err: err, at: launched})
+	}
+}
+
+// applyResult folds one resolved collection into per-device state and the
+// alert stream. Called by the pipeline in submission order.
+func (m *Manager) applyResult(j *pipeJob) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := j.dev
+	if j.err != nil {
 		d.failures++
+		if d.failures == m.unreachableAfter {
+			d.healthy = false
+			d.unreachable = true
+			m.alertAt(j.at, d, AlertUnreachable,
+				fmt.Sprintf("%d consecutive collections failed", d.failures))
+		}
+		return
+	}
+	rep := j.rep
+	wasUnreachable := d.unreachable
+	d.unreachable = false
+	d.failures = 0
+	d.lastContact = j.at
+	d.collections++
+	d.freshness = rep.Freshness
+	wasHealthy := d.healthy
+	d.healthy = rep.Healthy()
+	switch {
+	case rep.InfectionDetected:
+		m.alertAt(j.at, d, AlertInfection, firstIssue(rep))
+	case rep.TamperDetected:
+		m.alertAt(j.at, d, AlertTamper, firstIssue(rep))
+	case wasUnreachable && d.healthy:
+		m.alertAt(j.at, d, AlertRecovered, "device reachable, history healthy")
+	case !wasHealthy && d.healthy:
+		m.alertAt(j.at, d, AlertRecovered, "history healthy again")
+	}
+	if m.onReport != nil {
+		m.onReport(d.cfg.Addr, rep)
 	}
 }
 
@@ -209,19 +398,22 @@ func firstIssue(rep core.Report) string {
 	return rep.Issues[0]
 }
 
-func (m *Manager) alert(d *device, kind AlertKind, detail string) {
-	m.alerts = append(m.alerts, Alert{
-		Time: m.engine.Now(), Device: d.cfg.Addr, Kind: kind, Detail: detail,
-	})
+// alertAt records an alert. Callers hold m.mu.
+func (m *Manager) alertAt(at sim.Ticks, d *device, kind AlertKind, detail string) {
+	m.alerts = append(m.alerts, Alert{Time: at, Device: d.cfg.Addr, Kind: kind, Detail: detail})
 }
 
 // Alerts returns all recorded alerts in order.
-func (m *Manager) Alerts() []Alert { return append([]Alert(nil), m.alerts...) }
+func (m *Manager) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
 
 // AlertsFor filters alerts by device address.
 func (m *Manager) AlertsFor(addr string) []Alert {
 	var out []Alert
-	for _, a := range m.alerts {
+	for _, a := range m.Alerts() {
 		if a.Device == addr {
 			out = append(out, a)
 		}
@@ -231,6 +423,8 @@ func (m *Manager) AlertsFor(addr string) []Alert {
 
 // Addresses lists registered devices, sorted.
 func (m *Manager) Addresses() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]string, 0, len(m.devices))
 	for addr := range m.devices {
 		out = append(out, addr)
@@ -241,22 +435,28 @@ func (m *Manager) Addresses() []string {
 
 // Status reports one device's dashboard line.
 func (m *Manager) Status(addr string) (DeviceStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d, ok := m.devices[addr]
 	if !ok {
 		return DeviceStatus{}, fmt.Errorf("fleet: unknown device %q", addr)
 	}
 	return DeviceStatus{
-		Addr:        addr,
-		LastContact: d.lastContact,
-		Healthy:     d.healthy,
-		Freshness:   d.freshness,
-		Collections: d.collections,
-		Failures:    d.failures,
+		Addr:         addr,
+		RegisteredAt: d.registeredAt,
+		LastContact:  d.lastContact,
+		Healthy:      d.healthy,
+		Freshness:    d.freshness,
+		Collections:  d.collections,
+		Failures:     d.failures,
 	}, nil
 }
 
-// HealthyCount returns how many devices currently have healthy histories.
+// HealthyCount returns how many devices currently have healthy histories
+// and are reachable.
 func (m *Manager) HealthyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	for _, d := range m.devices {
 		if d.healthy {

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"sync"
+
+	"erasmus/internal/core"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+)
+
+// pipeJob is one resolved collection travelling from the transport
+// callback to per-device state: either a collected history awaiting a
+// verdict or a collection failure.
+type pipeJob struct {
+	dev       *device
+	res       session.CollectResult
+	err       error
+	now       uint64 // verifier clock at launch
+	expectedK int
+	at        sim.Ticks // launch time, stamped onto alerts
+	rep       core.Report
+}
+
+// pipeline decouples verification from collection: transport callbacks
+// submit into a bounded queue, a dispatcher goroutine drains it in batches
+// through a core.BatchVerifier worker pool, and verdicts are re-joined to
+// the owning device via VerifyJob.Tag — all in submission order, so the
+// alert stream is identical to inline verification while the scheduling
+// goroutine never blocks on MAC recomputation.
+type pipeline struct {
+	m          *Manager
+	bv         *core.BatchVerifier
+	jobs       chan pipeJob
+	batchLimit int
+	inline     bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight int // collections launched, verdict not yet applied
+	queued   int // jobs submitted to the queue, not yet applied
+
+	// closeMu fences channel sends against close(): submitters hold the
+	// read side across the send, so the channel can never be closed
+	// between the closed-check and the send. The dispatcher takes neither
+	// side, so a full queue drains normally.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+func newPipeline(m *Manager, cfg ManagerConfig) *pipeline {
+	p := &pipeline{
+		m:          m,
+		bv:         core.NewBatchVerifier(cfg.VerifyWorkers),
+		batchLimit: cfg.BatchLimit,
+		inline:     cfg.Synchronous,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if !p.inline {
+		p.jobs = make(chan pipeJob, cfg.QueueDepth)
+		go p.dispatch()
+	}
+	return p
+}
+
+// launched accounts one collection leaving the scheduler.
+func (p *pipeline) launched() {
+	p.mu.Lock()
+	p.inflight++
+	p.mu.Unlock()
+}
+
+// submit hands one resolved collection to verification. Safe for
+// concurrent use; blocks when the queue is full (backpressure on the
+// transport callbacks, never on the scheduler).
+func (p *pipeline) submit(j pipeJob) {
+	if p.inline {
+		p.process([]pipeJob{j})
+		p.settle(1, 0)
+		return
+	}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		p.settle(1, 0) // the launch resolves; the job is dropped
+		return
+	}
+	p.mu.Lock()
+	p.queued++
+	p.mu.Unlock()
+	p.jobs <- j
+	p.closeMu.RUnlock()
+}
+
+func (p *pipeline) dispatch() {
+	for j := range p.jobs {
+		batch := []pipeJob{j}
+	gather:
+		for len(batch) < p.batchLimit {
+			select {
+			case j2, ok := <-p.jobs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, j2)
+			default:
+				break gather
+			}
+		}
+		p.process(batch)
+		p.settle(len(batch), len(batch))
+	}
+}
+
+// process verifies a batch's successful collections in parallel and
+// applies every outcome in submission order.
+func (p *pipeline) process(batch []pipeJob) {
+	var vjobs []core.VerifyJob
+	for i := range batch {
+		if batch[i].err == nil {
+			vjobs = append(vjobs, core.VerifyJob{
+				Verifier:  batch[i].dev.verifier,
+				Records:   batch[i].res.Records,
+				Now:       batch[i].now,
+				ExpectedK: batch[i].expectedK,
+				Tag:       &batch[i],
+			})
+		}
+	}
+	if len(vjobs) > 0 {
+		reports := p.bv.Verify(vjobs)
+		for i := range vjobs {
+			vjobs[i].Tag.(*pipeJob).rep = reports[i]
+		}
+	}
+	for i := range batch {
+		p.m.applyResult(&batch[i])
+	}
+}
+
+// settle retires applied jobs from the counters.
+func (p *pipeline) settle(inflight, queued int) {
+	p.mu.Lock()
+	p.inflight -= inflight
+	p.queued -= queued
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// waitQueued blocks until the queue is drained and applied.
+func (p *pipeline) waitQueued() {
+	p.mu.Lock()
+	for p.queued > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// waitInflight blocks until every launched collection has been applied.
+func (p *pipeline) waitInflight() {
+	p.mu.Lock()
+	for p.inflight > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// close shuts the dispatcher down; later submissions are dropped.
+func (p *pipeline) close() {
+	if p.inline {
+		return
+	}
+	p.closeMu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.closeMu.Unlock()
+}

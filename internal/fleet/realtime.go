@@ -1,0 +1,36 @@
+package fleet
+
+import (
+	"time"
+
+	"erasmus/internal/sim"
+)
+
+// PumpRealTime advances an engine against the wall clock — one virtual
+// nanosecond per elapsed wall nanosecond — until the engine reaches
+// horizon, then returns. This is how a Manager runs over a real-time
+// transport (UDPCollector): its collection tickers fire at their exact
+// virtual times while the responses arrive on real sockets. step bounds
+// the pacing granularity (default 2 ms).
+//
+// The caller should follow with Manager.Stop and Manager.Flush so
+// in-flight round trips resolve before the alert stream is read.
+func PumpRealTime(e *sim.Engine, horizon sim.Ticks, step time.Duration) {
+	if step <= 0 {
+		step = 2 * time.Millisecond
+	}
+	start := time.Now()
+	for {
+		elapsed := sim.Ticks(time.Since(start))
+		if elapsed >= horizon {
+			break
+		}
+		e.RunUntil(elapsed)
+		if remaining := time.Duration(horizon - elapsed); remaining < step {
+			time.Sleep(remaining)
+		} else {
+			time.Sleep(step)
+		}
+	}
+	e.RunUntil(horizon)
+}

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/session"
+	"erasmus/internal/udptransport"
+)
+
+// UDPCollector drives collections over real UDP sockets against a
+// udptransport fleet server (many provers on one socket, demuxed by
+// device id). Each Collect runs on its own goroutine over a pooled
+// socket, so up to the pool size of devices are polled concurrently; the
+// callback is invoked from that goroutine.
+type UDPCollector struct {
+	fc *udptransport.FleetClient
+
+	mu       sync.Mutex
+	algs     map[string]mac.Algorithm
+	inflight map[string]bool
+}
+
+// NewUDPCollector dials a fleet server with a socket pool of the given
+// size (the collection concurrency bound; minimum 1).
+func NewUDPCollector(server string, poolSize int) (*UDPCollector, error) {
+	fc, err := udptransport.DialFleet(server, poolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPCollector{
+		fc:       fc,
+		algs:     make(map[string]mac.Algorithm),
+		inflight: make(map[string]bool),
+	}, nil
+}
+
+// SetRetryBudget overrides the per-attempt timeout and attempt count
+// (defaults 500 ms × 3). Call before the first Collect.
+func (u *UDPCollector) SetRetryBudget(timeout time.Duration, attempts int) {
+	if timeout > 0 {
+		u.fc.Timeout = timeout
+	}
+	if attempts > 0 {
+		u.fc.Attempts = attempts
+	}
+}
+
+// Register records the device's wire algorithm for response decoding.
+func (u *UDPCollector) Register(cfg DeviceConfig) error {
+	if !cfg.Alg.Valid() {
+		return fmt.Errorf("fleet: device %q has invalid algorithm %d", cfg.Addr, int(cfg.Alg))
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, dup := u.algs[cfg.Addr]; dup {
+		return fmt.Errorf("fleet: device %q already registered with collector", cfg.Addr)
+	}
+	u.algs[cfg.Addr] = cfg.Alg
+	return nil
+}
+
+// Collect fetches the k latest records from the device, asynchronously.
+// One collection per device may be outstanding at a time (the Collector
+// contract, matching the session transport), which also bounds the
+// goroutine count by the fleet size rather than the tick rate.
+func (u *UDPCollector) Collect(addr string, k int, cb func(session.CollectResult, error)) error {
+	u.mu.Lock()
+	alg, ok := u.algs[addr]
+	if !ok {
+		u.mu.Unlock()
+		return fmt.Errorf("fleet: device %q not registered with collector", addr)
+	}
+	if u.inflight[addr] {
+		u.mu.Unlock()
+		return fmt.Errorf("fleet: collection to %q already outstanding", addr)
+	}
+	u.inflight[addr] = true
+	u.mu.Unlock()
+	go func() {
+		recs, err := u.fc.Collect(addr, alg, k)
+		u.mu.Lock()
+		delete(u.inflight, addr)
+		u.mu.Unlock()
+		if err != nil {
+			cb(session.CollectResult{Attempts: u.fc.Attempts}, err)
+			return
+		}
+		cb(session.CollectResult{Records: recs, Attempts: 1}, nil)
+	}()
+	return nil
+}
+
+// Close releases the socket pool.
+func (u *UDPCollector) Close() error { return u.fc.Close() }

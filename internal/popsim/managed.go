@@ -1,0 +1,390 @@
+package popsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/fleet"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/hw/mcu"
+	"erasmus/internal/netsim"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+	"erasmus/internal/udptransport"
+)
+
+// verifierEpoch anchors the manager's clock to the device RROC epoch
+// (identical for both device models).
+const verifierEpoch = mcu.DefaultEpoch
+
+// ManagedConfig parameterizes a fleet-managed population run: the same
+// seeded per-device scenario generation as the sharded runtime, but driven
+// end-to-end through fleet.Manager — staggered collection scheduling over
+// a pluggable transport, the bounded asynchronous verification pipeline,
+// and the alert stream.
+type ManagedConfig struct {
+	// Population is the number of prover devices. Required.
+	Population int
+	// Transport selects the collection path: "sim" (default, the
+	// in-process simulated network — virtual time, instant) or "udp"
+	// (real loopback sockets — wall-paced, so keep QoA and Duration in
+	// the milliseconds-to-seconds range).
+	Transport string
+	// Seed drives every per-device random draw.
+	Seed int64
+	// Alg is the measurement MAC (default keyed BLAKE2s).
+	Alg mac.Algorithm
+	// QoA sets TM/TC for every device (default TM=10m, TC=4×TM).
+	QoA core.QoA
+	// Slots is the per-device buffer size (default minimum + 2).
+	Slots int
+	// Duration is the simulated horizon (default 6×TC).
+	Duration sim.Ticks
+	// IMX6Fraction of devices are i.MX6-class; the rest are MSP430-class.
+	IMX6Fraction float64
+	// MSP430Memory / IMX6Memory are attested image sizes in bytes.
+	MSP430Memory, IMX6Memory int
+	// Loss is the datagram loss probability of the simulated network
+	// ("sim" transport only; real loopback sockets do not lose packets).
+	Loss float64
+	// Latency is the one-way delivery delay of the simulated network.
+	Latency sim.Ticks
+	// LateJoinFraction of devices register with the manager (and boot)
+	// only part-way through the run, exercising warm-up leniency.
+	LateJoinFraction float64
+	// JoinWindow bounds late-join times; default Duration/2.
+	JoinWindow sim.Ticks
+	// Wave configures the infection wave.
+	Wave WaveConfig
+	// VerifyWorkers / QueueDepth size the manager's verification pipeline.
+	VerifyWorkers, QueueDepth int
+	// UnreachableAfter is the manager's consecutive-failure threshold.
+	UnreachableAfter int
+	// Synchronous verifies inline instead of through the pipeline.
+	Synchronous bool
+	// UDPPool is the socket-pool size of the UDP collector (default 8).
+	UDPPool int
+}
+
+// ManagedResult aggregates one fleet-managed run.
+type ManagedResult struct {
+	Config ManagedConfig
+	// Alerts is the manager's full alert stream.
+	Alerts []fleet.Alert
+	// AlertCounts tallies the stream by kind.
+	AlertCounts map[fleet.AlertKind]int
+	// Devices, LateJoiners and InfectionsSeeded describe the scenario;
+	// InfectionsDetected counts seeded devices with at least one
+	// infection alert, FalseInfections counts clean devices alerted.
+	Devices, LateJoiners int
+	InfectionsSeeded     int
+	InfectionsDetected   int
+	FalseInfections      int
+	HealthyCount         int
+	BuildWall, RunWall   time.Duration
+}
+
+func (c *ManagedConfig) fill() (*Config, error) {
+	switch c.Transport {
+	case "":
+		c.Transport = "sim"
+	case "sim", "udp":
+	default:
+		return nil, fmt.Errorf("popsim: unknown transport %q (want sim or udp)", c.Transport)
+	}
+	if c.Transport == "udp" && c.Loss > 0 {
+		return nil, errors.New("popsim: the udp transport cannot simulate datagram loss")
+	}
+	if c.Latency < 0 {
+		return nil, fmt.Errorf("popsim: negative latency %v", c.Latency)
+	}
+	if c.UDPPool <= 0 {
+		c.UDPPool = 8
+	}
+	// Reuse the sharded runtime's validation and per-device planning.
+	pc := &Config{
+		Population: c.Population, Shards: 1, Seed: c.Seed, Alg: c.Alg,
+		QoA: c.QoA, Slots: c.Slots, Duration: c.Duration,
+		IMX6Fraction: c.IMX6Fraction,
+		MSP430Memory: c.MSP430Memory, IMX6Memory: c.IMX6Memory,
+		Loss:  c.Loss,
+		Churn: ChurnConfig{LateJoinFraction: c.LateJoinFraction, JoinWindow: c.JoinWindow},
+		Wave:  c.Wave,
+	}
+	if err := pc.fillDefaults(); err != nil {
+		return nil, err
+	}
+	c.Alg, c.QoA, c.Slots, c.Duration = pc.Alg, pc.QoA, pc.Slots, pc.Duration
+	c.MSP430Memory, c.IMX6Memory = pc.MSP430Memory, pc.IMX6Memory
+	c.JoinWindow, c.Wave = pc.Churn.JoinWindow, pc.Wave
+	return pc, nil
+}
+
+// managedDevice is one prover plus its provisioning, shared by both
+// transports.
+type managedDevice struct {
+	plan   devicePlan
+	addr   string
+	key    []byte
+	dev    attDevice
+	prv    *core.Prover
+	golden []byte
+}
+
+// buildManagedDevice constructs one device on the engine and schedules its
+// infection timeline (the clean golden hash is captured first).
+func buildManagedDevice(e *sim.Engine, cfg *ManagedConfig, p devicePlan) (*managedDevice, error) {
+	key := deviceKey(cfg.Seed, p.id)
+	storeSize := cfg.Slots * core.RecordSize(cfg.Alg)
+	var dev attDevice
+	if p.imx6 {
+		d, err := imx6.New(imx6.Config{
+			Engine: e, MemorySize: cfg.IMX6Memory, StoreSize: storeSize, Key: key,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dev = d
+	} else {
+		d, err := mcu.New(mcu.Config{
+			Engine: e, MemorySize: cfg.MSP430Memory, StoreSize: storeSize, Key: key,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dev = d
+	}
+	sched, err := core.NewRegularWithPhase(cfg.QoA.TM, p.mphase)
+	if err != nil {
+		return nil, err
+	}
+	prv, err := core.NewProver(dev, core.ProverConfig{Alg: cfg.Alg, Schedule: sched, Slots: cfg.Slots})
+	if err != nil {
+		return nil, err
+	}
+	md := &managedDevice{
+		plan: p, addr: fmt.Sprintf("dev-%06d", p.id), key: key,
+		dev: dev, prv: prv,
+		golden: mac.HashSum(cfg.Alg, dev.Memory()),
+	}
+	if p.infect >= 0 {
+		clean := make([]byte, len(implant))
+		e.At(p.infect, func() {
+			if err := dev.WriteMemory(0, implant); err != nil {
+				panic(err)
+			}
+		})
+		if p.dwell > 0 {
+			e.At(p.infect+p.dwell, func() {
+				if err := dev.WriteMemory(0, clean); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	return md, nil
+}
+
+func (md *managedDevice) deviceConfig(cfg *ManagedConfig) fleet.DeviceConfig {
+	return fleet.DeviceConfig{
+		Addr: md.addr, Key: md.key, Alg: cfg.Alg, QoA: cfg.QoA,
+		GoldenHashes: [][]byte{md.golden},
+	}
+}
+
+func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, clock func() uint64) fleet.ManagerConfig {
+	return fleet.ManagerConfig{
+		Engine: e, Collector: col, Clock: clock,
+		VerifyWorkers: cfg.VerifyWorkers, QueueDepth: cfg.QueueDepth,
+		UnreachableAfter: cfg.UnreachableAfter,
+		Synchronous:      cfg.Synchronous,
+	}
+}
+
+// RunManaged executes a fleet-managed population scenario.
+func RunManaged(cfg ManagedConfig) (*ManagedResult, error) {
+	pc, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]devicePlan, cfg.Population)
+	for id := range plans {
+		plans[id] = planDevice(pc, id)
+	}
+	if cfg.Transport == "udp" {
+		return runManagedUDP(&cfg, plans)
+	}
+	return runManagedSim(&cfg, plans)
+}
+
+// runManagedSim drives the scenario over the simulated network in virtual
+// time.
+func runManagedSim(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, error) {
+	buildStart := time.Now()
+	engine := sim.NewEngine()
+	nw, err := netsim.New(engine, netsim.Config{
+		Latency: cfg.Latency, LossRate: cfg.Loss, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clock := func() uint64 { return verifierEpoch + uint64(engine.Now()) }
+	col, err := fleet.NewSimCollector(nw, engine, "fleet-hq", clock)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock))
+	if err != nil {
+		return nil, err
+	}
+
+	devices := make([]*managedDevice, 0, len(plans))
+	for _, p := range plans {
+		md, err := buildManagedDevice(engine, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		devices = append(devices, md)
+		enroll := func() error {
+			if _, err := session.AttachProver(nw, engine, md.addr, md.prv, cfg.Alg); err != nil {
+				return err
+			}
+			md.prv.Start()
+			return mgr.Register(md.deviceConfig(cfg))
+		}
+		if p.join == 0 {
+			if err := enroll(); err != nil {
+				return nil, err
+			}
+		} else {
+			engine.At(p.join, func() {
+				if err := enroll(); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	res := &ManagedResult{Config: *cfg, BuildWall: time.Since(buildStart)}
+
+	runStart := time.Now()
+	mgr.Start()
+	engine.RunUntil(cfg.Duration)
+	mgr.Stop()
+	// Drain collections still in flight at the horizon so the sim
+	// transport applies the same tail verdicts the UDP transport waits
+	// out in Flush: with the tickers stopped, run the engine through the
+	// session client's full retry budget plus round-trip latency, then
+	// wait for the last verdicts to be applied.
+	engine.RunUntil(cfg.Duration + 2*sim.Second + 2*cfg.Latency)
+	mgr.Flush()
+	res.RunWall = time.Since(runStart)
+	res.finish(mgr, devices)
+	return res, mgr.Close()
+}
+
+// runManagedUDP drives the scenario over real loopback sockets: provers
+// live on one wall-paced engine behind a multi-prover UDP server, the
+// manager on a second wall-paced engine, and the two meet only on the
+// wire.
+func runManagedUDP(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, error) {
+	buildStart := time.Now()
+	proverEngine := sim.NewEngine()
+	devices := make([]*managedDevice, 0, len(plans))
+	for _, p := range plans {
+		md, err := buildManagedDevice(proverEngine, cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		devices = append(devices, md)
+		// Late joiners boot at their join time; everything is scheduled
+		// before the server takes ownership of the engine.
+		if p.join == 0 {
+			md.prv.Start()
+		} else {
+			start := md.prv.Start
+			proverEngine.At(p.join, func() { start() })
+		}
+	}
+
+	// The manager's clock is anchored to the server's wall epoch, so
+	// collected records can never lead it by more than a round trip.
+	serveStart := time.Now()
+	srv, err := udptransport.ServeFleet("127.0.0.1:0", proverEngine, cfg.Alg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	for _, md := range devices {
+		if err := srv.Host(md.addr, md.prv); err != nil {
+			return nil, err
+		}
+	}
+
+	col, err := fleet.NewUDPCollector(srv.Addr().String(), cfg.UDPPool)
+	if err != nil {
+		return nil, err
+	}
+	mgrEngine := sim.NewEngine()
+	clock := func() uint64 { return verifierEpoch + uint64(time.Since(serveStart)) }
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock))
+	if err != nil {
+		return nil, err
+	}
+	for _, md := range devices {
+		md := md
+		if md.plan.join == 0 {
+			if err := mgr.Register(md.deviceConfig(cfg)); err != nil {
+				return nil, err
+			}
+		} else {
+			mgrEngine.At(md.plan.join, func() {
+				if err := mgr.Register(md.deviceConfig(cfg)); err != nil {
+					panic(err)
+				}
+			})
+		}
+	}
+	res := &ManagedResult{Config: *cfg, BuildWall: time.Since(buildStart)}
+
+	runStart := time.Now()
+	mgr.Start()
+	fleet.PumpRealTime(mgrEngine, cfg.Duration, 2*time.Millisecond)
+	mgr.Stop()
+	mgr.Flush()
+	res.RunWall = time.Since(runStart)
+	res.finish(mgr, devices)
+	return res, mgr.Close()
+}
+
+// finish folds the manager's end state into the result.
+func (r *ManagedResult) finish(mgr *fleet.Manager, devices []*managedDevice) {
+	r.Alerts = mgr.Alerts()
+	r.AlertCounts = make(map[fleet.AlertKind]int)
+	infectionAlerted := make(map[string]bool)
+	for _, a := range r.Alerts {
+		r.AlertCounts[a.Kind]++
+		if a.Kind == fleet.AlertInfection {
+			infectionAlerted[a.Device] = true
+		}
+	}
+	r.Devices = len(devices)
+	r.HealthyCount = mgr.HealthyCount()
+	for _, md := range devices {
+		if md.plan.join > 0 {
+			r.LateJoiners++
+		}
+		seeded := md.plan.infect >= 0
+		if seeded {
+			r.InfectionsSeeded++
+		}
+		switch {
+		case seeded && infectionAlerted[md.addr]:
+			r.InfectionsDetected++
+		case !seeded && infectionAlerted[md.addr]:
+			r.FalseInfections++
+		}
+	}
+}

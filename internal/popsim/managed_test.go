@@ -1,0 +1,92 @@
+package popsim
+
+import (
+	"testing"
+
+	"erasmus/internal/core"
+	"erasmus/internal/fleet"
+	"erasmus/internal/sim"
+)
+
+// A fleet-managed population with churn, loss and an infection wave: every
+// seeded infection is detected, and — the warm-up regression at population
+// scale — devices joining mid-run never produce false tamper alerts while
+// their buffers fill.
+func TestManagedPopulationSim(t *testing.T) {
+	res, err := RunManaged(ManagedConfig{
+		Population:       150,
+		Seed:             11,
+		QoA:              core.QoA{TM: 10 * sim.Minute, TC: 40 * sim.Minute},
+		Duration:         4 * sim.Hour,
+		IMX6Fraction:     0.25,
+		Loss:             0.05,
+		Latency:          10 * sim.Millisecond,
+		LateJoinFraction: 0.2,
+		Wave:             WaveConfig{Coverage: 0.3, Start: sim.Hour, Spread: 30 * sim.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LateJoiners == 0 || res.InfectionsSeeded == 0 {
+		t.Fatalf("scenario degenerate: %d late joiners, %d infections", res.LateJoiners, res.InfectionsSeeded)
+	}
+	if res.InfectionsDetected != res.InfectionsSeeded {
+		t.Errorf("detected %d of %d persistent infections", res.InfectionsDetected, res.InfectionsSeeded)
+	}
+	if res.FalseInfections != 0 {
+		t.Errorf("%d clean devices flagged infected", res.FalseInfections)
+	}
+	if n := res.AlertCounts[fleet.AlertTamper]; n != 0 {
+		t.Errorf("%d false tamper alerts (warm-up / loss handling regression)", n)
+	}
+	if res.HealthyCount < res.Devices-res.InfectionsSeeded {
+		t.Errorf("healthy %d/%d with only %d infected", res.HealthyCount, res.Devices, res.InfectionsSeeded)
+	}
+}
+
+// The same scenario shape over real loopback UDP (wall-paced, so small):
+// collections demux over one socket, verdicts flow through the async
+// pipeline, and no clock-drift false tampers appear.
+func TestManagedPopulationUDP(t *testing.T) {
+	res, err := RunManaged(ManagedConfig{
+		Population:       8,
+		Transport:        "udp",
+		Seed:             5,
+		QoA:              core.QoA{TM: 100 * sim.Millisecond, TC: 400 * sim.Millisecond},
+		Duration:         1500 * sim.Millisecond,
+		IMX6Fraction:     1, // µs-scale measurements keep ms-scale TM feasible
+		LateJoinFraction: 0.25,
+		Wave:             WaveConfig{Coverage: 0.5, Start: 300 * sim.Millisecond, Spread: 200 * sim.Millisecond},
+		UDPPool:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InfectionsSeeded == 0 {
+		t.Fatal("scenario degenerate: no infections seeded")
+	}
+	if res.InfectionsDetected != res.InfectionsSeeded {
+		t.Errorf("detected %d of %d persistent infections", res.InfectionsDetected, res.InfectionsSeeded)
+	}
+	if res.FalseInfections != 0 {
+		t.Errorf("%d clean devices flagged infected", res.FalseInfections)
+	}
+	if n := res.AlertCounts[fleet.AlertTamper]; n != 0 {
+		t.Errorf("%d false tamper alerts over UDP (clock drift regression): %+v", n, res.Alerts)
+	}
+	if n := res.AlertCounts[fleet.AlertUnreachable]; n != 0 {
+		t.Errorf("%d unreachable alerts on loopback", n)
+	}
+}
+
+func TestManagedConfigValidation(t *testing.T) {
+	if _, err := RunManaged(ManagedConfig{}); err == nil {
+		t.Error("zero population accepted")
+	}
+	if _, err := RunManaged(ManagedConfig{Population: 1, Transport: "carrier-pigeon"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if _, err := RunManaged(ManagedConfig{Population: 1, Transport: "udp", Loss: 0.5}); err == nil {
+		t.Error("udp transport with loss accepted")
+	}
+}

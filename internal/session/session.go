@@ -111,8 +111,8 @@ type VerifierClient struct {
 	Timeout  sim.Ticks
 	Attempts int
 
-	pending map[string]*pendingReq
-	nonce   uint64
+	pending  map[string]*pendingReq
+	lastTreq uint64
 }
 
 type pendingReq struct {
@@ -159,11 +159,11 @@ func (c *VerifierClient) Collect(proverAddr string, k int, cb func(CollectResult
 }
 
 // CollectOD issues an authenticated ERASMUS+OD request: the prover will
-// compute a fresh measurement M0 and return it with the history.
+// compute a fresh measurement M0 and return it with the history. Request
+// timestamps follow core.NextTreq, so the prover's anti-replay floor
+// never ratchets ahead of honest clocks.
 func (c *VerifierClient) CollectOD(proverAddr string, k int, cb func(CollectResult, error)) error {
-	c.nonce++
-	treq := c.Clock() + c.nonce // strictly increasing even within one tick
-	req := core.NewODRequest(c.alg, c.key, treq, k)
+	req := core.NewODRequest(c.alg, c.key, core.NextTreq(c.Clock, &c.lastTreq), k)
 	return c.start(proverAddr, &pendingReq{
 		od: true, k: k, callback: cb, payload: req.Encode(), kind: core.KindODRequest,
 	})
@@ -185,8 +185,7 @@ func (c *VerifierClient) transmit(proverAddr string, p *pendingReq) {
 		// Retransmissions need a fresh treq: the prover's anti-replay
 		// floor already consumed the previous one if the response (not
 		// the request) was lost.
-		c.nonce++
-		req := core.NewODRequest(c.alg, c.key, c.Clock()+c.nonce, p.k)
+		req := core.NewODRequest(c.alg, c.key, core.NextTreq(c.Clock, &c.lastTreq), p.k)
 		p.payload = req.Encode()
 	}
 	c.net.Send(netsim.Packet{From: c.addr, To: proverAddr, Kind: p.kind, Payload: p.payload})

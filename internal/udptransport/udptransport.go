@@ -1,6 +1,6 @@
 // Package udptransport serves the ERASMUS collection protocols over real
-// UDP sockets (standard library net), turning a simulated prover into a
-// daemon a verifier can poll across an actual network.
+// UDP sockets (standard library net), turning simulated provers into
+// daemons a verifier can poll across an actual network.
 //
 // The prover's runtime is event-driven on virtual time; this package
 // bridges the two clocks by pumping the simulation forward to track the
@@ -8,15 +8,21 @@
 // measurement schedule therefore fires in real time, and collection
 // requests observe the same buffer state a hardware deployment would.
 //
-// All packets are a single datagram: one type byte followed by the wire
-// encodings from internal/core.
+// A Server hosts any number of provers on one socket. The original
+// single-prover datagrams (one type byte followed by the wire encodings
+// from internal/core) address the server's default prover; fleet datagrams
+// carry an exchange id and a device-id frame in front of the payload, so
+// one socket demuxes collections for a whole population and a pooled
+// FleetClient can keep many requests in flight concurrently.
 package udptransport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"erasmus/internal/core"
@@ -30,32 +36,75 @@ const (
 	msgCollectResp = 0x02
 	msgODReq       = 0x03
 	msgODResp      = 0x04
+	// Fleet messages prefix the payload with [xid uint32][idLen uint8][id],
+	// echoed verbatim in the response so pooled sockets can match replies
+	// to requests.
+	msgFleetCollectReq  = 0x05
+	msgFleetCollectResp = 0x06
 )
 
 const maxDatagram = 64 * 1024
 
-// Server exposes one prover on a UDP socket.
-type Server struct {
-	conn   *net.UDPConn
-	alg    mac.Algorithm
-	prover *core.Prover
+// defaultProverID keys the prover addressed by the original un-framed
+// single-prover messages.
+const defaultProverID = ""
 
-	mu        sync.Mutex // guards engine and prover
+// Limits for the serve loop's persistent-error handling: a socket that
+// keeps failing must not spin a goroutine at 100% CPU, and one that can
+// never recover must not keep a dead server half-alive.
+const (
+	maxReadErrors  = 64
+	maxReadBackoff = 250 * time.Millisecond
+)
+
+// Server exposes one or more provers on a UDP socket.
+type Server struct {
+	conn *net.UDPConn
+	alg  mac.Algorithm
+
+	mu        sync.Mutex // guards engine and provers
 	engine    *sim.Engine
+	provers   map[string]*core.Prover
 	wallStart time.Time
 	simStart  sim.Ticks
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	done        chan struct{}
+	serveExited chan struct{} // closed when the read loop returns
+	wg          sync.WaitGroup
 }
 
-// Serve binds addr (e.g. "127.0.0.1:0") and starts serving the prover.
-// The caller must have built prover on engine; after Serve returns, the
-// engine is owned by the server's clock pump and must not be driven
-// directly.
+// Serve binds addr (e.g. "127.0.0.1:0") and starts serving the prover as
+// the server's default (un-framed protocol) device. The caller must have
+// built prover on engine; after Serve returns, the engine is owned by the
+// server's clock pump and must not be driven directly.
 func Serve(addr string, engine *sim.Engine, prover *core.Prover, alg mac.Algorithm) (*Server, error) {
-	if engine == nil || prover == nil {
-		return nil, errors.New("udptransport: nil engine or prover")
+	if prover == nil {
+		return nil, errors.New("udptransport: nil prover")
+	}
+	s, err := newServer(addr, engine, alg)
+	if err != nil {
+		return nil, err
+	}
+	s.provers[defaultProverID] = prover
+	s.start()
+	return s, nil
+}
+
+// ServeFleet binds addr and starts a multi-prover server. Provers are
+// added with Host; every hosted prover must live on the given engine,
+// which the server's clock pump owns from here on.
+func ServeFleet(addr string, engine *sim.Engine, alg mac.Algorithm) (*Server, error) {
+	s, err := newServer(addr, engine, alg)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+func newServer(addr string, engine *sim.Engine, alg mac.Algorithm) (*Server, error) {
+	if engine == nil {
+		return nil, errors.New("udptransport: nil engine")
 	}
 	if !alg.Valid() {
 		return nil, fmt.Errorf("udptransport: invalid algorithm %d", int(alg))
@@ -69,18 +118,50 @@ func Serve(addr string, engine *sim.Engine, prover *core.Prover, alg mac.Algorit
 		return nil, err
 	}
 	s := &Server{
-		conn:      conn,
-		alg:       alg,
-		prover:    prover,
-		engine:    engine,
-		wallStart: time.Now(),
-		simStart:  engine.Now(),
-		done:      make(chan struct{}),
+		conn:        conn,
+		alg:         alg,
+		provers:     make(map[string]*core.Prover),
+		engine:      engine,
+		wallStart:   time.Now(),
+		simStart:    engine.Now(),
+		done:        make(chan struct{}),
+		serveExited: make(chan struct{}),
 	}
+	return s, nil
+}
+
+func (s *Server) start() {
 	s.wg.Add(2)
 	go s.pumpClock()
 	go s.serve()
-	return s, nil
+}
+
+// Host registers a prover under a device id for the fleet protocol. The
+// prover must run on the server's engine. Hosting may happen at any time
+// (fleet churn): requests for unknown ids are silently dropped, exactly
+// like requests to a dark device.
+func (s *Server) Host(id string, prover *core.Prover) error {
+	if id == "" || len(id) > 255 {
+		return fmt.Errorf("udptransport: device id %q must be 1–255 bytes", id)
+	}
+	if prover == nil {
+		return errors.New("udptransport: nil prover")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.provers[id]; dup {
+		return fmt.Errorf("udptransport: device %q already hosted", id)
+	}
+	s.provers[id] = prover
+	return nil
+}
+
+// Unhost removes a prover from the fleet protocol (decommissioning);
+// subsequent requests for the id are dropped.
+func (s *Server) Unhost(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.provers, id)
 }
 
 // Addr returns the bound address (useful with port 0).
@@ -126,7 +207,10 @@ func (s *Server) pumpClock() {
 
 func (s *Server) serve() {
 	defer s.wg.Done()
+	defer close(s.serveExited)
 	buf := make([]byte, maxDatagram)
+	errStreak := 0
+	backoff := time.Millisecond
 	for {
 		n, peer, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -134,9 +218,28 @@ func (s *Server) serve() {
 			case <-s.done:
 				return
 			default:
-				continue // transient socket error; keep serving
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return // the socket is gone for good; nothing left to serve
+			}
+			// Transient errors happen (ICMP-induced, buffer pressure), but
+			// a persistent failure must neither spin this goroutine at
+			// 100% CPU nor keep a dead server half-alive: back off, and
+			// give up after a sustained streak.
+			if errStreak++; errStreak >= maxReadErrors {
+				return
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxReadBackoff {
+				backoff = maxReadBackoff
+			}
+			continue
 		}
+		errStreak, backoff = 0, time.Millisecond
 		if n == 0 {
 			continue
 		}
@@ -157,28 +260,72 @@ func (s *Server) handle(dgram []byte) []byte {
 
 	switch dgram[0] {
 	case msgCollectReq:
+		prover := s.provers[defaultProverID]
 		req, err := core.DecodeCollectRequest(dgram[1:])
-		if err != nil {
+		if err != nil || prover == nil {
 			return nil
 		}
-		recs, _ := s.prover.HandleCollect(req.K)
+		recs, _ := prover.HandleCollect(req.K)
 		return append([]byte{msgCollectResp}, core.CollectResponse{Records: recs}.Encode(s.alg)...)
 	case msgODReq:
+		prover := s.provers[defaultProverID]
 		req, err := core.DecodeODRequest(s.alg, dgram[1:])
-		if err != nil {
+		if err != nil || prover == nil {
 			return nil
 		}
-		m0, hist, _, err := s.prover.HandleCollectOD(req.Treq, req.K, req.MAC)
+		m0, hist, _, err := prover.HandleCollectOD(req.Treq, req.K, req.MAC)
 		if err != nil {
 			return nil
 		}
 		return append([]byte{msgODResp}, core.ODResponse{M0: m0, Records: hist}.Encode(s.alg)...)
+	case msgFleetCollectReq:
+		frame, payload, err := decodeFleetFrame(dgram)
+		if err != nil {
+			return nil
+		}
+		prover := s.provers[frame.id]
+		req, err := core.DecodeCollectRequest(payload)
+		if err != nil || prover == nil {
+			return nil
+		}
+		recs, _ := prover.HandleCollect(req.K)
+		return encodeFleetFrame(msgFleetCollectResp, frame,
+			core.CollectResponse{Records: recs}.Encode(s.alg))
 	default:
 		return nil
 	}
 }
 
-// Client collects from a remote prover over UDP.
+// fleetFrame is the demux header of the fleet protocol: an exchange id
+// chosen by the client plus the target device id, echoed in the response.
+type fleetFrame struct {
+	xid uint32
+	id  string
+}
+
+func encodeFleetFrame(msgType byte, f fleetFrame, payload []byte) []byte {
+	out := make([]byte, 0, 6+len(f.id)+len(payload))
+	out = append(out, msgType)
+	out = binary.BigEndian.AppendUint32(out, f.xid)
+	out = append(out, byte(len(f.id)))
+	out = append(out, f.id...)
+	return append(out, payload...)
+}
+
+func decodeFleetFrame(dgram []byte) (fleetFrame, []byte, error) {
+	if len(dgram) < 6 {
+		return fleetFrame{}, nil, errors.New("udptransport: fleet frame truncated")
+	}
+	xid := binary.BigEndian.Uint32(dgram[1:5])
+	idLen := int(dgram[5])
+	if idLen == 0 || len(dgram) < 6+idLen {
+		return fleetFrame{}, nil, errors.New("udptransport: fleet frame id truncated")
+	}
+	return fleetFrame{xid: xid, id: string(dgram[6 : 6+idLen])}, dgram[6+idLen:], nil
+}
+
+// Client collects from a remote prover over UDP (the single-prover,
+// un-framed protocol).
 type Client struct {
 	conn *net.UDPConn
 	alg  mac.Algorithm
@@ -188,7 +335,7 @@ type Client struct {
 	Timeout  time.Duration
 	Attempts int
 
-	nonce uint64
+	lastTreq uint64
 }
 
 // Dial connects (in the UDP sense) to a prover server.
@@ -216,29 +363,31 @@ func (c *Client) Close() error { return c.conn.Close() }
 // ErrTimeout is returned when every attempt expires unanswered.
 var ErrTimeout = errors.New("udptransport: request timed out")
 
-// roundTrip sends a request datagram and waits for the expected response
-// type, retrying per the client budget.
-func (c *Client) roundTrip(req []byte, wantType byte, fresh func() []byte) ([]byte, error) {
+// roundTrip sends a request datagram over conn and waits for a response
+// accepted by ok, retrying per the given budget. fresh, when non-nil,
+// rebuilds the request for each retransmission.
+func roundTrip(conn *net.UDPConn, req []byte, timeout time.Duration, attempts int,
+	ok func([]byte) bool, fresh func() []byte) ([]byte, error) {
 	buf := make([]byte, maxDatagram)
-	for attempt := 0; attempt < c.Attempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 && fresh != nil {
 			req = fresh()
 		}
-		if _, err := c.conn.Write(req); err != nil {
+		if _, err := conn.Write(req); err != nil {
 			return nil, err
 		}
-		deadline := time.Now().Add(c.Timeout)
+		deadline := time.Now().Add(timeout)
 		for {
-			if err := c.conn.SetReadDeadline(deadline); err != nil {
+			if err := conn.SetReadDeadline(deadline); err != nil {
 				return nil, err
 			}
-			n, err := c.conn.Read(buf)
+			n, err := conn.Read(buf)
 			if err != nil {
 				break // timeout or socket error: next attempt
 			}
-			if n > 0 && buf[0] == wantType {
-				out := make([]byte, n-1)
-				copy(out, buf[1:n])
+			if n > 0 && ok(buf[:n]) {
+				out := make([]byte, n)
+				copy(out, buf[:n])
 				return out, nil
 			}
 			// Unexpected datagram (stale response): keep reading until
@@ -251,11 +400,12 @@ func (c *Client) roundTrip(req []byte, wantType byte, fresh func() []byte) ([]by
 // Collect fetches the k latest records.
 func (c *Client) Collect(k int) ([]core.Record, error) {
 	req := append([]byte{msgCollectReq}, core.CollectRequest{K: k}.Encode()...)
-	raw, err := c.roundTrip(req, msgCollectResp, nil)
+	raw, err := roundTrip(c.conn, req, c.Timeout, c.Attempts,
+		func(b []byte) bool { return b[0] == msgCollectResp }, nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := core.DecodeCollectResponse(c.alg, raw)
+	resp, err := core.DecodeCollectResponse(c.alg, raw[1:])
 	if err != nil {
 		return nil, err
 	}
@@ -265,23 +415,116 @@ func (c *Client) Collect(k int) ([]core.Record, error) {
 // CollectOD issues an authenticated ERASMUS+OD request. clock supplies the
 // verifier's time base (must be loosely synchronized with the prover's
 // RROC). Retransmissions carry fresh treq values so the prover's
-// anti-replay floor never blocks them.
+// anti-replay floor never blocks them; timestamps follow core.NextTreq,
+// so the floor never ratchets ahead of honest clocks either.
 func (c *Client) CollectOD(k int, clock func() uint64) (core.Record, []core.Record, error) {
 	if clock == nil {
 		return core.Record{}, nil, errors.New("udptransport: clock required")
 	}
 	build := func() []byte {
-		c.nonce++
-		req := core.NewODRequest(c.alg, c.key, clock()+c.nonce, k)
+		req := core.NewODRequest(c.alg, c.key, core.NextTreq(clock, &c.lastTreq), k)
 		return append([]byte{msgODReq}, req.Encode()...)
 	}
-	raw, err := c.roundTrip(build(), msgODResp, build)
+	raw, err := roundTrip(c.conn, build(), c.Timeout, c.Attempts,
+		func(b []byte) bool { return b[0] == msgODResp }, build)
 	if err != nil {
 		return core.Record{}, nil, err
 	}
-	resp, err := core.DecodeODResponse(c.alg, raw)
+	resp, err := core.DecodeODResponse(c.alg, raw[1:])
 	if err != nil {
 		return core.Record{}, nil, err
 	}
 	return resp.M0, resp.Records, nil
+}
+
+// FleetClient collects from many provers hosted on one fleet server. It
+// holds a pool of UDP sockets, so up to poolSize collections proceed
+// concurrently; Collect is safe for concurrent use and blocks when the
+// pool is exhausted (natural backpressure for a fleet scheduler).
+type FleetClient struct {
+	// Timeout per attempt and total attempts (defaults 500 ms × 3). Set
+	// before the first Collect; not synchronized.
+	Timeout  time.Duration
+	Attempts int
+
+	conns []*net.UDPConn
+	pool  chan *net.UDPConn
+	xid   atomic.Uint32
+}
+
+// DialFleet opens poolSize sockets (minimum 1) to a fleet server.
+func DialFleet(server string, poolSize int) (*FleetClient, error) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	addr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, err
+	}
+	c := &FleetClient{
+		Timeout: 500 * time.Millisecond, Attempts: 3,
+		pool: make(chan *net.UDPConn, poolSize),
+	}
+	for i := 0; i < poolSize; i++ {
+		conn, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, conn)
+		c.pool <- conn
+	}
+	return c, nil
+}
+
+// Close releases every pooled socket; in-flight Collects fail with the
+// socket error.
+func (c *FleetClient) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PoolSize returns the number of pooled sockets (the concurrency bound).
+func (c *FleetClient) PoolSize() int { return cap(c.pool) }
+
+// Collect fetches the k latest records from the prover hosted under id,
+// decoding with the device's provisioned algorithm. Responses are matched
+// on both the exchange id and the echoed device id, so a pooled socket
+// reused across devices never delivers one device's history as another's.
+func (c *FleetClient) Collect(id string, alg mac.Algorithm, k int) ([]core.Record, error) {
+	if id == "" || len(id) > 255 {
+		return nil, fmt.Errorf("udptransport: device id %q must be 1–255 bytes", id)
+	}
+	if !alg.Valid() {
+		return nil, fmt.Errorf("udptransport: invalid algorithm %d", int(alg))
+	}
+	frame := fleetFrame{xid: c.xid.Add(1), id: id}
+	req := encodeFleetFrame(msgFleetCollectReq, frame, core.CollectRequest{K: k}.Encode())
+
+	conn := <-c.pool
+	defer func() { c.pool <- conn }()
+	raw, err := roundTrip(conn, req, c.Timeout, c.Attempts, func(b []byte) bool {
+		if b[0] != msgFleetCollectResp {
+			return false
+		}
+		got, _, err := decodeFleetFrame(b)
+		return err == nil && got == frame
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	_, payload, err := decodeFleetFrame(raw)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := core.DecodeCollectResponse(alg, payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
 }

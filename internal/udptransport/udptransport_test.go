@@ -1,6 +1,8 @@
 package udptransport
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -163,5 +165,177 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// The anti-replay floor regression: treq must track the clock, not
+// accumulate an offset. After any number of requests under a frozen clock,
+// one clock advance must bring treq back to exactly clock() — the old
+// clock()+nonce scheme kept the accumulated nonce in every later
+// timestamp, ratcheting the prover's floor ahead of real time. Both
+// transports (this client and session.VerifierClient) share the rule via
+// core.NextTreq against the client's floor field.
+func TestODTreqTracksClock(t *testing.T) {
+	c := &Client{}
+	now := uint64(1_000_000)
+	clock := func() uint64 { return now }
+	prev := core.NextTreq(clock, &c.lastTreq)
+	for i := 0; i < 100; i++ {
+		got := core.NextTreq(clock, &c.lastTreq)
+		if got <= prev {
+			t.Fatalf("treq not strictly increasing: %d after %d", got, prev)
+		}
+		prev = got
+	}
+	now += 5_000_000
+	if got := core.NextTreq(clock, &c.lastTreq); got != now {
+		t.Fatalf("after clock advance treq = %d, want exactly clock %d (offset %d leaked)",
+			got, now, got-now)
+	}
+}
+
+// A verifier that reconnects with fresh client state (treq floor unknown)
+// and an honest clock must be accepted even after a previous client issued
+// many on-demand requests.
+func TestReconnectingClientNotLockedOut(t *testing.T) {
+	srv, started := startServer(t)
+	clock := func() uint64 { return imx6.DefaultEpoch + uint64(time.Since(started)) }
+
+	first := dialServer(t, srv)
+	time.Sleep(120 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if _, _, err := first.CollectOD(2, clock); err != nil {
+			t.Fatalf("first client request %d: %v", i, err)
+		}
+	}
+	first.Close()
+
+	fresh := dialServer(t, srv)
+	fresh.Timeout = 200 * time.Millisecond
+	m0, _, err := fresh.CollectOD(2, clock)
+	if err != nil {
+		t.Fatalf("reconnecting client locked out: %v", err)
+	}
+	if !m0.VerifyMAC(alg, key) {
+		t.Fatal("M0 not authentic")
+	}
+}
+
+// A socket that dies underneath the server (without Close being called)
+// must terminate the read loop rather than spin it at 100% CPU forever.
+func TestServeExitsOnDeadSocket(t *testing.T) {
+	srv, _ := startServer(t)
+	srv.conn.Close() // simulate the socket failing out from under serve
+	select {
+	case <-srv.serveExited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve loop still running on a closed socket")
+	}
+	srv.Close() // still safe afterwards
+}
+
+// startFleetServer hosts n provers (keys fleet-key-<i>) on one socket.
+func startFleetServer(t *testing.T, n int) (*Server, [][]byte) {
+	t.Helper()
+	e := sim.NewEngine()
+	srv, err := ServeFleet("127.0.0.1:0", e, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("fleet-key-%02d", i))
+		dev, err := imx6.New(imx6.Config{
+			Engine:     e,
+			MemorySize: 4 * 1024,
+			StoreSize:  32 * core.RecordSize(alg),
+			Key:        keys[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, _ := core.NewRegularWithPhase(30*sim.Millisecond, sim.Ticks(i)*sim.Millisecond)
+		p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		if err := srv.Host(fmt.Sprintf("dev-%02d", i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, keys
+}
+
+// One socket hosts many provers; a pooled client demuxes them by device
+// id and every history authenticates under its own device key.
+func TestFleetServerDemux(t *testing.T) {
+	srv, keys := startFleetServer(t, 4)
+	fc, err := DialFleet(srv.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	time.Sleep(200 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(keys))
+	for i := range keys {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs, err := fc.Collect(fmt.Sprintf("dev-%02d", i), alg, 4)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(recs) < 3 {
+				errs[i] = fmt.Errorf("only %d records", len(recs))
+				return
+			}
+			for _, r := range recs {
+				if !r.VerifyMAC(alg, keys[i]) {
+					errs[i] = fmt.Errorf("record not authentic under device %d's key", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("device %d: %v", i, err)
+		}
+	}
+
+	// Unknown ids are dropped silently, like a dark device.
+	fc.Timeout = 50 * time.Millisecond
+	fc.Attempts = 1
+	if _, err := fc.Collect("no-such-device", alg, 1); err != ErrTimeout {
+		t.Fatalf("unknown device: err = %v, want ErrTimeout", err)
+	}
+	if _, err := fc.Collect("", alg, 1); err == nil {
+		t.Fatal("empty device id accepted")
+	}
+}
+
+// Unhosting removes a device from the demux table.
+func TestFleetUnhost(t *testing.T) {
+	srv, _ := startFleetServer(t, 1)
+	fc, err := DialFleet(srv.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	fc.Timeout = 50 * time.Millisecond
+	fc.Attempts = 1
+	time.Sleep(80 * time.Millisecond)
+	if _, err := fc.Collect("dev-00", alg, 1); err != nil {
+		t.Fatalf("hosted device unreachable: %v", err)
+	}
+	srv.Unhost("dev-00")
+	if _, err := fc.Collect("dev-00", alg, 1); err != ErrTimeout {
+		t.Fatalf("unhosted device: err = %v, want ErrTimeout", err)
 	}
 }
