@@ -502,13 +502,24 @@ func BenchmarkPopulationSim(b *testing.B) {
 // BenchmarkFleetPipeline measures the fleet-managed collection path end to
 // end — staggered scheduling over the simulated network, the bounded
 // asynchronous queue, batch-verified verdicts re-joined to device state —
-// against the inline-verification baseline, for growing populations.
+// against the inline-verification baseline, for growing populations. The
+// +delta modes run the same scenario with incremental (since-watermark)
+// collection; the alert count must not move (delta changes cost, never
+// outcomes). Inline verification is where delta rounds deterministically
+// happen in virtual time (async verdicts lag an instantly-advancing
+// clock), so inline vs inline+delta is the like-for-like comparison.
 func BenchmarkFleetPipeline(b *testing.B) {
 	for _, pop := range []int{200, 1000} {
 		for _, mode := range []struct {
-			name string
-			sync bool
-		}{{"inline", true}, {"pipeline", false}} {
+			name  string
+			sync  bool
+			delta bool
+		}{
+			{"inline", true, false},
+			{"pipeline", false, false},
+			{"inline+delta", true, true},
+			{"pipeline+delta", false, true},
+		} {
 			b.Run(fmt.Sprintf("n=%d/%s", pop, mode.name), func(b *testing.B) {
 				var res *popsim.ManagedResult
 				for i := 0; i < b.N; i++ {
@@ -523,6 +534,7 @@ func BenchmarkFleetPipeline(b *testing.B) {
 						LateJoinFraction: 0.1,
 						Wave:             popsim.WaveConfig{Coverage: 0.2, Start: 3 * sim.Minute, Spread: 2 * sim.Minute},
 						Synchronous:      mode.sync,
+						Delta:            mode.delta,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -530,6 +542,60 @@ func BenchmarkFleetPipeline(b *testing.B) {
 				}
 				b.ReportMetric(float64(res.Devices)*res.Config.Duration.Seconds()/res.RunWall.Seconds(), "device-s/s")
 				b.ReportMetric(float64(len(res.Alerts)), "alerts")
+			})
+		}
+	}
+}
+
+// BenchmarkIncrementalVerify quantifies the stateful verifier service's
+// core claim: when consecutive collections overlap — k exceeds the new
+// records per round, whether for loss-redundancy or because a collection
+// was late — the stateless path re-MAC-verifies the whole k-record window
+// while VerifyDelta pays one O(1) anchor equality check plus the new
+// records only. MACs/op is the number of MAC computations each iteration
+// performs; wall time per op should track it.
+func BenchmarkIncrementalVerify(b *testing.B) {
+	algo := mac.KeyedBLAKE2s
+	key := []byte("incr-bench-device-key")
+	golden := make([]byte, 256)
+	vrf, err := core.NewVerifier(core.VerifierConfig{
+		Alg: algo, Key: key,
+		GoldenHashes: [][]byte{mac.HashSum(algo, golden)},
+		MinGap:       sim.Minute - sim.Second,
+		MaxGap:       sim.Minute + sim.Minute/2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{8, 32, 128} {
+		base := uint64(1_000_000_000_000)
+		endT := base + uint64(k)*uint64(sim.Minute)
+		recs := make([]core.Record, 0, k)
+		for j := 0; j < k; j++ {
+			recs = append(recs, core.ComputeRecord(algo, key, endT-uint64(j)*uint64(sim.Minute), golden))
+		}
+		now := endT + uint64(sim.Second)
+		for _, ov := range []int{50, 90} {
+			// overlap% of the window is already verified: the watermark
+			// sits at record index newCount, the newest of the old ones.
+			newCount := k - k*ov/100
+			wm := core.NewWatermark(recs[newCount])
+			deltaRecs := recs[:newCount+1] // new records + anchor
+			rep, _ := vrf.VerifyDelta(deltaRecs, now, 0, wm)
+			if !rep.Healthy() || rep.OverlapTrusted != 1 {
+				b.Fatalf("delta setup unhealthy: %+v", rep)
+			}
+			b.Run(fmt.Sprintf("k=%d/overlap=%d%%/full", k, ov), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vrf.VerifyHistory(recs, now, 0)
+				}
+				b.ReportMetric(float64(k), "MACs/op")
+			})
+			b.Run(fmt.Sprintf("k=%d/overlap=%d%%/delta", k, ov), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					vrf.VerifyDelta(deltaRecs, now, 0, wm)
+				}
+				b.ReportMetric(float64(newCount), "MACs/op")
 			})
 		}
 	}

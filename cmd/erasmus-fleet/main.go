@@ -17,6 +17,11 @@
 //	erasmus-fleet -transport sim -population 1000          # simulated network
 //	erasmus-fleet -transport udp -population 32            # real loopback UDP
 //
+// Managed transports default to incremental collection (-delta): the
+// verifier keeps a per-device watermark and each round ships and verifies
+// only the records measured since the previous one; -delta=false restores
+// stateless full-history collection. Both produce identical alerts.
+//
 // The udp transport is wall-paced (one virtual nanosecond per wall
 // nanosecond), so it defaults to a milliseconds-scale QoA and a ~2 s
 // horizon unless -tm/-tc/-duration are given explicitly.
@@ -58,6 +63,7 @@ func main() {
 		latency    = flag.Duration("latency", 10*time.Millisecond, "one-way network latency (sim transport)")
 		pool       = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
 		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports)")
+		delta      = flag.Bool("delta", true, "incremental collection: per-device watermarks, \"since t_last\" requests, O(new)-record verification (managed transports)")
 	)
 	flag.Parse()
 
@@ -100,6 +106,22 @@ func main() {
 		} else if !set["population"] {
 			*population = 1000
 		}
+		if *transport == "sim" && *delta && !*syncVerify {
+			// A delta round needs the previous verdict applied before it
+			// launches; in virtual time the engine outruns the async
+			// pipeline, so every round would silently fall back to a full
+			// collection. Verify inline unless the user explicitly chose
+			// async (then say what that choice means).
+			if set["sync-verify"] {
+				fmt.Fprintln(os.Stderr, "erasmus-fleet: note: -transport sim with async verification "+
+					"falls back to full collection every round (virtual time outruns the pipeline); "+
+					"verdicts are identical, but nothing is verified incrementally")
+			} else {
+				*syncVerify = true
+				fmt.Fprintln(os.Stderr, "erasmus-fleet: note: verifying inline so -delta engages on the "+
+					"virtual-time sim transport (-sync-verify=false to force the async pipeline)")
+			}
+		}
 		mres, err := popsim.RunManaged(popsim.ManagedConfig{
 			Population:       *population,
 			Transport:        *transport,
@@ -119,6 +141,7 @@ func main() {
 			},
 			VerifyWorkers: *workers,
 			Synchronous:   *syncVerify,
+			Delta:         *delta,
 			UDPPool:       *pool,
 		})
 		if err != nil {
@@ -226,7 +249,12 @@ func reportManaged(res *popsim.ManagedResult) {
 	if cfg.Synchronous {
 		mode = "inline verification"
 	}
+	collection := "full k-record histories"
+	if cfg.Delta {
+		collection = "delta (since-watermark, incremental verification)"
+	}
 	fmt.Printf("  verification: %s\n", mode)
+	fmt.Printf("  collection: %s\n", collection)
 
 	fmt.Println("\nalert stream:")
 	for _, kind := range []fleet.AlertKind{

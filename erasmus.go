@@ -148,6 +148,33 @@ type (
 // (≤ 0 selects GOMAXPROCS).
 func NewBatchVerifier(workers int) *BatchVerifier { return core.NewBatchVerifier(workers) }
 
+// Incremental attestation: the stateful verifier service. Instead of
+// re-shipping and re-MAC-verifying the full k-record history every
+// collection, the verifier keeps one small Watermark per device and
+// collects "everything since t_last" — bounding its work by the
+// measurement rate rather than by collections × history size.
+type (
+	// Watermark is the per-device verifier state: the newest verified
+	// record's timestamp, hash and MAC (≈150 B per device with overhead).
+	Watermark = core.Watermark
+	// AttestationService is the sharded, memory-bounded per-device
+	// watermark store backing fleet-scale incremental verification.
+	AttestationService = core.AttestationService
+	// AttestationServiceConfig sizes the store (shards, device capacity).
+	AttestationServiceConfig = core.ServiceConfig
+	// DeltaCollectRequest is the "records since t_last" wire frame.
+	DeltaCollectRequest = core.DeltaCollectRequest
+)
+
+// NewAttestationService builds the watermark store.
+func NewAttestationService(cfg AttestationServiceConfig) *AttestationService {
+	return core.NewAttestationService(cfg)
+}
+
+// NextWatermark derives the watermark to store after applying a report
+// produced against prev (pure; see core.NextWatermark for the rules).
+func NextWatermark(prev Watermark, rep Report) Watermark { return core.NextWatermark(prev, rep) }
+
 // NewRegularSchedule measures every tm (phase 0).
 func NewRegularSchedule(tm Ticks) (Schedule, error) {
 	s, err := core.NewRegular(tm)

@@ -280,3 +280,71 @@ func TestPublicAPIBatchVerifier(t *testing.T) {
 		}
 	}
 }
+
+// Incremental attestation through the public API only: a full collection
+// establishes the watermark in the AttestationService, a delta collection
+// ships anchor + new records, and the service verifies O(new).
+func TestPublicAPIIncrementalAttestation(t *testing.T) {
+	e := erasmus.NewEngine()
+	key := []byte("public-api-delta-key")
+	dev, err := erasmus.NewMSP430(erasmus.MSP430Config{
+		Engine:     e,
+		MemorySize: 2048,
+		StoreSize:  8 * erasmus.RecordSize(erasmus.KeyedBLAKE2s),
+		Key:        key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := erasmus.NewRegularSchedule(erasmus.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prv, err := erasmus.NewProver(dev, erasmus.ProverConfig{
+		Alg: erasmus.KeyedBLAKE2s, Schedule: sched, Slots: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrf, err := erasmus.NewVerifier(erasmus.VerifierConfig{
+		Alg: erasmus.KeyedBLAKE2s, Key: key,
+		GoldenHashes: [][]byte{mac.HashSum(erasmus.KeyedBLAKE2s, dev.Memory())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := erasmus.NewAttestationService(erasmus.AttestationServiceConfig{})
+
+	prv.Start()
+	e.RunUntil(4 * erasmus.Hour)
+	recs, _ := prv.HandleCollect(4)
+	rep := svc.Verify("dev-1", vrf, recs, dev.RROC(), 4)
+	if !rep.Healthy() || rep.DeltaApplied {
+		t.Fatalf("first round should be a healthy stateless verification: %+v", rep)
+	}
+	wm, ok := svc.Watermark("dev-1")
+	if !ok || wm.IsZero() {
+		t.Fatal("watermark not established")
+	}
+
+	e.RunUntil(7 * erasmus.Hour)
+	prv.Stop()
+	deltaRecs, _ := prv.HandleCollectDelta(wm.T, 0)
+	if len(deltaRecs) != 4 { // 3 new + anchor
+		t.Fatalf("delta shipped %d records, want 4", len(deltaRecs))
+	}
+	rep2 := svc.Verify("dev-1", vrf, deltaRecs, dev.RROC(), 4)
+	if !rep2.Healthy() || !rep2.DeltaApplied || rep2.OverlapTrusted != 1 {
+		t.Fatalf("incremental round wrong: %+v", rep2)
+	}
+	if len(rep2.Records) != 3 {
+		t.Fatalf("verified %d new records, want 3", len(rep2.Records))
+	}
+	next := erasmus.NextWatermark(wm, rep2)
+	if got, _ := svc.Watermark("dev-1"); got.T != next.T {
+		t.Fatal("service state and NextWatermark disagree")
+	}
+	if _, err := core.DecodeDeltaCollectRequest(erasmus.DeltaCollectRequest{Since: wm.T, K: 0}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+}

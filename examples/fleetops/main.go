@@ -1,18 +1,22 @@
 // Fleetops: operating a population of unattended ERASMUS devices over a
-// transport-pluggable collection pipeline.
+// transport-pluggable, incrementally verified collection pipeline.
 //
 // The same seeded scenario — five sensors self-measuring every 60 ms, one
 // carrying an implant from boot, one provisioned with the wrong key —
-// runs twice: once over the in-process simulated network (virtual time,
-// finishes instantly) and once over real loopback UDP sockets (wall-paced,
-// one multi-prover server demuxing all five devices on one socket, a
-// pooled concurrent collector, ~1.1 s of wall time). Collected histories
-// flow through the manager's asynchronous batch-verified pipeline in both
-// runs.
+// runs three times: over the in-process simulated network with stateless
+// full-history collection, over the same network with delta collection
+// (per-device watermarks; each round ships and MAC-verifies only the
+// records measured since the previous round), and over real loopback UDP
+// sockets with delta collection (wall-paced, one multi-prover server
+// demuxing all five devices on one socket, ~1.1 s of wall time). The two
+// sim runs verify inline — in virtual time the engine outruns any async
+// worker, and a delta round needs the previous verdict applied — while
+// the UDP run exercises the asynchronous batch-verified pipeline.
 //
 // The point: the alert stream is a property of the scenario, not of the
-// plumbing. Both transports must produce the identical stream — launch
-// times, devices, kinds and details — which this example verifies.
+// plumbing — and not of the verification strategy. All three runs must
+// produce the identical stream — launch times, devices, kinds and
+// details — which this example verifies.
 //
 // Run with:
 //
@@ -107,8 +111,9 @@ func register(manager *erasmus.FleetManager, goldens map[string][]byte) {
 	}
 }
 
-// runSim drives the scenario over the simulated network in virtual time.
-func runSim() []erasmus.FleetAlert {
+// runSim drives the scenario over the simulated network in virtual time;
+// delta selects incremental (since-watermark) collection.
+func runSim(delta bool) []erasmus.FleetAlert {
 	engine := erasmus.NewEngine()
 	network, err := erasmus.NewNetwork(engine, erasmus.NetworkConfig{})
 	if err != nil {
@@ -121,7 +126,17 @@ func runSim() []erasmus.FleetAlert {
 		}
 	}
 	clock := func() uint64 { return erasmus.DefaultEpoch + uint64(engine.Now()) }
-	manager, err := erasmus.NewFleetManager(engine, network, "hq", clock)
+	collector, err := erasmus.NewSimCollector(network, engine, "hq", clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Inline verification: in virtual time the engine outruns any async
+	// worker, so verdicts (and the watermarks they advance) must apply
+	// before the next tick for delta rounds to actually happen. The UDP
+	// run below is wall-paced and uses the async pipeline.
+	manager, err := erasmus.NewFleetManagerWith(erasmus.FleetManagerConfig{
+		Engine: engine, Collector: collector, Clock: clock, Delta: delta, Synchronous: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,9 +149,10 @@ func runSim() []erasmus.FleetAlert {
 	return manager.Alerts()
 }
 
-// runUDP drives the scenario over real loopback sockets: provers on one
-// wall-paced engine behind a multi-prover UDP server, the manager on a
-// second engine with a pooled concurrent collector.
+// runUDP drives the scenario over real loopback sockets with delta
+// collection: provers on one wall-paced engine behind a multi-prover UDP
+// server, the manager on a second engine with a pooled concurrent
+// collector.
 func runUDP() []erasmus.FleetAlert {
 	proverEngine := erasmus.NewEngine()
 	provers, goldens := buildProvers(proverEngine)
@@ -158,7 +174,7 @@ func runUDP() []erasmus.FleetAlert {
 	managerEngine := erasmus.NewEngine()
 	clock := func() uint64 { return erasmus.DefaultEpoch + uint64(managerEngine.Now()) }
 	manager, err := erasmus.NewFleetManagerWith(erasmus.FleetManagerConfig{
-		Engine: managerEngine, Collector: collector, Clock: clock,
+		Engine: managerEngine, Collector: collector, Clock: clock, Delta: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -187,32 +203,42 @@ func canonical(alerts []erasmus.FleetAlert) []erasmus.FleetAlert {
 	return out
 }
 
+func sameStream(a, b []erasmus.FleetAlert) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func main() {
-	fmt.Println("running the scenario over the simulated network (virtual time)...")
-	simAlerts := canonical(runSim())
-	fmt.Println("running the same scenario over real loopback UDP (~1.1 s)...")
+	fmt.Println("running over the simulated network, full k-record collection (virtual time)...")
+	fullAlerts := canonical(runSim(false))
+	fmt.Println("running over the simulated network, delta collection (virtual time)...")
+	deltaAlerts := canonical(runSim(true))
+	fmt.Println("running over real loopback UDP, delta collection (~1.1 s)...")
 	udpAlerts := canonical(runUDP())
 
-	fmt.Println("\nalert stream (sim transport):")
-	for _, a := range simAlerts {
+	fmt.Println("\nalert stream (sim transport, full collection):")
+	for _, a := range fullAlerts {
 		fmt.Printf("  %10v  %-10s %-10s %s\n", a.Time, a.Device, a.Kind, a.Detail)
 	}
-	fmt.Println("\nalert stream (udp transport):")
+	fmt.Println("\nalert stream (sim transport, delta collection):")
+	for _, a := range deltaAlerts {
+		fmt.Printf("  %10v  %-10s %-10s %s\n", a.Time, a.Device, a.Kind, a.Detail)
+	}
+	fmt.Println("\nalert stream (udp transport, delta collection):")
 	for _, a := range udpAlerts {
 		fmt.Printf("  %10v  %-10s %-10s %s\n", a.Time, a.Device, a.Kind, a.Detail)
 	}
 
-	identical := len(simAlerts) == len(udpAlerts)
-	if identical {
-		for i := range simAlerts {
-			if simAlerts[i] != udpAlerts[i] {
-				identical = false
-				break
-			}
-		}
-	}
-	fmt.Printf("\ntransports produce identical alert streams: %v\n", identical)
+	identical := sameStream(fullAlerts, deltaAlerts) && sameStream(deltaAlerts, udpAlerts)
+	fmt.Printf("\nall runs produce identical alert streams: %v\n", identical)
 	if !identical {
-		log.Fatal("fleetops: transport divergence — this is a bug")
+		log.Fatal("fleetops: divergence across transports or verification strategies — this is a bug")
 	}
 }

@@ -21,6 +21,16 @@ type VerifyJob struct {
 	// ExpectedK is the schedule-required history length (0 skips the
 	// length check, e.g. during device warm-up).
 	ExpectedK int
+	// Delta selects incremental verification: the history is validated
+	// against Watermark via Verifier.VerifyDelta instead of the stateless
+	// VerifyHistory. The successor watermark is not returned through the
+	// batch — it is a pure function of (Watermark, Report), so callers
+	// re-derive it with NextWatermark in whatever order they apply
+	// reports (the fleet pipeline: submission order).
+	Delta bool
+	// Watermark is the device's verifier-side state (zero = none; the
+	// delta path then degenerates to a full verification).
+	Watermark Watermark
 	// Tag is an opaque caller context (device id, collection time, …)
 	// carried through untouched; the batch verifier never inspects it.
 	Tag any
@@ -56,6 +66,10 @@ func (j VerifyJob) run() Report {
 			TamperDetected: true,
 			Issues:         []string{"core: VerifyJob with nil Verifier (verifier-side configuration fault)"},
 		}
+	}
+	if j.Delta {
+		rep, _ := j.Verifier.VerifyDelta(j.Records, j.Now, j.ExpectedK, j.Watermark)
+		return rep
 	}
 	return j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
 }

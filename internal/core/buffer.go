@@ -42,9 +42,14 @@ func (b *Buffer) Slots() int { return b.n }
 // intervals: i = ⌊t/TM⌋ mod n. Because it depends only on the RROC value
 // and configuration, the prover needs no persistent write cursor — it
 // recovers the correct slot even after a reboot.
+//
+// tm must be positive; NewProver rejects stateless schedules with a
+// non-positive nominal TM at construction time, so the runtime never gets
+// here with one. A direct caller passing tm ≤ 0 is addressed to slot 0
+// rather than crashing the prover loop.
 func (b *Buffer) SlotForTime(t uint64, tm sim.Ticks) int {
 	if tm <= 0 {
-		panic(fmt.Sprintf("core: non-positive TM %v", tm))
+		return 0
 	}
 	return int((t / uint64(tm)) % uint64(b.n))
 }
@@ -96,6 +101,40 @@ func (b *Buffer) Latest(i, k int) []Record {
 		out = append(out, r)
 	}
 	return out
+}
+
+// LatestSince returns the records measured at or after since, reading
+// backward from slot i and stopping at the first record older than since
+// — the delta-collection read. With an honest buffer (timestamps decrease
+// going backward) the scan touches O(returned)+1 slots, which is what
+// makes serving an incremental collection proportional to the new history
+// rather than to k; tampered orderings merely ship extra records that the
+// verifier then flags. k caps the result; k ≤ 0 means the whole buffer.
+// The second return value is the number of slots visited, for cost
+// accounting.
+func (b *Buffer) LatestSince(i, k int, since uint64) ([]Record, int) {
+	b.check(i)
+	if k <= 0 || k > b.n {
+		k = b.n
+	}
+	out := make([]Record, 0, k)
+	visited := 0
+	for j := 0; j < b.n && len(out) < k; j++ {
+		slot := ((i-j)%b.n + b.n) % b.n
+		visited++
+		r, err := b.Get(slot)
+		if err != nil {
+			continue
+		}
+		if r.IsZero() {
+			continue
+		}
+		if r.T < since {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, visited
 }
 
 func (b *Buffer) check(slot int) {

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/mcu"
 	"erasmus/internal/sim"
 )
 
@@ -41,14 +42,34 @@ func TestSlotForTimePaperExample(t *testing.T) {
 	}
 }
 
-func TestSlotForTimeNonPositiveTMPanics(t *testing.T) {
+// Non-positive TM is rejected at configuration time (NewProver), and the
+// slot arithmetic itself no longer panics on it — a degraded direct call
+// addresses slot 0 instead of crashing the prover loop.
+func TestNonPositiveTMRejectedAtConfigTime(t *testing.T) {
 	b := newTestBuffer(t, 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("TM=0 did not panic")
+	for _, tm := range []sim.Ticks{0, -sim.Hour} {
+		if got := b.SlotForTime(100, tm); got != 0 {
+			t.Errorf("SlotForTime(100, %v) = %d, want degraded 0", tm, got)
 		}
-	}()
-	b.SlotForTime(100, 0)
+	}
+
+	e := sim.NewEngine()
+	dev, err := mcu.New(mcu.Config{
+		Engine: e, MemorySize: 64,
+		StoreSize: 4 * RecordSize(mac.HMACSHA256),
+		Key:       testKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []sim.Ticks{0, -sim.Hour} {
+		_, err := NewProver(dev, ProverConfig{
+			Alg: mac.HMACSHA256, Schedule: Regular{TM: tm}, Slots: 4,
+		})
+		if err == nil {
+			t.Errorf("NewProver accepted stateless schedule with TM=%v", tm)
+		}
+	}
 }
 
 func TestPutGetRoundTrip(t *testing.T) {

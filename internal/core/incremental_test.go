@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/sim"
+)
+
+// deltaSlice returns the records of recs newer than, plus the one at,
+// since — what HandleCollectDelta would ship for a newest-first history.
+func deltaSlice(recs []Record, since uint64) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if r.T >= since {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// A zero watermark must make VerifyDelta degenerate to VerifyHistory
+// exactly, and a clean report must advance the watermark to the newest
+// record.
+func TestVerifyDeltaZeroWatermarkMatchesFull(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(100 * sim.Hour)
+	recs := history(5, endT, sim.Hour, memory)
+	now := endT + uint64(30*sim.Minute)
+
+	full := v.VerifyHistory(recs, now, 5)
+	rep, wm := v.VerifyDelta(recs, now, 5, Watermark{})
+	if !reflect.DeepEqual(full, rep) {
+		t.Fatalf("zero-watermark delta diverges from full:\nfull:  %+v\ndelta: %+v", full, rep)
+	}
+	if wm.IsZero() || wm.T != endT || !wm.Matches(recs[0]) {
+		t.Fatalf("watermark did not advance to newest record: %+v", wm)
+	}
+}
+
+// The incremental path must accept the anchor by equality (no MAC
+// recomputation), verify only the new records, and agree with full
+// re-verification on every verdict field.
+func TestVerifyDeltaIncrementalAgreesWithFull(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	tm := sim.Hour
+	t1 := uint64(100 * sim.Hour)
+	hist1 := history(5, t1, tm, memory)
+	_, wm := v.VerifyDelta(hist1, t1+uint64(30*sim.Minute), 5, Watermark{})
+
+	// Four new measurements later…
+	t2 := t1 + 4*uint64(tm)
+	hist2 := history(9, t2, tm, memory) // full buffer view at collection 2
+	now2 := t2 + uint64(30*sim.Minute)
+
+	full := v.VerifyHistory(hist2[:5], now2, 5) // stateless verifier asks k=5
+	delta, wm2 := v.VerifyDelta(deltaSlice(hist2, wm.T), now2, 5, wm)
+
+	if !delta.DeltaApplied || delta.OverlapTrusted != 1 {
+		t.Fatalf("delta bookkeeping wrong: %+v", delta)
+	}
+	if delta.WatermarkGap || delta.WatermarkTampered {
+		t.Fatalf("clean delta flagged: %+v", delta)
+	}
+	if full.Healthy() != delta.Healthy() ||
+		full.TamperDetected != delta.TamperDetected ||
+		full.InfectionDetected != delta.InfectionDetected ||
+		full.MissingRecords != delta.MissingRecords ||
+		full.ScheduleGaps != delta.ScheduleGaps ||
+		full.Freshness != delta.Freshness {
+		t.Fatalf("verdicts diverge:\nfull:  %+v\ndelta: %+v", full, delta)
+	}
+	// The delta report covers exactly the four new records, same verdicts
+	// as the full report's leading entries.
+	if len(delta.Records) != 4 {
+		t.Fatalf("delta verified %d records, want 4", len(delta.Records))
+	}
+	for i := range delta.Records {
+		if !reflect.DeepEqual(delta.Records[i], full.Records[i]) {
+			t.Fatalf("record %d verdict diverges", i)
+		}
+	}
+	if wm2.T != t2 {
+		t.Fatalf("watermark did not advance: %+v", wm2)
+	}
+}
+
+// Tamper inserted into the already-verified overlap region — the anchor
+// record modified in place — must still be detected, via the O(1)
+// equality check, and must reset the watermark so the next collection
+// re-verifies fully.
+func TestVerifyDeltaOverlapTamperDetected(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	tm := sim.Hour
+	t1 := uint64(100 * sim.Hour)
+	_, wm := v.VerifyDelta(history(5, t1, tm, memory), t1+1, 5, Watermark{})
+
+	t2 := t1 + 4*uint64(tm)
+	ship := deltaSlice(history(9, t2, tm, memory), wm.T)
+	// Malware flips a bit in the stored (already-verified) anchor record.
+	anchor := &ship[len(ship)-1]
+	if anchor.T != wm.T {
+		t.Fatal("test setup: last shipped record is not the anchor")
+	}
+	anchor.MAC = append([]byte(nil), anchor.MAC...)
+	anchor.MAC[0] ^= 0x80
+
+	rep, wm2 := v.VerifyDelta(ship, t2+1, 5, wm)
+	if !rep.WatermarkTampered || !rep.TamperDetected {
+		t.Fatalf("overlap tamper not detected: %+v", rep)
+	}
+	if !strings.Contains(strings.Join(rep.Issues, "\n"), "modified since last verification") {
+		t.Fatalf("missing issue: %v", rep.Issues)
+	}
+	if !wm2.IsZero() {
+		t.Fatalf("watermark survived tamper: %+v", wm2)
+	}
+}
+
+// A missing anchor (buffer rollover past the watermark, reboot with a
+// cleared store, or record deletion) is not tamper by itself, but must
+// fall back: WatermarkGap set, watermark reset, next round verifies fully.
+func TestVerifyDeltaWatermarkGapFallsBack(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	tm := sim.Hour
+	t1 := uint64(100 * sim.Hour)
+	_, wm := v.VerifyDelta(history(5, t1, tm, memory), t1+1, 5, Watermark{})
+
+	// The device's buffer rolled over: everything at or before the
+	// watermark was overwritten; only strictly newer records remain.
+	t2 := t1 + 10*uint64(tm)
+	ship := history(6, t2, tm, memory) // oldest is t1+5TM > wm.T
+	rep, wm2 := v.VerifyDelta(ship, t2+1, 5, wm)
+	if !rep.WatermarkGap {
+		t.Fatalf("gap not reported: %+v", rep)
+	}
+	if rep.TamperDetected {
+		t.Fatalf("legitimate rollover flagged as tamper: %v", rep.Issues)
+	}
+	if !wm2.IsZero() {
+		t.Fatalf("watermark survived gap: %+v", wm2)
+	}
+	// All shipped records were still fully verified.
+	if len(rep.Records) != 6 {
+		t.Fatalf("verified %d records, want 6", len(rep.Records))
+	}
+	for i, vr := range rep.Records {
+		if vr.Verdict != VerdictOK {
+			t.Fatalf("record %d verdict %v", i, vr.Verdict)
+		}
+	}
+}
+
+// An infected-but-authentic newest record advances the watermark
+// (infection is a memory-state finding, not an evidence fault), while any
+// tamper resets it.
+func TestNextWatermarkRules(t *testing.T) {
+	memory := []byte("clean image")
+	infected := []byte("implanted500")
+	v := newTestVerifier(t, goldenFor(memory))
+	tm := sim.Hour
+	endT := uint64(100 * sim.Hour)
+
+	rep, wm := v.VerifyDelta(history(5, endT, tm, infected), endT+1, 5, Watermark{})
+	if !rep.InfectionDetected || rep.TamperDetected {
+		t.Fatalf("setup: %+v", rep)
+	}
+	if wm.T != endT {
+		t.Fatalf("infected-but-authentic newest record did not advance watermark: %+v", wm)
+	}
+
+	bad := history(5, endT, tm, memory)
+	bad[2].MAC = append([]byte(nil), bad[2].MAC...)
+	bad[2].MAC[0] ^= 1
+	rep2, wm2 := v.VerifyDelta(bad, endT+1, 5, Watermark{})
+	if !rep2.TamperDetected {
+		t.Fatal("setup: tamper not flagged")
+	}
+	if !wm2.IsZero() {
+		t.Fatalf("tamper did not reset watermark: %+v", wm2)
+	}
+
+	// Nothing new verified: the previous watermark is kept.
+	prev := Watermark{T: 42, Hash: []byte{1}, MAC: []byte{2}}
+	if got := NextWatermark(prev, Report{}); !reflect.DeepEqual(got, prev) {
+		t.Fatalf("empty report did not keep watermark: %+v", got)
+	}
+}
+
+// Satellite: two consecutive collections whose windows straddle the
+// i mod n circular-buffer wrap must produce identical verdicts with and
+// without watermarks — driven through a real prover so the slot
+// arithmetic, not synthetic records, is what is under test.
+func TestSeamWrapDeltaFullEquivalence(t *testing.T) {
+	e := sim.NewEngine()
+	const slots, k = 6, 4
+	dev, p := newMCUPair(t, e, sim.Hour, slots)
+	golden := goldenFor(dev.Memory())
+	v, err := NewVerifier(VerifierConfig{
+		Alg: mac.HMACSHA256, Key: testKey,
+		GoldenHashes: [][]byte{golden},
+		MinGap:       sim.Hour - sim.Minute,
+		MaxGap:       sim.Hour + sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	// Collection 1 after 5 measurements (slots 1..5 of 6 used), then
+	// collection 2 after 4 more: its window spans measurements 6..9,
+	// slots {0,1,2,3} — wrapping through the seam.
+	e.RunUntil(5*sim.Hour + 30*sim.Minute)
+	recs1, _ := p.HandleCollect(k)
+	now1 := dev.RROC()
+	full1 := v.VerifyHistory(recs1, now1, k)
+	delta1, wm := v.VerifyDelta(recs1, now1, k, Watermark{})
+	if !reflect.DeepEqual(full1, delta1) {
+		t.Fatalf("collection 1 diverges:\nfull:  %+v\ndelta: %+v", full1, delta1)
+	}
+
+	e.RunUntil(9*sim.Hour + 30*sim.Minute)
+	now2 := dev.RROC()
+	fullRecs, _ := p.HandleCollect(k)
+	full2 := v.VerifyHistory(fullRecs, now2, k)
+	deltaRecs, _ := p.HandleCollectDelta(wm.T, 0)
+	delta2, wm2 := v.VerifyDelta(deltaRecs, now2, k, wm)
+
+	if len(deltaRecs) != k+1 { // 4 new + anchor
+		t.Fatalf("delta shipped %d records, want %d", len(deltaRecs), k+1)
+	}
+	if !delta2.DeltaApplied || delta2.OverlapTrusted != 1 || delta2.WatermarkGap {
+		t.Fatalf("delta bookkeeping wrong across the wrap: %+v", delta2)
+	}
+	if full2.Healthy() != delta2.Healthy() ||
+		full2.TamperDetected != delta2.TamperDetected ||
+		full2.InfectionDetected != delta2.InfectionDetected ||
+		full2.MissingRecords != delta2.MissingRecords ||
+		full2.ScheduleGaps != delta2.ScheduleGaps ||
+		full2.Freshness != delta2.Freshness {
+		t.Fatalf("verdicts diverge across the wrap:\nfull:  %+v\ndelta: %+v", full2, delta2)
+	}
+	if len(delta2.Records) != k {
+		t.Fatalf("delta verified %d records, want %d", len(delta2.Records), k)
+	}
+	for i := range delta2.Records {
+		if !reflect.DeepEqual(delta2.Records[i], full2.Records[i]) {
+			t.Fatalf("record %d verdict diverges across the wrap", i)
+		}
+	}
+	if wm2.T <= wm.T {
+		t.Fatalf("watermark did not advance across the wrap: %v → %v", wm.T, wm2.T)
+	}
+}
+
+// The sharded store: lookup/update round trip, zero-watermark deletion,
+// the memory bound with eviction, and the one-call Verify front door.
+func TestAttestationService(t *testing.T) {
+	s := NewAttestationService(ServiceConfig{Shards: 4, MaxDevices: 64})
+	wm := Watermark{T: 7, Hash: []byte{1}, MAC: []byte{2}}
+	s.Set("dev-a", wm)
+	if got, ok := s.Watermark("dev-a"); !ok || !reflect.DeepEqual(got, wm) {
+		t.Fatalf("round trip lost state: %+v ok=%v", got, ok)
+	}
+	s.Set("dev-a", Watermark{})
+	if _, ok := s.Watermark("dev-a"); ok {
+		t.Fatal("zero watermark did not delete the entry")
+	}
+	s.Set("dev-a", wm)
+	s.Reset("dev-a")
+	if _, ok := s.Watermark("dev-a"); ok {
+		t.Fatal("Reset did not drop the entry")
+	}
+
+	// Memory bound: the store never exceeds MaxDevices, and evicted
+	// devices just lose their (re-derivable) state.
+	for i := 0; i < 1000; i++ {
+		s.Set(fmt.Sprintf("dev-%04d", i), Watermark{T: uint64(i + 1), Hash: []byte{1}, MAC: []byte{2}})
+	}
+	if n := s.Devices(); n > 64 {
+		t.Fatalf("store holds %d devices, bound is 64", n)
+	}
+
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	endT := uint64(100 * sim.Hour)
+	recs := history(5, endT, sim.Hour, memory)
+	rep := s.Verify("front-door", v, recs, endT+1, 5)
+	if !rep.Healthy() {
+		t.Fatalf("front-door verify unhealthy: %v", rep.Issues)
+	}
+	if got, ok := s.Watermark("front-door"); !ok || got.T != endT {
+		t.Fatalf("front-door verify did not persist watermark: %+v ok=%v", got, ok)
+	}
+	rep2 := s.Verify("front-door", v, deltaSlice(history(9, endT+4*uint64(sim.Hour), sim.Hour, memory), endT), endT+4*uint64(sim.Hour)+1, 5)
+	if !rep2.DeltaApplied || !rep2.Healthy() {
+		t.Fatalf("front-door incremental round wrong: %+v", rep2)
+	}
+}
+
+// Missed measurements (CPU contention, §5) must not become false tamper
+// in delta mode: an anchored delta-sized response is never counted
+// against the full-window expectedK — the hole surfaces as ScheduleGaps,
+// exactly as the stateless path reports it.
+func TestVerifyDeltaMissedMeasurementsNotTamper(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	tm := sim.Hour
+	t1 := uint64(100 * sim.Hour)
+	_, wm := v.VerifyDelta(history(5, t1, tm, memory), t1+1, 5, Watermark{})
+
+	// Of the five scheduled measurements since the watermark, the middle
+	// two were missed: the device ships 3 new records + anchor.
+	t2 := t1 + 5*uint64(tm)
+	ship := []Record{
+		ComputeRecord(alg, testKey, t2, memory),
+		ComputeRecord(alg, testKey, t2-uint64(tm), memory),
+		ComputeRecord(alg, testKey, t1+uint64(tm), memory),
+		{T: wm.T, Hash: wm.Hash, MAC: wm.MAC}, // anchor
+	}
+	rep, wm2 := v.VerifyDelta(ship, t2+1, 5, wm)
+	if rep.TamperDetected || rep.MissingRecords != 0 {
+		t.Fatalf("missed measurements flagged as tamper: %+v", rep)
+	}
+	if rep.ScheduleGaps == 0 {
+		t.Fatalf("the measurement hole left no schedule-gap finding: %+v", rep)
+	}
+	if wm2.T != t2 {
+		t.Fatalf("watermark did not advance past a gappy-but-authentic round: %+v", wm2)
+	}
+}
+
+// A prover that answers a delta request with only the anchor — withholding
+// every newer record — must be flagged once the watermark is older than
+// the maximum measurement spacing; a promptly-collected anchor-only
+// response (nothing new could exist yet) stays acceptable.
+func TestVerifyDeltaWithheldRecordsDetected(t *testing.T) {
+	memory := []byte("clean image")
+	v := newTestVerifier(t, goldenFor(memory))
+	tm := sim.Hour
+	t1 := uint64(100 * sim.Hour)
+	_, wm := v.VerifyDelta(history(5, t1, tm, memory), t1+1, 5, Watermark{})
+	anchorOnly := []Record{{T: wm.T, Hash: wm.Hash, MAC: wm.MAC}}
+
+	// Collected again almost immediately: no new measurement is due, so
+	// an anchor-only response is fine and the watermark survives.
+	fresh, wmFresh := v.VerifyDelta(anchorOnly, t1+uint64(30*sim.Minute), 5, wm)
+	if fresh.TamperDetected || !fresh.Healthy() {
+		t.Fatalf("prompt anchor-only response flagged: %+v", fresh)
+	}
+	if wmFresh.T != wm.T {
+		t.Fatalf("watermark lost on an acceptable anchor-only round: %+v", wmFresh)
+	}
+
+	// Four measurement periods later the schedule demands new records;
+	// an anchor-only response means they were withheld, lost or never
+	// measured — tamper, and the watermark resets for a full re-check.
+	stale, wmStale := v.VerifyDelta(anchorOnly, t1+4*uint64(tm), 5, wm)
+	if !stale.TamperDetected {
+		t.Fatalf("withheld records not flagged: %+v", stale)
+	}
+	if !strings.Contains(strings.Join(stale.Issues, "\n"), "withheld") {
+		t.Fatalf("missing issue: %v", stale.Issues)
+	}
+	if !wmStale.IsZero() {
+		t.Fatalf("watermark survived withholding: %+v", wmStale)
+	}
+}

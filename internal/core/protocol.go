@@ -13,10 +13,11 @@ import (
 
 // Packet kind discriminators.
 const (
-	KindCollectRequest  = "erasmus/collect-req"
-	KindCollectResponse = "erasmus/collect-resp"
-	KindODRequest       = "erasmus/od-req"
-	KindODResponse      = "erasmus/od-resp"
+	KindCollectRequest      = "erasmus/collect-req"
+	KindCollectResponse     = "erasmus/collect-resp"
+	KindODRequest           = "erasmus/od-req"
+	KindODResponse          = "erasmus/od-resp"
+	KindDeltaCollectRequest = "erasmus/delta-collect-req"
 )
 
 // CollectRequest asks for the k latest self-measurements (Fig. 2). It is
@@ -39,6 +40,42 @@ func DecodeCollectRequest(b []byte) (CollectRequest, error) {
 		return CollectRequest{}, fmt.Errorf("core: collect request length %d, want 4", len(b))
 	}
 	return CollectRequest{K: int(binary.BigEndian.Uint32(b))}, nil
+}
+
+// DeltaCollectRequest asks for the records measured at or after Since —
+// the incremental collection of a stateful verifier. Like CollectRequest
+// it is unauthenticated and costs the prover no cryptography; unlike it,
+// the response is O(records since the verifier's watermark) instead of
+// O(k), which is what bounds fleet-scale traffic and verifier CPU by the
+// measurement rate rather than by collections × history size.
+//
+// Since is the verifier's watermark timestamp; the record measured
+// exactly at Since (the anchor) is included so the verifier can check
+// continuity and overlap integrity. Since = 0 degenerates to a full
+// collection. K caps the response; K ≤ 0 means "everything since"
+// (clamped to the buffer size by the prover, per the Fig. 2 rule).
+type DeltaCollectRequest struct {
+	Since uint64
+	K     int
+}
+
+// Encode serializes the request.
+func (r DeltaCollectRequest) Encode() []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[:8], r.Since)
+	binary.BigEndian.PutUint32(b[8:], uint32(r.K))
+	return b[:]
+}
+
+// DecodeDeltaCollectRequest parses a request.
+func DecodeDeltaCollectRequest(b []byte) (DeltaCollectRequest, error) {
+	if len(b) != 12 {
+		return DeltaCollectRequest{}, fmt.Errorf("core: delta collect request length %d, want 12", len(b))
+	}
+	return DeltaCollectRequest{
+		Since: binary.BigEndian.Uint64(b[:8]),
+		K:     int(int32(binary.BigEndian.Uint32(b[8:]))),
+	}, nil
 }
 
 // encodeRecords serializes a newest-first record list.

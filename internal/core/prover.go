@@ -60,14 +60,15 @@ type ProverConfig struct {
 
 // ProverStats counts runtime activity.
 type ProverStats struct {
-	Measurements  int // committed self-measurements
-	Aborted       int // measurements aborted mid-flight
-	Missed        int // scheduled measurements never completed
-	Collections   int // ERASMUS collection requests served
-	ODRequests    int // on-demand/+OD requests received
-	ODRejected    int // requests failing freshness/authentication
-	ODMeasured    int // real-time measurements computed for OD requests
-	RetriesQueued int // lenient-window retries scheduled
+	Measurements     int // committed self-measurements
+	Aborted          int // measurements aborted mid-flight
+	Missed           int // scheduled measurements never completed
+	Collections      int // ERASMUS collection requests served
+	DeltaCollections int // incremental (since-watermark) collections served
+	ODRequests       int // on-demand/+OD requests received
+	ODRejected       int // requests failing freshness/authentication
+	ODMeasured       int // real-time measurements computed for OD requests
+	RetriesQueued    int // lenient-window retries scheduled
 }
 
 // Prover is the ERASMUS runtime on one device: a timer-driven
@@ -100,6 +101,13 @@ func NewProver(dev Device, cfg ProverConfig) (*Prover, error) {
 	}
 	if !cfg.Alg.Valid() {
 		return nil, fmt.Errorf("core: invalid MAC algorithm %d", int(cfg.Alg))
+	}
+	// Stateless schedules address slots as ⌊t/TM⌋ mod n; a non-positive
+	// nominal TM would make that arithmetic meaningless, so reject it here
+	// at configuration time instead of panicking in the measurement loop.
+	if cfg.Schedule.Stateless() && cfg.Schedule.NominalTM() <= 0 {
+		return nil, fmt.Errorf("core: stateless schedule has non-positive nominal TM %v",
+			cfg.Schedule.NominalTM())
 	}
 	if cfg.ODFreshnessWindow <= 0 {
 		cfg.ODFreshnessWindow = 10 * sim.Second
@@ -286,6 +294,36 @@ func (p *Prover) HandleCollect(k int) ([]Record, CollectTiming) {
 	}
 	recs := p.buf.Latest(p.lastSlot, k)
 	p.emit(EventCollection, p.lastT, fmt.Sprintf("%d records", len(recs)))
+	return recs, timing
+}
+
+// HandleCollectDelta serves an incremental collection: the records
+// measured at or after since (the verifier's watermark), newest first,
+// capped at k (k ≤ 0 means everything since, clamped to the buffer
+// size). Like HandleCollect it involves no cryptography and no request
+// authentication; unlike it, the buffer read stops at the watermark, so
+// the prover-side cost — like the response size and the verifier's MAC
+// work — is proportional to the *new* history only.
+func (p *Prover) HandleCollectDelta(since uint64, k int) ([]Record, CollectTiming) {
+	p.stats.Collections++
+	p.stats.DeltaCollections++
+	if p.lastSlot < 0 {
+		timing := CollectTiming{
+			ConstructPacket: costmodel.ConstructPacketTime(p.dev.Arch()),
+			SendPacket:      costmodel.SendPacketTime(p.dev.Arch()),
+		}
+		p.dev.CPU().Occupy(cpu.KindCollection, timing.Total())
+		p.emit(EventCollection, 0, "empty history (delta)")
+		return nil, timing
+	}
+	recs, visited := p.buf.LatestSince(p.lastSlot, k, since)
+	timing := CollectTiming{
+		ReadBuffer:      costmodel.BufferReadTime(p.dev.Arch(), visited),
+		ConstructPacket: costmodel.ConstructPacketTime(p.dev.Arch()),
+		SendPacket:      costmodel.SendPacketTime(p.dev.Arch()),
+	}
+	p.dev.CPU().Occupy(cpu.KindCollection, timing.Total())
+	p.emit(EventCollection, p.lastT, fmt.Sprintf("%d records since t=%d", len(recs), since))
 	return recs, timing
 }
 

@@ -1,0 +1,136 @@
+package core
+
+import "sync"
+
+// AttestationService is the verifier-side state store for incremental
+// attestation: one Watermark per device, sharded for concurrent access
+// (the fleet pipeline verifies batches on a worker pool) and memory-
+// bounded so a hostile or misconfigured registration flood cannot grow
+// verifier memory without limit.
+//
+// Losing a watermark is always safe — the next collection for that device
+// simply verifies the full history and re-establishes it — so the service
+// evicts rather than refuses when the bound is hit.
+type ServiceConfig struct {
+	// Shards is the number of independently locked buckets (rounded up to
+	// a power of two; default 16). Size it near the verification worker
+	// count; the store is touched once per collection, so contention is
+	// modest even at fleet scale.
+	Shards int
+	// MaxDevices bounds the number of tracked devices across all shards
+	// (default 1<<20). At ~150 B per device (timestamp, hash and MAC
+	// bytes, map overhead) a million devices cost on the order of 150 MB.
+	MaxDevices int
+}
+
+// AttestationService stores per-device watermarks. Safe for concurrent use.
+type AttestationService struct {
+	shards []wmShard
+	mask   uint32
+	perCap int // per-shard device cap
+}
+
+type wmShard struct {
+	mu sync.Mutex
+	wm map[string]Watermark
+}
+
+// NewAttestationService builds the watermark store.
+func NewAttestationService(cfg ServiceConfig) *AttestationService {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.MaxDevices <= 0 {
+		cfg.MaxDevices = 1 << 20
+	}
+	perCap := cfg.MaxDevices / n
+	if perCap < 1 {
+		perCap = 1
+	}
+	s := &AttestationService{shards: make([]wmShard, n), mask: uint32(n - 1), perCap: perCap}
+	for i := range s.shards {
+		s.shards[i].wm = make(map[string]Watermark)
+	}
+	return s
+}
+
+func (s *AttestationService) shard(device string) *wmShard {
+	// Inline FNV-1a: the store is touched twice per collection (lookup at
+	// launch, update at apply), so at fleet scale a hash.Hash allocation
+	// here would be millions of garbage objects per round.
+	h := uint32(2166136261)
+	for i := 0; i < len(device); i++ {
+		h ^= uint32(device[i])
+		h *= 16777619
+	}
+	return &s.shards[h&s.mask]
+}
+
+// Watermark returns the device's stored watermark, if any.
+func (s *AttestationService) Watermark(device string) (Watermark, bool) {
+	sh := s.shard(device)
+	sh.mu.Lock()
+	wm, ok := sh.wm[device]
+	sh.mu.Unlock()
+	return wm, ok
+}
+
+// Set stores the device's watermark. A zero watermark deletes the entry
+// (the device fell back to full verification; keeping a tombstone would
+// only waste the memory bound). When the shard is at capacity an
+// arbitrary entry is evicted — the evicted device's next collection
+// re-verifies fully, which is correct, just not incremental.
+func (s *AttestationService) Set(device string, wm Watermark) {
+	sh := s.shard(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if wm.IsZero() {
+		delete(sh.wm, device)
+		return
+	}
+	if _, exists := sh.wm[device]; !exists && len(sh.wm) >= s.perCap {
+		for k := range sh.wm {
+			delete(sh.wm, k)
+			break
+		}
+	}
+	sh.wm[device] = wm
+}
+
+// Reset drops the device's watermark (decommissioning, key rotation, or
+// any out-of-band reason to distrust cached state).
+func (s *AttestationService) Reset(device string) { s.Set(device, Watermark{}) }
+
+// Devices returns the number of devices currently tracked.
+func (s *AttestationService) Devices() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].wm)
+		s.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Verify validates one device's delta collection against its stored
+// watermark and persists the successor state: the one-call front door for
+// callers that do not need to separate lookup from update (the fleet
+// pipeline does, to keep updates in submission order; see
+// Watermark/Set and NextWatermark).
+//
+// Calls for *different* devices may run concurrently; calls for the same
+// device must be serialized by the caller — the read-verify-write here is
+// deliberately not atomic (holding a shard lock across MAC verification
+// would serialize a fraction of the whole fleet), and concurrent same-
+// device calls could interleave lookup and store. Collection naturally
+// provides this: one collection per device is outstanding at a time.
+func (s *AttestationService) Verify(device string, v *Verifier, recs []Record, now uint64, expectedK int) Report {
+	wm, _ := s.Watermark(device)
+	rep, next := v.VerifyDelta(recs, now, expectedK, wm)
+	s.Set(device, next)
+	return rep
+}

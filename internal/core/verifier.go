@@ -99,6 +99,24 @@ type Report struct {
 	Freshness sim.Ticks
 	// Issues lists human-readable findings.
 	Issues []string
+
+	// Incremental-verification fields, zero-valued on the stateless path.
+	//
+	// DeltaApplied: the history was validated against a watermark; Records
+	// covers only the records newer than it.
+	DeltaApplied bool
+	// OverlapTrusted counts records accepted by the O(1) watermark
+	// equality check instead of MAC recomputation (0 or 1: the anchor).
+	OverlapTrusted int
+	// WatermarkGap: the watermark record was absent from the response
+	// (buffer rollover, reboot, or deletion). Not tamper by itself, but
+	// the device's watermark resets and the next collection verifies the
+	// full history.
+	WatermarkGap bool
+	// WatermarkTampered: a record claimed the watermark's timestamp with
+	// different bytes — the already-verified overlap was modified in
+	// place. Always accompanied by TamperDetected.
+	WatermarkTampered bool
 }
 
 // Healthy reports a clean history: nothing tampered, no infection, no
@@ -234,6 +252,17 @@ func (v *Verifier) VerifyHistory(recs []Record, now uint64, expectedK int) Repor
 			fmt.Sprintf("history has %d records, schedule requires %d", len(recs), expectedK))
 	}
 
+	v.checkRecords(recs, now, &rep)
+	v.checkChain(recs, &rep)
+	v.checkFreshness(recs, now, &rep)
+	return rep
+}
+
+// checkRecords runs the per-record checks — MAC, golden-hash membership,
+// future timestamp — over a newest-first record list, appending verdicts
+// and findings to rep. Shared by the stateless and incremental paths so
+// verdict logic can never drift between them.
+func (v *Verifier) checkRecords(recs []Record, now uint64, rep *Report) {
 	for idx, rec := range recs {
 		vr := VerifiedRecord{Record: rec}
 		switch {
@@ -255,7 +284,31 @@ func (v *Verifier) VerifyHistory(recs []Record, now uint64, expectedK int) Repor
 		}
 		rep.Records = append(rep.Records, vr)
 	}
+}
 
+// checkFreshness sets rep.Freshness from the newest shipped record (§3.1's
+// f) and enforces the optional freshness bound. Shared by the stateless
+// and incremental paths.
+func (v *Verifier) checkFreshness(recs []Record, now uint64, rep *Report) {
+	if len(recs) == 0 {
+		return
+	}
+	newest := recs[0].T
+	if now >= newest {
+		rep.Freshness = sim.Ticks(now - newest)
+	}
+	if v.cfg.FreshnessBound > 0 && rep.Freshness > v.cfg.FreshnessBound {
+		rep.Issues = append(rep.Issues,
+			fmt.Sprintf("newest record is %v old, bound %v", rep.Freshness, v.cfg.FreshnessBound))
+		rep.TamperDetected = true
+	}
+}
+
+// checkChain runs the ordering and spacing checks over a newest-first
+// record chain, folding findings into rep. Shared by the stateless and
+// the incremental verification paths (the latter appends the watermark
+// anchor as the oldest element so the old/new seam is checked too).
+func (v *Verifier) checkChain(recs []Record, rep *Report) {
 	// Ordering and spacing: newest-first means strictly decreasing T.
 	for i := 1; i < len(recs); i++ {
 		if recs[i].T >= recs[i-1].T {
@@ -276,19 +329,6 @@ func (v *Verifier) VerifyHistory(recs []Record, now uint64, expectedK int) Repor
 				fmt.Sprintf("records %d/%d: spacing %v above maximum %v (missing measurements?)", i-1, i, gap, v.cfg.MaxGap))
 		}
 	}
-
-	if len(recs) > 0 {
-		newest := recs[0].T
-		if now >= newest {
-			rep.Freshness = sim.Ticks(now - newest)
-		}
-		if v.cfg.FreshnessBound > 0 && rep.Freshness > v.cfg.FreshnessBound {
-			rep.Issues = append(rep.Issues,
-				fmt.Sprintf("newest record is %v old, bound %v", rep.Freshness, v.cfg.FreshnessBound))
-			rep.TamperDetected = true
-		}
-	}
-	return rep
 }
 
 // VerifyODResponse validates an ERASMUS+OD response (Fig. 4): M0 must be

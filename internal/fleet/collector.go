@@ -71,3 +71,12 @@ func (s *SimCollector) Collect(addr string, k int, cb func(session.CollectResult
 	}
 	return client.Collect(addr, k, cb)
 }
+
+// CollectDelta requests the records measured at or after since.
+func (s *SimCollector) CollectDelta(addr string, since uint64, k int, cb func(session.CollectResult, error)) error {
+	client, ok := s.clients[addr]
+	if !ok {
+		return fmt.Errorf("fleet: device %q not registered with collector", addr)
+	}
+	return client.CollectDelta(addr, since, k, cb)
+}

@@ -94,6 +94,15 @@ type device struct {
 	freshness   sim.Ticks
 	collections int
 	failures    int
+	// verdictsPending counts launched collections whose verdicts have not
+	// yet been applied. Delta mode must not launch against a watermark
+	// that an in-flight verdict is about to supersede — a stale watermark
+	// would re-ship records that were already verified and re-raise their
+	// alerts. Such rounds fall back to a full collection instead, which
+	// is outcome-identical to stateless mode by construction. A counter,
+	// not a bool: a tick that fails immediately ("collection outstanding")
+	// resolves before the slow round it collided with.
+	verdictsPending int
 }
 
 // Collector is the transport a Manager drives. Implementations:
@@ -108,6 +117,11 @@ type Collector interface {
 	// goroutine — with the outcome; on a non-nil return cb is never
 	// invoked (e.g. a previous collection is still outstanding).
 	Collect(addr string, k int, cb func(session.CollectResult, error)) error
+	// CollectDelta requests the records measured at or after since (the
+	// verifier's watermark for the device), capped at k (k ≤ 0 means
+	// everything since, clamped to the prover's buffer). Same callback
+	// contract as Collect.
+	CollectDelta(addr string, since uint64, k int, cb func(session.CollectResult, error)) error
 }
 
 // ManagerConfig parameterizes a Manager.
@@ -136,6 +150,26 @@ type ManagerConfig struct {
 	// code path, kept for debugging and for the equivalence tests that
 	// prove batching never changes verdicts.
 	Synchronous bool
+	// Delta enables incremental collection and verification: the manager
+	// keeps a per-device watermark in a core.AttestationService, requests
+	// only the records since it ("everything since t_last", healing missed
+	// rounds automatically), and verifies O(new records) per round instead
+	// of O(k). Tamper, a lost anchor, or any fallback condition resets the
+	// device to a stateless full collection — correctness never depends on
+	// the cached state (see core.VerifyDelta).
+	//
+	// A round launched while any previous verdict for the device is still
+	// unapplied falls back to a full collection (a stale watermark would
+	// re-verify, and re-alert on, records the queued verdict already
+	// covers) — outcomes are identical either way, only the cost differs.
+	// On wall-paced transports verdicts apply long before the next round;
+	// on a virtual-time engine driven synchronously, combine with
+	// Synchronous so watermark updates land before the next tick.
+	Delta bool
+	// WatermarkShards / WatermarkCapacity size the attestation service's
+	// sharded per-device watermark store (defaults 16 shards, 1M devices
+	// ≈ 150 MB); ignored unless Delta is set.
+	WatermarkShards, WatermarkCapacity int
 	// OnReport, if set, observes every applied verification report in
 	// application order. It runs with the manager's lock held and must
 	// not call back into the Manager.
@@ -149,6 +183,9 @@ type Manager struct {
 	clock            func() uint64
 	unreachableAfter int
 	onReport         func(string, core.Report)
+
+	// delta mode: svc holds per-device watermarks; nil when disabled.
+	svc *core.AttestationService
 
 	pipe *pipeline
 
@@ -188,6 +225,11 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 		unreachableAfter: cfg.UnreachableAfter,
 		onReport:         cfg.OnReport,
 		devices:          make(map[string]*device),
+	}
+	if cfg.Delta {
+		m.svc = core.NewAttestationService(core.ServiceConfig{
+			Shards: cfg.WatermarkShards, MaxDevices: cfg.WatermarkCapacity,
+		})
 	}
 	m.pipe = newPipeline(m, cfg)
 	return m, nil
@@ -340,10 +382,41 @@ func (m *Manager) collect(d *device) {
 	if launched-d.registeredAt < sim.Ticks(k)*d.cfg.QoA.TM {
 		expected = 0
 	}
+	// Delta mode: ask only for records since the device's watermark —
+	// the prover ships (and the pipeline verifies) O(new records). A
+	// device without a *current* watermark gets a stateless full
+	// collection instead: first contact, reset after tamper or a
+	// continuity gap, or — the async-pipeline case — the previous round's
+	// verdict not yet applied, when the stored watermark is stale and
+	// collecting against it would re-verify (and re-alert) records the
+	// queued verdict already covers.
+	var wm core.Watermark
+	delta := false
+	m.mu.Lock()
+	settled := d.verdictsPending == 0
+	d.verdictsPending++
+	m.mu.Unlock()
+	if m.svc != nil && settled {
+		if w, ok := m.svc.Watermark(d.cfg.Addr); ok && !w.IsZero() {
+			wm, delta = w, true
+		}
+	}
 	m.pipe.launched()
-	err := m.collector.Collect(d.cfg.Addr, k, func(res session.CollectResult, err error) {
-		m.pipe.submit(pipeJob{dev: d, res: res, err: err, now: now, expectedK: expected, at: launched})
-	})
+	cb := func(res session.CollectResult, err error) {
+		m.pipe.submit(pipeJob{
+			dev: d, res: res, err: err, now: now, expectedK: expected, at: launched,
+			delta: delta, wm: wm,
+		})
+	}
+	var err error
+	if delta {
+		// k ≤ 0 = "everything since": after a lost round the next delta
+		// ships the backlog too, so no record is ever silently dropped by
+		// a fixed request size.
+		err = m.collector.CollectDelta(d.cfg.Addr, wm.T, 0, cb)
+	} else {
+		err = m.collector.Collect(d.cfg.Addr, k, cb)
+	}
 	if err != nil {
 		// A previous collection is still outstanding (device very slow or
 		// TC shorter than the timeout budget); count it as a failure.
@@ -357,6 +430,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d := j.dev
+	d.verdictsPending--
 	if j.err != nil {
 		d.failures++
 		if d.failures == m.unreachableAfter {
@@ -368,6 +442,12 @@ func (m *Manager) applyResult(j *pipeJob) {
 		return
 	}
 	rep := j.rep
+	if m.svc != nil {
+		// Watermark updates are applied here — in submission order, under
+		// the same lock as device state — so the watermark a later launch
+		// reads is always the last applied verdict's successor.
+		m.svc.Set(d.cfg.Addr, core.NextWatermark(j.wm, rep))
+	}
 	wasUnreachable := d.unreachable
 	d.unreachable = false
 	d.failures = 0

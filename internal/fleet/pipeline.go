@@ -18,6 +18,8 @@ type pipeJob struct {
 	now       uint64 // verifier clock at launch
 	expectedK int
 	at        sim.Ticks // launch time, stamped onto alerts
+	delta     bool      // incremental verification against wm
+	wm        core.Watermark
 	rep       core.Report
 }
 
@@ -122,6 +124,8 @@ func (p *pipeline) process(batch []pipeJob) {
 				Records:   batch[i].res.Records,
 				Now:       batch[i].now,
 				ExpectedK: batch[i].expectedK,
+				Delta:     batch[i].delta,
+				Watermark: batch[i].wm,
 				Tag:       &batch[i],
 			})
 		}

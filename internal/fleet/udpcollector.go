@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/session"
 	"erasmus/internal/udptransport"
@@ -67,6 +68,22 @@ func (u *UDPCollector) Register(cfg DeviceConfig) error {
 // contract, matching the session transport), which also bounds the
 // goroutine count by the fleet size rather than the tick rate.
 func (u *UDPCollector) Collect(addr string, k int, cb func(session.CollectResult, error)) error {
+	return u.run(addr, cb, func(alg mac.Algorithm) ([]core.Record, error) {
+		return u.fc.Collect(addr, alg, k)
+	})
+}
+
+// CollectDelta fetches the records measured at or after since from the
+// device, asynchronously — same contract as Collect.
+func (u *UDPCollector) CollectDelta(addr string, since uint64, k int, cb func(session.CollectResult, error)) error {
+	return u.run(addr, cb, func(alg mac.Algorithm) ([]core.Record, error) {
+		return u.fc.CollectDelta(addr, alg, since, k)
+	})
+}
+
+// run executes one collection exchange on its own goroutine, enforcing
+// the one-outstanding-per-device contract.
+func (u *UDPCollector) run(addr string, cb func(session.CollectResult, error), fetch func(mac.Algorithm) ([]core.Record, error)) error {
 	u.mu.Lock()
 	alg, ok := u.algs[addr]
 	if !ok {
@@ -80,7 +97,7 @@ func (u *UDPCollector) Collect(addr string, k int, cb func(session.CollectResult
 	u.inflight[addr] = true
 	u.mu.Unlock()
 	go func() {
-		recs, err := u.fc.Collect(addr, alg, k)
+		recs, err := fetch(alg)
 		u.mu.Lock()
 		delete(u.inflight, addr)
 		u.mu.Unlock()

@@ -65,6 +65,10 @@ type ManagedConfig struct {
 	UnreachableAfter int
 	// Synchronous verifies inline instead of through the pipeline.
 	Synchronous bool
+	// Delta enables incremental collection: the manager keeps per-device
+	// watermarks and fetches + verifies only the records measured since
+	// the previous round (see fleet.ManagerConfig.Delta).
+	Delta bool
 	// UDPPool is the socket-pool size of the UDP collector (default 8).
 	UDPPool int
 }
@@ -201,6 +205,7 @@ func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, cloc
 		VerifyWorkers: cfg.VerifyWorkers, QueueDepth: cfg.QueueDepth,
 		UnreachableAfter: cfg.UnreachableAfter,
 		Synchronous:      cfg.Synchronous,
+		Delta:            cfg.Delta,
 	}
 }
 

@@ -90,3 +90,49 @@ func TestManagedConfigValidation(t *testing.T) {
 		t.Error("udp transport with loss accepted")
 	}
 }
+
+// Delta collection at population scale: the same seeded lossy scenario —
+// churn, wave, 5% datagram loss — must produce the identical alert stream
+// with incremental verification as with stateless full re-verification.
+// Inline verification keeps the virtual-time run deterministic (the async
+// pipeline's watermarks would lag the instantly-advancing clock and every
+// round would fall back to full collection — equivalent, but vacuous).
+func TestManagedPopulationDeltaEquivalence(t *testing.T) {
+	run := func(delta bool) *ManagedResult {
+		res, err := RunManaged(ManagedConfig{
+			Population:       80,
+			Seed:             23,
+			QoA:              core.QoA{TM: 10 * sim.Minute, TC: 40 * sim.Minute},
+			Duration:         4 * sim.Hour,
+			IMX6Fraction:     0.25,
+			Loss:             0.05,
+			Latency:          10 * sim.Millisecond,
+			LateJoinFraction: 0.2,
+			Wave:             WaveConfig{Coverage: 0.3, Start: sim.Hour, Spread: 30 * sim.Minute},
+			Synchronous:      true,
+			Delta:            delta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(false)
+	incr := run(true)
+	if full.InfectionsSeeded == 0 {
+		t.Fatal("scenario degenerate: no infections seeded")
+	}
+	if len(full.Alerts) != len(incr.Alerts) {
+		t.Fatalf("alert counts diverge: full %d, delta %d", len(full.Alerts), len(incr.Alerts))
+	}
+	for i := range full.Alerts {
+		if full.Alerts[i] != incr.Alerts[i] {
+			t.Fatalf("alert %d diverges:\nfull:  %+v\ndelta: %+v", i, full.Alerts[i], incr.Alerts[i])
+		}
+	}
+	if full.HealthyCount != incr.HealthyCount ||
+		full.InfectionsDetected != incr.InfectionsDetected ||
+		full.FalseInfections != incr.FalseInfections {
+		t.Fatalf("end states diverge:\nfull:  %+v\ndelta: %+v", full, incr)
+	}
+}

@@ -58,6 +58,19 @@ func (ep *ProverEndpoint) handle(pkt netsim.Packet) {
 				Kind: core.KindCollectResponse, Payload: resp,
 			})
 		})
+	case core.KindDeltaCollectRequest:
+		req, err := core.DecodeDeltaCollectRequest(pkt.Payload)
+		if err != nil {
+			return
+		}
+		recs, timing := ep.prover.HandleCollectDelta(req.Since, req.K)
+		resp := core.CollectResponse{Records: recs}.Encode(ep.alg)
+		ep.engine.After(timing.Total(), func() {
+			ep.net.Send(netsim.Packet{
+				From: ep.addr, To: pkt.From,
+				Kind: core.KindCollectResponse, Payload: resp,
+			})
+		})
 	case core.KindODRequest:
 		req, err := core.DecodeODRequest(ep.alg, pkt.Payload)
 		if err != nil {
@@ -155,6 +168,17 @@ func (c *VerifierClient) Collect(proverAddr string, k int, cb func(CollectResult
 	payload := core.CollectRequest{K: k}.Encode()
 	return c.start(proverAddr, &pendingReq{
 		k: k, callback: cb, payload: payload, kind: core.KindCollectRequest,
+	})
+}
+
+// CollectDelta requests the records measured at or after since — the
+// incremental collection of a stateful verifier (core.DeltaCollectRequest).
+// k ≤ 0 means "everything since", clamped to the prover's buffer size.
+// The response arrives through the same callback contract as Collect.
+func (c *VerifierClient) CollectDelta(proverAddr string, since uint64, k int, cb func(CollectResult, error)) error {
+	payload := core.DeltaCollectRequest{Since: since, K: k}.Encode()
+	return c.start(proverAddr, &pendingReq{
+		k: k, callback: cb, payload: payload, kind: core.KindDeltaCollectRequest,
 	})
 }
 

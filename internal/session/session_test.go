@@ -292,3 +292,59 @@ func TestConstructorValidation(t *testing.T) {
 		t.Error("invalid algorithm accepted")
 	}
 }
+
+func TestCollectDeltaOverNetwork(t *testing.T) {
+	f := newFixture(t, netsim.Config{Latency: 5 * sim.Millisecond})
+	f.warmup(t, 5)
+
+	// A full collection establishes the watermark…
+	var first CollectResult
+	err := f.client.Collect("prv-1", 3, func(r CollectResult, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		first = r
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if len(first.Records) != 3 {
+		t.Fatalf("got %d records", len(first.Records))
+	}
+	since := first.Records[0].T
+
+	// …then two more measurement windows pass, and a delta request ships
+	// exactly the two new records plus the anchor.
+	f.warmup(t, 2)
+	var got CollectResult
+	done := false
+	err = f.client.CollectDelta("prv-1", since, 0, func(r CollectResult, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got, done = r, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if !done {
+		t.Fatal("callback never invoked")
+	}
+	if len(got.Records) != 3 { // 2 new + anchor
+		t.Fatalf("delta shipped %d records, want 3", len(got.Records))
+	}
+	if got.Records[len(got.Records)-1].T != since {
+		t.Fatalf("oldest shipped record t=%d, want the anchor t=%d",
+			got.Records[len(got.Records)-1].T, since)
+	}
+	for _, r := range got.Records {
+		if r.T < since {
+			t.Fatalf("record older than the watermark shipped: %d < %d", r.T, since)
+		}
+		if !r.VerifyMAC(alg, key) {
+			t.Fatal("record corrupted in transit")
+		}
+	}
+}

@@ -41,6 +41,11 @@ const (
 	// to requests.
 	msgFleetCollectReq  = 0x05
 	msgFleetCollectResp = 0x06
+	// Delta (since-watermark) collections: the incremental protocol of a
+	// stateful verifier. Responses reuse msgCollectResp/msgFleetCollectResp
+	// — a record list is a record list, whichever request produced it.
+	msgDeltaCollectReq      = 0x07
+	msgFleetDeltaCollectReq = 0x08
 )
 
 const maxDatagram = 64 * 1024
@@ -278,6 +283,14 @@ func (s *Server) handle(dgram []byte) []byte {
 			return nil
 		}
 		return append([]byte{msgODResp}, core.ODResponse{M0: m0, Records: hist}.Encode(s.alg)...)
+	case msgDeltaCollectReq:
+		prover := s.provers[defaultProverID]
+		req, err := core.DecodeDeltaCollectRequest(dgram[1:])
+		if err != nil || prover == nil {
+			return nil
+		}
+		recs, _ := prover.HandleCollectDelta(req.Since, req.K)
+		return append([]byte{msgCollectResp}, core.CollectResponse{Records: recs}.Encode(s.alg)...)
 	case msgFleetCollectReq:
 		frame, payload, err := decodeFleetFrame(dgram)
 		if err != nil {
@@ -289,6 +302,19 @@ func (s *Server) handle(dgram []byte) []byte {
 			return nil
 		}
 		recs, _ := prover.HandleCollect(req.K)
+		return encodeFleetFrame(msgFleetCollectResp, frame,
+			core.CollectResponse{Records: recs}.Encode(s.alg))
+	case msgFleetDeltaCollectReq:
+		frame, payload, err := decodeFleetFrame(dgram)
+		if err != nil {
+			return nil
+		}
+		prover := s.provers[frame.id]
+		req, err := core.DecodeDeltaCollectRequest(payload)
+		if err != nil || prover == nil {
+			return nil
+		}
+		recs, _ := prover.HandleCollectDelta(req.Since, req.K)
 		return encodeFleetFrame(msgFleetCollectResp, frame,
 			core.CollectResponse{Records: recs}.Encode(s.alg))
 	default:
@@ -399,7 +425,19 @@ func roundTrip(conn *net.UDPConn, req []byte, timeout time.Duration, attempts in
 
 // Collect fetches the k latest records.
 func (c *Client) Collect(k int) ([]core.Record, error) {
-	req := append([]byte{msgCollectReq}, core.CollectRequest{K: k}.Encode()...)
+	return c.collectRecords(append([]byte{msgCollectReq}, core.CollectRequest{K: k}.Encode()...))
+}
+
+// CollectDelta fetches the records measured at or after since (the
+// caller's watermark), newest first; k ≤ 0 means everything since,
+// clamped to the prover's buffer.
+func (c *Client) CollectDelta(since uint64, k int) ([]core.Record, error) {
+	return c.collectRecords(append([]byte{msgDeltaCollectReq}, core.DeltaCollectRequest{Since: since, K: k}.Encode()...))
+}
+
+// collectRecords runs one unauthenticated collection exchange: both the
+// full and the delta request are answered by a msgCollectResp record list.
+func (c *Client) collectRecords(req []byte) ([]core.Record, error) {
 	raw, err := roundTrip(c.conn, req, c.Timeout, c.Attempts,
 		func(b []byte) bool { return b[0] == msgCollectResp }, nil)
 	if err != nil {
@@ -497,6 +535,18 @@ func (c *FleetClient) PoolSize() int { return cap(c.pool) }
 // on both the exchange id and the echoed device id, so a pooled socket
 // reused across devices never delivers one device's history as another's.
 func (c *FleetClient) Collect(id string, alg mac.Algorithm, k int) ([]core.Record, error) {
+	return c.collect(id, alg, msgFleetCollectReq, core.CollectRequest{K: k}.Encode())
+}
+
+// CollectDelta fetches the records measured at or after since from the
+// prover hosted under id — the incremental collection. k ≤ 0 means
+// everything since, clamped to the prover's buffer.
+func (c *FleetClient) CollectDelta(id string, alg mac.Algorithm, since uint64, k int) ([]core.Record, error) {
+	return c.collect(id, alg, msgFleetDeltaCollectReq, core.DeltaCollectRequest{Since: since, K: k}.Encode())
+}
+
+// collect runs one framed request/response exchange over a pooled socket.
+func (c *FleetClient) collect(id string, alg mac.Algorithm, msgType byte, reqPayload []byte) ([]core.Record, error) {
 	if id == "" || len(id) > 255 {
 		return nil, fmt.Errorf("udptransport: device id %q must be 1–255 bytes", id)
 	}
@@ -504,7 +554,7 @@ func (c *FleetClient) Collect(id string, alg mac.Algorithm, k int) ([]core.Recor
 		return nil, fmt.Errorf("udptransport: invalid algorithm %d", int(alg))
 	}
 	frame := fleetFrame{xid: c.xid.Add(1), id: id}
-	req := encodeFleetFrame(msgFleetCollectReq, frame, core.CollectRequest{K: k}.Encode())
+	req := encodeFleetFrame(msgType, frame, reqPayload)
 
 	conn := <-c.pool
 	defer func() { c.pool <- conn }()

@@ -339,3 +339,112 @@ func TestFleetUnhost(t *testing.T) {
 		t.Fatalf("unhosted device: err = %v, want ErrTimeout", err)
 	}
 }
+
+func TestCollectDeltaOverRealUDP(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dialServer(t, srv)
+
+	time.Sleep(250 * time.Millisecond)
+	full, err := c.Collect(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 4 {
+		t.Fatalf("got %d records", len(full))
+	}
+	since := full[0].T
+
+	// More measurements land (TM = 30 ms), then the delta request ships
+	// only the anchor and what is newer.
+	time.Sleep(120 * time.Millisecond)
+	recs, err := c.CollectDelta(since, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("delta shipped %d records, want anchor + new", len(recs))
+	}
+	if recs[len(recs)-1].T != since {
+		t.Fatalf("oldest shipped t=%d, want anchor t=%d", recs[len(recs)-1].T, since)
+	}
+	for i, r := range recs {
+		if r.T < since {
+			t.Fatalf("record %d older than the watermark", i)
+		}
+		if !r.VerifyMAC(alg, key) {
+			t.Fatalf("record %d fails authentication", i)
+		}
+	}
+}
+
+// The fleet protocol's delta frame: the server demuxes per-device delta
+// requests on one socket exactly like full collections.
+func TestFleetCollectDeltaDemux(t *testing.T) {
+	e := sim.NewEngine()
+	build := func(id string, devKey []byte) *core.Prover {
+		dev, err := imx6.New(imx6.Config{
+			Engine: e, MemorySize: 4096,
+			StoreSize: 16 * core.RecordSize(alg),
+			Key:       devKey,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := core.NewRegular(30 * sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		return p
+	}
+	keyA := []byte("fleet-delta-key-a")
+	keyB := []byte("fleet-delta-key-b")
+	pa, pb := build("a", keyA), build("b", keyB)
+	srv, err := ServeFleet("127.0.0.1:0", e, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Host("dev-a", pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Host("dev-b", pb); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := DialFleet(srv.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	time.Sleep(250 * time.Millisecond)
+	fullA, err := fc.Collect("dev-a", alg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	since := fullA[0].T
+	time.Sleep(120 * time.Millisecond)
+
+	recsA, err := fc.CollectDelta("dev-a", alg, since, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsA) < 2 || recsA[len(recsA)-1].T != since {
+		t.Fatalf("delta for dev-a wrong: %d records", len(recsA))
+	}
+	for i, r := range recsA {
+		if !r.VerifyMAC(alg, keyA) {
+			t.Fatalf("dev-a record %d not authentic under dev-a's key (cross-device mixup?)", i)
+		}
+	}
+	// A delta for an unknown device is silently dropped, like any request
+	// to a dark device.
+	fc.Timeout, fc.Attempts = 50*time.Millisecond, 1
+	if _, err := fc.CollectDelta("dev-zz", alg, since, 0); err == nil {
+		t.Fatal("unknown device answered a delta request")
+	}
+}
