@@ -12,6 +12,7 @@ package erasmus_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"erasmus"
@@ -270,6 +271,79 @@ func swarmRates(b *testing.B, speed float64) (od, er float64) {
 	return od, er
 }
 
+// newBenchSwarm builds a mobile swarm at constant density (≈7 radio
+// neighbors per node) with small attested images, sized for the
+// population-scale snapshot/collection benchmarks.
+func newBenchSwarm(b *testing.B, n int) (*sim.Engine, *swarm.Swarm) {
+	b.Helper()
+	e := sim.NewEngine()
+	s, err := swarm.New(swarm.Config{
+		N: n, Area: math.Sqrt(float64(n)) * 40, Radius: 60, Speed: 5, Seed: 11,
+		Engine: e, MemorySize: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, s
+}
+
+// BenchmarkSwarmSnapshot measures the spatial-grid topology snapshot — the
+// operation that was all-pairs O(N²) before grid bucketing — at
+// population scale on a mobile swarm.
+func BenchmarkSwarmSnapshot(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, s := newBenchSwarm(b, n)
+			defer s.Stop()
+			b.ResetTimer()
+			reached := 0
+			for i := 0; i < b.N; i++ {
+				e.RunUntil(e.Now() + sim.Second)
+				s.PruneTrails(e.Now())
+				tree := s.SnapshotTree(0, e.Now())
+				reached = 0
+				for v := range tree.Depth {
+					if tree.Reachable(v) {
+						reached++
+					}
+				}
+			}
+			b.ReportMetric(float64(reached)/float64(n)*100, "reached-%")
+		})
+	}
+}
+
+// BenchmarkCollectiveAttest measures one full verifier-grade collective
+// instance — grid snapshot, per-hop link-checked flood and relay, batched
+// history verification under per-node keys, QoSA grading — per iteration.
+func BenchmarkCollectiveAttest(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, s := newBenchSwarm(b, n)
+			defer s.Stop()
+			// Warm-up: two measurement windows so buffers hold history.
+			e.RunUntil(21 * sim.Minute)
+			b.ResetTimer()
+			var rep swarm.CollectiveReport
+			for i := 0; i < b.N; i++ {
+				e.RunUntil(e.Now() + sim.Minute)
+				rep = s.CollectiveAttest(0, 2, swarm.QoSAList)
+			}
+			responded, healthy := 0, 0
+			for _, v := range rep.Devices {
+				if v.Responded {
+					responded++
+				}
+				if v.Healthy {
+					healthy++
+				}
+			}
+			b.ReportMetric(float64(responded)/float64(n)*100, "responded-%")
+			b.ReportMetric(float64(healthy)/float64(n)*100, "healthy-%")
+		})
+	}
+}
+
 // BenchmarkIrregular regenerates the §3.5 experiment: evasion probability
 // of schedule-aware mobile malware under regular vs irregular schedules.
 func BenchmarkIrregular(b *testing.B) {
@@ -410,7 +484,7 @@ func BenchmarkAblationStagger(b *testing.B) {
 					b.Fatal(err)
 				}
 				e.RunUntil(35 * sim.Minute)
-				peak = s.MaxConcurrentMeasuring(0, 35*sim.Minute, sim.Second)
+				peak = s.MaxConcurrentMeasuring(0, 35*sim.Minute)
 				s.Stop()
 			}
 			b.ReportMetric(float64(peak), "peak-busy-nodes")

@@ -294,7 +294,7 @@ func swarmExp() {
 		})
 		must(err)
 		e2.RunUntil(25 * sim.Minute)
-		peak := s2.MaxConcurrentMeasuring(0, 25*sim.Minute, sim.Second)
+		peak := s2.MaxConcurrentMeasuring(0, 25*sim.Minute)
 		s2.Stop()
 
 		fmt.Printf("%-12g %11.1f%% %11.1f%% %18d\n",

@@ -1,19 +1,27 @@
-// Command erasmus-swarm runs the §6 swarm attestation experiment: a mobile
-// group of ERASMUS provers, comparing SEDA-style on-demand collective
-// attestation against ERASMUS + LISA-α-style relay collection across a
-// sweep of node speeds.
+// Command erasmus-swarm runs the §6 swarm attestation experiments.
 //
-// Example:
+// The default mode sweeps node speed, comparing SEDA-style on-demand
+// collective attestation against ERASMUS + LISA-α-style relay collection:
 //
 //	erasmus-swarm -n 20 -area 200 -radius 60 -speeds 0,5,10,15 -trials 8
+//
+// The -collective mode runs one verifier-grade collective instance at
+// population scale — spatial-grid topology snapshot, link-checked flood
+// and relay, batch-verified per-node histories, QoSA × temporal-QoA
+// grading — optionally with injected infections and silenced (withheld-
+// measurement) devices:
+//
+//	erasmus-swarm -collective -n 20000 -qosa list -infect 3 -silence 2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"erasmus/internal/sim"
 	"erasmus/internal/swarm"
@@ -21,31 +29,53 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 16, "number of devices")
-		area    = flag.Float64("area", 150, "deployment square side (m)")
-		radius  = flag.Float64("radius", 60, "radio range (m)")
-		speeds  = flag.String("speeds", "0,4,8,12,16", "comma-separated node speeds (m/s)")
-		trials  = flag.Int("trials", 6, "attestation instances per protocol per speed")
-		seed    = flag.Int64("seed", 11, "mobility/placement seed")
-		memKB   = flag.Int("mem", 10, "attested memory per node (KB)")
-		stagger = flag.Bool("stagger", false, "stagger self-measurement schedules")
+		n          = flag.Int("n", 16, "number of devices")
+		area       = flag.Float64("area", 0, "deployment square side (m); 0 = constant density in collective mode, 150 m in sweep mode")
+		radius     = flag.Float64("radius", 60, "radio range (m)")
+		speeds     = flag.String("speeds", "0,4,8,12,16", "comma-separated node speeds (m/s), sweep mode")
+		trials     = flag.Int("trials", 6, "attestation instances per protocol per speed, sweep mode")
+		seed       = flag.Int64("seed", 11, "mobility/placement seed")
+		memKB      = flag.Int("mem", 10, "attested memory per node (KB)")
+		stagger    = flag.Bool("stagger", false, "stagger self-measurement schedules")
+		collective = flag.Bool("collective", false, "run one verifier-grade collective instance instead of the sweep")
+		speed      = flag.Float64("speed", 5, "node speed (m/s), collective mode")
+		k          = flag.Int("k", 2, "records per collection, collective mode")
+		qosa       = flag.String("qosa", "list", "QoSA level: binary|list|full")
+		infect     = flag.Int("infect", 0, "devices to infect (measured implant), collective mode")
+		silence    = flag.Int("silence", 0, "devices to infect and silence (withheld measurements), collective mode")
+		workers    = flag.Int("verify-workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
+		root       = flag.Int("root", -1, "collector node id, collective mode (-1 = node nearest the area center)")
 	)
 	flag.Parse()
 
+	side := *area
+	if side <= 0 {
+		side = math.Sqrt(float64(*n)) * 40 // ≈7 radio neighbors at radius 60
+		if !*collective {
+			side = 150
+		}
+	}
+
+	if *collective {
+		runCollective(*n, side, *radius, *speed, *seed, *memKB, *k, *qosa, *infect, *silence, *workers, *root, *stagger)
+		return
+	}
+
 	fmt.Printf("swarm: %d nodes, %gm area, %gm radius, %dKB memory, stagger=%v\n\n",
-		*n, *area, *radius, *memKB, *stagger)
+		*n, side, *radius, *memKB, *stagger)
 	fmt.Printf("%-12s %10s %10s %12s %12s\n", "speed (m/s)", "on-demand", "ERASMUS", "od-busy", "er-busy")
 
 	for _, field := range strings.Split(*speeds, ",") {
-		speed, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		sp, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "erasmus-swarm: bad speed %q: %v\n", field, err)
 			os.Exit(2)
 		}
 		e := sim.NewEngine()
 		s, err := swarm.New(swarm.Config{
-			N: *n, Area: *area, Radius: *radius, Speed: speed, Seed: *seed,
+			N: *n, Area: side, Radius: *radius, Speed: sp, Seed: *seed,
 			Engine: e, MemorySize: *memKB * 1024, Stagger: *stagger,
+			VerifyWorkers: *workers,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "erasmus-swarm:", err)
@@ -62,17 +92,111 @@ func main() {
 			odC, odR = odC+od.Completed, odR+od.Reached
 			odBusy += od.BusyTime
 			e.RunUntil(e.Now() + sim.Minute)
-			er := s.RunErasmusCollection(0, 2)
+			er := s.RunErasmusCollection(0, *k)
 			erC, erR = erC+er.Completed, erR+er.Reached
 			erBusy += er.BusyTime
 		}
 		s.Stop()
 		fmt.Printf("%-12g %9.1f%% %9.1f%% %12v %12v\n",
-			speed, pct(odC, odR), pct(erC, erR),
+			sp, pct(odC, odR), pct(erC, erR),
 			odBusy/sim.Ticks(*trials), erBusy/sim.Ticks(*trials))
 	}
 	fmt.Println("\ncompletion = responses reaching the collector / nodes reachable at snapshot")
 	fmt.Println("busy = prover-side CPU time per instance (the §6 availability cost)")
+}
+
+func runCollective(n int, area, radius, speed float64, seed int64, memKB, k int,
+	qosa string, infect, silence, workers, root int, stagger bool) {
+	var level swarm.QoSALevel
+	switch qosa {
+	case "binary":
+		level = swarm.QoSABinary
+	case "list":
+		level = swarm.QoSAList
+	case "full":
+		level = swarm.QoSAFull
+	default:
+		fmt.Fprintf(os.Stderr, "erasmus-swarm: unknown QoSA level %q\n", qosa)
+		os.Exit(2)
+	}
+
+	e := sim.NewEngine()
+	build := time.Now()
+	s, err := swarm.New(swarm.Config{
+		N: n, Area: area, Radius: radius, Speed: speed, Seed: seed,
+		Engine: e, MemorySize: memKB * 1024, Stagger: stagger,
+		VerifyWorkers: workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erasmus-swarm:", err)
+		os.Exit(1)
+	}
+	defer s.Stop()
+	fmt.Printf("collective: %d nodes, %.0fm area, %gm radius, %g m/s, k=%d, QoSA=%s (built in %v)\n",
+		n, area, radius, speed, k, level, time.Since(build).Round(time.Millisecond))
+
+	// Two measurement windows of history, then the adversary moves.
+	e.RunUntil(21 * sim.Minute)
+	for i := 0; i < infect && 1+i < n; i++ {
+		if err := s.Infect(1+i, []byte("implant")); err != nil {
+			fmt.Fprintln(os.Stderr, "erasmus-swarm:", err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < silence && 1+infect+i < n; i++ {
+		id := 1 + infect + i
+		if err := s.Infect(id, []byte("silent implant")); err != nil {
+			fmt.Fprintln(os.Stderr, "erasmus-swarm:", err)
+			os.Exit(1)
+		}
+		s.Nodes[id].Prover.Stop()
+	}
+	// Let infections be measured and silenced evidence age past the
+	// freshness bound (MaxGap + skew = 1.6×TM).
+	e.RunUntil(e.Now() + 17*sim.Minute)
+
+	// Under random-waypoint mobility a border node can drift into a small
+	// isolated pocket; a collector hovering mid-field sees the giant
+	// component, so by default attest from the node nearest the center.
+	if root < 0 {
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			x, y := s.Position(i, e.Now())
+			if d := math.Hypot(x-area/2, y-area/2); d < best {
+				best, root = d, i
+			}
+		}
+	}
+	start := time.Now()
+	rep := s.CollectiveAttest(root, k, level)
+	wall := time.Since(start)
+
+	reached, responded, healthy, flagged := 0, 0, 0, 0
+	for _, v := range rep.Devices {
+		if v.Reached {
+			reached++
+		}
+		if v.Responded {
+			responded++
+		}
+		if v.Healthy {
+			healthy++
+		}
+		if v.Responded && !v.Healthy {
+			flagged++
+		}
+	}
+	fmt.Printf("\ninstance wall time: %v\n", wall.Round(time.Millisecond))
+	fmt.Printf("collective healthy: %v (report %d bytes at QoSA=%s)\n", rep.Healthy, rep.Bytes, rep.Level)
+	fmt.Printf("temporal QoA: %d fresh / %d aging / %d withheld → worst %v\n",
+		rep.Temporal.Fresh, rep.Temporal.Aging, rep.Temporal.Withheld, rep.Temporal.Worst())
+	if level != swarm.QoSABinary {
+		fmt.Printf("devices: %d reached, %d responded, %d healthy, %d flagged\n",
+			reached, responded, healthy, flagged)
+		if bad := rep.UnhealthyDevices(); len(bad) > 0 && len(bad) <= 16 {
+			fmt.Printf("unhealthy ids: %v\n", bad)
+		}
+	}
 }
 
 func pct(num, den int) float64 {

@@ -252,10 +252,46 @@ type (
 	Swarm = swarm.Swarm
 	// SwarmInstanceResult reports one collective attestation instance.
 	SwarmInstanceResult = swarm.InstanceResult
+	// SwarmTree is a BFS topology snapshot.
+	SwarmTree = swarm.Tree
+	// QoSALevel selects how much information a collective report carries
+	// (binary / list / full — the LISA information axis).
+	QoSALevel = swarm.QoSALevel
+	// SwarmCollectiveReport is a QoSA-graded, verifier-validated collective
+	// attestation outcome with per-device temporal (QoA) grades.
+	SwarmCollectiveReport = swarm.CollectiveReport
+	// SwarmDeviceVerdict is one node's outcome within a collective report.
+	SwarmDeviceVerdict = swarm.DeviceVerdict
+	// TemporalGrade classifies evidence age against the measurement
+	// schedule (fresh / aging / withheld).
+	TemporalGrade = qoa.TemporalGrade
+	// CollectiveTemporal aggregates temporal grades across an instance.
+	CollectiveTemporal = qoa.CollectiveTemporal
+)
+
+// QoSA report granularities.
+const (
+	QoSABinary = swarm.QoSABinary
+	QoSAList   = swarm.QoSAList
+	QoSAFull   = swarm.QoSAFull
+)
+
+// Temporal (QoA) evidence grades.
+const (
+	TemporalUngraded = qoa.TemporalUngraded
+	TemporalFresh    = qoa.TemporalFresh
+	TemporalAging    = qoa.TemporalAging
+	TemporalWithheld = qoa.TemporalWithheld
 )
 
 // NewSwarm builds a mobile swarm of ERASMUS provers.
 func NewSwarm(cfg SwarmConfig) (*Swarm, error) { return swarm.New(cfg) }
+
+// GradeTemporal classifies freshness f against a schedule with nominal
+// period tm, maximum tolerated gap maxGap and clock-skew tolerance skew.
+func GradeTemporal(f, tm, maxGap, skew Ticks) TemporalGrade {
+	return qoa.GradeTemporal(f, tm, maxGap, skew)
+}
 
 // Networking: the UDP-like simulated transport and the collection
 // protocols running over it.

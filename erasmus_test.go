@@ -193,8 +193,15 @@ func TestPublicAPISwarm(t *testing.T) {
 	defer s.Stop()
 	e.RunUntil(25 * erasmus.Minute)
 	res := s.RunErasmusCollection(0, 1)
-	if res.Completed != 4 {
-		t.Fatalf("swarm collection completed %d/4", res.Completed)
+	if res.Completed != 4 || res.Verified != 4 {
+		t.Fatalf("swarm collection completed %d/4, verified %d/4", res.Completed, res.Verified)
+	}
+	rep := s.CollectiveAttest(0, 1, erasmus.QoSAList)
+	if !rep.Healthy || len(rep.Devices) != 4 {
+		t.Fatalf("collective report: healthy=%v devices=%d", rep.Healthy, len(rep.Devices))
+	}
+	if rep.Temporal.Worst() != erasmus.TemporalFresh {
+		t.Fatalf("clean running swarm graded %v", rep.Temporal.Worst())
 	}
 }
 

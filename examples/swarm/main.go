@@ -8,6 +8,13 @@
 // the relay keeps near-full coverage. Staggered schedules keep most of the
 // swarm available at any instant.
 //
+// The last section shows the verifier-grade collective verdicts: evidence
+// is validated with full core.Verifier semantics (golden hashes, schedule
+// gaps, freshness), so an infected drone is flagged by its measured state
+// and a *silenced* drone — one whose malware killed the measurement loop,
+// so its buffered records stay authentic and clean forever — is flagged on
+// the temporal (QoA) axis as "withheld".
+//
 // Run with:
 //
 //	go run ./examples/swarm
@@ -33,6 +40,8 @@ func main() {
 	fmt.Printf("\npeak simultaneously-measuring drones: %d aligned vs %d staggered\n",
 		aligned, staggered)
 	fmt.Println("staggering phases guarantees most of the swarm stays mission-available (§6).")
+
+	collectiveVerdicts()
 }
 
 func coverageAt(speed float64) (onDemand, er float64) {
@@ -75,7 +84,48 @@ func peakBusy(stagger bool) int {
 	}
 	defer s.Stop()
 	engine.RunUntil(35 * erasmus.Minute)
-	return s.MaxConcurrentMeasuring(0, 35*erasmus.Minute, erasmus.Second)
+	return s.MaxConcurrentMeasuring(0, 35*erasmus.Minute)
+}
+
+// collectiveVerdicts demonstrates QoSA × temporal-QoA grading: one drone
+// carries a measured implant, another is infected and silenced. Both must
+// surface in the collective report — the second only because evidence age
+// is graded against the measurement schedule.
+func collectiveVerdicts() {
+	engine := erasmus.NewEngine()
+	s, err := erasmus.NewSwarm(erasmus.SwarmConfig{
+		N: 16, Area: 150, Radius: 200, Speed: 0, Seed: 11,
+		Engine: engine, MemorySize: 2 * 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Stop()
+	engine.RunUntil(25 * erasmus.Minute)
+
+	// Drone 4: implant that will be measured. Drone 9: implant whose
+	// malware kills the measurement loop — no infected record ever exists.
+	if err := s.Infect(4, []byte("measured implant")); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Infect(9, []byte("silent implant")); err != nil {
+		log.Fatal(err)
+	}
+	s.Nodes[9].Prover.Stop()
+
+	// One measurement window catches drone 4; seventeen more minutes age
+	// drone 9's evidence past MaxGap + skew.
+	engine.RunUntil(engine.Now() + 28*erasmus.Minute)
+
+	rep := s.CollectiveAttest(0, 2, erasmus.QoSAList)
+	fmt.Printf("\ncollective verdict: healthy=%v, temporal %d fresh / %d aging / %d withheld\n",
+		rep.Healthy, rep.Temporal.Fresh, rep.Temporal.Aging, rep.Temporal.Withheld)
+	for _, id := range rep.UnhealthyDevices() {
+		v := rep.Devices[id]
+		fmt.Printf("  drone %2d flagged: grade=%v freshness=%v records=%d\n",
+			id, v.Grade, v.Freshness, v.Records)
+	}
+	fmt.Println("the measured implant is caught by state, the silenced drone by evidence age (QoA).")
 }
 
 func ratio(num, den int) float64 {

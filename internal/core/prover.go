@@ -426,10 +426,21 @@ func (p *Prover) HandleCollectOD(treq uint64, k int, reqMAC []byte) (m0 Record, 
 // HandleOnDemand serves a pure on-demand attestation request (the SMART+
 // baseline): authenticate, measure in real time, return the single fresh
 // record. This is the design ERASMUS is compared against throughout the
-// evaluation.
+// evaluation. The request MAC binds nonce zero; verifiers that issue many
+// instances should use HandleOnDemandNonce with a fresh nonce instead.
 func (p *Prover) HandleOnDemand(treq uint64, reqMAC []byte) (Record, CollectTiming, error) {
+	return p.HandleOnDemandNonce(treq, 0, reqMAC)
+}
+
+// HandleOnDemandNonce serves a pure on-demand request whose MAC binds a
+// verifier-chosen nonce in the request's k field (unused by the pure
+// on-demand protocol): <treq, nonce, MAC_K(treq, nonce)>. The nonce gives
+// each instance's requests a distinct MAC even when treq values repeat
+// across verifiers, and the prover's monotonic treq floor (ErrReplay)
+// rejects any captured request replayed verbatim.
+func (p *Prover) HandleOnDemandNonce(treq uint64, nonce uint32, reqMAC []byte) (Record, CollectTiming, error) {
 	p.stats.ODRequests++
-	timing, err := p.authenticateRequest(treq, 0, reqMAC)
+	timing, err := p.authenticateRequest(treq, int(nonce), reqMAC)
 	if err != nil {
 		p.stats.ODRejected++
 		p.emit(EventODRejected, treq, err.Error())

@@ -453,3 +453,34 @@ func TestAbortWhenIdleReturnsFalse(t *testing.T) {
 		t.Fatal("abort succeeded with no measurement running")
 	}
 }
+
+func TestOnDemandNonceBindsMAC(t *testing.T) {
+	e := sim.NewEngine()
+	dev, p := newMCUPair(t, e, sim.Hour, 8)
+	e.RunUntil(sim.Hour)
+
+	treq := dev.RROC() + 1
+	const nonce = 42
+	reqMAC := NewODRequestMAC(mac.HMACSHA256, testKey, treq, nonce)
+	rec, _, err := p.HandleOnDemandNonce(treq, nonce, reqMAC)
+	if err != nil {
+		t.Fatalf("nonce-bound request rejected: %v", err)
+	}
+	if !rec.VerifyMAC(mac.HMACSHA256, testKey) {
+		t.Fatal("on-demand record not authentic")
+	}
+	// The MAC binds the nonce: presenting it under another nonce fails
+	// authentication even with a fresh treq.
+	if _, _, err := p.HandleOnDemandNonce(treq+1, nonce+1, reqMAC); err != ErrBadRequest {
+		t.Fatalf("spliced nonce: err = %v, want ErrBadRequest", err)
+	}
+	// Replaying the captured request verbatim trips the treq floor.
+	if _, _, err := p.HandleOnDemandNonce(treq, nonce, reqMAC); err != ErrReplay {
+		t.Fatalf("replay: err = %v, want ErrReplay", err)
+	}
+	// HandleOnDemand remains the nonce-0 special case.
+	treq2 := treq + 2
+	if _, _, err := p.HandleOnDemand(treq2, NewODRequestMAC(mac.HMACSHA256, testKey, treq2, 0)); err != nil {
+		t.Fatalf("nonce-0 compatibility path rejected: %v", err)
+	}
+}

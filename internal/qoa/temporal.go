@@ -1,0 +1,110 @@
+package qoa
+
+import (
+	"fmt"
+
+	"erasmus/internal/sim"
+)
+
+// Temporal grading — the QoA axis composed into QoSA-graded collective
+// reports (§3.1 × §6). A collective attestation instance answers two
+// orthogonal questions per device: *how much* information the report
+// carries (QoSA: binary / list / full) and *how recent* the evidence is
+// (QoA: the freshness of the newest verified record against the device's
+// measurement schedule). This file implements the temporal axis; the
+// swarm package composes it into every DeviceVerdict.
+//
+// The grade is what turns "all records MAC-verify" into an actual health
+// statement: a device that was infected and then silenced keeps serving
+// authentic-but-old records forever, and only the temporal dimension can
+// flag it.
+
+// TemporalGrade classifies the age of a device's newest verified evidence
+// relative to its measurement schedule.
+type TemporalGrade int
+
+const (
+	// TemporalUngraded is the zero value: no evidence ever reached the
+	// verifier (device unreached, or its relay path broke), so there is
+	// nothing to grade. Distinct from TemporalWithheld, where the device
+	// responded but its newest record is older than the schedule allows.
+	TemporalUngraded TemporalGrade = iota
+	// TemporalFresh: the newest record is at most one nominal measurement
+	// period (plus clock skew) old — the device is measuring on schedule.
+	TemporalFresh
+	// TemporalAging: older than one period but still within the
+	// schedule's tolerated maximum gap plus skew — a measurement was
+	// missed or delayed, not yet conclusive.
+	TemporalAging
+	// TemporalWithheld: no evidence newer than MaxGap + skew — the device
+	// stopped (or suppressed) self-measurement. Per the §3.4 argument this
+	// is indistinguishable from tamper and must not grade as healthy, no
+	// matter how well the stale records authenticate.
+	TemporalWithheld
+)
+
+func (g TemporalGrade) String() string {
+	switch g {
+	case TemporalUngraded:
+		return "ungraded"
+	case TemporalFresh:
+		return "fresh"
+	case TemporalAging:
+		return "aging"
+	case TemporalWithheld:
+		return "withheld"
+	default:
+		return fmt.Sprintf("TemporalGrade(%d)", int(g))
+	}
+}
+
+// GradeTemporal classifies freshness f (age of the newest verified record
+// at collection time) against a schedule with nominal period tm, maximum
+// tolerated gap maxGap and clock-skew tolerance skew.
+func GradeTemporal(f, tm, maxGap, skew sim.Ticks) TemporalGrade {
+	switch {
+	case f <= tm+skew:
+		return TemporalFresh
+	case f <= maxGap+skew:
+		return TemporalAging
+	default:
+		return TemporalWithheld
+	}
+}
+
+// CollectiveTemporal aggregates temporal grades across the responding
+// devices of one collective attestation instance.
+type CollectiveTemporal struct {
+	Fresh    int
+	Aging    int
+	Withheld int
+}
+
+// Add folds one device's grade into the aggregate; TemporalUngraded is
+// ignored (the aggregate covers devices whose evidence was graded).
+func (c *CollectiveTemporal) Add(g TemporalGrade) {
+	switch g {
+	case TemporalFresh:
+		c.Fresh++
+	case TemporalAging:
+		c.Aging++
+	case TemporalWithheld:
+		c.Withheld++
+	}
+}
+
+// Graded returns how many devices were graded.
+func (c CollectiveTemporal) Graded() int { return c.Fresh + c.Aging + c.Withheld }
+
+// Worst returns the worst grade present (Fresh when nothing was graded):
+// the collective QoA verdict is only as good as its stalest member.
+func (c CollectiveTemporal) Worst() TemporalGrade {
+	switch {
+	case c.Withheld > 0:
+		return TemporalWithheld
+	case c.Aging > 0:
+		return TemporalAging
+	default:
+		return TemporalFresh
+	}
+}

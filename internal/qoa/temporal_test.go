@@ -1,0 +1,61 @@
+package qoa
+
+import (
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+func TestGradeTemporalBoundaries(t *testing.T) {
+	tm := 10 * sim.Minute
+	maxGap := tm + tm/2
+	skew := tm / 10
+	cases := []struct {
+		f    sim.Ticks
+		want TemporalGrade
+	}{
+		{0, TemporalFresh},
+		{tm, TemporalFresh},
+		{tm + skew, TemporalFresh},
+		{tm + skew + 1, TemporalAging},
+		{maxGap, TemporalAging},
+		{maxGap + skew, TemporalAging},
+		{maxGap + skew + 1, TemporalWithheld},
+		{24 * sim.Hour, TemporalWithheld},
+	}
+	for _, c := range cases {
+		if got := GradeTemporal(c.f, tm, maxGap, skew); got != c.want {
+			t.Errorf("GradeTemporal(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestCollectiveTemporalAggregate(t *testing.T) {
+	var c CollectiveTemporal
+	if c.Worst() != TemporalFresh || c.Graded() != 0 {
+		t.Fatal("empty aggregate should be fresh with zero graded")
+	}
+	c.Add(TemporalFresh)
+	c.Add(TemporalFresh)
+	if c.Worst() != TemporalFresh {
+		t.Fatal("all-fresh aggregate not fresh")
+	}
+	c.Add(TemporalAging)
+	if c.Worst() != TemporalAging {
+		t.Fatal("aging member did not degrade the collective grade")
+	}
+	c.Add(TemporalWithheld)
+	if c.Worst() != TemporalWithheld {
+		t.Fatal("withheld member did not dominate the collective grade")
+	}
+	if c.Graded() != 4 || c.Fresh != 2 || c.Aging != 1 || c.Withheld != 1 {
+		t.Fatalf("aggregate counts wrong: %+v", c)
+	}
+}
+
+func TestTemporalGradeString(t *testing.T) {
+	if TemporalFresh.String() != "fresh" || TemporalAging.String() != "aging" ||
+		TemporalWithheld.String() != "withheld" || TemporalGrade(9).String() == "" {
+		t.Error("grade strings wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package swarm
+
+import (
+	"math"
+	"sort"
+
+	"erasmus/internal/sim"
+)
+
+// Spatial hash grid over the deployment square. SnapshotTree used to test
+// all N² node pairs per BFS level; the grid buckets nodes by cell and
+// restricts each radio-range query to the cells that can possibly contain
+// a neighbor, making topology snapshots O(N × density) instead of O(N²).
+// With the default cell size (the radio radius) only the 3×3 cell
+// neighborhood is scanned.
+//
+// The grid is a flat CSR layout (per-cell offsets into one id array):
+// node ids are appended in ascending order, so each cell's bucket is
+// already sorted, and candidate lists only need one small sort to merge
+// the neighborhood buckets — which keeps grid BFS *identical* to the
+// all-pairs scan, including parent tie-breaking (lowest id wins).
+type posGrid struct {
+	cell   float64
+	cols   int
+	rows   int
+	reach  int     // Chebyshev cell distance that can contain a neighbor
+	start  []int32 // CSR offsets, len cols*rows+1
+	ids    []int32 // node ids grouped by cell, ascending within each
+	cellOf []int32 // node id -> flattened cell index
+}
+
+// buildGrid buckets nodes at positions (xs, ys) into square cells of the
+// given size; radius is the radio range the reach ring must cover. Cell
+// size is a tuning knob: any positive value yields the same topology
+// (enforced by TestGridCellSizeInvariance), the default Radius gives the
+// 3×3 neighborhood.
+func buildGrid(area, cell, radius float64, xs, ys []float64) *posGrid {
+	if cell <= 0 {
+		cell = radius
+	}
+	cols := int(area/cell) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	g := &posGrid{
+		cell:   cell,
+		cols:   cols,
+		rows:   cols,
+		reach:  int(math.Ceil(radius / cell)),
+		start:  make([]int32, cols*cols+1),
+		ids:    make([]int32, len(xs)),
+		cellOf: make([]int32, len(xs)),
+	}
+	// Counting pass, prefix sums, then a fill in ascending node order so
+	// every bucket comes out sorted.
+	for i := range xs {
+		c := g.flatCell(xs[i], ys[i])
+		g.cellOf[i] = c
+		g.start[c+1]++
+	}
+	for c := 0; c < len(g.start)-1; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	cursor := make([]int32, cols*cols)
+	copy(cursor, g.start[:len(cursor)])
+	for i := range xs {
+		c := g.cellOf[i]
+		g.ids[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return g
+}
+
+// flatCell maps a position to its flattened cell index, clamping to the
+// grid (mobility keeps nodes inside the area, but waypoint endpoints can
+// sit exactly on the boundary).
+func (g *posGrid) flatCell(x, y float64) int32 {
+	ci := int(x / g.cell)
+	cj := int(y / g.cell)
+	if ci < 0 {
+		ci = 0
+	} else if ci >= g.cols {
+		ci = g.cols - 1
+	}
+	if cj < 0 {
+		cj = 0
+	} else if cj >= g.rows {
+		cj = g.rows - 1
+	}
+	return int32(cj*g.cols + ci)
+}
+
+// candidates appends to buf every node id in the cells within reach of
+// node u's cell — a superset of u's radio neighbors — sorted ascending,
+// and returns the extended slice. u itself is included; callers skip it.
+func (g *posGrid) candidates(u int, buf []int32) []int32 {
+	c := int(g.cellOf[u])
+	ci, cj := c%g.cols, c/g.cols
+	lo, hi := ci-g.reach, ci+g.reach
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= g.cols {
+		hi = g.cols - 1
+	}
+	jlo, jhi := cj-g.reach, cj+g.reach
+	if jlo < 0 {
+		jlo = 0
+	}
+	if jhi >= g.rows {
+		jhi = g.rows - 1
+	}
+	for j := jlo; j <= jhi; j++ {
+		rowBase := j * g.cols
+		for i := lo; i <= hi; i++ {
+			cc := rowBase + i
+			buf = append(buf, g.ids[g.start[cc]:g.start[cc+1]]...)
+		}
+	}
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	return buf
+}
+
+// withinRadius is the single link predicate shared by Connected and the
+// grid BFS, so the two topology paths can never disagree at the boundary.
+func withinRadius(ax, ay, bx, by, radius float64) bool {
+	return math.Hypot(ax-bx, ay-by) <= radius
+}
+
+// positionsAt returns every node's coordinates at time t, cached per
+// (swarm, t): one snapshot instance queries the same instant for the BFS
+// over all N nodes, and repeated Position calls would each pay the trail
+// search.
+func (s *Swarm) positionsAt(t sim.Ticks) (xs, ys []float64) {
+	if s.pos.valid && s.pos.t == t && len(s.pos.xs) == len(s.Nodes) {
+		return s.pos.xs, s.pos.ys
+	}
+	if cap(s.pos.xs) < len(s.Nodes) {
+		s.pos.xs = make([]float64, len(s.Nodes))
+		s.pos.ys = make([]float64, len(s.Nodes))
+	}
+	s.pos.xs = s.pos.xs[:len(s.Nodes)]
+	s.pos.ys = s.pos.ys[:len(s.Nodes)]
+	for i := range s.Nodes {
+		s.pos.xs[i], s.pos.ys[i] = s.Position(i, t)
+	}
+	s.pos.t, s.pos.valid = t, true
+	return s.pos.xs, s.pos.ys
+}

@@ -1,0 +1,102 @@
+package swarm
+
+import (
+	"reflect"
+	"testing"
+
+	"erasmus/internal/sim"
+)
+
+// allPairsTree is the pre-grid reference implementation: BFS with an O(N²)
+// neighbor scan per level, link-checked through the public Connected
+// predicate. Grid snapshots must reproduce it bit-for-bit.
+func allPairsTree(s *Swarm, root int, t sim.Ticks) Tree {
+	n := len(s.Nodes)
+	tree := Tree{Root: root, Parent: make([]int, n), Depth: make([]int, n)}
+	for i := range tree.Parent {
+		tree.Parent[i] = -1
+		tree.Depth[i] = -1
+	}
+	tree.Depth[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if v == u || tree.Depth[v] >= 0 {
+				continue
+			}
+			if s.Connected(u, v, t) {
+				tree.Parent[v] = u
+				tree.Depth[v] = tree.Depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return tree
+}
+
+func gridSwarm(t *testing.T, cell float64) *Swarm {
+	t.Helper()
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 48, Area: 300, Radius: 60, Speed: 8, Seed: 17, Engine: e,
+		MemorySize: 1024, GridCell: cell,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+// The grid snapshot must equal the all-pairs scan: same reachability, same
+// parents, same depths — at several times and roots of a mobile topology
+// with both connected and partitioned regions.
+func TestGridMatchesAllPairs(t *testing.T) {
+	s := gridSwarm(t, 0) // default cell = radius
+	for _, at := range []sim.Ticks{0, 3 * sim.Minute, 11 * sim.Minute} {
+		for _, root := range []int{0, 7, 41} {
+			got := s.SnapshotTree(root, at)
+			want := allPairsTree(s, root, at)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("root %d at %v: grid tree diverges from all-pairs\n grid: %+v\n ref:  %+v",
+					root, at, got, want)
+			}
+		}
+	}
+}
+
+// Any positive cell size must yield the identical topology: the cell is a
+// bucketing choice, never a semantic one.
+func TestGridCellSizeInvariance(t *testing.T) {
+	for _, cell := range []float64{15, 60, 150, 1000} {
+		s := gridSwarm(t, cell)
+		for _, at := range []sim.Ticks{0, 5 * sim.Minute} {
+			got := s.SnapshotTree(3, at)
+			want := allPairsTree(s, 3, at)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cell=%gm at %v: grid tree diverges from all-pairs", cell, at)
+			}
+		}
+	}
+}
+
+// Positions on the grid path (cached snapshot) and the direct Position
+// path must agree exactly.
+func TestPositionCacheConsistent(t *testing.T) {
+	s := gridSwarm(t, 0)
+	at := 7 * sim.Minute
+	xs, ys := s.positionsAt(at)
+	for i := range s.Nodes {
+		x, y := s.Position(i, at)
+		if x != xs[i] || y != ys[i] {
+			t.Fatalf("node %d: cached (%g,%g) != direct (%g,%g)", i, xs[i], ys[i], x, y)
+		}
+	}
+	// Cache hit path returns the same slices.
+	xs2, _ := s.positionsAt(at)
+	if &xs2[0] != &xs[0] {
+		t.Fatal("second positionsAt at the same instant rebuilt the snapshot")
+	}
+}

@@ -117,19 +117,21 @@ func (inst *protoInstance) relayReport(u int, parentOf []int) {
 // full real-time measurement before reporting.
 func (s *Swarm) RunOnDemandProtocol(root int, done func(ProtocolResult)) {
 	inst := s.newInstance(root, done)
+	s.PruneTrails(inst.t0)
 	parentOf := make([]int, len(s.Nodes))
 	for i := range parentOf {
 		parentOf[i] = -1
 	}
 	measureDur := costmodel.MeasurementTime(costmodel.MSP430, s.cfg.Alg, s.cfg.MemorySize) +
 		costmodel.AuthTime(costmodel.MSP430)
+	treq, nonce := s.nextODRequest()
 
 	onReceive := func(u int, at sim.Ticks) {
 		n := s.Nodes[u]
-		// Authenticate + measure on the real prover (charges its CPU).
-		treq := n.Dev.RROC() + 1
-		_, _, err := n.Prover.HandleOnDemand(treq,
-			core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, 0))
+		// Authenticate + measure on the real prover (charges its CPU); the
+		// request MAC binds this instance's fresh nonce alongside treq.
+		_, _, err := n.Prover.HandleOnDemandNonce(treq, nonce,
+			core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, int(nonce)))
 		if err != nil {
 			return
 		}
@@ -145,6 +147,7 @@ func (s *Swarm) RunOnDemandProtocol(root int, done func(ProtocolResult)) {
 // modeled (sub-millisecond) collection time.
 func (s *Swarm) RunErasmusProtocol(root, k int, done func(ProtocolResult)) {
 	inst := s.newInstance(root, done)
+	s.PruneTrails(inst.t0)
 	parentOf := make([]int, len(s.Nodes))
 	for i := range parentOf {
 		parentOf[i] = -1

@@ -1,10 +1,12 @@
 package swarm
 
 import (
-	"bytes"
 	"fmt"
+	"sort"
 
+	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
+	"erasmus/internal/qoa"
 	"erasmus/internal/sim"
 )
 
@@ -13,7 +15,10 @@ import (
 // collection can be reported at different granularities, from a single
 // healthy/unhealthy bit to per-device state plus topology. QoA (temporal)
 // and QoSA (informational) compose: this file implements the QoSA axis on
-// top of the ERASMUS relay collection.
+// top of the ERASMUS relay collection, with each device's evidence
+// validated by its provisioned core.Verifier (golden-hash whitelist,
+// hash-chain ordering/spacing, freshness bound) through the swarm's batch
+// verifier, and graded on the temporal QoA axis (qoa.TemporalGrade).
 
 // QoSALevel selects how much information the collective report carries.
 type QoSALevel int
@@ -47,11 +52,23 @@ type DeviceVerdict struct {
 	Reached bool
 	// Responded: its records made it back through the relay.
 	Responded bool
-	// Healthy: every returned record authenticated and digested the
-	// node's known-good state.
+	// Healthy: the returned history passed full verifier validation —
+	// authentic, whitelisted memory states, schedule-consistent spacing,
+	// and evidence fresh within MaxGap + skew.
 	Healthy bool
 	// Records is how many records were returned.
 	Records int
+	// Freshness is the age of the newest returned record at collection
+	// time (§3.1's f); zero when nothing was returned.
+	Freshness sim.Ticks
+	// Grade is the temporal QoA classification of the evidence; a device
+	// whose records merely authenticate but are older than MaxGap + skew
+	// grades TemporalWithheld and is not healthy. Devices whose evidence
+	// never reached the verifier (unreached, or relay broke) stay
+	// TemporalUngraded — there is nothing to grade.
+	Grade qoa.TemporalGrade
+	// Issues carries the verifier's findings for unhealthy devices.
+	Issues []string
 }
 
 // CollectiveReport is the outcome of one QoSA-graded swarm collection.
@@ -60,6 +77,10 @@ type CollectiveReport struct {
 	// Healthy is the binary answer: every reached node responded with a
 	// healthy history. Present at every level.
 	Healthy bool
+	// Temporal aggregates the QoA grades of every responding device; the
+	// collective temporal verdict is Temporal.Worst(). Present at every
+	// level (it is one counter triple, not per-device data).
+	Temporal qoa.CollectiveTemporal
 	// Devices holds per-node verdicts (QoSAList and QoSAFull).
 	Devices map[int]DeviceVerdict
 	// Topology is the BFS snapshot at collection time (QoSAFull only).
@@ -70,65 +91,96 @@ type CollectiveReport struct {
 }
 
 // CollectiveAttest runs one ERASMUS relay collection rooted at root and
-// grades the result at the requested QoSA level, verifying each node's
-// evidence against the clean state captured at swarm construction.
+// grades the result at the requested QoSA level. Every responding node's
+// evidence is validated through the swarm's batch verifier against the
+// node's own key and clean-state whitelist, including the schedule and
+// freshness checks the fleet pipeline applies — so a device serving
+// authentic but stale records (infected then silenced) is flagged instead
+// of passing forever.
 func (s *Swarm) CollectiveAttest(root, k int, level QoSALevel) CollectiveReport {
 	e := s.cfg.Engine
 	t0 := e.Now()
+	s.PruneTrails(t0)
 	tree := s.SnapshotTree(root, t0)
 
-	rep := CollectiveReport{Level: level, Healthy: true}
-	verdicts := make(map[int]DeviceVerdict, len(s.Nodes))
-
+	verdicts := make([]DeviceVerdict, len(s.Nodes))
+	jobs := make([]core.VerifyJob, 0, len(s.Nodes))
 	for i, n := range s.Nodes {
-		v := DeviceVerdict{}
-		if tree.Reachable(i) {
-			v.Reached = true
-			reqAt := t0
-			ok := true
-			path := pathToRoot(tree, i)
-			for j := len(path) - 1; j >= 1; j-- {
-				reqAt += s.cfg.HopLatency
-				if !s.Connected(path[j], path[j-1], reqAt) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				recs, timing := n.Prover.HandleCollect(k)
-				if _, alive := s.relayUp(tree, i, reqAt+timing.Total()); alive {
-					v.Responded = true
-					v.Records = len(recs)
-					v.Healthy = len(recs) > 0
-					for _, r := range recs {
-						if !r.VerifyMAC(s.cfg.Alg, n.Key) || !bytes.Equal(r.Hash, n.golden) {
-							v.Healthy = false
-						}
-					}
-				}
-			}
+		if !tree.Reachable(i) {
+			continue
 		}
+		verdicts[i].Reached = true
+		reqAt, ok := s.deliverRequest(tree, i, t0)
+		if !ok {
+			continue
+		}
+		recs, timing := n.Prover.HandleCollect(k)
+		if _, alive := s.relayUp(tree, i, reqAt+timing.Total()); !alive {
+			continue
+		}
+		verdicts[i].Responded = true
+		verdicts[i].Records = len(recs)
+		jobs = append(jobs, core.VerifyJob{Verifier: n.verifier, Records: recs, Now: n.Dev.RROC(), Tag: i})
+	}
+
+	rep := CollectiveReport{Level: level, Healthy: true}
+	for jx, r := range s.batch.Verify(jobs) {
+		v := &verdicts[jobs[jx].Tag.(int)]
+		v.Healthy = v.Records > 0 && r.Healthy()
+		v.Freshness = r.Freshness
+		if v.Records > 0 {
+			v.Grade = qoa.GradeTemporal(r.Freshness, s.cfg.TM, s.maxGap, s.skew)
+		} else {
+			// No evidence at all: the device never measured (or dropped its
+			// buffer) — temporally equivalent to withholding.
+			v.Grade = qoa.TemporalWithheld
+		}
+		if !v.Healthy {
+			v.Issues = r.Issues
+		}
+		rep.Temporal.Add(v.Grade)
+	}
+	for i := range verdicts {
+		v := verdicts[i]
 		if v.Reached && (!v.Responded || !v.Healthy) {
 			rep.Healthy = false
 		}
-		verdicts[i] = v
 	}
 
 	// Report contents (and wire size) by level. Binary: one bit rounded
-	// to a byte. List: one byte per device. Full: verdict bytes plus
-	// parent pointers for the topology.
+	// to a byte. List: one byte per device. Full: verdict byte plus a
+	// parent pointer sized for the actual swarm (a fixed 2-byte pointer
+	// silently truncates past 65 535 nodes).
 	switch level {
 	case QoSABinary:
 		rep.Bytes = 1
 	case QoSAList:
-		rep.Devices = verdicts
+		rep.Devices = verdictMap(verdicts)
 		rep.Bytes = len(s.Nodes)
 	case QoSAFull:
-		rep.Devices = verdicts
+		rep.Devices = verdictMap(verdicts)
 		rep.Topology = &tree
-		rep.Bytes = len(s.Nodes) * 3 // verdict + 2-byte parent per node
+		rep.Bytes = len(s.Nodes) * (1 + parentPointerBytes(len(s.Nodes)))
 	}
 	return rep
+}
+
+func verdictMap(verdicts []DeviceVerdict) map[int]DeviceVerdict {
+	m := make(map[int]DeviceVerdict, len(verdicts))
+	for i, v := range verdicts {
+		m[i] = v
+	}
+	return m
+}
+
+// parentPointerBytes returns the bytes needed to encode a parent pointer
+// for an n-node topology (node ids 0..n−1 plus the −1 root sentinel).
+func parentPointerBytes(n int) int {
+	b := 1
+	for limit := 1 << 8; n+1 > limit && b < 8; b++ {
+		limit <<= 8
+	}
+	return b
 }
 
 // Golden returns node i's known-good memory digest (captured clean at
@@ -155,16 +207,8 @@ func (r CollectiveReport) UnhealthyDevices() []int {
 			out = append(out, id)
 		}
 	}
-	sortInts(out)
+	sort.Ints(out)
 	return out
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
 }
 
 // captureGolden records each node's clean-state digest; called by New.

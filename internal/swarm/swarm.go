@@ -12,6 +12,14 @@
 // start and relays responses back up; every hop requires the link to be
 // alive at the moment the packet crosses it, so long-running instances
 // break under mobility.
+//
+// Evidence brought back by an instance is validated with the same
+// core.Verifier semantics the fleet pipeline uses — golden-hash
+// whitelists, hash-chain ordering/spacing, and a freshness bound of
+// MaxGap + clock skew — batched across the swarm through a
+// core.BatchVerifier. Topology snapshots run on a spatial hash grid
+// (grid.go), so collective instances scale to tens of thousands of
+// mobile nodes.
 package swarm
 
 import (
@@ -19,10 +27,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"erasmus/internal/core"
 	"erasmus/internal/costmodel"
 	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/cpu"
 	"erasmus/internal/hw/mcu"
 	"erasmus/internal/sim"
 )
@@ -57,6 +67,13 @@ type Config struct {
 	// fraction of the swarm measures concurrently (§6's availability
 	// argument).
 	Stagger bool
+	// VerifyWorkers sizes the batch-verification worker pool used by the
+	// collective instance evaluators (≤ 0 selects GOMAXPROCS).
+	VerifyWorkers int
+	// GridCell overrides the spatial-grid cell size in meters (0 = Radius).
+	// Any positive value yields the identical topology; smaller cells trade
+	// bucket density for a wider scan ring.
+	GridCell float64
 }
 
 // Node is one swarm member.
@@ -66,8 +83,9 @@ type Node struct {
 	Prover *core.Prover
 	Key    []byte
 
-	golden   []byte    // clean-state memory digest for QoSA verdicts
-	segments []segment // mobility trail, generated lazily
+	golden   []byte // clean-state memory digest for QoSA verdicts
+	verifier *core.Verifier
+	segments []segment // mobility trail, generated lazily, pruned by instances
 	rng      *rand.Rand
 }
 
@@ -81,10 +99,34 @@ type segment struct {
 type Swarm struct {
 	cfg   Config
 	Nodes []*Node
+
+	batch *core.BatchVerifier
+	// Verifier-side schedule expectations shared by every node's verifier.
+	minGap, maxGap, skew sim.Ticks
+
+	// On-demand request issuance: a per-swarm monotonic treq floor (two
+	// instances at the same engine instant must not reuse a timestamp) and
+	// a seeded nonce stream, one fresh nonce per instance.
+	odTreq uint64
+	odRng  *rand.Rand
+
+	// Per-instance scratch: position snapshot cache, BFS candidate buffer,
+	// root-path buffer. The engine is single-threaded, so instance
+	// evaluators may share them.
+	pos     positionCache
+	candBuf []int32
+	pathBuf []int
+}
+
+type positionCache struct {
+	t      sim.Ticks
+	valid  bool
+	xs, ys []float64
 }
 
 // New builds the swarm: places nodes uniformly, provisions per-device
-// keys, starts every prover's self-measurement loop (staggered if asked).
+// keys and verifiers, starts every prover's self-measurement loop
+// (staggered if asked).
 func New(cfg Config) (*Swarm, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("swarm: Engine required")
@@ -97,6 +139,9 @@ func New(cfg Config) (*Swarm, error) {
 	}
 	if cfg.Speed < 0 {
 		return nil, fmt.Errorf("swarm: negative speed")
+	}
+	if cfg.GridCell < 0 {
+		return nil, fmt.Errorf("swarm: negative grid cell size")
 	}
 	if !cfg.Alg.Valid() {
 		cfg.Alg = mac.KeyedBLAKE2s
@@ -119,7 +164,22 @@ func New(cfg Config) (*Swarm, error) {
 	}
 	master := rand.New(rand.NewSource(seed))
 
-	s := &Swarm{cfg: cfg}
+	s := &Swarm{
+		cfg:   cfg,
+		batch: core.NewBatchVerifier(cfg.VerifyWorkers),
+		odRng: rand.New(rand.NewSource(seed ^ 0x6f6e6365)), // "nonce" stream
+	}
+	// The verifier-side schedule window mirrors the fleet pipeline: one
+	// second of commit jitter below TM, half a period of slack above it,
+	// and a TM/10 skew tolerance between the prover RROC and the
+	// collector's clock.
+	s.minGap = cfg.TM - sim.Second
+	if s.minGap < 0 {
+		s.minGap = 0
+	}
+	s.maxGap = cfg.TM + cfg.TM/2
+	s.skew = cfg.TM / 10
+	s.Nodes = make([]*Node, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		key := make([]byte, 32)
 		master.Read(key)
@@ -160,8 +220,39 @@ func New(cfg Config) (*Swarm, error) {
 		prv.Start()
 	}
 	s.captureGolden()
+	if err := s.buildVerifiers(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
+
+// buildVerifiers provisions one core.Verifier per node: the node's key,
+// its clean-state digest as the golden whitelist, the schedule's gap
+// bounds, and a freshness bound of MaxGap + skew so evidence older than
+// the schedule can possibly explain grades as withheld measurements
+// instead of passing on stale-but-authentic records.
+func (s *Swarm) buildVerifiers() error {
+	for _, n := range s.Nodes {
+		v, err := core.NewVerifier(core.VerifierConfig{
+			Alg:            s.cfg.Alg,
+			Key:            n.Key,
+			GoldenHashes:   [][]byte{n.golden},
+			MinGap:         s.minGap,
+			MaxGap:         s.maxGap,
+			FreshnessBound: s.maxGap + s.skew,
+			ClockSkew:      s.skew,
+		})
+		if err != nil {
+			return err
+		}
+		n.verifier = v
+	}
+	return nil
+}
+
+// Verifier returns node i's provisioned verifier (tests and experiment
+// harnesses verify out-of-band evidence with it).
+func (s *Swarm) Verifier(i int) *core.Verifier { return s.Nodes[i].verifier }
 
 // Stop halts every prover.
 func (s *Swarm) Stop() {
@@ -194,34 +285,57 @@ func (s *Swarm) extendTrail(n *Node, t sim.Ticks) {
 	}
 }
 
+// PruneTrails drops mobility segments that ended before cutoff, keeping at
+// least the newest one per node. Instance evaluators prune at their
+// snapshot time: engine time is monotonic and every link check within an
+// instance happens at or after it, so long-horizon runs hold O(segments
+// per instance window) memory instead of the whole mobility history.
+// Position queries older than the earliest retained segment return that
+// segment's start point.
+func (s *Swarm) PruneTrails(cutoff sim.Ticks) {
+	for _, n := range s.Nodes {
+		segs := n.segments
+		j := sort.Search(len(segs), func(k int) bool { return segs[k].t1 >= cutoff })
+		if j >= len(segs) {
+			j = len(segs) - 1
+		}
+		if j <= 0 {
+			continue
+		}
+		copy(segs, segs[j:])
+		n.segments = segs[:len(segs)-j]
+	}
+	s.pos.valid = false
+}
+
 // Position returns node i's coordinates at time t.
 func (s *Swarm) Position(i int, t sim.Ticks) (x, y float64) {
 	n := s.Nodes[i]
 	s.extendTrail(n, t)
-	// Find the covering segment (trails are short; linear scan from the
-	// end is fine because queries are mostly recent).
-	for j := len(n.segments) - 1; j >= 0; j-- {
-		seg := n.segments[j]
-		if t >= seg.t0 {
-			if seg.t1 == seg.t0 {
-				return seg.x1, seg.y1
-			}
-			frac := float64(t-seg.t0) / float64(seg.t1-seg.t0)
-			if frac > 1 {
-				frac = 1
-			}
-			return seg.x0 + (seg.x1-seg.x0)*frac, seg.y0 + (seg.y1-seg.y0)*frac
-		}
+	// Binary search for the covering segment: the last one starting at or
+	// before t (trails are pruned, so this stays O(log instance-window)).
+	segs := n.segments
+	j := sort.Search(len(segs), func(k int) bool { return segs[k].t0 > t }) - 1
+	if j < 0 {
+		first := segs[0]
+		return first.x0, first.y0
 	}
-	first := n.segments[0]
-	return first.x0, first.y0
+	seg := segs[j]
+	if seg.t1 == seg.t0 {
+		return seg.x1, seg.y1
+	}
+	frac := float64(t-seg.t0) / float64(seg.t1-seg.t0)
+	if frac > 1 {
+		frac = 1
+	}
+	return seg.x0 + (seg.x1-seg.x0)*frac, seg.y0 + (seg.y1-seg.y0)*frac
 }
 
 // Connected reports whether nodes a and b are within radio range at t.
 func (s *Swarm) Connected(a, b int, t sim.Ticks) bool {
 	ax, ay := s.Position(a, t)
 	bx, by := s.Position(b, t)
-	return math.Hypot(ax-bx, ay-by) <= s.cfg.Radius
+	return withinRadius(ax, ay, bx, by, s.cfg.Radius)
 }
 
 // Tree is a BFS spanning forest snapshot rooted at Root.
@@ -235,24 +349,32 @@ type Tree struct {
 func (t Tree) Reachable(i int) bool { return t.Depth[i] >= 0 }
 
 // SnapshotTree builds the BFS tree over the topology as it stands at time
-// t — the tree both protocols flood along.
+// t — the tree both protocols flood along. Positions are snapshotted once
+// and neighbors come from the spatial hash grid, so the scan is
+// O(N × density) rather than all-pairs; the result is bit-identical to
+// the brute-force scan (same visit order, same parent tie-breaking).
 func (s *Swarm) SnapshotTree(root int, t sim.Ticks) Tree {
 	n := len(s.Nodes)
+	xs, ys := s.positionsAt(t)
+	g := buildGrid(s.cfg.Area, s.cfg.GridCell, s.cfg.Radius, xs, ys)
+
 	tree := Tree{Root: root, Parent: make([]int, n), Depth: make([]int, n)}
 	for i := range tree.Parent {
 		tree.Parent[i] = -1
 		tree.Depth[i] = -1
 	}
 	tree.Depth[root] = 0
-	queue := []int{root}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for v := 0; v < n; v++ {
+	queue := make([]int, 0, 64)
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		s.candBuf = g.candidates(u, s.candBuf[:0])
+		for _, v32 := range s.candBuf {
+			v := int(v32)
 			if v == u || tree.Depth[v] >= 0 {
 				continue
 			}
-			if s.Connected(u, v, t) {
+			if withinRadius(xs[u], ys[u], xs[v], ys[v], s.cfg.Radius) {
 				tree.Parent[v] = u
 				tree.Depth[v] = tree.Depth[u] + 1
 				queue = append(queue, v)
@@ -269,7 +391,9 @@ type InstanceResult struct {
 	// Completed counts nodes whose response made it back to the root with
 	// every hop's link alive at crossing time.
 	Completed int
-	// Verified counts completed nodes whose evidence passed verification.
+	// Verified counts completed nodes whose evidence passed full verifier
+	// validation: authentic, whitelisted state, schedule-consistent and
+	// fresh within MaxGap + skew.
 	Verified int
 	// Duration is the span from request injection to the last response.
 	Duration sim.Ticks
@@ -285,8 +409,8 @@ func (r InstanceResult) Coverage(n int) float64 {
 	return float64(r.Completed) / float64(n)
 }
 
-// linkAliveOnPath checks that each hop from node up to the root is alive
-// at the successive instants a packet would cross it.
+// relayUp checks that each hop from node up to the root is alive at the
+// successive instants a packet would cross it.
 func (s *Swarm) relayUp(tree Tree, node int, start sim.Ticks) (sim.Ticks, bool) {
 	t := start
 	for u := node; tree.Parent[u] >= 0; u = tree.Parent[u] {
@@ -298,6 +422,35 @@ func (s *Swarm) relayUp(tree Tree, node int, start sim.Ticks) (sim.Ticks, bool) 
 	return t, true
 }
 
+// deliverRequest walks the request flood from the root down to node along
+// the snapshot tree, checking every link at the instant the packet crosses
+// it. It returns the arrival time and whether all links held.
+func (s *Swarm) deliverRequest(tree Tree, node int, t0 sim.Ticks) (sim.Ticks, bool) {
+	path := s.pathToRoot(tree, node)
+	reqAt := t0
+	for j := len(path) - 1; j >= 1; j-- {
+		reqAt += s.cfg.HopLatency
+		if !s.Connected(path[j], path[j-1], reqAt) {
+			return reqAt, false
+		}
+	}
+	return reqAt, true
+}
+
+// nextODRequest issues the verifier-side parameters of one on-demand
+// instance: a treq strictly above every previously-issued one (so two
+// instances at the same engine instant cannot collide with the provers'
+// anti-replay floor) and a fresh nonce bound into every request MAC of the
+// instance.
+func (s *Swarm) nextODRequest() (treq uint64, nonce uint32) {
+	treq = s.Nodes[0].Dev.RROC() + 1
+	if treq <= s.odTreq {
+		treq = s.odTreq + 1
+	}
+	s.odTreq = treq
+	return treq, s.odRng.Uint32()
+}
+
 // RunOnDemand executes one SEDA-style collective on-demand instance at the
 // current engine time: flood the authenticated request down the snapshot
 // tree, every node computes a real-time measurement, responses relay up.
@@ -306,9 +459,11 @@ func (s *Swarm) relayUp(tree Tree, node int, start sim.Ticks) (sim.Ticks, bool) 
 func (s *Swarm) RunOnDemand(root int) InstanceResult {
 	e := s.cfg.Engine
 	t0 := e.Now()
+	s.PruneTrails(t0)
 	tree := s.SnapshotTree(root, t0)
 	res := InstanceResult{}
 	measureDur := costmodel.MeasurementTime(costmodel.MSP430, s.cfg.Alg, s.cfg.MemorySize)
+	treq, nonce := s.nextODRequest()
 
 	for i, n := range s.Nodes {
 		if !tree.Reachable(i) {
@@ -317,23 +472,13 @@ func (s *Swarm) RunOnDemand(root int) InstanceResult {
 		res.Reached++
 		// Request arrives after depth hops; every downstream link must be
 		// alive as the request crosses it.
-		reqAt := t0
-		ok := true
-		path := pathToRoot(tree, i)
-		for j := len(path) - 1; j >= 1; j-- {
-			reqAt += s.cfg.HopLatency
-			if !s.Connected(path[j], path[j-1], reqAt) {
-				ok = false
-				break
-			}
-		}
+		reqAt, ok := s.deliverRequest(tree, i, t0)
 		if !ok {
 			continue
 		}
 		// The node authenticates and measures: full real-time cost.
-		treq := n.Dev.RROC() + uint64(i) + 1
-		rec, timing, err := n.Prover.HandleOnDemand(treq,
-			core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, 0))
+		rec, timing, err := n.Prover.HandleOnDemandNonce(treq, nonce,
+			core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, int(nonce)))
 		if err != nil {
 			continue
 		}
@@ -345,7 +490,8 @@ func (s *Swarm) RunOnDemand(root int) InstanceResult {
 			continue
 		}
 		res.Completed++
-		if rec.VerifyMAC(s.cfg.Alg, n.Key) {
+		rep := n.verifier.VerifyHistory([]core.Record{rec}, n.Dev.RROC(), 0)
+		if rep.Healthy() {
 			res.Verified++
 		}
 		if endAt-t0 > res.Duration {
@@ -358,27 +504,22 @@ func (s *Swarm) RunOnDemand(root int) InstanceResult {
 // RunErasmusCollection executes one ERASMUS + LISA-α-style collection at
 // the current engine time: the request floods down, nodes answer from
 // their buffers with no computation, responses relay straight back.
+// Returned histories are validated through the batch verifier under each
+// node's own key and golden state.
 func (s *Swarm) RunErasmusCollection(root int, k int) InstanceResult {
 	e := s.cfg.Engine
 	t0 := e.Now()
+	s.PruneTrails(t0)
 	tree := s.SnapshotTree(root, t0)
 	res := InstanceResult{}
 
+	jobs := make([]core.VerifyJob, 0, len(s.Nodes))
 	for i, n := range s.Nodes {
 		if !tree.Reachable(i) {
 			continue
 		}
 		res.Reached++
-		reqAt := t0
-		ok := true
-		path := pathToRoot(tree, i)
-		for j := len(path) - 1; j >= 1; j-- {
-			reqAt += s.cfg.HopLatency
-			if !s.Connected(path[j], path[j-1], reqAt) {
-				ok = false
-				break
-			}
-		}
+		reqAt, ok := s.deliverRequest(tree, i, t0)
 		if !ok {
 			continue
 		}
@@ -390,47 +531,61 @@ func (s *Swarm) RunErasmusCollection(root int, k int) InstanceResult {
 			continue
 		}
 		res.Completed++
-		verified := len(recs) > 0
-		for _, r := range recs {
-			if !r.VerifyMAC(s.cfg.Alg, n.Key) {
-				verified = false
-			}
-		}
-		if verified {
-			res.Verified++
-		}
+		jobs = append(jobs, core.VerifyJob{Verifier: n.verifier, Records: recs, Now: n.Dev.RROC(), Tag: i})
 		if endAt-t0 > res.Duration {
 			res.Duration = endAt - t0
+		}
+	}
+	for jx, rep := range s.batch.Verify(jobs) {
+		if len(jobs[jx].Records) > 0 && rep.Healthy() {
+			res.Verified++
 		}
 	}
 	return res
 }
 
-func pathToRoot(tree Tree, node int) []int {
-	path := []int{node}
+// pathToRoot returns the tree path node → … → root into a reused buffer.
+func (s *Swarm) pathToRoot(tree Tree, node int) []int {
+	path := append(s.pathBuf[:0], node)
 	for u := node; tree.Parent[u] >= 0; u = tree.Parent[u] {
 		path = append(path, tree.Parent[u])
 	}
+	s.pathBuf = path
 	return path
 }
 
-// MaxConcurrentMeasuring samples the horizon and returns the peak number
-// of nodes measuring simultaneously — the §6 availability metric that
-// staggered scheduling bounds.
-func (s *Swarm) MaxConcurrentMeasuring(from, to, step sim.Ticks) int {
-	peak := 0
-	for t := from; t <= to; t += step {
-		busy := 0
-		for _, n := range s.Nodes {
-			for _, occ := range n.Dev.CPU().Log() {
-				if occ.Kind == "measurement" && occ.Start <= t && t < occ.End {
-					busy++
-					break
-				}
+// MaxConcurrentMeasuring returns the peak number of nodes measuring
+// simultaneously within [from, to] — the §6 availability metric that
+// staggered scheduling bounds. The peak is computed with one event sweep
+// over every measurement interval (O(events log events)) instead of
+// re-scanning each device's full CPU log per sample point, and is exact
+// rather than sampled.
+func (s *Swarm) MaxConcurrentMeasuring(from, to sim.Ticks) int {
+	type edge struct {
+		t sim.Ticks
+		d int
+	}
+	var edges []edge
+	for _, n := range s.Nodes {
+		for _, occ := range n.Dev.CPU().Log() {
+			if occ.Kind != cpu.KindMeasurement || occ.End <= from || occ.Start > to {
+				continue
 			}
+			edges = append(edges, edge{occ.Start, +1}, edge{occ.End, -1})
 		}
-		if busy > peak {
-			peak = busy
+	}
+	// Half-open intervals: at equal times the −1 edge sorts first.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].d < edges[j].d
+	})
+	peak, cur := 0, 0
+	for _, ed := range edges {
+		cur += ed.d
+		if cur > peak {
+			peak = cur
 		}
 	}
 	return peak

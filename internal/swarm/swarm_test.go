@@ -187,7 +187,7 @@ func TestStaggerBoundsConcurrentMeasurement(t *testing.T) {
 		}
 		defer s.Stop()
 		e.RunUntil(35 * sim.Minute)
-		return s.MaxConcurrentMeasuring(0, 35*sim.Minute, sim.Second)
+		return s.MaxConcurrentMeasuring(0, 35*sim.Minute)
 	}
 	all := aligned(false)
 	few := aligned(true)

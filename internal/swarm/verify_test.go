@@ -1,0 +1,240 @@
+package swarm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"erasmus/internal/core"
+	"erasmus/internal/qoa"
+	"erasmus/internal/sim"
+)
+
+// oldPathHealthy reproduces the pre-verifier verdict rule — every returned
+// record authenticates and digests the golden state — exactly as
+// CollectiveAttest computed it before evidence was routed through
+// core.Verifier.
+func oldPathHealthy(s *Swarm, i, k int) bool {
+	n := s.Nodes[i]
+	recs, _ := n.Prover.HandleCollect(k)
+	healthy := len(recs) > 0
+	for _, r := range recs {
+		if !r.VerifyMAC(s.cfg.Alg, n.Key) || !bytes.Equal(r.Hash, n.golden) {
+			healthy = false
+		}
+	}
+	return healthy
+}
+
+// The verifier-grade path must be verdict-identical to the raw MAC+golden
+// loop on clean histories (and on measured infections, which both paths
+// catch) — the new checks only diverge on the blind spots the old path
+// structurally missed.
+func TestVerificationEquivalenceCleanSwarm(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 10, Area: 120, Radius: 200, Speed: 0, Seed: 23, Engine: e,
+		MemorySize: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(35 * sim.Minute)
+	// One measured infection: both paths must flag it the same way.
+	if err := s.Infect(4, []byte("equivalence implant")); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(e.Now() + 12*sim.Minute)
+
+	const k = 2
+	rep := s.CollectiveAttest(0, k, QoSAList)
+	for i := range s.Nodes {
+		v := rep.Devices[i]
+		if !v.Responded {
+			t.Fatalf("node %d did not respond in a static clique", i)
+		}
+		if old := oldPathHealthy(s, i, k); v.Healthy != old {
+			t.Fatalf("node %d: verifier-grade verdict %v != legacy verdict %v", i, v.Healthy, old)
+		}
+	}
+	if rep.Devices[4].Healthy {
+		t.Fatal("measured infection not flagged")
+	}
+	if w := rep.Temporal.Worst(); w != qoa.TemporalFresh {
+		t.Fatalf("running provers graded %v, want fresh", w)
+	}
+
+	// Same equivalence for the instance evaluator's Verified count.
+	res := s.RunErasmusCollection(0, k)
+	oldVerified := 0
+	for i := range s.Nodes {
+		if oldPathHealthy(s, i, k) {
+			oldVerified++
+		}
+	}
+	if res.Verified != oldVerified {
+		t.Fatalf("RunErasmusCollection verified %d, legacy rule %d", res.Verified, oldVerified)
+	}
+}
+
+// Regression for the stale-evidence blind spot: a device infected and then
+// silenced (its measurement loop killed before the implant was ever
+// measured) keeps serving authentic, golden-state records forever. The raw
+// MAC+golden rule passes it for eternity; the verifier-grade path flags it
+// as withheld once the evidence ages past MaxGap + skew.
+func TestStaleEvidenceBlindSpot(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 6, Area: 100, Radius: 200, Speed: 0, Seed: 21, Engine: e,
+		MemorySize: 2048, TM: 10 * sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(35 * sim.Minute)
+
+	// Malware lands on node 3 and immediately kills the measurement loop:
+	// no infected record is ever committed.
+	if err := s.Infect(3, []byte("silent implant")); err != nil {
+		t.Fatal(err)
+	}
+	s.Nodes[3].Prover.Stop()
+
+	// Advance past MaxGap + skew (15 min + 1 min for TM = 10 min).
+	e.RunUntil(e.Now() + 20*sim.Minute)
+
+	rep := s.CollectiveAttest(0, 2, QoSAList)
+	v := rep.Devices[3]
+	if !v.Responded {
+		t.Fatal("silenced node should still answer collections from its buffer")
+	}
+	if v.Healthy {
+		t.Fatal("stale-evidence blind spot: silenced node still graded healthy")
+	}
+	if v.Grade != qoa.TemporalWithheld {
+		t.Fatalf("silenced node graded %v, want withheld", v.Grade)
+	}
+	if rep.Healthy || rep.Temporal.Withheld == 0 {
+		t.Fatalf("collective report did not surface the withheld device: %+v", rep.Temporal)
+	}
+	// Document the blind spot: the legacy rule would still pass it —
+	// every record authenticates and digests the clean state.
+	if !oldPathHealthy(s, 3, 2) {
+		t.Fatal("test premise broken: legacy rule should accept the stale records")
+	}
+	// Everyone else stayed fresh and healthy.
+	for i := range s.Nodes {
+		if i == 3 {
+			continue
+		}
+		if v := rep.Devices[i]; !v.Healthy || v.Grade != qoa.TemporalFresh {
+			t.Fatalf("node %d: healthy=%v grade=%v, want healthy+fresh", i, v.Healthy, v.Grade)
+		}
+	}
+}
+
+// Regression for the on-demand replay fix: back-to-back instances at the
+// same engine instant must both complete (the old fixed nonce-0 treq
+// derivation made the second instance's requests collide with the provers'
+// anti-replay floor), and a captured request must not replay.
+func TestOnDemandNonceAndReplay(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 5, Area: 100, Radius: 200, Speed: 0, Seed: 31, Engine: e,
+		MemorySize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(25 * sim.Minute)
+
+	r1 := s.RunOnDemand(0)
+	r2 := s.RunOnDemand(0) // same engine instant
+	if r1.Verified != 5 || r2.Verified != 5 {
+		t.Fatalf("back-to-back instances verified %d/%d, want 5/5", r1.Verified, r2.Verified)
+	}
+
+	// A captured request replayed verbatim is rejected by the prover.
+	n := s.Nodes[2]
+	treq := n.Dev.RROC() + 5
+	const nonce = 77
+	mac := core.NewODRequestMAC(s.cfg.Alg, n.Key, treq, nonce)
+	if _, _, err := n.Prover.HandleOnDemandNonce(treq, nonce, mac); err != nil {
+		t.Fatalf("fresh request rejected: %v", err)
+	}
+	if _, _, err := n.Prover.HandleOnDemandNonce(treq, nonce, mac); !errors.Is(err, core.ErrReplay) {
+		t.Fatalf("replayed request not rejected as replay: %v", err)
+	}
+	// A forged request reusing the MAC under a different nonce fails
+	// authentication.
+	if _, _, err := n.Prover.HandleOnDemandNonce(treq+1, nonce+1, mac); !errors.Is(err, core.ErrBadRequest) {
+		t.Fatalf("nonce-spliced request not rejected: %v", err)
+	}
+}
+
+// Regression for unbounded mobility-trail growth: long-horizon runs with
+// periodic instances must hold O(one instance gap) segments per node, not
+// the whole mobility history.
+func TestTrailMemoryBounded(t *testing.T) {
+	e := sim.NewEngine()
+	s, err := New(Config{
+		N: 4, Area: 200, Radius: 80, Speed: 25, Seed: 9, Engine: e,
+		MemorySize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	const rounds = 18
+	gap := 10 * sim.Minute
+	maxSegs := 0
+	for r := 0; r < rounds; r++ {
+		e.RunUntil(e.Now() + gap)
+		s.RunErasmusCollection(0, 1)
+		for _, n := range s.Nodes {
+			if len(n.segments) > maxSegs {
+				maxSegs = len(n.segments)
+			}
+		}
+	}
+	// At 25 m/s over a 200 m area a leg lasts a few seconds, so one
+	// 10-minute gap spans ~150 legs; 18 unpruned rounds would exceed 2500.
+	if maxSegs > 500 {
+		t.Fatalf("trail grew to %d segments — pruning is not bounding memory", maxSegs)
+	}
+}
+
+// Regression for QoSAFull report sizing: parent pointers must be sized for
+// the actual swarm (the fixed 2-byte pointer silently truncated ids past
+// 65 535) and the report must scale with len(Nodes).
+func TestFullReportSizing(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{6, 1}, {255, 1}, {256, 2}, {65535, 2}, {65536, 3}, {100000, 3}, {1 << 24, 4},
+	}
+	for _, c := range cases {
+		if got := parentPointerBytes(c.n); got != c.want {
+			t.Errorf("parentPointerBytes(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+
+	e := sim.NewEngine()
+	s, err := New(Config{N: 6, Area: 100, Radius: 200, Speed: 0, Seed: 21, Engine: e, MemorySize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	e.RunUntil(25 * sim.Minute)
+	full := s.CollectiveAttest(0, 1, QoSAFull)
+	if want := 6 * (1 + parentPointerBytes(6)); full.Bytes != want {
+		t.Fatalf("full report %d bytes, want %d", full.Bytes, want)
+	}
+	list := s.CollectiveAttest(0, 1, QoSAList)
+	binary := s.CollectiveAttest(0, 1, QoSABinary)
+	if !(binary.Bytes < list.Bytes && list.Bytes < full.Bytes) {
+		t.Fatalf("report sizes not ordered: %d/%d/%d", binary.Bytes, list.Bytes, full.Bytes)
+	}
+}
