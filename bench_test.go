@@ -681,3 +681,136 @@ func archShort(a costmodel.Arch) string {
 	}
 	return "HYDRA"
 }
+
+// ---- durable verifier state (internal/store) ------------------------------
+
+// benchWatermark builds a realistic ~72 B watermark for device i.
+func benchWatermark(i int) erasmus.Watermark {
+	h := make([]byte, 32)
+	m := make([]byte, 32)
+	for j := range h {
+		h[j] = byte(i >> (j % 24))
+		m[j] = byte((i * 31) >> (j % 24))
+	}
+	return erasmus.Watermark{T: uint64(1_000_000_000 + i), Hash: h, MAC: m}
+}
+
+// benchFillStore journals one watermark and one status record per device
+// — a steady-state fleet round.
+func benchFillStore(b *testing.B, st *erasmus.StateStore, devices int) {
+	b.Helper()
+	for i := 0; i < devices; i++ {
+		addr := fmt.Sprintf("dev-%06d", i)
+		if err := st.SetWatermark(addr, benchWatermark(i)); err != nil {
+			b.Fatal(err)
+		}
+		err := st.PutStatus(erasmus.StoredDeviceState{
+			Addr: addr, HasStatus: true, Healthy: true, HasAnchor: true,
+			RegisteredAt: 0, ScheduleAnchor: int64(i) * 1000, LastContact: int64(i),
+			Collections: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the journal's append path: batched (the
+// fleet's mode — buffered appends, one fsync per round via Sync) against
+// a paranoid fsync-per-record configuration. The gap is the cost of
+// durability granularity, and why the manager syncs per round, not per
+// verdict.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, mode := range []string{"batched", "sync-per-record"} {
+		b.Run(mode, func(b *testing.B) {
+			st, err := erasmus.OpenStateStore(b.TempDir(), erasmus.StateStoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			wm := benchWatermark(7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.SetWatermark("dev-000007", wm); err != nil {
+					b.Fatal(err)
+				}
+				if mode == "sync-per-record" {
+					if err := st.Sync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if mode == "batched" {
+				if err := st.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.SetBytes(st.Stats().WALBytes / int64(b.N))
+		})
+	}
+}
+
+// BenchmarkSnapshotWrite measures compaction: encode the full device
+// image, write it atomically, truncate the covered WAL segments.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	for _, devices := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			st, err := erasmus.OpenStateStore(b.TempDir(), erasmus.StateStoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			benchFillStore(b, st, devices)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(st.Stats().SnapshotBytes)/float64(devices), "B/device")
+		})
+	}
+}
+
+// BenchmarkRecovery measures a verifier restart: open the directory, load
+// the snapshot, replay the post-snapshot WAL suffix (10% of the fleet
+// re-journaled after compaction, the steady state between snapshots).
+func BenchmarkRecovery(b *testing.B) {
+	for _, devices := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := erasmus.OpenStateStore(dir, erasmus.StateStoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchFillStore(b, st, devices)
+			if err := st.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < devices/10; i++ {
+				if err := st.SetWatermark(fmt.Sprintf("dev-%06d", i), benchWatermark(i+devices)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := erasmus.OpenStateStore(dir, erasmus.StateStoreOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := r.Stats().Devices; n != devices {
+					b.Fatalf("recovered %d devices, want %d", n, devices)
+				}
+				if err := r.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

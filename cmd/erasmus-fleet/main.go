@@ -20,7 +20,17 @@
 // Managed transports default to incremental collection (-delta): the
 // verifier keeps a per-device watermark and each round ships and verifies
 // only the records measured since the previous one; -delta=false restores
-// stateless full-history collection. Both produce identical alerts.
+// stateless full-history collection. Both produce identical alerts. On
+// the virtual-time sim transport, delta automatically verifies inline
+// (async verdicts would lag the instantly-advancing clock and every round
+// would fall back to a full collection); the wall-paced udp transport
+// keeps the async pipeline.
+//
+// With -state-dir the manager's verifier state — watermarks, per-device
+// status, the alert stream — is journaled to a crash-consistent WAL +
+// snapshot store in that directory and compacted when the run ends;
+// -recover inspects such a directory and reports what a restarted
+// verifier would resume with.
 //
 // The udp transport is wall-paced (one virtual nanosecond per wall
 // nanosecond), so it defaults to a milliseconds-scale QoA and a ~2 s
@@ -38,6 +48,7 @@ import (
 	"erasmus/internal/fleet"
 	"erasmus/internal/popsim"
 	"erasmus/internal/sim"
+	"erasmus/internal/store"
 )
 
 func main() {
@@ -62,14 +73,32 @@ func main() {
 		transport  = flag.String("transport", "", "run the fleet-managed pipeline over this transport: udp|sim (empty = sharded popsim runtime)")
 		latency    = flag.Duration("latency", 10*time.Millisecond, "one-way network latency (sim transport)")
 		pool       = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
-		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports)")
+		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports; forced on for -transport sim with -delta)")
 		delta      = flag.Bool("delta", true, "incremental collection: per-device watermarks, \"since t_last\" requests, O(new)-record verification (managed transports)")
+		stateDir   = flag.String("state-dir", "", "journal verifier state (watermarks, device status, alerts) to a WAL+snapshot store in this directory (managed transports)")
+		recover    = flag.Bool("recover", false, "inspect the -state-dir store: report what a restarted verifier would resume with, then exit")
 	)
 	flag.Parse()
 
 	alg, err := mac.ParseAlgorithm(*algName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
+		os.Exit(2)
+	}
+
+	if *recover {
+		if *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "erasmus-fleet: -recover requires -state-dir")
+			os.Exit(2)
+		}
+		if err := reportRecovery(*stateDir); err != nil {
+			fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *stateDir != "" && *transport == "" {
+		fmt.Fprintln(os.Stderr, "erasmus-fleet: -state-dir requires a managed transport (-transport sim|udp)")
 		os.Exit(2)
 	}
 
@@ -106,22 +135,9 @@ func main() {
 		} else if !set["population"] {
 			*population = 1000
 		}
-		if *transport == "sim" && *delta && !*syncVerify {
-			// A delta round needs the previous verdict applied before it
-			// launches; in virtual time the engine outruns the async
-			// pipeline, so every round would silently fall back to a full
-			// collection. Verify inline unless the user explicitly chose
-			// async (then say what that choice means).
-			if set["sync-verify"] {
-				fmt.Fprintln(os.Stderr, "erasmus-fleet: note: -transport sim with async verification "+
-					"falls back to full collection every round (virtual time outruns the pipeline); "+
-					"verdicts are identical, but nothing is verified incrementally")
-			} else {
-				*syncVerify = true
-				fmt.Fprintln(os.Stderr, "erasmus-fleet: note: verifying inline so -delta engages on the "+
-					"virtual-time sim transport (-sync-verify=false to force the async pipeline)")
-			}
-		}
+		// (The old "-transport sim needs -sync-verify for -delta" footgun
+		// is gone: popsim.RunManaged forces synchronous verification on
+		// virtual-time engines itself, so delta always engages.)
 		mres, err := popsim.RunManaged(popsim.ManagedConfig{
 			Population:       *population,
 			Transport:        *transport,
@@ -143,6 +159,7 @@ func main() {
 			Synchronous:   *syncVerify,
 			Delta:         *delta,
 			UDPPool:       *pool,
+			StateDir:      *stateDir,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
@@ -248,13 +265,26 @@ func reportManaged(res *popsim.ManagedResult) {
 	mode := "async batch-verified pipeline"
 	if cfg.Synchronous {
 		mode = "inline verification"
+		if cfg.Transport == "sim" && cfg.Delta {
+			mode += " (auto: virtual-time delta)"
+		}
 	}
 	collection := "full k-record histories"
 	if cfg.Delta {
-		collection = "delta (since-watermark, incremental verification)"
+		collection = fmt.Sprintf("delta (since-watermark; %d rounds verified incrementally)", res.DeltaRounds)
 	}
 	fmt.Printf("  verification: %s\n", mode)
 	fmt.Printf("  collection: %s\n", collection)
+	if cfg.StateDir != "" && res.StoreStats != nil {
+		st := res.StoreStats
+		fmt.Printf("  state store: %s — %d devices (%d watermarked), %d alerts, snapshot %s, WAL %s\n",
+			cfg.StateDir, st.Devices, st.Watermarked, st.Alerts,
+			sizeOf(st.SnapshotBytes), sizeOf(st.WALBytes))
+		if r := res.Recovery; r != nil && (r.SnapshotSeq > 0 || r.RecordsReplayed > 0) {
+			fmt.Printf("  recovered at open: snapshot #%d (%d devices) + %d WAL records in %d segments\n",
+				r.SnapshotSeq, r.SnapshotDevices, r.RecordsReplayed, r.SegmentsReplayed)
+		}
+	}
 
 	fmt.Println("\nalert stream:")
 	for _, kind := range []fleet.AlertKind{
@@ -270,4 +300,64 @@ func reportManaged(res *popsim.ManagedResult) {
 	fmt.Printf("healthy: %d/%d devices\n", res.HealthyCount, res.Devices)
 	fmt.Printf("wall: build %v, run %v\n",
 		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
+}
+
+// reportRecovery opens a state-store directory read-mostly and prints what
+// a restarted verifier would resume with.
+func reportRecovery(dir string) error {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	ri := st.Recovery()
+	stats := st.Stats()
+
+	fmt.Printf("erasmus-fleet: durable verifier state in %s\n", dir)
+	fmt.Printf("  snapshot: #%d (%d devices)\n", ri.SnapshotSeq, ri.SnapshotDevices)
+	fmt.Printf("  WAL replay: %d records in %d segments", ri.RecordsReplayed, ri.SegmentsReplayed)
+	if ri.TornTail {
+		fmt.Printf(" (torn tail dropped — crash residue)")
+	}
+	fmt.Println()
+	for _, q := range ri.Quarantined {
+		fmt.Printf("  quarantined: %s\n", q)
+	}
+	for _, n := range ri.Notes {
+		fmt.Printf("  note: %s\n", n)
+	}
+	fmt.Printf("  resumable state: %d devices (%d with watermarks — these resume delta collection), %d alerts\n",
+		stats.Devices, stats.Watermarked, stats.Alerts)
+	fmt.Printf("  footprint: snapshot %s, WAL %s in %d segments\n",
+		sizeOf(stats.SnapshotBytes), sizeOf(stats.WALBytes), stats.Segments)
+
+	unhealthy, unreachable := 0, 0
+	for _, d := range st.Devices() {
+		if d.HasStatus && !d.Healthy {
+			unhealthy++
+		}
+		if d.HasStatus && d.Unreachable {
+			unreachable++
+		}
+	}
+	fmt.Printf("  device health at crash: %d unhealthy, %d unreachable\n", unhealthy, unreachable)
+	if alerts := st.Alerts(); len(alerts) > 0 {
+		last := alerts[len(alerts)-1]
+		fmt.Printf("  last alert: t=%v %s %s: %s\n", sim.Ticks(last.Time), last.Device, last.Kind, last.Detail)
+	}
+	return nil
+}
+
+// sizeOf renders a byte count with an adaptive unit.
+func sizeOf(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }

@@ -40,6 +40,7 @@ import (
 	"erasmus/internal/qoa"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
+	"erasmus/internal/store"
 	"erasmus/internal/swarm"
 	"erasmus/internal/udptransport"
 )
@@ -174,6 +175,42 @@ func NewAttestationService(cfg AttestationServiceConfig) *AttestationService {
 // NextWatermark derives the watermark to store after applying a report
 // produced against prev (pure; see core.NextWatermark for the rules).
 func NextWatermark(prev Watermark, rep Report) Watermark { return core.NextWatermark(prev, rep) }
+
+// Durable verifier state: an append-only, segmented, checksummed
+// write-ahead log of watermark updates, device status and alert events,
+// compacted into snapshots (~150 B per device), with crash-consistent
+// recovery — snapshot load plus WAL replay, tolerant of a torn tail. A
+// StateStore plugs into the AttestationService (as StateSink/StateSource)
+// and into FleetManagerConfig.Store, so a verifier process can die and a
+// successor resumes delta collection with zero re-alerts and zero forced
+// full re-verification rounds.
+type (
+	// StateStore is the WAL + snapshot store backing a durable verifier.
+	StateStore = store.Store
+	// StateStoreOptions tunes segment rotation and snapshot cadence.
+	StateStoreOptions = store.Options
+	// StoredDeviceState is one device's durable record: watermark half
+	// plus fleet-status half.
+	StoredDeviceState = store.DeviceState
+	// StoredAlert is one persisted fleet alert event.
+	StoredAlert = store.AlertEvent
+	// StateRecoveryInfo reports what opening a state directory recovered.
+	StateRecoveryInfo = store.RecoveryInfo
+	// StateStoreStats summarizes a store's footprint.
+	StateStoreStats = store.Stats
+	// StateSink observes watermark updates in verdict-application order
+	// (implemented by StateStore).
+	StateSink = core.StateSink
+	// StateSource re-hydrates watermarks evicted from verifier memory
+	// (implemented by StateStore).
+	StateSource = core.StateSource
+)
+
+// OpenStateStore opens (creating if necessary) a durable state store
+// rooted at dir and recovers its contents.
+func OpenStateStore(dir string, opts StateStoreOptions) (*StateStore, error) {
+	return store.Open(dir, opts)
+}
 
 // NewRegularSchedule measures every tm (phase 0).
 func NewRegularSchedule(tm Ticks) (Schedule, error) {

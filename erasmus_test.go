@@ -355,3 +355,75 @@ func TestPublicAPIIncrementalAttestation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Durable verifier state through the public API: a store-backed
+// attestation service whose watermark survives a "process restart" (a
+// second store opened over the same directory), resuming incremental
+// verification with no stateless fallback round.
+func TestPublicAPIDurableState(t *testing.T) {
+	dir := t.TempDir()
+	e := erasmus.NewEngine()
+	key := []byte("public-api-durable-key")
+	dev, err := erasmus.NewMSP430(erasmus.MSP430Config{
+		Engine:     e,
+		MemorySize: 2048,
+		StoreSize:  8 * erasmus.RecordSize(erasmus.KeyedBLAKE2s),
+		Key:        key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := erasmus.NewRegularSchedule(erasmus.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prv, err := erasmus.NewProver(dev, erasmus.ProverConfig{
+		Alg: erasmus.KeyedBLAKE2s, Schedule: sched, Slots: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrf, err := erasmus.NewVerifier(erasmus.VerifierConfig{
+		Alg: erasmus.KeyedBLAKE2s, Key: key,
+		GoldenHashes: [][]byte{mac.HashSum(erasmus.KeyedBLAKE2s, dev.Memory())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := erasmus.OpenStateStore(dir, erasmus.StateStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := erasmus.NewAttestationService(erasmus.AttestationServiceConfig{Sink: st, Source: st})
+	prv.Start()
+	e.RunUntil(4 * erasmus.Hour)
+	recs, _ := prv.HandleCollect(4)
+	if rep := svc.Verify("dev-1", vrf, recs, dev.RROC(), 4); !rep.Healthy() {
+		t.Fatalf("first round unhealthy: %+v", rep)
+	}
+	if err := st.Close(); err != nil { // the verifier process dies
+		t.Fatal(err)
+	}
+
+	st2, err := erasmus.OpenStateStore(dir, erasmus.StateStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if ri := st2.Recovery(); ri.RecordsReplayed == 0 {
+		t.Fatalf("nothing recovered: %+v", ri)
+	}
+	svc2 := erasmus.NewAttestationService(erasmus.AttestationServiceConfig{Sink: st2, Source: st2})
+	wm, ok := svc2.Watermark("dev-1") // re-hydrated from the store
+	if !ok || wm.IsZero() {
+		t.Fatal("watermark did not survive the restart")
+	}
+	e.RunUntil(7 * erasmus.Hour)
+	prv.Stop()
+	deltaRecs, _ := prv.HandleCollectDelta(wm.T, 0)
+	rep := svc2.Verify("dev-1", vrf, deltaRecs, dev.RROC(), 4)
+	if !rep.Healthy() || !rep.DeltaApplied {
+		t.Fatalf("restarted verifier fell back to stateless verification: %+v", rep)
+	}
+}

@@ -2,6 +2,25 @@ package core
 
 import "sync"
 
+// StateSink observes watermark updates for durability. The service calls
+// SetWatermark once per applied verdict, in verdict-application order —
+// the order a write-ahead log must replay them in — with a zero watermark
+// meaning "cleared" (the device fell back to stateless verification).
+// Memory-pressure evictions are deliberately NOT sent to the sink: the
+// sink's copy is what makes eviction cheap (see StateSource).
+type StateSink interface {
+	SetWatermark(device string, wm Watermark) error
+}
+
+// StateSource re-hydrates watermarks the service no longer holds in
+// memory. A lookup miss consults the source before giving up, so a device
+// evicted under memory pressure resumes incremental verification from its
+// durable watermark instead of paying a stateless full re-verification
+// round.
+type StateSource interface {
+	LoadWatermark(device string) (Watermark, bool)
+}
+
 // AttestationService is the verifier-side state store for incremental
 // attestation: one Watermark per device, sharded for concurrent access
 // (the fleet pipeline verifies batches on a worker pool) and memory-
@@ -21,6 +40,15 @@ type ServiceConfig struct {
 	// (default 1<<20). At ~150 B per device (timestamp, hash and MAC
 	// bytes, map overhead) a million devices cost on the order of 150 MB.
 	MaxDevices int
+	// Sink, when set, receives every watermark update in verdict-
+	// application order (typically a store.Store write-ahead log). Nil
+	// keeps the service purely in-memory, bit-identical to its stateless-
+	// process behavior.
+	Sink StateSink
+	// Source, when set, re-hydrates watermarks on lookup miss, making
+	// memory-pressure eviction loss-free. Nil restores the old behavior:
+	// an evicted device's next collection re-verifies fully.
+	Source StateSource
 }
 
 // AttestationService stores per-device watermarks. Safe for concurrent use.
@@ -28,6 +56,11 @@ type AttestationService struct {
 	shards []wmShard
 	mask   uint32
 	perCap int // per-shard device cap
+	sink   StateSink
+	source StateSource
+
+	errMu   sync.Mutex
+	sinkErr error // first sink failure, surfaced by SinkErr
 }
 
 type wmShard struct {
@@ -51,7 +84,10 @@ func NewAttestationService(cfg ServiceConfig) *AttestationService {
 	if perCap < 1 {
 		perCap = 1
 	}
-	s := &AttestationService{shards: make([]wmShard, n), mask: uint32(n - 1), perCap: perCap}
+	s := &AttestationService{
+		shards: make([]wmShard, n), mask: uint32(n - 1), perCap: perCap,
+		sink: cfg.Sink, source: cfg.Source,
+	}
 	for i := range s.shards {
 		s.shards[i].wm = make(map[string]Watermark)
 	}
@@ -70,28 +106,36 @@ func (s *AttestationService) shard(device string) *wmShard {
 	return &s.shards[h&s.mask]
 }
 
-// Watermark returns the device's stored watermark, if any.
+// Watermark returns the device's stored watermark, if any. On a memory
+// miss a configured StateSource is consulted: an evicted device's
+// watermark re-hydrates from the durable store (and is re-installed,
+// possibly evicting another entry) instead of forcing the device back to
+// a stateless full-verification round.
 func (s *AttestationService) Watermark(device string) (Watermark, bool) {
 	sh := s.shard(device)
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	wm, ok := sh.wm[device]
-	sh.mu.Unlock()
-	return wm, ok
+	if ok || s.source == nil {
+		return wm, ok
+	}
+	// Miss: consult the source while still holding the shard lock — the
+	// same lock Set journals under. Any concurrent Set/Reset has either
+	// fully committed (so the source reflects it) or is waiting on this
+	// lock and will overwrite whatever we install; either way memory and
+	// journal agree, and a watermark a concurrent Reset just cleared can
+	// never be resurrected from a stale pre-clear read.
+	wm, ok = s.source.LoadWatermark(device)
+	if !ok || wm.IsZero() {
+		return Watermark{}, false
+	}
+	s.installLocked(sh, device, wm)
+	return wm, true
 }
 
-// Set stores the device's watermark. A zero watermark deletes the entry
-// (the device fell back to full verification; keeping a tombstone would
-// only waste the memory bound). When the shard is at capacity an
-// arbitrary entry is evicted — the evicted device's next collection
-// re-verifies fully, which is correct, just not incremental.
-func (s *AttestationService) Set(device string, wm Watermark) {
-	sh := s.shard(device)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if wm.IsZero() {
-		delete(sh.wm, device)
-		return
-	}
+// installLocked inserts without journaling (the value came from, or is
+// already in, the durable store). Callers hold sh.mu.
+func (s *AttestationService) installLocked(sh *wmShard, device string, wm Watermark) {
 	if _, exists := sh.wm[device]; !exists && len(sh.wm) >= s.perCap {
 		for k := range sh.wm {
 			delete(sh.wm, k)
@@ -99,6 +143,47 @@ func (s *AttestationService) Set(device string, wm Watermark) {
 		}
 	}
 	sh.wm[device] = wm
+}
+
+// Set stores the device's watermark. A zero watermark deletes the entry
+// (the device fell back to full verification; keeping a tombstone would
+// only waste the memory bound). When the shard is at capacity an
+// arbitrary entry is evicted — with no StateSource the evicted device's
+// next collection re-verifies fully; with one it re-hydrates on demand.
+// Eviction is a memory decision, so it is not journaled to the sink: the
+// sink's copy of the evicted watermark is exactly what re-hydration needs.
+//
+// A configured sink observes every Set under the shard lock, so the
+// journal order always matches the memory order (per-device calls are
+// additionally serialized by the collection protocol; see Verify). Sink
+// failures are sticky — see SinkErr.
+func (s *AttestationService) Set(device string, wm Watermark) {
+	sh := s.shard(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if wm.IsZero() {
+		delete(sh.wm, device)
+	} else {
+		s.installLocked(sh, device, wm)
+	}
+	if s.sink != nil {
+		if err := s.sink.SetWatermark(device, wm); err != nil {
+			s.errMu.Lock()
+			if s.sinkErr == nil {
+				s.sinkErr = err
+			}
+			s.errMu.Unlock()
+		}
+	}
+}
+
+// SinkErr returns the first StateSink failure, if any. Verification keeps
+// working after a sink failure (in-memory state stays correct); the error
+// is surfaced here so operators learn durability is gone.
+func (s *AttestationService) SinkErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.sinkErr
 }
 
 // Reset drops the device's watermark (decommissioning, key rotation, or

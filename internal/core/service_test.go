@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func svcWM(t uint64) Watermark {
+	return Watermark{T: t, Hash: []byte{byte(t), 1}, MAC: []byte{byte(t), 2}}
+}
+
+// recSink records every journaled update in call order and doubles as a
+// StateSource over the journaled state (a one-struct in-memory stand-in
+// for the store package's WAL + snapshot pair).
+type recSink struct {
+	log   []string
+	state map[string]Watermark
+	fail  error
+}
+
+func newRecSink() *recSink { return &recSink{state: make(map[string]Watermark)} }
+
+func (r *recSink) SetWatermark(device string, wm Watermark) error {
+	if r.fail != nil {
+		return r.fail
+	}
+	if wm.IsZero() {
+		r.log = append(r.log, "clear "+device)
+		delete(r.state, device)
+	} else {
+		r.log = append(r.log, fmt.Sprintf("set %s t=%d", device, wm.T))
+		r.state[device] = wm
+	}
+	return nil
+}
+
+func (r *recSink) LoadWatermark(device string) (Watermark, bool) {
+	wm, ok := r.state[device]
+	return wm, ok
+}
+
+// Every Set — including clears — reaches the sink, in call order.
+func TestServiceSinkObservesUpdatesInOrder(t *testing.T) {
+	sink := newRecSink()
+	svc := NewAttestationService(ServiceConfig{Sink: sink})
+	svc.Set("a", svcWM(1))
+	svc.Set("b", svcWM(2))
+	svc.Set("a", svcWM(3))
+	svc.Reset("b")
+	want := []string{"set a t=1", "set b t=2", "set a t=3", "clear b"}
+	if !reflect.DeepEqual(sink.log, want) {
+		t.Fatalf("sink saw %v, want %v", sink.log, want)
+	}
+	if err := svc.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Memory-pressure eviction is not a state change, so it must not be
+// journaled — and a configured source makes it loss-free: the evicted
+// device's next lookup re-hydrates instead of returning a miss (which
+// would force a stateless full re-verification round).
+func TestServiceEvictionRehydratesFromSource(t *testing.T) {
+	sink := newRecSink()
+	svc := NewAttestationService(ServiceConfig{
+		Shards: 1, MaxDevices: 2, Sink: sink, Source: sink,
+	})
+	svc.Set("a", svcWM(1))
+	svc.Set("b", svcWM(2))
+	svc.Set("c", svcWM(3)) // capacity 2: evicts a or b
+	if n := svc.Devices(); n != 2 {
+		t.Fatalf("%d devices in memory, want the cap of 2", n)
+	}
+	for _, entry := range sink.log {
+		if entry == "clear a" || entry == "clear b" {
+			t.Fatalf("eviction was journaled as a clear: %v", sink.log)
+		}
+	}
+	// Whichever device was evicted, all three still resolve — the miss
+	// path fetches from the source and re-installs.
+	for i, dev := range []string{"a", "b", "c"} {
+		wm, ok := svc.Watermark(dev)
+		if !ok || wm.T != uint64(i+1) {
+			t.Fatalf("device %s: wm=%+v ok=%v after eviction", dev, wm, ok)
+		}
+	}
+}
+
+// Without a source, eviction still costs a stateless round (the pre-store
+// behavior, relied on by the nil-store compatibility guarantee).
+func TestServiceEvictionWithoutSourceMisses(t *testing.T) {
+	svc := NewAttestationService(ServiceConfig{Shards: 1, MaxDevices: 1})
+	svc.Set("a", svcWM(1))
+	svc.Set("b", svcWM(2)) // evicts a
+	hits := 0
+	for _, dev := range []string{"a", "b"} {
+		if _, ok := svc.Watermark(dev); ok {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("%d hits after eviction without a source, want exactly 1", hits)
+	}
+}
+
+// A service with nil sink and source is operation-for-operation identical
+// to one wired to a (well-behaved) store: durability must never change
+// verdict-relevant state.
+func TestServiceNilStoreIdentical(t *testing.T) {
+	sink := newRecSink()
+	plain := NewAttestationService(ServiceConfig{Shards: 4, MaxDevices: 64})
+	wired := NewAttestationService(ServiceConfig{Shards: 4, MaxDevices: 64, Sink: sink, Source: sink})
+	ops := []struct {
+		dev string
+		wm  Watermark
+	}{
+		{"d0", svcWM(1)}, {"d1", svcWM(2)}, {"d0", svcWM(5)},
+		{"d2", svcWM(7)}, {"d1", Watermark{}}, {"d3", svcWM(9)},
+	}
+	for _, op := range ops {
+		plain.Set(op.dev, op.wm)
+		wired.Set(op.dev, op.wm)
+	}
+	for _, dev := range []string{"d0", "d1", "d2", "d3", "never-seen"} {
+		pw, pok := plain.Watermark(dev)
+		ww, wok := wired.Watermark(dev)
+		if pok != wok || !reflect.DeepEqual(pw, ww) {
+			t.Errorf("%s: plain (%+v,%v) vs wired (%+v,%v)", dev, pw, pok, ww, wok)
+		}
+	}
+	if plain.Devices() != wired.Devices() {
+		t.Errorf("device counts diverge: %d vs %d", plain.Devices(), wired.Devices())
+	}
+}
+
+// Sink failures are sticky and surfaced, but never block verification:
+// in-memory state keeps advancing.
+func TestServiceSinkErrSticky(t *testing.T) {
+	sink := newRecSink()
+	boom := errors.New("disk full")
+	svc := NewAttestationService(ServiceConfig{Sink: sink})
+	svc.Set("a", svcWM(1))
+	sink.fail = boom
+	svc.Set("a", svcWM(2))
+	sink.fail = nil
+	svc.Set("a", svcWM(3))
+	if err := svc.SinkErr(); !errors.Is(err, boom) {
+		t.Fatalf("SinkErr = %v, want %v", err, boom)
+	}
+	if wm, ok := svc.Watermark("a"); !ok || wm.T != 3 {
+		t.Fatalf("in-memory state stalled after sink failure: %+v %v", wm, ok)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"erasmus/internal/netsim"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
+	"erasmus/internal/store"
 )
 
 // AlertKind classifies fleet events.
@@ -85,6 +86,13 @@ type device struct {
 	verifier     *core.Verifier
 	registeredAt sim.Ticks
 	stop         func()
+	// anchor is the virtual time of the device's first scheduled
+	// collection; a manager recovering from a durable store resumes the
+	// ticker at the next anchor + n×TC instead of re-staggering, so the
+	// resumed collection times (and the launch-stamped alert times they
+	// produce) are identical to an uninterrupted run's.
+	anchor    sim.Ticks
+	hasAnchor bool
 
 	// Mutable state below is guarded by Manager.mu: verdicts are applied
 	// by the pipeline goroutine while the scheduler keeps running.
@@ -170,6 +178,18 @@ type ManagerConfig struct {
 	// sharded per-device watermark store (defaults 16 shards, 1M devices
 	// ≈ 150 MB); ignored unless Delta is set.
 	WatermarkShards, WatermarkCapacity int
+	// Store, when set, makes the manager's verifier state durable: every
+	// watermark update (Delta mode), per-device status change and alert is
+	// journaled to the store's write-ahead log in verdict-application
+	// order. A manager built over a recovered store resumes where its
+	// predecessor stopped — Register restores each device's status and
+	// collection anchor, Start resumes tickers on the original stagger,
+	// delta collection continues from the journaled watermarks (zero
+	// re-alerts, zero forced full-collection fallbacks), and Alerts
+	// returns the predecessor's stream followed by this run's. The caller
+	// owns the store (Close does not close it; Stop and Close sync it).
+	// Nil keeps today's purely in-memory behavior.
+	Store *store.Store
 	// OnReport, if set, observes every applied verification report in
 	// application order. It runs with the manager's lock held and must
 	// not call back into the Manager.
@@ -186,6 +206,8 @@ type Manager struct {
 
 	// delta mode: svc holds per-device watermarks; nil when disabled.
 	svc *core.AttestationService
+	// st is the durable state store; nil when the manager is in-memory.
+	st *store.Store
 
 	pipe *pipeline
 
@@ -226,10 +248,28 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 		onReport:         cfg.OnReport,
 		devices:          make(map[string]*device),
 	}
+	m.st = cfg.Store
 	if cfg.Delta {
-		m.svc = core.NewAttestationService(core.ServiceConfig{
+		sc := core.ServiceConfig{
 			Shards: cfg.WatermarkShards, MaxDevices: cfg.WatermarkCapacity,
-		})
+		}
+		if m.st != nil {
+			// Watermark updates journal through the service's sink in
+			// verdict-application order; lookup misses (memory eviction)
+			// re-hydrate from the store.
+			sc.Sink, sc.Source = m.st, m.st
+		}
+		m.svc = core.NewAttestationService(sc)
+	}
+	if m.st != nil {
+		// The predecessor's alert stream is this manager's prefix: a
+		// recovered fleet's Alerts() reads as one uninterrupted history.
+		for _, ev := range m.st.Alerts() {
+			m.alerts = append(m.alerts, Alert{
+				Time: sim.Ticks(ev.Time), Device: ev.Device,
+				Kind: AlertKind(ev.Kind), Detail: ev.Detail,
+			})
+		}
 	}
 	m.pipe = newPipeline(m, cfg)
 	return m, nil
@@ -289,6 +329,28 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 		cfg: cfg, verifier: vrf, healthy: true,
 		registeredAt: m.engine.Now(),
 	}
+	restored := false
+	if m.st != nil {
+		if st, ok := m.st.State(cfg.Addr); ok && st.HasStatus {
+			// The device is coming back from a durable store: resume its
+			// predecessor's status — registration epoch (warm-up leniency),
+			// health, failure streak, collection anchor — instead of
+			// starting over, so no alert the predecessor already raised is
+			// raised again and no already-earned leniency is re-granted.
+			d.registeredAt = sim.Ticks(st.RegisteredAt)
+			d.lastContact = sim.Ticks(st.LastContact)
+			d.healthy = st.Healthy
+			d.unreachable = st.Unreachable
+			d.freshness = sim.Ticks(st.Freshness)
+			d.failures = st.Failures
+			d.collections = st.Collections
+			if st.HasAnchor {
+				d.anchor = sim.Ticks(st.ScheduleAnchor)
+				d.hasAnchor = true
+			}
+			restored = true
+		}
+	}
 	m.mu.Lock()
 	// Recheck under the same critical section as the insert: a concurrent
 	// Register of the same address must not silently replace a live
@@ -299,24 +361,54 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 	}
 	m.devices[cfg.Addr] = d
 	started := m.started
+	if !restored {
+		// Journal the registration now: a crash before the first verdict
+		// must not forget when the device joined (warm-up leniency).
+		m.journalStatus(d)
+	}
 	m.mu.Unlock()
 	if started {
-		m.startTicker(d, cfg.QoA.TC)
+		m.mu.Lock()
+		var first sim.Ticks
+		if d.hasAnchor {
+			first = nextFire(d.anchor, m.engine.Now(), d.cfg.QoA.TC)
+		} else {
+			d.anchor = m.engine.Now() + cfg.QoA.TC
+			d.hasAnchor = true
+			first = d.anchor
+			m.journalStatus(d)
+		}
+		m.mu.Unlock()
+		m.scheduleAt(d, first)
 	}
 	return nil
 }
 
-// startTicker schedules a device's periodic collection, first firing after
-// the given delay.
-func (m *Manager) startTicker(d *device, delay sim.Ticks) {
-	d.stop = m.engine.Ticker(m.engine.Now()+delay, d.cfg.QoA.TC, func() {
+// scheduleAt starts a device's periodic collection ticker, first firing at
+// the absolute virtual time first.
+func (m *Manager) scheduleAt(d *device, first sim.Ticks) {
+	d.stop = m.engine.Ticker(first, d.cfg.QoA.TC, func() {
 		m.collect(d)
 	})
 }
 
+// nextFire returns the first tick of the series anchor + n×tc that is
+// strictly after now (or anchor itself when it is still ahead). Fires at
+// or before now are assumed to have happened already — a recovering
+// manager resumes its predecessor's ticker, it does not replay it.
+func nextFire(anchor, now, tc sim.Ticks) sim.Ticks {
+	if anchor >= now {
+		return anchor
+	}
+	n := (now-anchor)/tc + 1
+	return anchor + n*tc
+}
+
 // Start schedules collections: device i of n is polled every TC with phase
 // i×TC/n, spreading verifier traffic (and prover buffer pressure) evenly.
-// Devices registered after Start are not restaggered.
+// Devices registered after Start are not restaggered. Devices restored
+// from a durable store keep their original anchors — their collections
+// resume on the predecessor's stagger, at the next anchor + n×TC.
 func (m *Manager) Start() {
 	m.mu.Lock()
 	if m.started {
@@ -330,9 +422,23 @@ func (m *Manager) Start() {
 	}
 	m.mu.Unlock()
 	sort.Slice(devs, func(i, j int) bool { return devs[i].cfg.Addr < devs[j].cfg.Addr })
+	now := m.engine.Now()
+	firsts := make([]sim.Ticks, len(devs))
+	m.mu.Lock()
 	for i, dev := range devs {
+		if dev.hasAnchor {
+			firsts[i] = nextFire(dev.anchor, now, dev.cfg.QoA.TC)
+			continue
+		}
 		phase := sim.Ticks(int64(dev.cfg.QoA.TC) * int64(i) / int64(len(devs)))
-		m.startTicker(dev, phase+dev.cfg.QoA.TC)
+		dev.anchor = now + phase + dev.cfg.QoA.TC
+		dev.hasAnchor = true
+		firsts[i] = dev.anchor
+		m.journalStatus(dev)
+	}
+	m.mu.Unlock()
+	for i, dev := range devs {
+		m.scheduleAt(dev, firsts[i])
 	}
 }
 
@@ -351,6 +457,11 @@ func (m *Manager) Stop() {
 	m.started = false
 	m.mu.Unlock()
 	m.pipe.waitQueued()
+	if m.st != nil {
+		// Everything applied so far becomes durable; errors are sticky in
+		// the store and surfaced by Close.
+		m.st.Sync()
+	}
 }
 
 // Flush blocks until every launched collection has fully resolved —
@@ -361,14 +472,22 @@ func (m *Manager) Stop() {
 func (m *Manager) Flush() { m.pipe.waitInflight() }
 
 // Close stops the manager and shuts down the verification pipeline. The
-// collector is closed too when it implements io.Closer.
+// collector is closed too when it implements io.Closer. A configured
+// state store is synced — not closed; the caller owns it — and the first
+// durability failure, if any, is returned.
 func (m *Manager) Close() error {
 	m.Stop()
 	m.pipe.close()
-	if c, ok := m.collector.(interface{ Close() error }); ok {
-		return c.Close()
+	var err error
+	if m.st != nil {
+		err = m.st.Sync()
 	}
-	return nil
+	if c, ok := m.collector.(interface{ Close() error }); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 func (m *Manager) collect(d *device) {
@@ -439,6 +558,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 			m.alertAt(j.at, d, AlertUnreachable,
 				fmt.Sprintf("%d consecutive collections failed", d.failures))
 		}
+		m.journalStatus(d)
 		return
 	}
 	rep := j.rep
@@ -469,6 +589,29 @@ func (m *Manager) applyResult(j *pipeJob) {
 	if m.onReport != nil {
 		m.onReport(d.cfg.Addr, rep)
 	}
+	m.journalStatus(d)
+}
+
+// journalStatus appends the device's current status to the durable store,
+// if one is configured. Callers hold m.mu; errors are sticky in the store
+// (verification continues, Close surfaces the failure).
+func (m *Manager) journalStatus(d *device) {
+	if m.st == nil {
+		return
+	}
+	m.st.PutStatus(store.DeviceState{
+		Addr:           d.cfg.Addr,
+		HasStatus:      true,
+		Healthy:        d.healthy,
+		Unreachable:    d.unreachable,
+		HasAnchor:      d.hasAnchor,
+		RegisteredAt:   int64(d.registeredAt),
+		ScheduleAnchor: int64(d.anchor),
+		LastContact:    int64(d.lastContact),
+		Freshness:      int64(d.freshness),
+		Failures:       d.failures,
+		Collections:    d.collections,
+	})
 }
 
 func firstIssue(rep core.Report) string {
@@ -478,9 +621,15 @@ func firstIssue(rep core.Report) string {
 	return rep.Issues[0]
 }
 
-// alertAt records an alert. Callers hold m.mu.
+// alertAt records an alert (journaling it when a store is configured).
+// Callers hold m.mu.
 func (m *Manager) alertAt(at sim.Ticks, d *device, kind AlertKind, detail string) {
 	m.alerts = append(m.alerts, Alert{Time: at, Device: d.cfg.Addr, Kind: kind, Detail: detail})
+	if m.st != nil {
+		m.st.AppendAlert(store.AlertEvent{
+			Time: int64(at), Device: d.cfg.Addr, Kind: string(kind), Detail: detail,
+		})
+	}
 }
 
 // Alerts returns all recorded alerts in order.

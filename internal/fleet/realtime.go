@@ -15,18 +15,28 @@ import (
 //
 // The caller should follow with Manager.Stop and Manager.Flush so
 // in-flight round trips resolve before the alert stream is read.
+//
+// Pacing is relative to the engine's time at entry, so a manager resumed
+// from a durable store can pre-position its fresh engine (RunUntil to the
+// crash point — instant, nothing is queued) and pump on to the original
+// horizon: virtual time continues where the predecessor stopped. horizon
+// stays absolute; a horizon at or before e.Now() returns immediately.
 func PumpRealTime(e *sim.Engine, horizon sim.Ticks, step time.Duration) {
 	if step <= 0 {
 		step = 2 * time.Millisecond
 	}
+	base := e.Now()
+	if horizon <= base {
+		return
+	}
 	start := time.Now()
 	for {
-		elapsed := sim.Ticks(time.Since(start))
-		if elapsed >= horizon {
+		now := base + sim.Ticks(time.Since(start))
+		if now >= horizon {
 			break
 		}
-		e.RunUntil(elapsed)
-		if remaining := time.Duration(horizon - elapsed); remaining < step {
+		e.RunUntil(now)
+		if remaining := time.Duration(horizon - now); remaining < step {
 			time.Sleep(remaining)
 		} else {
 			time.Sleep(step)

@@ -13,6 +13,7 @@ import (
 	"erasmus/internal/netsim"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
+	"erasmus/internal/store"
 	"erasmus/internal/udptransport"
 )
 
@@ -68,9 +69,23 @@ type ManagedConfig struct {
 	// Delta enables incremental collection: the manager keeps per-device
 	// watermarks and fetches + verifies only the records measured since
 	// the previous round (see fleet.ManagerConfig.Delta).
+	//
+	// On the virtual-time "sim" transport, Delta forces Synchronous: an
+	// async delta round needs the previous verdict applied before the
+	// next launch, and a virtual-time engine outruns the pipeline, so
+	// every round would silently fall back to a full collection —
+	// verdict-identical but never incremental. Wall-paced transports
+	// ("udp") keep the async pipeline: real time gives verdicts room to
+	// land between rounds.
 	Delta bool
 	// UDPPool is the socket-pool size of the UDP collector (default 8).
 	UDPPool int
+	// StateDir, when non-empty, makes the manager's verifier state
+	// durable: watermarks, per-device status and alerts are journaled to
+	// a store.Store write-ahead log in that directory, compacted into a
+	// snapshot when the run completes. A run over a directory holding
+	// previous state recovers it first (ManagedResult.Recovery).
+	StateDir string
 }
 
 // ManagedResult aggregates one fleet-managed run.
@@ -88,7 +103,15 @@ type ManagedResult struct {
 	InfectionsDetected   int
 	FalseInfections      int
 	HealthyCount         int
-	BuildWall, RunWall   time.Duration
+	// DeltaRounds counts collections that genuinely verified
+	// incrementally (Report.DeltaApplied); always 0 without Delta.
+	DeltaRounds int
+	// Recovery and StoreStats describe the durable state store when
+	// StateDir is set: what opening the directory recovered, and the
+	// store's footprint after the end-of-run snapshot.
+	Recovery           *store.RecoveryInfo
+	StoreStats         *store.Stats
+	BuildWall, RunWall time.Duration
 }
 
 func (c *ManagedConfig) fill() (*Config, error) {
@@ -107,6 +130,13 @@ func (c *ManagedConfig) fill() (*Config, error) {
 	}
 	if c.UDPPool <= 0 {
 		c.UDPPool = 8
+	}
+	if c.Transport == "sim" && c.Delta {
+		// Delta on a virtual-time engine requires synchronous verification
+		// to ever engage (see the Delta field comment): force it rather
+		// than silently running a vacuous configuration. Wall-paced
+		// transports are untouched.
+		c.Synchronous = true
 	}
 	// Reuse the sharded runtime's validation and per-device planning.
 	pc := &Config{
@@ -199,14 +229,52 @@ func (md *managedDevice) deviceConfig(cfg *ManagedConfig) fleet.DeviceConfig {
 	}
 }
 
-func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, clock func() uint64) fleet.ManagerConfig {
-	return fleet.ManagerConfig{
+func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, clock func() uint64, st *store.Store, deltaRounds *int) fleet.ManagerConfig {
+	mc := fleet.ManagerConfig{
 		Engine: e, Collector: col, Clock: clock,
 		VerifyWorkers: cfg.VerifyWorkers, QueueDepth: cfg.QueueDepth,
 		UnreachableAfter: cfg.UnreachableAfter,
 		Synchronous:      cfg.Synchronous,
 		Delta:            cfg.Delta,
+		Store:            st,
 	}
+	if cfg.Delta {
+		// Count the rounds that genuinely verified incrementally: the
+		// regression signal for the virtual-time fallback bug this field
+		// was added to expose. OnReport runs serialized under the
+		// manager's lock, in verdict-application order.
+		mc.OnReport = func(addr string, rep core.Report) {
+			if rep.DeltaApplied {
+				*deltaRounds++
+			}
+		}
+	}
+	return mc
+}
+
+// openState opens the durable state store when StateDir is configured.
+func (cfg *ManagedConfig) openState() (*store.Store, error) {
+	if cfg.StateDir == "" {
+		return nil, nil
+	}
+	return store.Open(cfg.StateDir, store.Options{})
+}
+
+// closeState compacts and closes the store, folding what Open recovered
+// and the post-snapshot footprint into the result.
+func closeState(res *ManagedResult, st *store.Store) error {
+	if st == nil {
+		return nil
+	}
+	ri := st.Recovery()
+	res.Recovery = &ri
+	if err := st.Snapshot(); err != nil {
+		st.Close()
+		return err
+	}
+	stats := st.Stats()
+	res.StoreStats = &stats
+	return st.Close()
 }
 
 // RunManaged executes a fleet-managed population scenario.
@@ -241,8 +309,16 @@ func runManagedSim(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock))
+	st, err := cfg.openState()
 	if err != nil {
+		return nil, err
+	}
+	deltaRounds := 0
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock, st, &deltaRounds))
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 
@@ -287,7 +363,14 @@ func runManagedSim(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 	mgr.Flush()
 	res.RunWall = time.Since(runStart)
 	res.finish(mgr, devices)
-	return res, mgr.Close()
+	res.DeltaRounds = deltaRounds
+	if err := mgr.Close(); err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return nil, err
+	}
+	return res, closeState(res, st)
 }
 
 // runManagedUDP drives the scenario over real loopback sockets: provers
@@ -334,8 +417,16 @@ func runManagedUDP(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 	}
 	mgrEngine := sim.NewEngine()
 	clock := func() uint64 { return verifierEpoch + uint64(time.Since(serveStart)) }
-	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock))
+	st, err := cfg.openState()
 	if err != nil {
+		return nil, err
+	}
+	deltaRounds := 0
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock, st, &deltaRounds))
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	for _, md := range devices {
@@ -361,7 +452,14 @@ func runManagedUDP(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 	mgr.Flush()
 	res.RunWall = time.Since(runStart)
 	res.finish(mgr, devices)
-	return res, mgr.Close()
+	res.DeltaRounds = deltaRounds
+	if err := mgr.Close(); err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return nil, err
+	}
+	return res, closeState(res, st)
 }
 
 // finish folds the manager's end state into the result.

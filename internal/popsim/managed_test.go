@@ -79,6 +79,91 @@ func TestManagedPopulationUDP(t *testing.T) {
 	}
 }
 
+// PR 3 documented a caveat instead of a fix: Delta with the async
+// pipeline on the virtual-time sim transport silently fell back to a full
+// collection every round (the engine outruns verdict application), so
+// nothing was ever verified incrementally. The managed runner now forces
+// synchronous verification for virtual-time engines; this is the
+// regression test that the incremental path genuinely engages without the
+// caller opting into Synchronous themselves.
+func TestDeltaAutoSynchronousSim(t *testing.T) {
+	res, err := RunManaged(ManagedConfig{
+		Population: 40,
+		Seed:       7,
+		QoA:        core.QoA{TM: 10 * sim.Minute, TC: 40 * sim.Minute},
+		Duration:   4 * sim.Hour,
+		Delta:      true,
+		// Synchronous deliberately left false: the runner must force it.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Config.Synchronous {
+		t.Error("sim transport with Delta did not force synchronous verification")
+	}
+	if res.DeltaRounds == 0 {
+		t.Error("no round verified incrementally; the virtual-time delta fallback bug is back")
+	}
+	// The wall-paced udp transport must NOT be forced synchronous: real
+	// time gives the async pipeline room, and delta rounds still engage.
+	udp, err := RunManaged(ManagedConfig{
+		Population:   6,
+		Transport:    "udp",
+		Seed:         7,
+		QoA:          core.QoA{TM: 100 * sim.Millisecond, TC: 400 * sim.Millisecond},
+		Duration:     1500 * sim.Millisecond,
+		IMX6Fraction: 1,
+		Delta:        true,
+		UDPPool:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if udp.Config.Synchronous {
+		t.Error("udp transport was forced synchronous; the fix should only cover virtual-time engines")
+	}
+	if udp.DeltaRounds == 0 {
+		t.Error("udp delta run never verified incrementally")
+	}
+}
+
+// A managed run with StateDir journals verifier state and compacts it
+// into a snapshot; a second run over the same directory recovers it.
+func TestManagedStateDir(t *testing.T) {
+	dir := t.TempDir()
+	run := func() *ManagedResult {
+		res, err := RunManaged(ManagedConfig{
+			Population: 30,
+			Seed:       3,
+			QoA:        core.QoA{TM: 10 * sim.Minute, TC: 40 * sim.Minute},
+			Duration:   3 * sim.Hour,
+			Delta:      true,
+			StateDir:   dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if first.Recovery == nil || first.StoreStats == nil {
+		t.Fatalf("StateDir run reported no store info: %+v", first)
+	}
+	if first.Recovery.SnapshotSeq != 0 || first.Recovery.RecordsReplayed != 0 {
+		t.Errorf("fresh directory recovered state: %+v", *first.Recovery)
+	}
+	if first.StoreStats.Devices != 30 {
+		t.Errorf("snapshot tracks %d devices, want 30", first.StoreStats.Devices)
+	}
+	if first.StoreStats.Watermarked == 0 {
+		t.Error("no watermarks persisted from a delta run")
+	}
+	second := run()
+	if second.Recovery.SnapshotSeq == 0 || second.Recovery.SnapshotDevices != 30 {
+		t.Errorf("second run did not recover the first run's snapshot: %+v", *second.Recovery)
+	}
+}
+
 func TestManagedConfigValidation(t *testing.T) {
 	if _, err := RunManaged(ManagedConfig{}); err == nil {
 		t.Error("zero population accepted")

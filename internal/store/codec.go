@@ -1,0 +1,317 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"erasmus/internal/core"
+)
+
+// Binary codec for WAL record payloads and snapshot device entries. All
+// integers are big-endian and fixed-width; strings and byte fields carry a
+// uint16 length prefix. Every decoder is defensive: the bytes come from
+// disk, which crash truncation, bit rot, or a hostile operator may have
+// mangled — a bad input must produce an error, never a panic or an
+// over-allocation (fuzzed in fuzz_test.go).
+
+// WAL record payload kinds.
+const (
+	recWatermark byte = 1 // device watermark set / clear
+	recStatus    byte = 2 // fleet per-device status update
+	recAlert     byte = 3 // alert event
+)
+
+// maxField bounds any single length-prefixed field; maxRecord bounds one
+// framed WAL record. Both exist so a corrupt length prefix cannot ask the
+// reader to allocate gigabytes.
+const (
+	maxField  = 1 << 12
+	maxRecord = 1 << 16
+)
+
+var errCorrupt = errors.New("store: corrupt record")
+
+// walRecord is one decoded WAL payload.
+type walRecord struct {
+	kind   byte
+	device string
+	wm     core.Watermark // recWatermark (zero = clear)
+	status DeviceState    // recStatus (status fields only)
+	alert  AlertEvent     // recAlert
+}
+
+// reader walks a byte slice with sticky error handling: after the first
+// short read every accessor returns zeros and the error survives.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errCorrupt
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// bytes reads a uint16-length-prefixed field, copying out of the backing
+// buffer (decoded state outlives the segment read buffer).
+func (r *reader) bytes() []byte {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if n > maxField || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := append([]byte(nil), r.b[r.off:r.off+n]...)
+	r.off += n
+	return v
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// done reports decoding success: no error and no trailing garbage.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("store: %d trailing bytes after record", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// writer builds a payload. Appends never fail.
+type writer struct{ b []byte }
+
+func (w *writer) u8(v byte)    { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) bytes(v []byte) {
+	if len(v) > maxField {
+		v = v[:maxField] // cannot happen for real state; never write an undecodable record
+	}
+	w.u16(uint16(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *writer) str(v string) { w.bytes([]byte(v)) }
+
+// status flag bits (shared by WAL status records and snapshot entries).
+const (
+	flagHealthy     = 1 << 0
+	flagUnreachable = 1 << 1
+	flagHasAnchor   = 1 << 2
+	flagHasWM       = 1 << 3 // snapshot entries only
+	flagHasStatus   = 1 << 4 // snapshot entries only
+)
+
+func encodeWatermark(device string, wm core.Watermark) []byte {
+	w := writer{b: make([]byte, 0, 16+len(device)+len(wm.Hash)+len(wm.MAC))}
+	w.u8(recWatermark)
+	w.str(device)
+	w.u64(wm.T)
+	w.bytes(wm.Hash)
+	w.bytes(wm.MAC)
+	return w.b
+}
+
+func encodeStatus(st DeviceState) []byte {
+	w := writer{b: make([]byte, 0, 48+len(st.Addr))}
+	w.u8(recStatus)
+	w.str(st.Addr)
+	w.u8(statusFlags(st))
+	w.i64(st.RegisteredAt)
+	w.i64(st.ScheduleAnchor)
+	w.i64(st.LastContact)
+	w.i64(st.Freshness)
+	w.u32(uint32(st.Failures))
+	w.u32(uint32(st.Collections))
+	return w.b
+}
+
+func statusFlags(st DeviceState) byte {
+	var f byte
+	if st.Healthy {
+		f |= flagHealthy
+	}
+	if st.Unreachable {
+		f |= flagUnreachable
+	}
+	if st.HasAnchor {
+		f |= flagHasAnchor
+	}
+	return f
+}
+
+func encodeAlert(ev AlertEvent) []byte {
+	w := writer{b: make([]byte, 0, 16+len(ev.Device)+len(ev.Kind)+len(ev.Detail))}
+	w.u8(recAlert)
+	w.i64(ev.Time)
+	w.str(ev.Device)
+	w.str(ev.Kind)
+	w.str(ev.Detail)
+	return w.b
+}
+
+// decodeWALPayload parses one framed WAL payload (the bytes the CRC
+// covers). Corrupt or truncated input returns an error.
+func decodeWALPayload(b []byte) (walRecord, error) {
+	r := reader{b: b}
+	var out walRecord
+	out.kind = r.u8()
+	switch out.kind {
+	case recWatermark:
+		out.device = r.str()
+		out.wm.T = r.u64()
+		out.wm.Hash = r.bytes()
+		out.wm.MAC = r.bytes()
+	case recStatus:
+		out.status.Addr = r.str()
+		flags := r.u8()
+		if flags&^(flagHealthy|flagUnreachable|flagHasAnchor) != 0 {
+			// The CRC passed, so this is not line noise: it is a flag this
+			// version does not define. Refusing beats silently dropping
+			// state a newer writer thought worth recording.
+			return walRecord{}, fmt.Errorf("store: status record with undefined flags %#x", flags)
+		}
+		out.status.Healthy = flags&flagHealthy != 0
+		out.status.Unreachable = flags&flagUnreachable != 0
+		out.status.HasAnchor = flags&flagHasAnchor != 0
+		out.status.HasStatus = true
+		out.status.RegisteredAt = r.i64()
+		out.status.ScheduleAnchor = r.i64()
+		out.status.LastContact = r.i64()
+		out.status.Freshness = r.i64()
+		out.status.Failures = int(r.u32())
+		out.status.Collections = int(r.u32())
+		out.device = out.status.Addr
+	case recAlert:
+		out.alert.Time = r.i64()
+		out.alert.Device = r.str()
+		out.alert.Kind = r.str()
+		out.alert.Detail = r.str()
+	default:
+		return walRecord{}, fmt.Errorf("store: unknown WAL record kind %d", out.kind)
+	}
+	if err := r.done(); err != nil {
+		return walRecord{}, err
+	}
+	if out.kind != recAlert && out.device == "" {
+		return walRecord{}, errors.New("store: record with empty device address")
+	}
+	return out, nil
+}
+
+// encodeSnapshotEntry serializes one device's merged durable state —
+// watermark plus fleet status — as one compact (~150 B under keyed
+// BLAKE2s) snapshot entry.
+func encodeSnapshotEntry(st DeviceState) []byte {
+	w := writer{}
+	w.str(st.Addr)
+	flags := statusFlags(st)
+	if st.HasWatermark {
+		flags |= flagHasWM
+	}
+	if st.HasStatus {
+		flags |= flagHasStatus
+	}
+	w.u8(flags)
+	if st.HasWatermark {
+		w.u64(st.Watermark.T)
+		w.bytes(st.Watermark.Hash)
+		w.bytes(st.Watermark.MAC)
+	}
+	if st.HasStatus {
+		w.i64(st.RegisteredAt)
+		w.i64(st.ScheduleAnchor)
+		w.i64(st.LastContact)
+		w.i64(st.Freshness)
+		w.u32(uint32(st.Failures))
+		w.u32(uint32(st.Collections))
+	}
+	return w.b
+}
+
+// decodeSnapshotEntry parses one device entry from r (entries are
+// concatenated inside the snapshot body, so this reads a prefix rather
+// than requiring r to be consumed).
+func decodeSnapshotEntry(r *reader) (DeviceState, error) {
+	var st DeviceState
+	st.Addr = r.str()
+	flags := r.u8()
+	if r.err == nil && flags&^(flagHealthy|flagUnreachable|flagHasAnchor|flagHasWM|flagHasStatus) != 0 {
+		return DeviceState{}, fmt.Errorf("store: snapshot entry with undefined flags %#x", flags)
+	}
+	st.Healthy = flags&flagHealthy != 0
+	st.Unreachable = flags&flagUnreachable != 0
+	st.HasAnchor = flags&flagHasAnchor != 0
+	st.HasWatermark = flags&flagHasWM != 0
+	st.HasStatus = flags&flagHasStatus != 0
+	if st.HasWatermark {
+		st.Watermark.T = r.u64()
+		st.Watermark.Hash = r.bytes()
+		st.Watermark.MAC = r.bytes()
+	}
+	if st.HasStatus {
+		st.RegisteredAt = r.i64()
+		st.ScheduleAnchor = r.i64()
+		st.LastContact = r.i64()
+		st.Freshness = r.i64()
+		st.Failures = int(r.u32())
+		st.Collections = int(r.u32())
+	}
+	if r.err != nil {
+		return DeviceState{}, r.err
+	}
+	if st.Addr == "" {
+		return DeviceState{}, errors.New("store: snapshot entry with empty device address")
+	}
+	return st, nil
+}

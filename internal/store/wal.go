@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// WAL segment files: wal-<seq>.log, an 16-byte header (magic + segment
+// sequence number) followed by framed records
+//
+//	| len uint32 | crc32c(payload) uint32 | payload |
+//
+// Appends are buffered; Sync flushes and fsyncs. A crash can therefore
+// lose a buffered tail or tear the final frame — recovery tolerates both
+// (the tail is dropped, everything before it is applied). A frame that
+// fails its checksum anywhere *before* the tail means the segment itself
+// is damaged: replay quarantines it (renames to *.quarantined) and keeps
+// going, because every surviving record is self-contained and per-device
+// state is last-writer-wins.
+
+const (
+	walMagic     = "ERASWAL1"
+	walHeaderLen = 16 // magic + big-endian segment seq
+	frameHeader  = 8  // len + crc
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func walName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// segmentWriter appends frames to one open WAL segment.
+type segmentWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	seq   uint64
+	bytes int64 // written through the bufio layer, header included
+}
+
+func createSegment(dir string, seq uint64) (*segmentWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walName(seq)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &segmentWriter{f: f, w: bufio.NewWriterSize(f, 1<<16), seq: seq}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:], walMagic)
+	binary.BigEndian.PutUint64(hdr[8:], seq)
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.bytes = walHeaderLen
+	return s, nil
+}
+
+// append frames one payload.
+func (s *segmentWriter) append(payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(payload); err != nil {
+		return err
+	}
+	s.bytes += int64(frameHeader + len(payload))
+	return nil
+}
+
+// sync flushes the buffer and fsyncs the file.
+func (s *segmentWriter) sync() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// close flushes and closes without fsync (callers that need durability
+// call sync first).
+func (s *segmentWriter) close() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// segmentResult is the outcome of replaying one segment.
+type segmentResult struct {
+	records  []walRecord
+	bytes    int64 // valid bytes consumed (header + intact frames)
+	torn     bool  // a truncated final frame was dropped
+	corrupt  bool  // a checksum/format failure before the tail
+	complain error // what went wrong, for diagnostics
+}
+
+// readSegment parses one WAL segment from disk. A truncated final frame
+// sets torn; a mid-segment checksum or format failure sets corrupt and
+// parsing stops there (the records decoded before the failure are still
+// returned — they passed their own checksums).
+func readSegment(path string, wantSeq uint64) (segmentResult, error) {
+	var res segmentResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if len(data) < walHeaderLen {
+		// A segment shorter than its own header is the residue of a crash
+		// between segment creation and the first sync (the header lived in
+		// the write buffer, never the disk): torn, not damaged.
+		res.torn = true
+		return res, nil
+	}
+	if string(data[:8]) != walMagic {
+		res.corrupt = true
+		res.complain = fmt.Errorf("store: %s: bad segment header", filepath.Base(path))
+		return res, nil
+	}
+	if seq := binary.BigEndian.Uint64(data[8:16]); seq != wantSeq {
+		res.corrupt = true
+		res.complain = fmt.Errorf("store: %s: header seq %d does not match filename", filepath.Base(path), seq)
+		return res, nil
+	}
+	res.bytes = walHeaderLen
+	off := walHeaderLen
+	for off < len(data) {
+		if off+frameHeader > len(data) {
+			res.torn = true // partial frame header at the tail
+			return res, nil
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecord {
+			// An insane length is indistinguishable from a torn length
+			// field when it is the last thing in the file; treat it as
+			// corruption only if intact bytes follow it (they cannot,
+			// since we cannot find the next frame) — so: torn at tail.
+			res.torn = true
+			res.complain = fmt.Errorf("store: %s: frame length %d exceeds limit", filepath.Base(path), n)
+			return res, nil
+		}
+		if off+frameHeader+n > len(data) {
+			res.torn = true // partial payload at the tail
+			return res, nil
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			if off+frameHeader+n == len(data) {
+				res.torn = true // torn inside the final frame's payload
+				return res, nil
+			}
+			res.corrupt = true
+			res.complain = fmt.Errorf("store: %s: checksum mismatch at offset %d", filepath.Base(path), off)
+			return res, nil
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			if off+frameHeader+n == len(data) {
+				res.torn = true
+				return res, nil
+			}
+			res.corrupt = true
+			res.complain = fmt.Errorf("store: %s: %v", filepath.Base(path), err)
+			return res, nil
+		}
+		res.records = append(res.records, rec)
+		off += frameHeader + n
+		res.bytes = int64(off)
+	}
+	return res, nil
+}
