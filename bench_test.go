@@ -21,6 +21,7 @@ import (
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/hw/imx6"
 	"erasmus/internal/hw/rtl"
+	"erasmus/internal/obs"
 	"erasmus/internal/popsim"
 	"erasmus/internal/qoa"
 	"erasmus/internal/sim"
@@ -618,6 +619,53 @@ func BenchmarkFleetPipeline(b *testing.B) {
 				b.ReportMetric(float64(len(res.Alerts)), "alerts")
 			})
 		}
+	}
+}
+
+// BenchmarkFleetPipelineObserved measures what full instrumentation costs
+// on the managed pipeline: the BenchmarkFleetPipeline n=1000 scenario with
+// and without a metrics registry, collection tracer and event log
+// attached. The off/on pair is the EXPERIMENTS.md overhead number (ISSUE 6
+// target: ≤3% throughput cost); the alert count must not move between
+// modes (instrumentation is a read-only tap — enforced exactly by
+// TestObservabilityEquivalence, sampled here).
+func BenchmarkFleetPipelineObserved(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		obs  bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(fmt.Sprintf("n=1000/obs=%s", mode.name), func(b *testing.B) {
+			var res *popsim.ManagedResult
+			for i := 0; i < b.N; i++ {
+				cfg := popsim.ManagedConfig{
+					Population:       1000,
+					Seed:             1,
+					QoA:              core.QoA{TM: sim.Minute, TC: 4 * sim.Minute},
+					Duration:         12 * sim.Minute,
+					IMX6Fraction:     0.25,
+					Loss:             0.01,
+					LateJoinFraction: 0.1,
+					Wave:             popsim.WaveConfig{Coverage: 0.2, Start: 3 * sim.Minute, Spread: 2 * sim.Minute},
+					Synchronous:      true,
+					Delta:            true,
+				}
+				if mode.obs {
+					cfg.Obs = obs.NewRegistry()
+					cfg.Tracer = obs.NewTracer(4096)
+					cfg.Events = obs.NewEventLog(1024)
+				}
+				var err error
+				res, err = popsim.RunManaged(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Devices)*res.Config.Duration.Seconds()/res.RunWall.Seconds(), "device-s/s")
+			b.ReportMetric(float64(len(res.Alerts)), "alerts")
+		})
 	}
 }
 

@@ -1,0 +1,306 @@
+package main
+
+// -json mode: machine-readable benchmark records for the perf trajectory.
+//
+// The human tables regenerate the paper's evaluation; this mode instead
+// measures the implementation itself — MAC throughput, full vs delta
+// verification, batch verification across worker counts, the managed
+// fleet pipeline, and the durable state store — via testing.Benchmark and
+// emits one JSON record per benchmark (name, ns/op, allocs/op, custom
+// metrics, scenario params). CI redirects the output into BENCH_<rev>.json
+// so regressions show up as a series, not an anecdote:
+//
+//	erasmus-bench -json > BENCH_$(git rev-parse --short HEAD).json
+//	erasmus-bench -json -exp delta   # only benchmarks matching "delta"
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/popsim"
+	"erasmus/internal/sim"
+	"erasmus/internal/store"
+)
+
+// benchRecord is one benchmark result in the JSON report.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	// Metrics carries b.ReportMetric extras (device-s/s, MACs/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Params records the scenario knobs that produced this number, so a
+	// trajectory diff knows it is comparing like with like.
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// benchReport is the top-level -json document.
+type benchReport struct {
+	Go       string        `json:"go"`
+	GOOS     string        `json:"goos"`
+	GOARCH   string        `json:"goarch"`
+	MaxProcs int           `json:"maxprocs"`
+	UnixTime int64         `json:"unix_time"`
+	Records  []benchRecord `json:"records"`
+}
+
+// jsonBench is one named benchmark in the -json suite.
+type jsonBench struct {
+	name   string
+	params map[string]any
+	fn     func(b *testing.B)
+}
+
+func runJSON(filter string) {
+	report := benchReport{
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		UnixTime: time.Now().Unix(),
+	}
+	for _, jb := range jsonSuite() {
+		if filter != "all" && !strings.Contains(jb.name, filter) {
+			continue
+		}
+		res := testing.Benchmark(jb.fn)
+		rec := benchRecord{
+			Name:        jb.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Params:      jb.params,
+		}
+		if len(res.Extra) > 0 {
+			rec.Metrics = res.Extra
+		}
+		report.Records = append(report.Records, rec)
+		fmt.Fprintf(os.Stderr, "bench %-40s %12.0f ns/op\n", jb.name, rec.NsPerOp)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		must(err)
+	}
+}
+
+func jsonSuite() []jsonBench {
+	var suite []jsonBench
+
+	// MAC throughput over a 10 KB attested image, per algorithm — the
+	// primitive every measurement and verification pays.
+	for _, alg := range mac.Algorithms() {
+		alg := alg
+		suite = append(suite, jsonBench{
+			name:   fmt.Sprintf("mac/%s", alg),
+			params: map[string]any{"bytes": 10 * 1024},
+			fn: func(b *testing.B) {
+				key := []byte("bench-key")
+				mem := make([]byte, 10*1024)
+				b.SetBytes(int64(len(mem)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.ComputeRecord(alg, key, uint64(i+1)<<20, mem)
+				}
+			},
+		})
+	}
+
+	// Full-window vs delta verification at 90% overlap: the stateful
+	// verifier's core O(new) claim as a trackable number.
+	for _, mode := range []string{"full", "delta"} {
+		mode := mode
+		suite = append(suite, jsonBench{
+			name:   fmt.Sprintf("verify/k=32/overlap=90/%s", mode),
+			params: map[string]any{"k": 32, "overlap_pct": 90, "mode": mode},
+			fn:     verifyBench(32, 90, mode == "delta"),
+		})
+	}
+
+	// Batch verification: sequential vs worker pool. On a single-CPU
+	// runner the two collapse into one record rather than duplicating.
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		workers := workers
+		suite = append(suite, jsonBench{
+			name:   fmt.Sprintf("batchverify/workers=%d", workers),
+			params: map[string]any{"workers": workers, "jobs": 64, "k": 8},
+			fn:     batchVerifyBench(workers, 64, 8),
+		})
+	}
+
+	// The managed fleet pipeline end to end, small enough for CI.
+	for _, mode := range []struct {
+		name  string
+		sync  bool
+		delta bool
+	}{
+		{"inline", true, false},
+		{"pipeline+delta", false, true},
+	} {
+		mode := mode
+		suite = append(suite, jsonBench{
+			name: fmt.Sprintf("fleet/n=200/%s", mode.name),
+			params: map[string]any{
+				"population": 200, "synchronous": mode.sync, "delta": mode.delta,
+				"tm": "1m", "tc": "4m", "duration": "12m",
+			},
+			fn: fleetBench(200, mode.sync, mode.delta),
+		})
+	}
+
+	// Durable state store: the per-round journaling cost.
+	suite = append(suite, jsonBench{
+		name:   "store/append",
+		params: map[string]any{"payload": "watermark+status"},
+		fn:     storeAppendBench(),
+	})
+	return suite
+}
+
+func verifyBench(k, overlapPct int, delta bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		alg := mac.KeyedBLAKE2s
+		key := []byte("bench-verify-key")
+		golden := make([]byte, 256)
+		vrf, err := core.NewVerifier(core.VerifierConfig{
+			Alg: alg, Key: key,
+			GoldenHashes: [][]byte{mac.HashSum(alg, golden)},
+			MinGap:       sim.Minute - sim.Second,
+			MaxGap:       sim.Minute + sim.Minute/2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := uint64(1_000_000_000_000)
+		endT := base + uint64(k)*uint64(sim.Minute)
+		recs := make([]core.Record, 0, k)
+		for j := 0; j < k; j++ {
+			recs = append(recs, core.ComputeRecord(alg, key, endT-uint64(j)*uint64(sim.Minute), golden))
+		}
+		now := endT + uint64(sim.Second)
+		newCount := k - k*overlapPct/100
+		wm := core.NewWatermark(recs[newCount])
+		deltaRecs := recs[:newCount+1]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if delta {
+				vrf.VerifyDelta(deltaRecs, now, 0, wm)
+			} else {
+				vrf.VerifyHistory(recs, now, 0)
+			}
+		}
+		if delta {
+			b.ReportMetric(float64(newCount), "MACs/op")
+		} else {
+			b.ReportMetric(float64(k), "MACs/op")
+		}
+	}
+}
+
+func batchVerifyBench(workers, jobs, k int) func(b *testing.B) {
+	return func(b *testing.B) {
+		alg := mac.KeyedBLAKE2s
+		golden := make([]byte, 256)
+		goldenHash := mac.HashSum(alg, golden)
+		vjobs := make([]core.VerifyJob, jobs)
+		base := uint64(1_000_000_000_000)
+		for j := range vjobs {
+			key := []byte(fmt.Sprintf("bench-batch-key-%03d", j))
+			vrf, err := core.NewVerifier(core.VerifierConfig{
+				Alg: alg, Key: key,
+				GoldenHashes: [][]byte{goldenHash},
+				MinGap:       sim.Minute - sim.Second,
+				MaxGap:       sim.Minute + sim.Minute/2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs := make([]core.Record, 0, k)
+			endT := base + uint64(k)*uint64(sim.Minute)
+			for i := 0; i < k; i++ {
+				recs = append(recs, core.ComputeRecord(alg, key, endT-uint64(i)*uint64(sim.Minute), golden))
+			}
+			vjobs[j] = core.VerifyJob{
+				Device:   fmt.Sprintf("dev-%03d", j),
+				Verifier: vrf, Records: recs, Now: endT + uint64(sim.Second),
+			}
+		}
+		bv := core.NewBatchVerifier(workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, rep := range bv.Verify(vjobs) {
+				if !rep.Healthy() {
+					b.Fatal("unhealthy batch report")
+				}
+			}
+		}
+		b.ReportMetric(float64(jobs*k), "MACs/op")
+	}
+}
+
+func fleetBench(pop int, sync, delta bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		var res *popsim.ManagedResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = popsim.RunManaged(popsim.ManagedConfig{
+				Population:       pop,
+				Seed:             1,
+				QoA:              core.QoA{TM: sim.Minute, TC: 4 * sim.Minute},
+				Duration:         12 * sim.Minute,
+				IMX6Fraction:     0.25,
+				Loss:             0.01,
+				LateJoinFraction: 0.1,
+				Wave:             popsim.WaveConfig{Coverage: 0.2, Start: 3 * sim.Minute, Spread: 2 * sim.Minute},
+				Synchronous:      sync,
+				Delta:            delta,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Devices)*res.Config.Duration.Seconds()/res.RunWall.Seconds(), "device-s/s")
+		b.ReportMetric(float64(len(res.Alerts)), "alerts")
+	}
+}
+
+func storeAppendBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "erasmus-bench-store-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		hash := make([]byte, 32)
+		mbuf := make([]byte, 32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wm := core.Watermark{T: uint64(1_000_000_000 + i), Hash: hash, MAC: mbuf}
+			if err := st.SetWatermark(fmt.Sprintf("dev-%06d", i%512), wm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

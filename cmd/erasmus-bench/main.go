@@ -27,8 +27,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, synth, fig8, table2, fig1, lenient, swarm, irregular, tamper)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig6, synth, fig8, table2, fig1, lenient, swarm, irregular, tamper); with -json, a substring filter over benchmark names")
+	jsonOut := flag.Bool("json", false, "run the implementation benchmark suite and emit machine-readable records (see json.go)")
 	flag.Parse()
+
+	if *jsonOut {
+		runJSON(*exp)
+		return
+	}
 
 	experiments := map[string]func(){
 		"table1":    table1,

@@ -46,6 +46,7 @@ import (
 	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/fleet"
+	"erasmus/internal/obs"
 	"erasmus/internal/popsim"
 	"erasmus/internal/sim"
 	"erasmus/internal/store"
@@ -53,30 +54,31 @@ import (
 
 func main() {
 	var (
-		population = flag.Int("population", 100_000, "number of prover devices")
-		shards     = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
-		seed       = flag.Int64("seed", 1, "scenario seed")
-		algName    = flag.String("alg", "blake2s", "MAC algorithm: sha1, sha256, blake2s")
-		tm         = flag.Duration("tm", 10*time.Minute, "measurement period TM")
-		tc         = flag.Duration("tc", 40*time.Minute, "collection period TC")
-		duration   = flag.Duration("duration", 4*time.Hour, "simulated horizon")
-		step       = flag.Duration("step", 0, "barrier epoch (0 = TC)")
-		imx6Frac   = flag.Float64("imx6", 0.25, "fraction of i.MX6-class devices (rest MSP430)")
-		loss       = flag.Float64("loss", 0.01, "collection loss probability")
-		join       = flag.Float64("join", 0.10, "fraction of devices joining mid-run")
-		retire     = flag.Float64("retire", 0.05, "fraction of devices retiring mid-run")
-		waveCov    = flag.Float64("wave-coverage", 0.30, "fraction of devices hit by the infection wave (0 disables)")
-		waveStart  = flag.Duration("wave-start", time.Hour, "when the wave begins")
-		waveSpread = flag.Duration("wave-spread", 30*time.Minute, "window over which infections land")
-		waveDwell  = flag.Duration("wave-dwell", 0, "malware dwell time (0 = persistent)")
-		workers    = flag.Int("workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
-		transport  = flag.String("transport", "", "run the fleet-managed pipeline over this transport: udp|sim (empty = sharded popsim runtime)")
-		latency    = flag.Duration("latency", 10*time.Millisecond, "one-way network latency (sim transport)")
-		pool       = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
-		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports; forced on for -transport sim with -delta)")
-		delta      = flag.Bool("delta", true, "incremental collection: per-device watermarks, \"since t_last\" requests, O(new)-record verification (managed transports)")
-		stateDir   = flag.String("state-dir", "", "journal verifier state (watermarks, device status, alerts) to a WAL+snapshot store in this directory (managed transports)")
-		recover    = flag.Bool("recover", false, "inspect the -state-dir store: report what a restarted verifier would resume with, then exit")
+		population  = flag.Int("population", 100_000, "number of prover devices")
+		shards      = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 1, "scenario seed")
+		algName     = flag.String("alg", "blake2s", "MAC algorithm: sha1, sha256, blake2s")
+		tm          = flag.Duration("tm", 10*time.Minute, "measurement period TM")
+		tc          = flag.Duration("tc", 40*time.Minute, "collection period TC")
+		duration    = flag.Duration("duration", 4*time.Hour, "simulated horizon")
+		step        = flag.Duration("step", 0, "barrier epoch (0 = TC)")
+		imx6Frac    = flag.Float64("imx6", 0.25, "fraction of i.MX6-class devices (rest MSP430)")
+		loss        = flag.Float64("loss", 0.01, "collection loss probability")
+		join        = flag.Float64("join", 0.10, "fraction of devices joining mid-run")
+		retire      = flag.Float64("retire", 0.05, "fraction of devices retiring mid-run")
+		waveCov     = flag.Float64("wave-coverage", 0.30, "fraction of devices hit by the infection wave (0 disables)")
+		waveStart   = flag.Duration("wave-start", time.Hour, "when the wave begins")
+		waveSpread  = flag.Duration("wave-spread", 30*time.Minute, "window over which infections land")
+		waveDwell   = flag.Duration("wave-dwell", 0, "malware dwell time (0 = persistent)")
+		workers     = flag.Int("workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
+		transport   = flag.String("transport", "", "run the fleet-managed pipeline over this transport: udp|sim (empty = sharded popsim runtime)")
+		latency     = flag.Duration("latency", 10*time.Millisecond, "one-way network latency (sim transport)")
+		pool        = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
+		syncVerify  = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports; forced on for -transport sim with -delta)")
+		delta       = flag.Bool("delta", true, "incremental collection: per-device watermarks, \"since t_last\" requests, O(new)-record verification (managed transports)")
+		stateDir    = flag.String("state-dir", "", "journal verifier state (watermarks, device status, alerts) to a WAL+snapshot store in this directory (managed transports)")
+		recover     = flag.Bool("recover", false, "inspect the -state-dir store: report what a restarted verifier would resume with, then exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while a managed run executes (e.g. 127.0.0.1:9464; erasmus-serve offers the full surface)")
 	)
 	flag.Parse()
 
@@ -135,6 +137,17 @@ func main() {
 		} else if !set["population"] {
 			*population = 1000
 		}
+		var reg *obs.Registry
+		if *metricsAddr != "" {
+			reg = obs.NewRegistry()
+			bound, stop, err := obs.ServeMetrics(*metricsAddr, reg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)
+				os.Exit(1)
+			}
+			defer stop()
+			fmt.Printf("erasmus-fleet: serving /metrics on http://%s\n", bound)
+		}
 		// (The old "-transport sim needs -sync-verify for -delta" footgun
 		// is gone: popsim.RunManaged forces synchronous verification on
 		// virtual-time engines itself, so delta always engages.)
@@ -160,6 +173,7 @@ func main() {
 			Delta:         *delta,
 			UDPPool:       *pool,
 			StateDir:      *stateDir,
+			Obs:           reg,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "erasmus-fleet:", err)

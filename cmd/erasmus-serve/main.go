@@ -1,0 +1,216 @@
+// Command erasmus-serve runs a live fleet-managed ERASMUS scenario and
+// serves the verifier's observability surfaces over HTTP while it runs:
+//
+//	/metrics       Prometheus text exposition (fleet, verify, store, popsim)
+//	/healthz       liveness JSON — 503 once durability is compromised
+//	/statusz       run configuration + per-device dashboard JSON
+//	/tracez        recent collection spans (?device=addr filters)
+//	/eventz        structured operational events
+//	/debug/pprof/  standard Go profiling endpoints
+//
+// The fleet is wall-paced regardless of transport: on "sim" the virtual
+// engine advances one nanosecond per wall nanosecond (so TM/TC default to
+// the milliseconds range), on "udp" provers answer on real loopback
+// sockets. The process exits with a run summary when the horizon is
+// reached or on SIGINT/SIGTERM; -duration 0 serves until interrupted.
+//
+// Examples:
+//
+//	erasmus-serve                             # 64 sim devices, until ^C
+//	erasmus-serve -duration 10s               # bounded run, then summary
+//	erasmus-serve -transport udp -state-dir /tmp/erasmus-state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/fleet"
+	"erasmus/internal/obs"
+	"erasmus/internal/popsim"
+	"erasmus/internal/sim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9464", "HTTP listen address")
+		population = flag.Int("population", 64, "number of prover devices")
+		transport  = flag.String("transport", "sim", "collection transport: sim|udp")
+		seed       = flag.Int64("seed", 1, "scenario seed")
+		algName    = flag.String("alg", "blake2s", "MAC algorithm: sha1, sha256, blake2s")
+		tm         = flag.Duration("tm", 100*time.Millisecond, "measurement period TM")
+		tc         = flag.Duration("tc", 400*time.Millisecond, "collection period TC")
+		duration   = flag.Duration("duration", 0, "serve horizon (0 = until SIGINT)")
+		latency    = flag.Duration("latency", 10*time.Millisecond, "one-way network latency (sim transport)")
+		imx6       = flag.Float64("imx6", 1, "fraction of i.MX6-class devices (µs-scale measurements keep the ms-scale default TM feasible; rest are MSP430)")
+		loss       = flag.Float64("loss", 0, "datagram loss probability (sim transport)")
+		join       = flag.Float64("join", 0.1, "fraction of devices joining mid-run")
+		waveCov    = flag.Float64("wave-coverage", 0.25, "fraction of devices hit by the infection wave (0 disables)")
+		waveStart  = flag.Duration("wave-start", time.Second, "when the wave begins")
+		waveSpread = flag.Duration("wave-spread", time.Second, "window over which infections land")
+		waveDwell  = flag.Duration("wave-dwell", 0, "malware dwell time (0 = persistent)")
+		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline")
+		delta      = flag.Bool("delta", true, "incremental (since-watermark) collection")
+		stateDir   = flag.String("state-dir", "", "journal verifier state to a WAL+snapshot store in this directory")
+		workers    = flag.Int("workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
+		pool       = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
+		traceCap   = flag.Int("trace-spans", 4096, "collection spans retained by /tracez")
+		eventCap   = flag.Int("events", 1024, "events retained by /eventz")
+		step       = flag.Duration("step", 2*time.Millisecond, "engine pacing granularity")
+	)
+	flag.Parse()
+
+	alg, err := mac.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceCap)
+	events := obs.NewEventLog(*eventCap)
+	cfg := popsim.ManagedConfig{
+		Population:       *population,
+		Transport:        *transport,
+		Seed:             *seed,
+		Alg:              alg,
+		QoA:              core.QoA{TM: sim.Ticks(*tm), TC: sim.Ticks(*tc)},
+		Duration:         sim.Ticks(*duration), // 0: popsim defaults to 6×TC for scenario shape
+		Latency:          sim.Ticks(*latency),
+		IMX6Fraction:     *imx6,
+		Loss:             *loss,
+		LateJoinFraction: *join,
+		Wave: popsim.WaveConfig{
+			Coverage: *waveCov,
+			Start:    sim.Ticks(*waveStart),
+			Spread:   sim.Ticks(*waveSpread),
+			Dwell:    sim.Ticks(*waveDwell),
+		},
+		VerifyWorkers: *workers,
+		Synchronous:   *syncVerify,
+		Delta:         *delta,
+		UDPPool:       *pool,
+		StateDir:      *stateDir,
+		Obs:           reg,
+		Tracer:        tracer,
+		Events:        events,
+	}
+
+	run, err := popsim.StartManaged(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	mgr := run.Manager()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: newMux(reg, tracer, events, mgr, &cfg)}
+	go srv.Serve(ln)
+
+	// The horizon is a pump target, not a scenario parameter: with
+	// -duration 0 the scenario keeps its 6×TC default shape but the fleet
+	// is pumped until a signal arrives.
+	horizon := sim.Ticks(*duration)
+	indefinite := horizon <= 0
+	fmt.Printf("erasmus-serve: %d devices over %s, delta=%v, http://%s (metrics, healthz, statusz, tracez, eventz, pprof)\n",
+		*population, *transport, *delta, ln.Addr())
+	if indefinite {
+		fmt.Println("erasmus-serve: serving until SIGINT/SIGTERM")
+	} else {
+		fmt.Printf("erasmus-serve: serving for %v, then summarizing\n", *duration)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// Pump the engine in short wall chunks from this goroutine (engines are
+	// single-threaded); between chunks, check for a shutdown signal. HTTP
+	// handlers never touch the engine — they read the manager, registry and
+	// rings, all safe concurrently.
+	const chunk = 250 * time.Millisecond
+pump:
+	for {
+		select {
+		case s := <-sig:
+			fmt.Printf("\nerasmus-serve: %v — finishing run\n", s)
+			break pump
+		default:
+		}
+		now := run.Engine().Now()
+		if !indefinite && now >= horizon {
+			break
+		}
+		until := now + sim.Ticks(chunk)
+		if !indefinite && until > horizon {
+			until = horizon
+		}
+		run.Pump(until, *step)
+	}
+
+	res, err := run.Finish()
+	srv.Close()
+	if err != nil {
+		fatal(err)
+	}
+	summarize(res, tracer, events)
+}
+
+func newMux(reg *obs.Registry, tracer *obs.Tracer, events *obs.EventLog, mgr *fleet.Manager, cfg *popsim.ManagedConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	mux.Handle("/healthz", obs.HealthHandler(func() (bool, any) {
+		h := mgr.Health()
+		return h.OK, h
+	}))
+	mux.Handle("/statusz", obs.JSONHandler(func() any {
+		return map[string]any{
+			"config":  cfg,
+			"health":  mgr.Health(),
+			"devices": mgr.Statuses(),
+		}
+	}))
+	mux.Handle("/tracez", obs.TraceHandler(tracer))
+	mux.Handle("/eventz", obs.EventsHandler(events))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func summarize(res *popsim.ManagedResult, tracer *obs.Tracer, events *obs.EventLog) {
+	fmt.Printf("\nerasmus-serve: run complete — %d devices, horizon %v\n",
+		res.Devices, res.Config.Duration)
+	for _, kind := range []fleet.AlertKind{
+		fleet.AlertInfection, fleet.AlertTamper, fleet.AlertUnreachable, fleet.AlertRecovered,
+	} {
+		fmt.Printf("  alerts %-12s %d\n", kind, res.AlertCounts[kind])
+	}
+	if res.Config.Delta {
+		fmt.Printf("  delta rounds %d\n", res.DeltaRounds)
+	}
+	if res.StoreStats != nil {
+		fmt.Printf("  state store: %d devices (%d watermarked), snapshot %d B\n",
+			res.StoreStats.Devices, res.StoreStats.Watermarked, res.StoreStats.SnapshotBytes)
+	}
+	fmt.Printf("  healthy %d/%d, spans traced %d, events %d\n",
+		res.HealthyCount, res.Devices, tracer.Total(), events.Total())
+	fmt.Printf("  wall: build %v, run %v\n",
+		res.BuildWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "erasmus-serve:", err)
+	os.Exit(1)
+}

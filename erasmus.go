@@ -36,6 +36,7 @@ import (
 	"erasmus/internal/hw/imx6"
 	"erasmus/internal/hw/mcu"
 	"erasmus/internal/netsim"
+	"erasmus/internal/obs"
 	"erasmus/internal/popsim"
 	"erasmus/internal/qoa"
 	"erasmus/internal/session"
@@ -461,6 +462,76 @@ type (
 // the "sim" or "udp" transport.
 func RunManagedPopulation(cfg ManagedPopulationConfig) (*ManagedPopulationResult, error) {
 	return popsim.RunManaged(cfg)
+}
+
+// ManagedPopulationRun is a live fleet-managed scenario that the caller
+// drives incrementally (Pump) while reading manager state and metrics
+// between steps — the erasmus-serve pattern.
+type ManagedPopulationRun = popsim.ManagedRun
+
+// StartManagedPopulation builds and starts a managed scenario without
+// driving it to the horizon; finish with its Finish method.
+func StartManagedPopulation(cfg ManagedPopulationConfig) (*ManagedPopulationRun, error) {
+	return popsim.StartManaged(cfg)
+}
+
+// Observability: a zero-dependency metrics registry with Prometheus text
+// exposition, a bounded per-collection tracer and a structured event log.
+// All of it is opt-in — a nil registry/tracer/log costs one nil-check per
+// touch point and never changes verdicts or alerts (enforced by the
+// observability-equivalence tests).
+type (
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// writes them in Prometheus text format. Wire one into
+	// FleetManagerConfig.Obs / ManagedPopulationConfig.Obs /
+	// StateStoreOptions.Metrics (via NewStateStoreMetrics).
+	MetricsRegistry = obs.Registry
+	// MetricsLabel is one name=value pair on a series.
+	MetricsLabel = obs.Label
+	// Counter is a monotonically increasing metric.
+	Counter = obs.Counter
+	// Gauge is a settable signed metric.
+	Gauge = obs.Gauge
+	// Histogram is a fixed-bucket distribution metric.
+	Histogram = obs.Histogram
+	// CollectionTracer retains the most recent collection spans in a ring
+	// — the /tracez post-mortem feed.
+	CollectionTracer = obs.Tracer
+	// CollectionSpan is one traced collection: launch tick, pipeline wall
+	// clock, verify share, outcome.
+	CollectionSpan = obs.Span
+	// EventLog retains recent structured operational events.
+	EventLog = obs.EventLog
+	// Event is one structured operational event.
+	Event = obs.Event
+	// FleetHealth is a manager liveness snapshot (the /healthz payload):
+	// OK goes false when a durability error is sticky.
+	FleetHealth = fleet.Health
+	// StateStoreMetrics instruments a StateStore (WAL append/fsync
+	// latency, rotations, snapshots, recovery, sticky errors).
+	StateStoreMetrics = store.Metrics
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewCollectionTracer builds a tracer retaining the last capacity spans.
+func NewCollectionTracer(capacity int) *CollectionTracer { return obs.NewTracer(capacity) }
+
+// NewEventLog builds an event log retaining the last capacity events.
+func NewEventLog(capacity int) *EventLog { return obs.NewEventLog(capacity) }
+
+// NewStateStoreMetrics registers the store's metric families on r (nil r
+// yields inert metrics) for use in StateStoreOptions.Metrics.
+func NewStateStoreMetrics(r *MetricsRegistry) *StateStoreMetrics { return store.NewMetrics(r) }
+
+// ServeMetrics exposes the registry at /metrics on a background HTTP
+// server bound to addr (use "127.0.0.1:0" for an ephemeral port). It
+// returns the bound address and a shutdown function. cmd/erasmus-serve
+// offers the full surface: /metrics, /healthz, /statusz, /tracez,
+// /eventz and pprof.
+func ServeMetrics(addr string, r *MetricsRegistry) (string, func() error, error) {
+	return obs.ServeMetrics(addr, r)
 }
 
 // DefaultEpoch is the RROC value at simulation time zero for both device

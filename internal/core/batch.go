@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // VerifyJob is one history awaiting validation. Each job carries its own
@@ -31,6 +32,9 @@ type VerifyJob struct {
 	// Watermark is the device's verifier-side state (zero = none; the
 	// delta path then degenerates to a full verification).
 	Watermark Watermark
+	// Device is the prover's address, used only to route metrics (the
+	// per-shard latency histograms). Optional; verification ignores it.
+	Device string
 	// Tag is an opaque caller context (device id, collection time, …)
 	// carried through untouched; the batch verifier never inspects it.
 	Tag any
@@ -43,6 +47,12 @@ type VerifyJob struct {
 // set and optional MAC cache, both safe under concurrent workers.
 type BatchVerifier struct {
 	workers int
+
+	// Metrics, when set, observes every verification (per-shard latency,
+	// batch sizes, report outcomes). Set it before the first Verify call;
+	// nil (the default) makes instrumentation a nil-check per job and
+	// never changes verdicts.
+	Metrics *VerifyMetrics
 }
 
 // NewBatchVerifier builds a batch verifier fanning work out to the given
@@ -60,18 +70,29 @@ func (b *BatchVerifier) Workers() int { return b.workers }
 // run validates one job. A job with a nil Verifier is a verifier-side
 // configuration fault (e.g. a device deregistered mid-flight); it must not
 // panic the worker pool, so it yields an unhealthy error report instead.
-func (j VerifyJob) run() Report {
+// A non-nil m observes the job's latency and outcome; the report itself is
+// untouched by instrumentation.
+func (j VerifyJob) run(m *VerifyMetrics) Report {
 	if j.Verifier == nil {
 		return Report{
 			TamperDetected: true,
 			Issues:         []string{"core: VerifyJob with nil Verifier (verifier-side configuration fault)"},
 		}
 	}
-	if j.Delta {
-		rep, _ := j.Verifier.VerifyDelta(j.Records, j.Now, j.ExpectedK, j.Watermark)
-		return rep
+	var start time.Time
+	if m != nil {
+		start = time.Now()
 	}
-	return j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+	var rep Report
+	if j.Delta {
+		rep, _ = j.Verifier.VerifyDelta(j.Records, j.Now, j.ExpectedK, j.Watermark)
+	} else {
+		rep = j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
+	}
+	if m != nil {
+		m.observeReport(j.Device, time.Since(start).Seconds(), &rep)
+	}
+	return rep
 }
 
 // Verify validates every job and returns the reports in job order. The
@@ -80,13 +101,14 @@ func (j VerifyJob) run() Report {
 // sequentially — batching changes throughput, never outcomes.
 func (b *BatchVerifier) Verify(jobs []VerifyJob) []Report {
 	out := make([]Report, len(jobs))
+	b.Metrics.observeBatch(len(jobs))
 	w := b.workers
 	if w > len(jobs) {
 		w = len(jobs)
 	}
 	if w <= 1 {
 		for i, j := range jobs {
-			out[i] = j.run()
+			out[i] = j.run(b.Metrics)
 		}
 		return out
 	}
@@ -104,7 +126,7 @@ func (b *BatchVerifier) Verify(jobs []VerifyJob) []Report {
 				if i >= len(jobs) {
 					return
 				}
-				out[i] = jobs[i].run()
+				out[i] = jobs[i].run(b.Metrics)
 			}
 		}()
 	}

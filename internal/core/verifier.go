@@ -153,6 +153,9 @@ type VerifierConfig struct {
 	// recomputation. Only successful verifications are cached — the cache
 	// key is the full record content, so a forged record can never hit.
 	MACCacheSize int
+	// Metrics, when set, counts MAC-cache hits and misses (the cache-
+	// effectiveness ratio on /metrics). Nil adds no work to verifyMAC.
+	Metrics *VerifyMetrics
 }
 
 // Verifier validates collected measurement histories. Verifiers can be
@@ -213,8 +216,10 @@ func (v *Verifier) verifyMAC(rec Record) bool {
 	_, hit := v.macCache[key]
 	v.cacheMu.Unlock()
 	if hit {
+		v.cfg.Metrics.cacheHit()
 		return true
 	}
+	v.cfg.Metrics.cacheMiss()
 	if !rec.VerifyMAC(v.cfg.Alg, v.cfg.Key) {
 		return false
 	}

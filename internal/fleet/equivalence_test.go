@@ -22,7 +22,7 @@ import (
 // runPipelineScenario drives one seeded lossy fleet scenario (infection,
 // store wipe, dark device, 20% datagram loss) and returns the alert
 // stream, every applied report in application order, and final statuses.
-func runPipelineScenario(t *testing.T, synchronous bool) ([]Alert, []core.Report, map[string]DeviceStatus) {
+func runPipelineScenario(t *testing.T, synchronous bool, mutate ...func(*ManagerConfig)) ([]Alert, []core.Report, map[string]DeviceStatus) {
 	t.Helper()
 	e := sim.NewEngine()
 	nw, err := netsim.New(e, netsim.Config{Latency: 2 * sim.Millisecond, LossRate: 0.2, Seed: 77})
@@ -35,13 +35,17 @@ func runPipelineScenario(t *testing.T, synchronous bool) ([]Alert, []core.Report
 		t.Fatal(err)
 	}
 	var reports []core.Report
-	mgr, err := NewManagerWith(ManagerConfig{
+	cfg := ManagerConfig{
 		Engine: e, Collector: col, Clock: clock,
 		Synchronous:   synchronous,
 		VerifyWorkers: 4,
 		BatchLimit:    8,
 		OnReport:      func(addr string, rep core.Report) { reports = append(reports, rep) },
-	})
+	}
+	for _, f := range mutate {
+		f(&cfg)
+	}
+	mgr, err := NewManagerWith(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

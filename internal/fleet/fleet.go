@@ -23,10 +23,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/netsim"
+	"erasmus/internal/obs"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
 	"erasmus/internal/store"
@@ -194,6 +196,19 @@ type ManagerConfig struct {
 	// application order. It runs with the manager's lock held and must
 	// not call back into the Manager.
 	OnReport func(addr string, rep core.Report)
+	// Obs, when set, registers the fleet and verification metric families
+	// on the registry (queue depth, verdict lag, per-shard verify latency,
+	// watermark fallbacks, alert counters, …). Nil — the default — makes
+	// instrumentation one nil-check per operation; metrics never change
+	// verdicts or alerts (enforced by the equivalence tests).
+	Obs *obs.Registry
+	// Tracer, when set, records one Span per applied collection (launch
+	// tick, pipeline wall-clock lag, verify time, outcome) into its
+	// bounded ring — the /tracez post-mortem feed.
+	Tracer *obs.Tracer
+	// Events, when set, receives structured operational events (alerts,
+	// fallback decisions) — the /eventz feed.
+	Events *obs.EventLog
 }
 
 // Manager runs the fleet.
@@ -209,12 +224,24 @@ type Manager struct {
 	// st is the durable state store; nil when the manager is in-memory.
 	st *store.Store
 
+	// Observability (all nil when disabled): metrics is the fleet's gauge
+	// and counter set, vm routes verify latency/outcome observations from
+	// the batch pool and MAC caches, tracer and events are bounded rings.
+	metrics *fleetMetrics
+	vm      *core.VerifyMetrics
+	tracer  *obs.Tracer
+	events  *obs.EventLog
+
 	pipe *pipeline
 
 	mu      sync.Mutex
 	devices map[string]*device
 	alerts  []Alert
 	started bool
+	// stickySeen latches the first sink/store I/O failure so it is
+	// surfaced (gauge + event) exactly once, as it happens — not only
+	// when Close or a /healthz scrape finally looks.
+	stickySeen bool
 }
 
 // NewManagerWith builds a fleet manager over an explicit transport.
@@ -249,6 +276,12 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 		devices:          make(map[string]*device),
 	}
 	m.st = cfg.Store
+	m.tracer, m.events = cfg.Tracer, cfg.Events
+	if cfg.Obs != nil {
+		m.metrics = newFleetMetrics(cfg.Obs)
+		m.vm = core.NewVerifyMetrics(cfg.Obs, cfg.WatermarkShards)
+		m.metrics.queueCapacity.Set(int64(cfg.QueueDepth))
+	}
 	if cfg.Delta {
 		sc := core.ServiceConfig{
 			Shards: cfg.WatermarkShards, MaxDevices: cfg.WatermarkCapacity,
@@ -312,6 +345,7 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 		// Loose synchronization (§2): tolerate the prover's RROC leading
 		// the verifier clock by a sliver of TM before crying tamper.
 		ClockSkew: cfg.QoA.TM / 10,
+		Metrics:   m.vm,
 	})
 	if err != nil {
 		return err
@@ -360,6 +394,7 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 		return fmt.Errorf("fleet: device %q already registered", cfg.Addr)
 	}
 	m.devices[cfg.Addr] = d
+	m.metrics.deviceAdded(d.healthy, d.unreachable)
 	started := m.started
 	if !restored {
 		// Journal the registration now: a crash before the first verdict
@@ -520,6 +555,9 @@ func (m *Manager) collect(d *device) {
 			wm, delta = w, true
 		}
 	}
+	if m.svc != nil && !delta {
+		m.metrics.fallback(settled)
+	}
 	m.pipe.launched()
 	cb := func(res session.CollectResult, err error) {
 		m.pipe.submit(pipeJob{
@@ -551,6 +589,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 	d := j.dev
 	d.verdictsPending--
 	if j.err != nil {
+		wasHealthy, wasUnreach := d.healthy, d.unreachable
 		d.failures++
 		if d.failures == m.unreachableAfter {
 			d.healthy = false
@@ -558,7 +597,10 @@ func (m *Manager) applyResult(j *pipeJob) {
 			m.alertAt(j.at, d, AlertUnreachable,
 				fmt.Sprintf("%d consecutive collections failed", d.failures))
 		}
+		m.metrics.transitions(wasHealthy, wasUnreach, d.healthy, d.unreachable)
+		m.observeApply(j, outcomeFailed)
 		m.journalStatus(d)
+		m.noteSticky(j.at)
 		return
 	}
 	rep := j.rep
@@ -586,10 +628,81 @@ func (m *Manager) applyResult(j *pipeJob) {
 	case !wasHealthy && d.healthy:
 		m.alertAt(j.at, d, AlertRecovered, "history healthy again")
 	}
+	m.metrics.transitions(wasHealthy, wasUnreachable, d.healthy, d.unreachable)
+	switch {
+	case rep.InfectionDetected:
+		m.observeApply(j, outcomeInfection)
+	case rep.TamperDetected:
+		m.observeApply(j, outcomeTamper)
+	default:
+		m.observeApply(j, outcomeOK)
+	}
 	if m.onReport != nil {
 		m.onReport(d.cfg.Addr, rep)
 	}
 	m.journalStatus(d)
+	m.noteSticky(j.at)
+}
+
+// noteSticky surfaces the first durability failure (attestation-service
+// sink or state store) the moment a verdict application trips it: a gauge
+// flip plus a structured event, so operators are not left to discover the
+// error at Close. Callers hold m.mu.
+func (m *Manager) noteSticky(at sim.Ticks) {
+	if m.stickySeen {
+		return
+	}
+	var err error
+	switch {
+	case m.svc != nil && m.svc.SinkErr() != nil:
+		err = m.svc.SinkErr()
+	case m.st != nil && m.st.Err() != nil:
+		err = m.st.Err()
+	default:
+		return
+	}
+	m.stickySeen = true
+	if m.svc != nil && m.svc.SinkErr() != nil {
+		// The store mirrors its own failure on erasmus_store_sticky_error.
+		m.metrics.sinkFailed()
+	}
+	m.events.Emit(obs.Event{
+		Tick:      int64(at),
+		Subsystem: "fleet",
+		Kind:      "durability_error",
+		Detail:    err.Error(),
+	})
+}
+
+// observeApply feeds one applied verdict into the metrics and the
+// collection tracer. Callers hold m.mu; a manager without observability
+// pays two nil-checks.
+func (m *Manager) observeApply(j *pipeJob, outcome string) {
+	if m.metrics == nil && m.tracer == nil {
+		return
+	}
+	applyWall := time.Now().UnixNano()
+	lag := -1.0
+	if j.submitWall != 0 {
+		lag = float64(applyWall-j.submitWall) / 1e9
+	}
+	m.metrics.observeCollection(outcome, lag)
+	if m.tracer != nil {
+		sp := obs.Span{
+			Device:      j.dev.cfg.Addr,
+			LaunchTick:  int64(j.at),
+			SubmitWall:  j.submitWall,
+			ApplyWall:   applyWall,
+			VerifyNanos: j.verifyNanos,
+			Delta:       j.delta,
+			Records:     len(j.res.Records),
+			Outcome:     outcome,
+		}
+		if j.err != nil {
+			sp.Err = j.err.Error()
+		}
+		m.tracer.Record(sp)
+	}
 }
 
 // journalStatus appends the device's current status to the durable store,
@@ -625,6 +738,11 @@ func firstIssue(rep core.Report) string {
 // Callers hold m.mu.
 func (m *Manager) alertAt(at sim.Ticks, d *device, kind AlertKind, detail string) {
 	m.alerts = append(m.alerts, Alert{Time: at, Device: d.cfg.Addr, Kind: kind, Detail: detail})
+	m.metrics.observeAlert(kind)
+	m.events.Emit(obs.Event{
+		Tick: int64(at), Subsystem: "fleet", Device: d.cfg.Addr,
+		Kind: string(kind), Detail: detail,
+	})
 	if m.st != nil {
 		m.st.AppendAlert(store.AlertEvent{
 			Time: int64(at), Device: d.cfg.Addr, Kind: string(kind), Detail: detail,
@@ -693,4 +811,71 @@ func (m *Manager) HealthyCount() int {
 		}
 	}
 	return n
+}
+
+// Statuses returns every device's dashboard line, sorted by address — the
+// /statusz payload.
+func (m *Manager) Statuses() []DeviceStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DeviceStatus, 0, len(m.devices))
+	for addr, d := range m.devices {
+		out = append(out, DeviceStatus{
+			Addr:         addr,
+			RegisteredAt: d.registeredAt,
+			LastContact:  d.lastContact,
+			Healthy:      d.healthy,
+			Freshness:    d.freshness,
+			Collections:  d.collections,
+			Failures:     d.failures,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Health summarizes the manager's liveness for a /healthz endpoint. OK is
+// false exactly when durability is compromised: the watermark sink or the
+// state store holds a sticky I/O error. Scheduling pressure (queue depth,
+// in-flight collections) is reported but never fails the check — a full
+// queue is backpressure working, not an outage.
+type Health struct {
+	OK          bool   `json:"ok"`
+	Started     bool   `json:"started"`
+	Devices     int    `json:"devices"`
+	Healthy     int    `json:"healthy"`
+	Unreachable int    `json:"unreachable"`
+	QueueDepth  int    `json:"queue_depth"`
+	Inflight    int    `json:"inflight"`
+	SinkError   string `json:"sink_error,omitempty"`
+	StoreError  string `json:"store_error,omitempty"`
+}
+
+// Health reports the manager's current health snapshot.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	h := Health{OK: true, Started: m.started, Devices: len(m.devices)}
+	for _, d := range m.devices {
+		if d.healthy {
+			h.Healthy++
+		}
+		if d.unreachable {
+			h.Unreachable++
+		}
+	}
+	m.mu.Unlock()
+	h.QueueDepth, h.Inflight = m.pipe.depths()
+	if m.svc != nil {
+		if err := m.svc.SinkErr(); err != nil {
+			h.OK = false
+			h.SinkError = err.Error()
+		}
+	}
+	if m.st != nil {
+		if err := m.st.Err(); err != nil {
+			h.OK = false
+			h.StoreError = err.Error()
+		}
+	}
+	return h
 }

@@ -1,0 +1,166 @@
+package fleet
+
+import "erasmus/internal/obs"
+
+// Collection outcomes, as exposed on the
+// erasmus_fleet_collections_total{outcome=...} family and on trace spans.
+const (
+	outcomeOK        = "ok"
+	outcomeInfection = "infection"
+	outcomeTamper    = "tamper"
+	outcomeFailed    = "failed" // transport error, no history collected
+)
+
+// fleetMetrics instruments the manager: scheduling pressure (queue depth,
+// in-flight collections, wall-clock verdict lag), fleet health gauges and
+// per-outcome collection/alert counters. A nil *fleetMetrics is fully
+// inert — every method is one nil-check — so an uninstrumented manager is
+// behaviorally identical (enforced by the equivalence tests).
+type fleetMetrics struct {
+	queueDepth    *obs.Gauge
+	queueCapacity *obs.Gauge
+	inflight      *obs.Gauge
+
+	devices     *obs.Gauge
+	unhealthy   *obs.Gauge
+	unreachable *obs.Gauge
+
+	// verdictLag is submit→applied wall time: how long a collected history
+	// waited in the asynchronous pipeline (including verification) before
+	// its verdict reached device state.
+	verdictLag *obs.Histogram
+
+	collections map[string]*obs.Counter // by outcome
+	alerts      map[AlertKind]*obs.Counter
+
+	// Delta-mode rounds forced to launch as full collections: the device
+	// had no current watermark (first contact, or reset after tamper/gap)
+	// or a previous verdict was still unapplied (stale watermark).
+	fallbackNoWatermark *obs.Counter
+	fallbackUnsettled   *obs.Counter
+
+	// sinkError mirrors the attestation service's sticky StateSink
+	// failure: 0 healthy, 1 once a watermark write has failed (the store
+	// has its own erasmus_store_sticky_error).
+	sinkError *obs.Gauge
+}
+
+func newFleetMetrics(r *obs.Registry) *fleetMetrics {
+	if r == nil {
+		return nil
+	}
+	fm := &fleetMetrics{
+		queueDepth: r.Gauge("erasmus_fleet_queue_depth",
+			"Histories waiting in the asynchronous verification queue."),
+		queueCapacity: r.Gauge("erasmus_fleet_queue_capacity",
+			"Bound of the asynchronous verification queue."),
+		inflight: r.Gauge("erasmus_fleet_inflight_collections",
+			"Collections launched whose verdicts are not yet applied."),
+		devices: r.Gauge("erasmus_fleet_devices",
+			"Devices registered with the manager."),
+		unhealthy: r.Gauge("erasmus_fleet_unhealthy_devices",
+			"Devices whose latest verdict or reachability is unhealthy."),
+		unreachable: r.Gauge("erasmus_fleet_unreachable_devices",
+			"Devices past the consecutive-failure threshold."),
+		verdictLag: r.Histogram("erasmus_fleet_verdict_lag_seconds",
+			"Wall time from collection callback to verdict applied.", obs.LatencyBuckets),
+		collections: make(map[string]*obs.Counter),
+		alerts:      make(map[AlertKind]*obs.Counter),
+		fallbackNoWatermark: r.Counter("erasmus_fleet_watermark_fallbacks_total",
+			"Delta rounds launched as full collections (no current watermark).",
+			obs.Label{Name: "reason", Value: "no_watermark"}),
+		fallbackUnsettled: r.Counter("erasmus_fleet_watermark_fallbacks_total",
+			"Delta rounds launched as full collections (previous verdict unapplied).",
+			obs.Label{Name: "reason", Value: "verdict_pending"}),
+		sinkError: r.Gauge("erasmus_fleet_sink_error",
+			"1 once a watermark StateSink write has failed (sticky)."),
+	}
+	for _, o := range []string{outcomeOK, outcomeInfection, outcomeTamper, outcomeFailed} {
+		fm.collections[o] = r.Counter("erasmus_fleet_collections_total",
+			"Applied collection verdicts by outcome.",
+			obs.Label{Name: "outcome", Value: o})
+	}
+	for _, k := range []AlertKind{AlertInfection, AlertTamper, AlertUnreachable, AlertRecovered} {
+		fm.alerts[k] = r.Counter("erasmus_fleet_alerts_total",
+			"Fleet alerts raised by kind.",
+			obs.Label{Name: "kind", Value: string(k)})
+	}
+	return fm
+}
+
+func (fm *fleetMetrics) setQueue(depth int) {
+	if fm != nil {
+		fm.queueDepth.Set(int64(depth))
+	}
+}
+
+func (fm *fleetMetrics) setInflight(n int) {
+	if fm != nil {
+		fm.inflight.Set(int64(n))
+	}
+}
+
+func (fm *fleetMetrics) deviceAdded(healthy, unreach bool) {
+	if fm == nil {
+		return
+	}
+	fm.devices.Add(1)
+	if !healthy {
+		fm.unhealthy.Add(1)
+	}
+	if unreach {
+		fm.unreachable.Add(1)
+	}
+}
+
+// transitions folds one verdict's health changes into the fleet gauges.
+func (fm *fleetMetrics) transitions(wasHealthy, wasUnreachable, healthy, unreach bool) {
+	if fm == nil {
+		return
+	}
+	switch {
+	case wasHealthy && !healthy:
+		fm.unhealthy.Add(1)
+	case !wasHealthy && healthy:
+		fm.unhealthy.Add(-1)
+	}
+	switch {
+	case !wasUnreachable && unreach:
+		fm.unreachable.Add(1)
+	case wasUnreachable && !unreach:
+		fm.unreachable.Add(-1)
+	}
+}
+
+func (fm *fleetMetrics) observeCollection(outcome string, lagSeconds float64) {
+	if fm == nil {
+		return
+	}
+	fm.collections[outcome].Inc()
+	if lagSeconds >= 0 {
+		fm.verdictLag.Observe(lagSeconds)
+	}
+}
+
+func (fm *fleetMetrics) observeAlert(kind AlertKind) {
+	if fm != nil {
+		fm.alerts[kind].Inc()
+	}
+}
+
+func (fm *fleetMetrics) sinkFailed() {
+	if fm != nil {
+		fm.sinkError.Set(1)
+	}
+}
+
+func (fm *fleetMetrics) fallback(settled bool) {
+	if fm == nil {
+		return
+	}
+	if settled {
+		fm.fallbackNoWatermark.Inc()
+	} else {
+		fm.fallbackUnsettled.Inc()
+	}
+}

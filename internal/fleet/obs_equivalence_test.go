@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"erasmus/internal/obs"
+)
+
+// Instrumentation must be a pure observer: the same seeded lossy scenario
+// (infection, store wipe, dark device, 20% datagram loss) run with a full
+// observability stack — registry, tracer, event log — must produce alert
+// streams, applied reports and final statuses field-identical to the
+// uninstrumented run. Metrics change what you can see, never what the
+// verifier decides — ISSUE 6's equivalence acceptance criterion.
+func TestObservabilityEquivalencePipeline(t *testing.T) {
+	plainAlerts, plainReports, plainStatus := runPipelineScenario(t, false)
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(1024)
+	events := obs.NewEventLog(256)
+	obsAlerts, obsReports, obsStatus := runPipelineScenario(t, false, func(c *ManagerConfig) {
+		c.Obs, c.Tracer, c.Events = reg, tracer, events
+	})
+
+	if len(plainAlerts) == 0 {
+		t.Fatal("scenario produced no alerts; it exercises nothing")
+	}
+	if !reflect.DeepEqual(plainAlerts, obsAlerts) {
+		t.Errorf("alert streams diverge:\nplain: %+v\nobs:   %+v", plainAlerts, obsAlerts)
+	}
+	if len(plainReports) != len(obsReports) {
+		t.Fatalf("report counts diverge: plain %d, obs %d", len(plainReports), len(obsReports))
+	}
+	for i := range plainReports {
+		if !reflect.DeepEqual(plainReports[i], obsReports[i]) {
+			t.Fatalf("report %d diverges:\nplain: %+v\nobs:   %+v", i, plainReports[i], obsReports[i])
+		}
+	}
+	if !reflect.DeepEqual(plainStatus, obsStatus) {
+		t.Errorf("statuses diverge:\nplain: %+v\nobs:   %+v", plainStatus, obsStatus)
+	}
+
+	// The instrumented run must also have *observed* the scenario: every
+	// applied report traced, outcomes tallied, alerts mirrored.
+	if got := int(tracer.Total()); got < len(obsReports) {
+		t.Errorf("tracer recorded %d spans, want at least the %d applied reports", got, len(obsReports))
+	}
+	applied := reg.Counter("erasmus_fleet_collections_total", "",
+		obs.Label{Name: "outcome", Value: "ok"}).Value()
+	if applied == 0 {
+		t.Error("erasmus_fleet_collections_total{outcome=ok} never incremented")
+	}
+	alertTotal := uint64(0)
+	for _, k := range []AlertKind{AlertInfection, AlertTamper, AlertUnreachable, AlertRecovered} {
+		alertTotal += reg.Counter("erasmus_fleet_alerts_total", "",
+			obs.Label{Name: "kind", Value: string(k)}).Value()
+	}
+	if alertTotal != uint64(len(obsAlerts)) {
+		t.Errorf("alert counters total %d, want %d (one per alert)", alertTotal, len(obsAlerts))
+	}
+	if events.Total() != uint64(len(obsAlerts)) {
+		t.Errorf("event log holds %d events, want %d (one per alert)", events.Total(), len(obsAlerts))
+	}
+
+	// And the exposition must carry the per-shard verify latency series.
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "erasmus_verify_latency_seconds_bucket") {
+		t.Error("exposition missing erasmus_verify_latency_seconds buckets")
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"sync"
+	"time"
 
 	"erasmus/internal/core"
 	"erasmus/internal/session"
@@ -21,6 +22,13 @@ type pipeJob struct {
 	delta     bool      // incremental verification against wm
 	wm        core.Watermark
 	rep       core.Report
+
+	// Observability-only fields, zero when the manager is uninstrumented:
+	// submitWall is the wall clock at submission (verdict-lag measurement,
+	// span bracket), verifyNanos this job's share of its verification
+	// batch's wall time.
+	submitWall  int64
+	verifyNanos int64
 }
 
 // pipeline decouples verification from collection: transport callbacks
@@ -56,6 +64,7 @@ func newPipeline(m *Manager, cfg ManagerConfig) *pipeline {
 		batchLimit: cfg.BatchLimit,
 		inline:     cfg.Synchronous,
 	}
+	p.bv.Metrics = m.vm
 	p.cond = sync.NewCond(&p.mu)
 	if !p.inline {
 		p.jobs = make(chan pipeJob, cfg.QueueDepth)
@@ -68,13 +77,24 @@ func newPipeline(m *Manager, cfg ManagerConfig) *pipeline {
 func (p *pipeline) launched() {
 	p.mu.Lock()
 	p.inflight++
+	p.m.metrics.setInflight(p.inflight)
 	p.mu.Unlock()
+}
+
+// depths snapshots the queue and in-flight counters (the /healthz signal).
+func (p *pipeline) depths() (queued, inflight int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued, p.inflight
 }
 
 // submit hands one resolved collection to verification. Safe for
 // concurrent use; blocks when the queue is full (backpressure on the
 // transport callbacks, never on the scheduler).
 func (p *pipeline) submit(j pipeJob) {
+	if p.m.metrics != nil || p.m.tracer != nil {
+		j.submitWall = time.Now().UnixNano()
+	}
 	if p.inline {
 		p.process([]pipeJob{j})
 		p.settle(1, 0)
@@ -88,6 +108,7 @@ func (p *pipeline) submit(j pipeJob) {
 	}
 	p.mu.Lock()
 	p.queued++
+	p.m.metrics.setQueue(p.queued)
 	p.mu.Unlock()
 	p.jobs <- j
 	p.closeMu.RUnlock()
@@ -126,14 +147,26 @@ func (p *pipeline) process(batch []pipeJob) {
 				ExpectedK: batch[i].expectedK,
 				Delta:     batch[i].delta,
 				Watermark: batch[i].wm,
+				Device:    batch[i].dev.cfg.Addr,
 				Tag:       &batch[i],
 			})
 		}
 	}
 	if len(vjobs) > 0 {
+		timed := p.m.metrics != nil || p.m.tracer != nil
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		reports := p.bv.Verify(vjobs)
+		var share int64
+		if timed {
+			share = time.Since(start).Nanoseconds() / int64(len(vjobs))
+		}
 		for i := range vjobs {
-			vjobs[i].Tag.(*pipeJob).rep = reports[i]
+			pj := vjobs[i].Tag.(*pipeJob)
+			pj.rep = reports[i]
+			pj.verifyNanos = share
 		}
 	}
 	for i := range batch {
@@ -146,6 +179,8 @@ func (p *pipeline) settle(inflight, queued int) {
 	p.mu.Lock()
 	p.inflight -= inflight
 	p.queued -= queued
+	p.m.metrics.setInflight(p.inflight)
+	p.m.metrics.setQueue(p.queued)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }

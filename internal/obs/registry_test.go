@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers every instrument kind from many
+// goroutines while a scraper renders the exposition — the -race gate for
+// the lock-free observation paths.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("obs_test_ops_total", "ops")
+	g := r.Gauge("obs_test_depth", "depth")
+	h := r.Histogram("obs_test_latency_seconds", "latency", LatencyBuckets)
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) * 1e-6)
+				if i%500 == 0 {
+					// Concurrent scrape while observations land.
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+				// Concurrent re-registration must return the same series.
+				if r.Counter("obs_test_ops_total", "ops") != c {
+					t.Error("re-registration returned a different counter")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestNilSafety proves the disabled-observability path: every operation
+// on nil registry/instruments is a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", LatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr *Tracer
+	tr.Record(Span{Device: "d"})
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	var l *EventLog
+	l.Emit(Event{Kind: "k"})
+	if l.Events() != nil || l.Total() != 0 {
+		t.Fatal("nil event log must be inert")
+	}
+}
+
+// TestExpositionGolden pins the Prometheus text format byte-for-byte: the
+// scrape contract a collector depends on.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("erasmus_collections_total", "Collections launched.",
+		Label{"outcome", "ok"})
+	c2 := r.Counter("erasmus_collections_total", "Collections launched.",
+		Label{"outcome", "failed"})
+	g := r.Gauge("erasmus_queue_depth", "Verification queue depth.")
+	h := r.Histogram("erasmus_verify_seconds", "Verify latency.",
+		[]float64{0.001, 0.01, 0.1})
+
+	c.Add(3)
+	c2.Inc()
+	g.Set(7)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP erasmus_collections_total Collections launched.
+# TYPE erasmus_collections_total counter
+erasmus_collections_total{outcome="failed"} 1
+erasmus_collections_total{outcome="ok"} 3
+# HELP erasmus_queue_depth Verification queue depth.
+# TYPE erasmus_queue_depth gauge
+erasmus_queue_depth 7
+# HELP erasmus_verify_seconds Verify latency.
+# TYPE erasmus_verify_seconds histogram
+erasmus_verify_seconds_bucket{le="0.001"} 1
+erasmus_verify_seconds_bucket{le="0.01"} 1
+erasmus_verify_seconds_bucket{le="0.1"} 2
+erasmus_verify_seconds_bucket{le="+Inf"} 3
+erasmus_verify_seconds_sum 5.0505
+erasmus_verify_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets checks bucket edge semantics (le is inclusive).
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(1.5)
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("bucket le=1 = %d, want 1", got)
+	}
+	if got := h.counts[1].Load(); got != 2 {
+		t.Fatalf("bucket le=2 = %d, want 2", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Fatalf("bucket +Inf = %d, want 1", got)
+	}
+	if h.Sum() != 7.5 {
+		t.Fatalf("sum = %v, want 7.5", h.Sum())
+	}
+}

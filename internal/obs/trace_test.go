@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerRing exercises wrap-around ordering: the ring keeps the most
+// recent capacity spans, oldest first.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Device: fmt.Sprintf("dev-%d", i), LaunchTick: int64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := int64(6 + i); sp.LaunchTick != want {
+			t.Fatalf("span %d tick = %d, want %d", i, sp.LaunchTick, want)
+		}
+	}
+	if got := tr.SpansFor("dev-8"); len(got) != 1 || got[0].LaunchTick != 8 {
+		t.Fatalf("SpansFor(dev-8) = %+v", got)
+	}
+	if got := tr.SpansFor("dev-0"); got != nil {
+		t.Fatalf("evicted span still returned: %+v", got)
+	}
+}
+
+// TestTracerJSON checks the dump is a valid, complete JSON document.
+func TestTracerJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Span{Device: "dev-1", LaunchTick: 42, Records: 5, Outcome: "ok", Delta: true})
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total uint64 `json:"total_spans"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Total != 1 || len(doc.Spans) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	sp := doc.Spans[0]
+	if sp.Device != "dev-1" || sp.LaunchTick != 42 || sp.Records != 5 || !sp.Delta || sp.Outcome != "ok" {
+		t.Fatalf("span round-trip mismatch: %+v", sp)
+	}
+}
+
+// TestTracerConcurrency is the -race gate for concurrent producers and a
+// concurrent reader.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(Span{Device: "d", LaunchTick: int64(i)})
+				l.Emit(Event{Subsystem: "test", Kind: "tick", Tick: int64(i)})
+				if i%250 == 0 {
+					tr.Spans()
+					l.Events()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 4000 || l.Total() != 4000 {
+		t.Fatalf("totals = %d/%d, want 4000/4000", tr.Total(), l.Total())
+	}
+}
+
+// TestEventLogRing mirrors the tracer ring semantics for events.
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(2)
+	l.Emit(Event{Kind: "a"})
+	l.Emit(Event{Kind: "b"})
+	l.Emit(Event{Kind: "c"})
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Kind != "b" || evs[1].Kind != "c" {
+		t.Fatalf("events = %+v", evs)
+	}
+	var b strings.Builder
+	if err := l.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Fatalf("dump is not valid JSON: %s", b.String())
+	}
+}

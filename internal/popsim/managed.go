@@ -11,6 +11,7 @@ import (
 	"erasmus/internal/hw/imx6"
 	"erasmus/internal/hw/mcu"
 	"erasmus/internal/netsim"
+	"erasmus/internal/obs"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
 	"erasmus/internal/store"
@@ -86,6 +87,16 @@ type ManagedConfig struct {
 	// snapshot when the run completes. A run over a directory holding
 	// previous state recovers it first (ManagedResult.Recovery).
 	StateDir string
+	// Obs, when set, registers every metric family the run touches —
+	// fleet scheduling, per-shard verification latency, the durable store
+	// (StateDir runs) and population gauges — on the registry. Tracer
+	// records one span per applied collection; Events receives structured
+	// operational events (alerts, configuration decisions). All three are
+	// optional and inert when nil, and enabling them never changes alerts
+	// or verdicts (enforced by TestObservabilityEquivalence).
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+	Events *obs.EventLog
 }
 
 // ManagedResult aggregates one fleet-managed run.
@@ -136,6 +147,12 @@ func (c *ManagedConfig) fill() (*Config, error) {
 		// to ever engage (see the Delta field comment): force it rather
 		// than silently running a vacuous configuration. Wall-paced
 		// transports are untouched.
+		if !c.Synchronous {
+			c.Events.Emit(obs.Event{
+				Subsystem: "popsim", Kind: "force_synchronous",
+				Detail: "delta on the sim transport forces synchronous verification (virtual time outruns the async pipeline)",
+			})
+		}
 		c.Synchronous = true
 	}
 	// Reuse the sharded runtime's validation and per-device planning.
@@ -237,6 +254,9 @@ func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, cloc
 		Synchronous:      cfg.Synchronous,
 		Delta:            cfg.Delta,
 		Store:            st,
+		Obs:              cfg.Obs,
+		Tracer:           cfg.Tracer,
+		Events:           cfg.Events,
 	}
 	if cfg.Delta {
 		// Count the rounds that genuinely verified incrementally: the
@@ -257,7 +277,7 @@ func (cfg *ManagedConfig) openState() (*store.Store, error) {
 	if cfg.StateDir == "" {
 		return nil, nil
 	}
-	return store.Open(cfg.StateDir, store.Options{})
+	return store.Open(cfg.StateDir, store.Options{Metrics: store.NewMetrics(cfg.Obs)})
 }
 
 // closeState compacts and closes the store, folding what Open recovered
@@ -277,8 +297,45 @@ func closeState(res *ManagedResult, st *store.Store) error {
 	return st.Close()
 }
 
-// RunManaged executes a fleet-managed population scenario.
+// RunManaged executes a fleet-managed population scenario to its horizon
+// and returns the aggregated result: StartManaged → RunToHorizon → Finish.
 func RunManaged(cfg ManagedConfig) (*ManagedResult, error) {
+	run, err := StartManaged(cfg)
+	if err != nil {
+		return nil, err
+	}
+	run.RunToHorizon()
+	return run.Finish()
+}
+
+// ManagedRun is a live fleet-managed scenario: devices built and booted,
+// manager started, collections ticking — but the engine not yet driven to
+// the horizon. RunManaged drives it to completion in one call; a
+// long-running process (erasmus-serve) instead pumps the engine
+// incrementally with Pump while reading Manager state between steps.
+//
+// The driving methods (RunToHorizon, Pump, Finish) must be called from one
+// goroutine — they advance the engine, which is single-threaded. Manager
+// accessors (Alerts, Statuses, Health) and the observability surfaces are
+// safe from any goroutine.
+type ManagedRun struct {
+	cfg     *ManagedConfig
+	engine  *sim.Engine // the manager's engine (shared with devices on "sim")
+	mgr     *fleet.Manager
+	st      *store.Store
+	srv     *udptransport.Server // "udp" only
+	devices []*managedDevice
+
+	res         *ManagedResult
+	runStart    time.Time
+	deltaRounds int
+	vt          *obs.Gauge // virtual time of the engine, ns
+}
+
+// StartManaged builds a managed scenario and starts its collection
+// schedule. The caller must finish with Finish (or drive with RunManaged's
+// sequence) to release sockets and the state store.
+func StartManaged(cfg ManagedConfig) (*ManagedRun, error) {
 	pc, err := cfg.fill()
 	if err != nil {
 		return nil, err
@@ -287,48 +344,149 @@ func RunManaged(cfg ManagedConfig) (*ManagedResult, error) {
 	for id := range plans {
 		plans[id] = planDevice(pc, id)
 	}
+	buildStart := time.Now()
+	r := &ManagedRun{cfg: &cfg}
 	if cfg.Transport == "udp" {
-		return runManagedUDP(&cfg, plans)
+		err = r.startUDP(plans)
+	} else {
+		err = r.startSim(plans)
 	}
-	return runManagedSim(&cfg, plans)
+	if err != nil {
+		r.cleanup()
+		return nil, err
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge("erasmus_popsim_devices",
+			"Prover devices simulated by the population run.").Set(int64(cfg.Population))
+		r.vt = cfg.Obs.Gauge("erasmus_popsim_virtual_time_ns",
+			"Virtual time of the population engine.")
+	}
+	if cfg.Events != nil && r.st != nil {
+		// Whatever opening the state directory had to say — replay
+		// summary, torn tails, quarantined segments — goes to the event
+		// log, where /eventz can show it for the life of the process.
+		ri := r.st.Recovery()
+		if ri.SnapshotSeq > 0 || ri.SegmentsReplayed > 0 {
+			cfg.Events.Emit(obs.Event{
+				Subsystem: "store", Kind: "recovery",
+				Detail: fmt.Sprintf("snapshot seq %d (%d devices), %d segments / %d records replayed, torn tail %v",
+					ri.SnapshotSeq, ri.SnapshotDevices, ri.SegmentsReplayed, ri.RecordsReplayed, ri.TornTail),
+			})
+		}
+		for _, name := range ri.Quarantined {
+			cfg.Events.Emit(obs.Event{
+				Subsystem: "store", Kind: "quarantine", Detail: name,
+			})
+		}
+		for _, note := range ri.Notes {
+			cfg.Events.Emit(obs.Event{
+				Subsystem: "store", Kind: "recovery_note", Detail: note,
+			})
+		}
+	}
+	r.res = &ManagedResult{Config: cfg, BuildWall: time.Since(buildStart)}
+	r.runStart = time.Now()
+	r.mgr.Start()
+	return r, nil
 }
 
-// runManagedSim drives the scenario over the simulated network in virtual
-// time.
-func runManagedSim(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, error) {
-	buildStart := time.Now()
+// Manager exposes the live fleet manager (alerts, statuses, health).
+func (r *ManagedRun) Manager() *fleet.Manager { return r.mgr }
+
+// Engine exposes the manager-side engine. Read it only from the driving
+// goroutine; use Pump to advance it.
+func (r *ManagedRun) Engine() *sim.Engine { return r.engine }
+
+// RunToHorizon drives the engine to the configured Duration: instantly in
+// virtual time on the sim transport, wall-paced on udp.
+func (r *ManagedRun) RunToHorizon() {
+	if r.cfg.Transport == "udp" {
+		fleet.PumpRealTime(r.engine, r.cfg.Duration, 2*time.Millisecond)
+	} else if r.engine.Now() < r.cfg.Duration {
+		r.engine.RunUntil(r.cfg.Duration)
+	}
+	r.vt.Set(int64(r.engine.Now()))
+}
+
+// Pump advances the engine against the wall clock until the absolute
+// virtual time until — one virtual nanosecond per wall nanosecond, so a
+// sim-transport fleet behaves like a live deployment while HTTP handlers
+// read the manager between steps. Returns when the engine reaches until.
+func (r *ManagedRun) Pump(until sim.Ticks, step time.Duration) {
+	fleet.PumpRealTime(r.engine, until, step)
+	r.vt.Set(int64(r.engine.Now()))
+}
+
+// Finish stops collection, drains in-flight verdicts, folds the end state
+// into the result, and releases the manager, transport and state store.
+func (r *ManagedRun) Finish() (*ManagedResult, error) {
+	r.mgr.Stop()
+	if r.cfg.Transport != "udp" {
+		// Drain collections still in flight at the horizon so the sim
+		// transport applies the same tail verdicts the UDP transport waits
+		// out in Flush: with the tickers stopped, run the engine through
+		// the session client's full retry budget plus round-trip latency,
+		// then wait for the last verdicts to be applied.
+		r.engine.RunUntil(r.engine.Now() + 2*sim.Second + 2*r.cfg.Latency)
+	}
+	r.mgr.Flush()
+	r.res.RunWall = time.Since(r.runStart)
+	r.res.finish(r.mgr, r.devices)
+	r.res.DeltaRounds = r.deltaRounds
+	if r.srv != nil {
+		defer r.srv.Close()
+	}
+	if err := r.mgr.Close(); err != nil {
+		if r.st != nil {
+			r.st.Close()
+		}
+		return nil, err
+	}
+	return r.res, closeState(r.res, r.st)
+}
+
+// cleanup releases partially-constructed run resources on a start error.
+func (r *ManagedRun) cleanup() {
+	if r.srv != nil {
+		r.srv.Close()
+	}
+	if r.st != nil {
+		r.st.Close()
+	}
+}
+
+// startSim builds the scenario over the simulated network in virtual time:
+// devices, network and manager share one engine.
+func (r *ManagedRun) startSim(plans []devicePlan) error {
+	cfg := r.cfg
 	engine := sim.NewEngine()
+	r.engine = engine
 	nw, err := netsim.New(engine, netsim.Config{
 		Latency: cfg.Latency, LossRate: cfg.Loss, Seed: cfg.Seed + 1,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	clock := func() uint64 { return verifierEpoch + uint64(engine.Now()) }
 	col, err := fleet.NewSimCollector(nw, engine, "fleet-hq", clock)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	st, err := cfg.openState()
+	if r.st, err = cfg.openState(); err != nil {
+		return err
+	}
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock, r.st, &r.deltaRounds))
 	if err != nil {
-		return nil, err
+		return err
 	}
-	deltaRounds := 0
-	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock, st, &deltaRounds))
-	if err != nil {
-		if st != nil {
-			st.Close()
-		}
-		return nil, err
-	}
+	r.mgr = mgr
 
-	devices := make([]*managedDevice, 0, len(plans))
 	for _, p := range plans {
 		md, err := buildManagedDevice(engine, cfg, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		devices = append(devices, md)
+		r.devices = append(r.devices, md)
 		enroll := func() error {
 			if _, err := session.AttachProver(nw, engine, md.addr, md.prv, cfg.Alg); err != nil {
 				return err
@@ -338,7 +496,7 @@ func runManagedSim(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 		}
 		if p.join == 0 {
 			if err := enroll(); err != nil {
-				return nil, err
+				return err
 			}
 		} else {
 			engine.At(p.join, func() {
@@ -348,45 +506,21 @@ func runManagedSim(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 			})
 		}
 	}
-	res := &ManagedResult{Config: *cfg, BuildWall: time.Since(buildStart)}
-
-	runStart := time.Now()
-	mgr.Start()
-	engine.RunUntil(cfg.Duration)
-	mgr.Stop()
-	// Drain collections still in flight at the horizon so the sim
-	// transport applies the same tail verdicts the UDP transport waits
-	// out in Flush: with the tickers stopped, run the engine through the
-	// session client's full retry budget plus round-trip latency, then
-	// wait for the last verdicts to be applied.
-	engine.RunUntil(cfg.Duration + 2*sim.Second + 2*cfg.Latency)
-	mgr.Flush()
-	res.RunWall = time.Since(runStart)
-	res.finish(mgr, devices)
-	res.DeltaRounds = deltaRounds
-	if err := mgr.Close(); err != nil {
-		if st != nil {
-			st.Close()
-		}
-		return nil, err
-	}
-	return res, closeState(res, st)
+	return nil
 }
 
-// runManagedUDP drives the scenario over real loopback sockets: provers
-// live on one wall-paced engine behind a multi-prover UDP server, the
-// manager on a second wall-paced engine, and the two meet only on the
-// wire.
-func runManagedUDP(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, error) {
-	buildStart := time.Now()
+// startUDP builds the scenario over real loopback sockets: provers live on
+// one wall-paced engine behind a multi-prover UDP server, the manager on a
+// second wall-paced engine, and the two meet only on the wire.
+func (r *ManagedRun) startUDP(plans []devicePlan) error {
+	cfg := r.cfg
 	proverEngine := sim.NewEngine()
-	devices := make([]*managedDevice, 0, len(plans))
 	for _, p := range plans {
 		md, err := buildManagedDevice(proverEngine, cfg, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		devices = append(devices, md)
+		r.devices = append(r.devices, md)
 		// Late joiners boot at their join time; everything is scheduled
 		// before the server takes ownership of the engine.
 		if p.join == 0 {
@@ -402,38 +536,35 @@ func runManagedUDP(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 	serveStart := time.Now()
 	srv, err := udptransport.ServeFleet("127.0.0.1:0", proverEngine, cfg.Alg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer srv.Close()
-	for _, md := range devices {
+	r.srv = srv
+	for _, md := range r.devices {
 		if err := srv.Host(md.addr, md.prv); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
 	col, err := fleet.NewUDPCollector(srv.Addr().String(), cfg.UDPPool)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	mgrEngine := sim.NewEngine()
+	r.engine = mgrEngine
 	clock := func() uint64 { return verifierEpoch + uint64(time.Since(serveStart)) }
-	st, err := cfg.openState()
-	if err != nil {
-		return nil, err
+	if r.st, err = cfg.openState(); err != nil {
+		return err
 	}
-	deltaRounds := 0
-	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock, st, &deltaRounds))
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock, r.st, &r.deltaRounds))
 	if err != nil {
-		if st != nil {
-			st.Close()
-		}
-		return nil, err
+		return err
 	}
-	for _, md := range devices {
+	r.mgr = mgr
+	for _, md := range r.devices {
 		md := md
 		if md.plan.join == 0 {
 			if err := mgr.Register(md.deviceConfig(cfg)); err != nil {
-				return nil, err
+				return err
 			}
 		} else {
 			mgrEngine.At(md.plan.join, func() {
@@ -443,23 +574,7 @@ func runManagedUDP(cfg *ManagedConfig, plans []devicePlan) (*ManagedResult, erro
 			})
 		}
 	}
-	res := &ManagedResult{Config: *cfg, BuildWall: time.Since(buildStart)}
-
-	runStart := time.Now()
-	mgr.Start()
-	fleet.PumpRealTime(mgrEngine, cfg.Duration, 2*time.Millisecond)
-	mgr.Stop()
-	mgr.Flush()
-	res.RunWall = time.Since(runStart)
-	res.finish(mgr, devices)
-	res.DeltaRounds = deltaRounds
-	if err := mgr.Close(); err != nil {
-		if st != nil {
-			st.Close()
-		}
-		return nil, err
-	}
-	return res, closeState(res, st)
+	return nil
 }
 
 // finish folds the manager's end state into the result.

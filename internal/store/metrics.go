@@ -1,0 +1,118 @@
+package store
+
+import "erasmus/internal/obs"
+
+// Metrics instruments the durable state layer: WAL append and fsync
+// latency, segment rotations, snapshot cost, recovery footprint and the
+// sticky-error flag. A nil *Metrics is fully inert (one nil-check per
+// observation), so an uninstrumented store behaves byte-identically.
+type Metrics struct {
+	// AppendSeconds observes the buffered WAL append (frame + memcpy, no
+	// I/O syscall on the common path); AppendsTotal / AppendBytesTotal
+	// count records and payload bytes journaled.
+	AppendSeconds    *obs.Histogram
+	AppendsTotal     *obs.Counter
+	AppendBytesTotal *obs.Counter
+
+	// FsyncSeconds observes every flush+fsync (Sync, rotation, snapshot
+	// seal): the WAL fsync lag a live verifier must watch.
+	FsyncSeconds *obs.Histogram
+
+	// RotationsTotal counts sealed WAL segments.
+	RotationsTotal *obs.Counter
+
+	// SnapshotSeconds / SnapshotsTotal observe compactions;
+	// SnapshotBytes is the newest snapshot's size.
+	SnapshotSeconds *obs.Histogram
+	SnapshotsTotal  *obs.Counter
+	SnapshotBytes   *obs.Gauge
+
+	// WALBytes tracks the live WAL footprint (closed segments + open one).
+	WALBytes *obs.Gauge
+
+	// DevicesTracked is the number of devices in the in-memory image.
+	DevicesTracked *obs.Gauge
+
+	// StickyError is 1 once any I/O failure made the store read-only-ish
+	// (mutations keep returning the first error). The /healthz signal.
+	StickyError *obs.Gauge
+
+	// RecoveryRecordsReplayed / RecoverySegmentsReplayed report what the
+	// last Open replayed (gauges: set once at open).
+	RecoveryRecordsReplayed  *obs.Gauge
+	RecoverySegmentsReplayed *obs.Gauge
+}
+
+// NewMetrics registers the store metric set on r. A nil registry yields a
+// nil *Metrics, valid and inert wherever Options.Metrics accepts one.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		AppendSeconds: r.Histogram("erasmus_wal_append_seconds",
+			"Buffered WAL append latency.", obs.LatencyBuckets),
+		AppendsTotal: r.Counter("erasmus_wal_appends_total",
+			"WAL records journaled."),
+		AppendBytesTotal: r.Counter("erasmus_wal_append_bytes_total",
+			"WAL payload bytes journaled."),
+		FsyncSeconds: r.Histogram("erasmus_wal_fsync_seconds",
+			"WAL flush+fsync latency (Sync, rotation, snapshot seal).", obs.LatencyBuckets),
+		RotationsTotal: r.Counter("erasmus_wal_segment_rotations_total",
+			"WAL segments sealed and rotated."),
+		SnapshotSeconds: r.Histogram("erasmus_store_snapshot_seconds",
+			"Snapshot compaction wall time.", obs.LatencyBuckets),
+		SnapshotsTotal: r.Counter("erasmus_store_snapshots_total",
+			"Snapshot compactions taken."),
+		SnapshotBytes: r.Gauge("erasmus_store_snapshot_bytes",
+			"Size of the newest snapshot."),
+		WALBytes: r.Gauge("erasmus_store_wal_bytes",
+			"Bytes across live WAL segments."),
+		DevicesTracked: r.Gauge("erasmus_store_devices",
+			"Devices tracked by the durable store."),
+		StickyError: r.Gauge("erasmus_store_sticky_error",
+			"1 once a store I/O failure became sticky (durability is gone)."),
+		RecoveryRecordsReplayed: r.Gauge("erasmus_store_recovery_records_replayed",
+			"WAL records replayed by the last Open."),
+		RecoverySegmentsReplayed: r.Gauge("erasmus_store_recovery_segments_replayed",
+			"WAL segments replayed by the last Open."),
+	}
+}
+
+// observeAppend records one journaled payload.
+func (m *Metrics) observeAppend(bytes int, secs float64) {
+	if m == nil {
+		return
+	}
+	m.AppendSeconds.Observe(secs)
+	m.AppendsTotal.Inc()
+	m.AppendBytesTotal.Add(uint64(bytes))
+}
+
+// observeFsync records one flush+fsync.
+func (m *Metrics) observeFsync(secs float64) {
+	if m == nil {
+		return
+	}
+	m.FsyncSeconds.Observe(secs)
+}
+
+// sticky latches the sticky-error flag.
+func (m *Metrics) sticky() {
+	if m != nil {
+		m.StickyError.Set(1)
+	}
+}
+
+// footprint refreshes the size gauges. Callers hold s.mu.
+func (m *Metrics) footprint(s *Store) {
+	if m == nil {
+		return
+	}
+	wal := s.closedBytes
+	if s.seg != nil {
+		wal += s.seg.bytes
+	}
+	m.WALBytes.Set(wal)
+	m.DevicesTracked.Set(int64(len(s.devices)))
+}

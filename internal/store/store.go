@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"erasmus/internal/core"
 )
@@ -85,6 +86,10 @@ type Options struct {
 	// should set a bound, since alert history otherwise grows without
 	// limit across snapshots, recoveries and resident memory.
 	MaxAlerts int
+	// Metrics, when set, observes the store (WAL append/fsync latency,
+	// rotations, snapshots, recovery, sticky errors). Nil disables
+	// instrumentation at the cost of one nil-check per operation.
+	Metrics *Metrics
 }
 
 // Stats summarizes a store's footprint.
@@ -240,6 +245,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		seg.close()
 		return nil, err
 	}
+	if m := opts.Metrics; m != nil {
+		m.RecoveryRecordsReplayed.Set(int64(s.recovery.RecordsReplayed))
+		m.RecoverySegmentsReplayed.Set(int64(s.recovery.SegmentsReplayed))
+		m.SnapshotBytes.Set(s.snapBytes)
+		m.footprint(s)
+	}
 	return s, nil
 }
 
@@ -334,6 +345,16 @@ func (s *Store) Err() error {
 	return s.err
 }
 
+// fail latches err as the sticky I/O failure (first writer wins) and
+// mirrors it to the sticky-error gauge. Callers hold s.mu.
+func (s *Store) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	s.opts.Metrics.sticky()
+	return err
+}
+
 // append journals one encoded payload, rotating and auto-snapshotting per
 // policy. Callers hold s.mu and have already updated the memory image.
 func (s *Store) append(payload []byte) error {
@@ -341,12 +362,19 @@ func (s *Store) append(payload []byte) error {
 		return s.err
 	}
 	if s.closed {
-		s.err = fmt.Errorf("store: %s: append after Close", s.dir)
-		return s.err
+		return s.fail(fmt.Errorf("store: %s: append after Close", s.dir))
+	}
+	m := s.opts.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
 	}
 	if err := s.seg.append(payload); err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
+	}
+	if m != nil {
+		m.observeAppend(len(payload), time.Since(start).Seconds())
+		m.footprint(s)
 	}
 	s.sinceSnap++
 	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
@@ -360,24 +388,38 @@ func (s *Store) append(payload []byte) error {
 
 // rotateLocked seals the current segment (durable) and opens the next.
 func (s *Store) rotateLocked() error {
-	if err := s.seg.sync(); err != nil {
-		s.err = err
-		return err
+	if err := s.syncTimed(); err != nil {
+		return s.fail(err)
 	}
 	s.closedBytes += s.seg.bytes
 	s.closedSegs++
 	seq := s.seg.seq
 	if err := s.seg.close(); err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
 	}
 	seg, err := createSegment(s.dir, seq+1)
 	if err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
 	}
 	s.seg = seg
+	if m := s.opts.Metrics; m != nil {
+		m.RotationsTotal.Inc()
+		m.footprint(s)
+	}
 	return nil
+}
+
+// syncTimed flushes+fsyncs the open segment, feeding the fsync-latency
+// histogram. Callers hold s.mu.
+func (s *Store) syncTimed() error {
+	m := s.opts.Metrics
+	if m == nil {
+		return s.seg.sync()
+	}
+	start := time.Now()
+	err := s.seg.sync()
+	m.observeFsync(time.Since(start).Seconds())
+	return err
 }
 
 // SetWatermark journals a watermark update for the device; a zero
@@ -489,8 +531,8 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return nil
 	}
-	if err := s.seg.sync(); err != nil {
-		s.err = err
+	if err := s.syncTimed(); err != nil {
+		s.fail(err)
 	}
 	return s.err
 }
@@ -506,23 +548,25 @@ func (s *Store) Snapshot() error {
 		return s.err
 	}
 	if s.closed {
-		s.err = fmt.Errorf("store: %s: snapshot after Close", s.dir)
-		return s.err
+		return s.fail(fmt.Errorf("store: %s: snapshot after Close", s.dir))
 	}
 	return s.snapshotLocked()
 }
 
 func (s *Store) snapshotLocked() error {
+	m := s.opts.Metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	// Seal the open segment first: the snapshot claims to cover it, so its
 	// contents must not outlive it in an un-synced buffer.
-	if err := s.seg.sync(); err != nil {
-		s.err = err
-		return err
+	if err := s.syncTimed(); err != nil {
+		return s.fail(err)
 	}
 	covered := s.seg.seq
 	if err := s.seg.close(); err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
 	}
 	s.seg = nil
 
@@ -533,8 +577,7 @@ func (s *Store) snapshotLocked() error {
 	newSeq := s.snapSeq + 1
 	data := encodeSnapshot(newSeq, covered+1, devices, s.alerts)
 	if err := writeSnapshotFile(s.dir, newSeq, data); err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
 	}
 	oldSnap := s.snapSeq
 	s.snapSeq = newSeq
@@ -548,33 +591,38 @@ func (s *Store) snapshotLocked() error {
 	// files Open will delete or ignore.
 	snaps, segs, err := scanDir(s.dir)
 	if err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
 	}
 	for _, seq := range segs {
 		if seq <= covered {
 			if err := os.Remove(filepath.Join(s.dir, walName(seq))); err != nil {
-				s.err = err
-				return err
+				return s.fail(err)
 			}
 		}
 	}
 	for _, seq := range snaps {
 		if seq < oldSnap {
 			if err := os.Remove(filepath.Join(s.dir, snapName(seq))); err != nil {
-				s.err = err
-				return err
+				return s.fail(err)
 			}
 		}
 	}
 	s.closedBytes, s.closedSegs = 0, 0
 	seg, err := createSegment(s.dir, covered+1)
 	if err != nil {
-		s.err = err
-		return err
+		return s.fail(err)
 	}
 	s.seg = seg
-	return syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		return s.fail(err)
+	}
+	if m != nil {
+		m.SnapshotSeconds.Observe(time.Since(start).Seconds())
+		m.SnapshotsTotal.Inc()
+		m.SnapshotBytes.Set(s.snapBytes)
+		m.footprint(s)
+	}
+	return nil
 }
 
 // Close syncs and closes the store. The store is unusable afterwards.
@@ -586,11 +634,11 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if s.seg != nil {
-		if err := s.seg.sync(); err != nil && s.err == nil {
-			s.err = err
+		if err := s.syncTimed(); err != nil && s.err == nil {
+			s.fail(err)
 		}
 		if err := s.seg.close(); err != nil && s.err == nil {
-			s.err = err
+			s.fail(err)
 		}
 		s.seg = nil
 	}
