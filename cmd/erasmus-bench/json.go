@@ -291,7 +291,11 @@ func storeAppendBench() func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer st.Close()
+		defer func() {
+			if cerr := st.Close(); cerr != nil {
+				b.Error(cerr)
+			}
+		}()
 		hash := make([]byte, 32)
 		mbuf := make([]byte, 32)
 		b.ReportAllocs()

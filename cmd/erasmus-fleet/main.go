@@ -323,7 +323,11 @@ func reportRecovery(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer func() {
+		if cerr := st.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "erasmus-fleet: close state store: %v\n", cerr)
+		}
+	}()
 	ri := st.Recovery()
 	stats := st.Stats()
 

@@ -1,0 +1,68 @@
+// Command erasmus-lint runs the project's invariant-enforcing static
+// analyzers (internal/analysis) over the module and reports file:line
+// diagnostics.
+//
+// Usage:
+//
+//	erasmus-lint [-json] [-rules] [packages ...]
+//
+// Packages default to ./... resolved against the enclosing module. Exit
+// status is 0 when every finding is suppressed (//erasmus:allow with a
+// reason), 1 when unsuppressed diagnostics remain, and 2 on load or
+// type-check failure. -json emits the machine-readable result CI
+// archives; -rules prints the rule catalog and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"erasmus/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (diagnostics + retained suppressions)")
+	listRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: erasmus-lint [-json] [-rules] [packages ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range analysis.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := analysis.Run(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "erasmus-lint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "erasmus-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
+		fmt.Printf("erasmus-lint: %d package(s), %d diagnostic(s), %d suppressed\n",
+			res.Packages, len(res.Diagnostics), len(res.Suppressed))
+	}
+	if !res.Clean() {
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,7 @@
 package erasmus
 
 import (
+	"erasmus/internal/analysis"
 	"erasmus/internal/core"
 	"erasmus/internal/costmodel"
 	"erasmus/internal/crypto/drbg"
@@ -538,3 +539,23 @@ func ServeMetrics(addr string, r *MetricsRegistry) (string, func() error, error)
 // models (the paper's Fig. 3 timestamp), in nanoseconds; verifier clocks
 // built as DefaultEpoch + engine.Now() stay synchronized with devices.
 const DefaultEpoch = mcu.DefaultEpoch
+
+// Static analysis. The repo's equivalence guarantees (bit-identical
+// alert streams across shard counts, transports, delta vs full
+// collection, crash-resume, instrumentation on/off) rest on source
+// conventions the type system cannot check; erasmus-lint mechanizes
+// them. This facade runs the same suite programmatically.
+type (
+	// LintResult is one lint run: unsuppressed diagnostics plus the
+	// suppressed audit trail, JSON-encodable for tooling.
+	LintResult = analysis.Result
+	// LintDiagnostic is one analyzer finding.
+	LintDiagnostic = analysis.Diagnostic
+)
+
+// RunLint applies the full erasmus-lint rule suite to the module
+// containing dir (patterns default to ./...) — the programmatic
+// equivalent of `erasmus-lint ./...`.
+func RunLint(dir string, patterns ...string) (*LintResult, error) {
+	return analysis.Run(dir, patterns...)
+}

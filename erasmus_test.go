@@ -1,6 +1,7 @@
 package erasmus_test
 
 import (
+	"encoding/json"
 	"testing"
 
 	"erasmus"
@@ -425,5 +426,34 @@ func TestPublicAPIDurableState(t *testing.T) {
 	rep := svc2.Verify("dev-1", vrf, deltaRecs, dev.RROC(), 4)
 	if !rep.Healthy() || !rep.DeltaApplied {
 		t.Fatalf("restarted verifier fell back to stateless verification: %+v", rep)
+	}
+}
+
+// The analyzer suite through the public API: the shipped tree must lint
+// clean (zero unsuppressed diagnostics), every suppression must carry a
+// reason, and the result must be JSON-encodable for tooling.
+func TestPublicAPILint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint type-checks the full tree")
+	}
+	res, err := erasmus.RunLint(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		for _, d := range res.Diagnostics {
+			t.Errorf("unsuppressed: %s", d)
+		}
+	}
+	if res.Packages == 0 {
+		t.Fatal("lint loaded no packages")
+	}
+	for _, d := range res.Suppressed {
+		if d.Reason == "" {
+			t.Errorf("suppression without a reason at %s", d)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Errorf("result not JSON-encodable: %v", err)
 	}
 }

@@ -164,7 +164,11 @@ func run(dir string) ([]erasmus.FleetAlert, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer st2.Close()
+	defer func() {
+		if cerr := st2.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "durable: close recovered store: %v\n", cerr)
+		}
+	}()
 	ri := st2.Recovery()
 	fmt.Printf("recovered: %d WAL records (%d devices, %d watermarked, %d alerts)\n",
 		ri.RecordsReplayed, st2.Stats().Devices, st2.Stats().Watermarked, st2.Stats().Alerts)

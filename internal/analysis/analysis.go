@@ -1,0 +1,248 @@
+// Package analysis is erasmus's project-specific static-analysis layer:
+// a stdlib-only (go/parser, go/ast, go/types) analyzer framework plus the
+// rule suite that mechanizes the source-level conventions every
+// equivalence test in this repo depends on dynamically.
+//
+// The reproduction's headline invariants — alert streams and verdict
+// sequences bit-identical across shard counts, transports, delta vs
+// full collection, crash-and-resume, and instrumentation on/off — hold
+// only because the code follows conventions the type system cannot see:
+// seeded per-device RNG streams, no wall clock in virtual-time paths, no
+// map-iteration order in result paths, nil-receiver-safe observability,
+// and never-dropped durability errors. Each rule here turns one of those
+// conventions into a diagnostic at the line that breaks it, so the
+// violation is caught at lint time instead of whenever the matching
+// equivalence test happens to get unlucky.
+//
+// Intentional exceptions are never silent: a violating line must carry
+//
+//	//erasmus:allow(rule) reason
+//
+// on the same line or the line directly above, and wall-clock use that
+// is legitimate for a whole declaration (fsync timing, socket deadlines,
+// wall-paced engines) is annotated on the declaration's doc comment:
+//
+//	//erasmus:wallpaced reason
+//
+// A suppression without a reason, or naming a rule that does not exist,
+// is itself a diagnostic — the allowlist stays reviewable in the diff.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned by module-root-relative
+// file path. Suppressed findings are retained (with the suppression
+// reason) so the full audit stays visible in -json output.
+type Diagnostic struct {
+	Rule       string `json:"rule"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String renders the conventional file:line:col: rule: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Rule is one invariant-enforcing analyzer. AppliesTo filters by import
+// path (determinism-sensitive rules only make claims about the packages
+// whose conventions they encode); Run inspects one type-checked package.
+type Rule struct {
+	// Name is the identifier used in diagnostics and //erasmus:allow().
+	Name string
+	// Doc is the one-line invariant statement shown by the driver.
+	Doc string
+	// AppliesTo reports whether the rule inspects the given import path.
+	AppliesTo func(importPath string) bool
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass is one (rule, package) analysis run.
+type Pass struct {
+	Pkg   *Package
+	rule  *Rule
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:    p.rule.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// importedPath resolves e to the import path it qualifies, when e is a
+// package-qualifier identifier ("time" in time.Now), or "".
+func (p *Pass) importedPath(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Pkg.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeFunc resolves the function or method object a call invokes, or
+// nil for conversions, builtins, and indirect calls through variables.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = p.Pkg.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = p.Pkg.TypesInfo.Uses[fun]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isInternalPath reports whether importPath lies under an internal/
+// directory of the module — the packages whose determinism and
+// observability conventions the rules encode.
+func isInternalPath(importPath string) bool {
+	return strings.Contains("/"+importPath+"/", "/internal/")
+}
+
+// Directive kinds.
+const (
+	directiveAllow     = "allow"
+	directiveWallPaced = "wallpaced"
+)
+
+// Directive is one parsed //erasmus:... comment.
+type Directive struct {
+	Kind   string // directiveAllow or directiveWallPaced
+	Rule   string // allow only: the rule being suppressed
+	Reason string
+	File   string
+	Line   int
+	Col    int
+}
+
+const directivePrefix = "erasmus:"
+
+// parseDirective parses one comment's text (with the // still attached),
+// returning (nil, "") for comments that are not erasmus directives and a
+// non-empty problem string for malformed ones.
+func parseDirective(text string) (*Directive, string) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, "" // /* */ groups never carry directives
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, directivePrefix) {
+		return nil, ""
+	}
+	body = strings.TrimPrefix(body, directivePrefix)
+	switch {
+	case strings.HasPrefix(body, directiveAllow+"("):
+		rest := strings.TrimPrefix(body, directiveAllow+"(")
+		rule, reason, ok := strings.Cut(rest, ")")
+		if !ok || strings.TrimSpace(rule) == "" {
+			return nil, "malformed suppression; want //erasmus:allow(rule) reason"
+		}
+		return &Directive{
+			Kind:   directiveAllow,
+			Rule:   strings.TrimSpace(rule),
+			Reason: strings.TrimSpace(reason),
+		}, ""
+	case body == directiveWallPaced || strings.HasPrefix(body, directiveWallPaced+" "):
+		return &Directive{
+			Kind:   directiveWallPaced,
+			Reason: strings.TrimSpace(strings.TrimPrefix(body, directiveWallPaced)),
+		}, ""
+	default:
+		kind, _, _ := strings.Cut(body, " ")
+		return nil, fmt.Sprintf("unknown erasmus directive %q; want allow(rule) or wallpaced", kind)
+	}
+}
+
+// fileDirectives extracts every erasmus directive in f, appending a
+// "directive" meta-diagnostic for each malformed comment.
+func fileDirectives(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []Directive {
+	var out []Directive
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			d, problem := parseDirective(c.Text)
+			pos := fset.Position(c.Pos())
+			if problem != "" {
+				*diags = append(*diags, Diagnostic{
+					Rule: MetaRule, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Message: problem,
+				})
+				continue
+			}
+			if d == nil {
+				continue
+			}
+			d.File, d.Line, d.Col = pos.Filename, pos.Line, pos.Column
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// MetaRule names the pseudo-rule that reports problems with the
+// directives themselves (unknown rule names, missing reasons, malformed
+// comments). Meta-diagnostics cannot be suppressed.
+const MetaRule = "directive"
+
+// declWallPaced reports whether decl's doc comment carries an
+// //erasmus:wallpaced annotation, marking the whole declaration as
+// deliberately wall-clock-paced.
+func declWallPaced(decl ast.Decl) bool {
+	var doc *ast.CommentGroup
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		doc = d.Doc
+	case *ast.GenDecl:
+		doc = d.Doc
+	}
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, _ := parseDirective(c.Text); d != nil && d.Kind == directiveWallPaced {
+			return true
+		}
+	}
+	return false
+}
+
+// eachStmtList calls fn for every statement list under root (block
+// bodies, switch cases, select clauses) — the granularity at which
+// "followed by a sort" waivers are resolved.
+func eachStmtList(root ast.Node, fn func(list []ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			fn(s.List)
+		case *ast.CaseClause:
+			fn(s.Body)
+		case *ast.CommClause:
+			fn(s.Body)
+		}
+		return true
+	})
+}

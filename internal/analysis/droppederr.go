@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrRule forbids discarding the error results of durability
+// calls: anything declared in internal/store (Store, WAL, snapshot
+// writer) and the core.StateSink journaling interface.
+//
+// The durable-state discipline (PR 5/6) is that store errors are sticky
+// and *surfaced* — SinkErr, /healthz, the sticky-error gauges. That
+// chain starts at the call site: an error silently dropped never reaches
+// the latch, and TestKillAndResumeSim's zero-re-alert recovery guarantee
+// silently degrades to "whatever happened to hit disk". Flagged forms:
+// a bare call statement, go/defer calls, and assigning the error
+// position to the blank identifier.
+var droppedErrRule = &Rule{
+	Name:      "droppederr",
+	Doc:       "error results of internal/store and core.StateSink calls must not be discarded",
+	AppliesTo: func(string) bool { return true },
+	Run:       runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					reportDropped(pass, call, "the result of a bare call statement")
+				}
+			case *ast.GoStmt:
+				reportDropped(pass, s.Call, "a go statement's result")
+			case *ast.DeferStmt:
+				reportDropped(pass, s.Call, "a deferred call's result")
+			case *ast.AssignStmt:
+				droppedInAssign(pass, s)
+			}
+			return true
+		})
+	}
+}
+
+// droppedInAssign flags durability calls whose error position lands on
+// the blank identifier.
+func droppedInAssign(pass *Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// x, _ := call() — the error is the last result.
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBlank(s.Lhs[len(s.Lhs)-1]) {
+			reportDropped(pass, call, "the blank identifier")
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isBlank(s.Lhs[i]) {
+			reportDropped(pass, call, "the blank identifier")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// reportDropped reports call when it is a durability call returning an
+// error that the surrounding form discards.
+func reportDropped(pass *Pass, call *ast.CallExpr, sink string) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || !isDurabilityFunc(fn) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s discards the error from %s; durability errors must reach the sticky-error "+
+			"latch — handle it or explain with //erasmus:allow(droppederr) <reason>",
+		sink, fn.FullName())
+}
+
+// isDurabilityFunc reports whether fn is declared in internal/store or
+// is a method of the core.StateSink journaling interface.
+func isDurabilityFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if strings.HasSuffix(pkg.Path(), "/internal/store") {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named, ok := sig.Recv().Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "StateSink" &&
+		named.Obj().Pkg() != nil &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "/internal/core")
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+)
+
+// Result is one lint run: the unsuppressed findings that should fail a
+// build, plus the suppressed ones retained for audit.
+type Result struct {
+	ModulePath  string       `json:"module"`
+	Packages    int          `json:"packages"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Suppressed  []Diagnostic `json:"suppressed"`
+}
+
+// Clean reports whether the run found nothing actionable.
+func (r *Result) Clean() bool { return len(r.Diagnostics) == 0 }
+
+// Run loads the given patterns of the module containing dir and applies
+// the full rule suite — the programmatic equivalent of
+// `erasmus-lint patterns...`.
+func Run(dir string, patterns ...string) (*Result, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunRules(loader, pkgs, Rules())
+}
+
+// RunRules applies rules to the loaded packages, resolves suppressions,
+// and emits directive meta-diagnostics. The golden-file harness calls it
+// with a single rule; suppression-comment validity is always checked
+// against the full rule catalog so a fixture suppressing rule X is not
+// misreported as unknown when only rule Y runs.
+func RunRules(loader *Loader, pkgs []*Package, rules []*Rule) (*Result, error) {
+	known := make(map[string]bool)
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+	for _, r := range rules {
+		known[r.Name] = true
+	}
+
+	res := &Result{ModulePath: loader.ModulePath, Packages: len(pkgs)}
+	var diags []Diagnostic
+	var directives []Directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			directives = append(directives, fileDirectives(pkg.Fset, f, &diags)...)
+		}
+		for _, rule := range rules {
+			if rule.AppliesTo != nil && !rule.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			rule.Run(&Pass{Pkg: pkg, rule: rule, diags: &diags})
+		}
+	}
+
+	// Directive hygiene: every allow must name a real rule and carry a
+	// reason; wallpaced must carry a reason too. The allowlist is only
+	// reviewable if each entry says why it exists.
+	suppressions := make(map[string][]*Directive) // file -> allow directives
+	for i := range directives {
+		d := &directives[i]
+		switch {
+		case d.Kind == directiveAllow && !known[d.Rule]:
+			diags = append(diags, Diagnostic{
+				Rule: MetaRule, File: d.File, Line: d.Line, Col: d.Col,
+				Message: "suppression names unknown rule " + quote(d.Rule) + "; known rules: " + ruleNameList(),
+			})
+		case d.Reason == "":
+			diags = append(diags, Diagnostic{
+				Rule: MetaRule, File: d.File, Line: d.Line, Col: d.Col,
+				Message: "erasmus:" + d.Kind + " directive has no reason; intentional exceptions must say why",
+			})
+		case d.Kind == directiveAllow:
+			suppressions[d.File] = append(suppressions[d.File], d)
+		}
+	}
+
+	// A suppression covers its own line (trailing comment) and the line
+	// directly below (comment on its own line above the violation).
+	for _, d := range diags {
+		if d.Rule != MetaRule {
+			for _, s := range suppressions[d.File] {
+				if s.Rule == d.Rule && (s.Line == d.Line || s.Line == d.Line-1) {
+					d.Suppressed, d.Reason = true, s.Reason
+					break
+				}
+			}
+		}
+		d.File = relativeTo(loader.ModuleRoot, d.File)
+		if d.Suppressed {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sortDiagnostics(res.Diagnostics)
+	sortDiagnostics(res.Suppressed)
+	if res.Diagnostics == nil {
+		res.Diagnostics = []Diagnostic{}
+	}
+	if res.Suppressed == nil {
+		res.Suppressed = []Diagnostic{}
+	}
+	return res, nil
+}
+
+func relativeTo(root, file string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		switch {
+		case a.File != b.File:
+			return a.File < b.File
+		case a.Line != b.Line:
+			return a.Line < b.Line
+		case a.Col != b.Col:
+			return a.Col < b.Col
+		case a.Rule != b.Rule:
+			return a.Rule < b.Rule
+		default:
+			return a.Message < b.Message
+		}
+	})
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+func ruleNameList() string {
+	names := ""
+	for i, r := range Rules() {
+		if i > 0 {
+			names += ", "
+		}
+		names += r.Name
+	}
+	return names
+}

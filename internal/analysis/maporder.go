@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapOrderRule flags map iteration whose body's effects depend on Go's
+// randomized iteration order, in result-producing packages (internal/*
+// and the facade).
+//
+// Alert streams and reports are compared field-for-field across shard
+// counts, transports, and crash-recovery (TestShardCountInvariance,
+// TestTransportEquivalence, TestKillAndResumeSim); a map-ordered append
+// or field write produces output that differs run to run. Flagged
+// bodies: appends, channel sends, writes through a field or a non-map
+// index (writing into a fresh map is the canonical order-free copy
+// idiom), and loops that exit after an arbitrary first element. A
+// sort/slices call after the loop in the same function waives the
+// finding (order is re-imposed); genuinely order-free effects are
+// suppressed with a reason.
+var mapOrderRule = &Rule{
+	Name: "maporder",
+	Doc:  "no order-dependent effects inside map iteration in result-producing packages",
+	AppliesTo: func(path string) bool {
+		return isInternalPath(path) || !strings.Contains(path, "/")
+	},
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			sortsAt := sortCallPositions(pass, decl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rs) {
+					return true
+				}
+				effect := orderDependentEffect(pass, rs)
+				if effect == "" || anyAfter(sortsAt, rs.End()) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration %s — Go randomizes map order, so the result differs "+
+						"run to run; sort afterwards or make the effect order-free", effect)
+				return true
+			})
+		}
+	}
+}
+
+func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.Pkg.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderDependentEffect describes the first iteration-order-sensitive
+// effect in the loop body, or "".
+func orderDependentEffect(pass *Pass, rs *ast.RangeStmt) string {
+	// An unconditional break or return as a direct child selects an
+	// arbitrary element ("pick any one" reads differently every run).
+	for _, s := range rs.Body.List {
+		switch b := s.(type) {
+		case *ast.BranchStmt:
+			if b.Tok.String() == "break" && b.Label == nil {
+				return "exits after an arbitrary first element"
+			}
+		case *ast.ReturnStmt:
+			return "returns from an arbitrary first element"
+		}
+	}
+	effect := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "append" {
+				effect = "appends in iteration order"
+				return false
+			}
+		case *ast.SendStmt:
+			effect = "sends on a channel in iteration order"
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				switch target := lhs.(type) {
+				case *ast.SelectorExpr:
+					effect = "writes a field in iteration order"
+					return false
+				case *ast.IndexExpr:
+					// A keyed write into a map is order-free (the classic
+					// map-copy idiom); writes into slices/arrays keep
+					// registration-order effects visible.
+					if t := pass.Pkg.TypesInfo.TypeOf(target.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							continue
+						}
+					}
+					effect = "writes through a non-map index in iteration order"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return effect
+}
+
+// sortCallPositions records where decl references the sort or slices
+// packages; a reference after a map loop is the conventional "iterate,
+// then re-impose order" shape and waives the finding.
+func sortCallPositions(pass *Pass, decl ast.Decl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if p := pass.importedPath(sel.X); p == "sort" || p == "slices" {
+				out = append(out, sel.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func anyAfter(positions []token.Pos, after token.Pos) bool {
+	for _, p := range positions {
+		if p > after {
+			return true
+		}
+	}
+	return false
+}

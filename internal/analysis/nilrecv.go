@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nilRecvRule enforces internal/obs's documented contract: every
+// exported method on a pointer-receiver type begins with a nil-receiver
+// guard.
+//
+// Instrumented code holds possibly-nil instruments ("a nil registry
+// costs one nil-check per touch point"), and the on/off equivalence
+// tests (TestObservabilityEquivalence) rely on nil instruments being
+// total no-ops. A single unguarded method turns "observability off"
+// into a panic on a hot path.
+var nilRecvRule = &Rule{
+	Name: "nilrecv",
+	Doc:  "exported pointer-receiver methods in internal/obs must begin with a nil-receiver guard",
+	AppliesTo: func(path string) bool {
+		return strings.HasSuffix(path, "/internal/obs") || strings.Contains(path, "/internal/obs/")
+	},
+	Run: runNilRecv,
+}
+
+func runNilRecv(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			if !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, ptr := recv.Type.(*ast.StarExpr); !ptr {
+				continue // value receivers cannot be nil
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				pass.Reportf(fd.Pos(),
+					"exported method %s has an unnamed pointer receiver and so cannot "+
+						"guard against nil; name the receiver and guard it", fd.Name.Name)
+				continue
+			}
+			if !beginsWithNilGuard(fd.Body, recv.Names[0].Name) {
+				pass.Reportf(fd.Pos(),
+					"exported method (%s).%s does not begin with a nil-receiver guard; "+
+						"the obs contract is that nil instruments are no-ops",
+					recvTypeName(recv.Type), fd.Name.Name)
+			}
+		}
+	}
+}
+
+// beginsWithNilGuard reports whether the body's first statement is an if
+// whose condition's leading term compares the receiver against nil
+// (either polarity: `if r == nil { return }` or `if r != nil { ... }`).
+func beginsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	return leadingNilCompare(ifs.Cond, recvName)
+}
+
+func leadingNilCompare(cond ast.Expr, recvName string) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "==", "!=":
+			return isIdent(e.X, recvName) && isNil(e.Y) ||
+				isNil(e.X) && isIdent(e.Y, recvName)
+		case "||", "&&":
+			return leadingNilCompare(e.X, recvName)
+		}
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool { return isIdent(e, "nil") }
+
+func recvTypeName(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return "*?"
+}

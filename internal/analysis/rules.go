@@ -1,0 +1,15 @@
+package analysis
+
+// Rules returns the full analyzer suite in stable order. Each rule
+// mechanizes one convention the repo's equivalence tests otherwise only
+// enforce dynamically (the rule Docs name the guarded invariant).
+func Rules() []*Rule {
+	return []*Rule{
+		droppedErrRule,
+		mapOrderRule,
+		nilRecvRule,
+		seededRandRule,
+		stderrPrintRule,
+		wallClockRule,
+	}
+}

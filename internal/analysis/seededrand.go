@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededRandRule forbids the process-global math/rand functions
+// everywhere in the module (tests are never loaded).
+//
+// Every random stream in this repo is an explicitly seeded *rand.Rand
+// (or the popsim splitmix64 per-device streams), which is what makes
+// populations replayable and shard-count-invariant
+// (TestShardCountInvariance, TestManagedPopulationDeltaEquivalence): the
+// global source is shared process state whose consumption order depends
+// on goroutine scheduling, so one stray rand.Intn makes a run
+// unreproducible.
+var seededRandRule = &Rule{
+	Name:      "seededrand",
+	Doc:       "no global math/rand functions; randomness flows through explicitly seeded *rand.Rand streams",
+	AppliesTo: func(string) bool { return true },
+	Run:       runSeededRand,
+}
+
+// seededRandConstructors are the math/rand{,/v2} functions that build an
+// explicit stream rather than touching the global source.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := pass.importedPath(sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := pass.Pkg.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true // rand.Rand, rand.Source, ... — types are fine
+			}
+			if seededRandConstructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global source; use an explicitly "+
+					"seeded *rand.Rand so runs replay bit-identically", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// stderrPrintRule forbids ad-hoc stderr output from internal library
+// packages: fmt.Fprint/Fprintf/Fprintln to os.Stderr and the println/
+// print builtins.
+//
+// PR 6 replaced scattered stderr notes with the structured obs.EventLog
+// (bounded, machine-readable, visible over /eventz); this rule keeps
+// them from creeping back. Binaries under cmd/ and examples/ own their
+// stderr and are out of scope.
+var stderrPrintRule = &Rule{
+	Name:      "stderrprint",
+	Doc:       "no fmt.Fprint*(os.Stderr, ...) or println in internal packages; use obs.EventLog",
+	AppliesTo: isInternalPath,
+	Run:       runStderrPrint,
+}
+
+var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+func runStderrPrint(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := pass.Pkg.TypesInfo.Uses[fun].(*types.Builtin); ok &&
+					(b.Name() == "println" || b.Name() == "print") {
+					pass.Reportf(call.Pos(),
+						"builtin %s writes to stderr from a library package; emit a "+
+							"structured event through obs.EventLog instead", b.Name())
+				}
+			case *ast.SelectorExpr:
+				if fprintFuncs[fun.Sel.Name] && pass.importedPath(fun.X) == "fmt" &&
+					len(call.Args) > 0 && isOSStderr(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"fmt.%s to os.Stderr from a library package; emit a structured "+
+							"event through obs.EventLog instead", fun.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isOSStderr(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Stderr" && pass.importedPath(sel.X) == "os"
+}

@@ -1,0 +1,11 @@
+package clean
+
+// Sum is deterministic, seeded, and quiet — the full rule suite reports
+// nothing here.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

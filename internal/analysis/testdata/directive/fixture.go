@@ -1,0 +1,29 @@
+package directive
+
+import "time"
+
+// Typo names an unknown rule: the directive is flagged and the wallclock
+// finding stays live.
+func Typo() int64 {
+	//erasmus:allow(wallcluck) fixture: misspelled rule
+	return time.Now().UnixNano()
+}
+
+// NoReason suppresses without saying why: the empty reason is flagged
+// and the suppression does not apply.
+func NoReason() int64 {
+	//erasmus:allow(wallclock)
+	return time.Now().UnixNano()
+}
+
+// Malformed misses the closing parenthesis.
+func Malformed() int64 {
+	//erasmus:allow(wallclock fixture: missing close paren
+	return time.Now().UnixNano()
+}
+
+// Unknown uses a directive kind that does not exist.
+func Unknown() int64 {
+	//erasmus:nowarn fixture: unknown kind
+	return time.Now().UnixNano()
+}

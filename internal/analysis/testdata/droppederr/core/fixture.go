@@ -1,0 +1,22 @@
+package core
+
+// Watermark stands in for the journaled verdict state.
+type Watermark struct {
+	T uint64
+}
+
+// StateSink mirrors the journaling interface; the rule matches methods
+// on a type of this name under internal/core.
+type StateSink interface {
+	SetWatermark(device string, wm Watermark) error
+}
+
+// Journal drops the sink's error — flagged.
+func Journal(sink StateSink) {
+	sink.SetWatermark("dev-000", Watermark{T: 1})
+}
+
+// JournalChecked propagates it — clean.
+func JournalChecked(sink StateSink) error {
+	return sink.SetWatermark("dev-000", Watermark{T: 1})
+}

@@ -1,0 +1,42 @@
+package store
+
+// Store mimics the durable state store's error-returning surface; the
+// fixture's import path places it under internal/store, so its methods
+// are durability calls.
+type Store struct {
+	n int
+}
+
+// Sync returns a durability error.
+func (s *Store) Sync() error { return nil }
+
+// Close returns a durability error.
+func (s *Store) Close() error { return nil }
+
+// Get returns a value and an error.
+func (s *Store) Get() (int, error) { return s.n, nil }
+
+// Count has no error result and is never flagged.
+func (s *Store) Count() int { return s.n }
+
+// Flush discards durability errors in every flagged form: bare call, go
+// statement, deferred call, blank assignment, and blank error position.
+func Flush(s *Store) {
+	s.Sync()
+	go s.Sync()
+	defer s.Close()
+	_ = s.Sync()
+	v, _ := s.Get()
+	_ = v
+	s.Count()
+}
+
+// Careful handles the errors or knowingly suppresses — one finding, with
+// a reason.
+func Careful(s *Store) error {
+	s.Sync() //erasmus:allow(droppederr) fixture: sticky latch surfaces it below
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return s.Close()
+}

@@ -1,0 +1,60 @@
+package maporder
+
+import "sort"
+
+type counter struct {
+	n int
+}
+
+// Keys appends in iteration order with no later sort — flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys re-imposes order after the loop — waived.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone writes into a fresh map — the order-free copy idiom, clean.
+func Clone(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// First returns from an arbitrary element — flagged.
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Fill writes through a slice index in iteration order — flagged.
+func Fill(m map[string]int, dst []int) {
+	i := 0
+	for _, v := range m {
+		dst[i] = v
+		i++
+	}
+}
+
+// Tally is order-free in effect (summation commutes) and suppressed.
+func Tally(m map[string]int, c *counter) {
+	//erasmus:allow(maporder) fixture: summation is commutative
+	for _, v := range m {
+		c.n += v
+	}
+}

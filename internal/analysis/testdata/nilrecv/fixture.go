@@ -1,0 +1,42 @@
+package obs
+
+// Gauge is a nil-safe instrument fixture.
+type Gauge struct {
+	v int64
+}
+
+// Add lacks the nil guard — flagged.
+func (g *Gauge) Add(n int64) {
+	g.v += n
+}
+
+// Value begins with the guard — clean.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Reset cannot guard through an unnamed receiver — flagged.
+func (*Gauge) Reset() {}
+
+// Snapshot guards with a compound condition — clean.
+func (g *Gauge) Snapshot(into *int64) {
+	if g == nil || into == nil {
+		return
+	}
+	*into = g.v
+}
+
+// bump is unexported — out of scope.
+func (g *Gauge) bump() { g.v++ }
+
+// Swap is flagged but suppressed.
+//
+//erasmus:allow(nilrecv) fixture: caller guarantees non-nil
+func (g *Gauge) Swap(n int64) int64 {
+	old := g.v
+	g.v = n
+	return old
+}

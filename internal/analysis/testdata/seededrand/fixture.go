@@ -1,0 +1,22 @@
+package seededrand
+
+import "math/rand"
+
+// Roll draws from the process-global source — flagged.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Seeded builds an explicit stream: the constructors and the methods on
+// the resulting *rand.Rand are clean.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Shuffle is flagged but carries a trailing suppression.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { //erasmus:allow(seededrand) fixture: trailing suppression form
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

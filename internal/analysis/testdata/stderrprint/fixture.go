@@ -1,0 +1,21 @@
+package stderrprint
+
+import (
+	"fmt"
+	"os"
+)
+
+// Warn writes ad-hoc stderr output from a library package — three
+// flagged forms and one clean stdout write.
+func Warn(err error) {
+	fmt.Fprintf(os.Stderr, "warn: %v\n", err)
+	fmt.Fprintln(os.Stderr, "warn")
+	println("debug")
+	fmt.Fprintf(os.Stdout, "ok\n")
+}
+
+// Quiet is flagged but suppressed with a reason.
+func Quiet() {
+	//erasmus:allow(stderrprint) fixture: crash-path note precedes abort
+	fmt.Fprint(os.Stderr, "giving up\n")
+}

@@ -1,0 +1,26 @@
+package wallclock
+
+import "time"
+
+// Elapsed reads the wall clock inside an internal package — both the
+// Since and the Until calls are flagged.
+func Elapsed(start time.Time) time.Duration {
+	if time.Since(start) > time.Second {
+		return time.Until(start.Add(time.Minute))
+	}
+	return 0
+}
+
+// SyncTimed is declared wall-paced: every clock read in it is exempt.
+//
+//erasmus:wallpaced fixture: fsync timing measures real disk writes
+func SyncTimed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Stamp suppresses a single read with a line-above allow.
+func Stamp() int64 {
+	//erasmus:allow(wallclock) fixture: wall stamp is display-only
+	return time.Now().UnixNano()
+}

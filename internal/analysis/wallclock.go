@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockRule forbids reading the wall clock in internal packages
+// unless the enclosing declaration is annotated //erasmus:wallpaced.
+//
+// Everything determinism-sensitive — sim and popsim engines, swarm
+// topology, core verification — runs on virtual time (sim.Ticks), and
+// the equivalence suites (TestShardCountInvariance,
+// TestDeltaEquivalenceSim/UDP, TestKillAndResumeSim) only hold because
+// no verdict- or stream-shaping path consults time.Now. Legitimate wall
+// reads exist (store fsync timing, udptransport socket deadlines, fleet
+// wall-pacing, wall-time measurement in results) and each is annotated,
+// so the complete allowlist is visible in the source.
+var wallClockRule = &Rule{
+	Name:      "wallclock",
+	Doc:       "no time.Now/Since/Until in internal packages unless the declaration is //erasmus:wallpaced",
+	AppliesTo: isInternalPath,
+	Run:       runWallClock,
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if declWallPaced(decl) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				if pass.importedPath(sel.X) != "time" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in a determinism-sensitive package; "+
+						"virtual-time paths must use the engine clock — annotate the declaration "+
+						"//erasmus:wallpaced <reason> if this path is genuinely wall-paced",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+}

@@ -61,7 +61,9 @@ func NewVerifyMetrics(r *obs.Registry, shards int) *VerifyMetrics {
 		n <<= 1
 	}
 	m := &VerifyMetrics{shardMask: uint32(n - 1)}
-	for mode, name := range map[int]string{0: "full", 1: "delta"} {
+	// A fixed array, not a map literal: registration order shapes the
+	// exposition, so it must not depend on map iteration order.
+	for mode, name := range [...]string{0: "full", 1: "delta"} {
 		m.latency[mode] = make([]*obs.Histogram, n)
 		for i := 0; i < n; i++ {
 			m.latency[mode][i] = r.Histogram(

@@ -137,10 +137,18 @@ func (s *AttestationService) Watermark(device string) (Watermark, bool) {
 // already in, the durable store). Callers hold sh.mu.
 func (s *AttestationService) installLocked(sh *wmShard, device string, wm Watermark) {
 	if _, exists := sh.wm[device]; !exists && len(sh.wm) >= s.perCap {
+		// Evict the lexicographically smallest key, not an arbitrary one:
+		// which device loses its watermark decides which device re-verifies
+		// fully (or re-hydrates) next round, so eviction must replay
+		// identically run to run. The O(shard) scan only runs at capacity,
+		// where eviction already costs a stateless round or a source read.
+		evict := ""
 		for k := range sh.wm {
-			delete(sh.wm, k)
-			break
+			if evict == "" || k < evict {
+				evict = k
+			}
 		}
+		delete(sh.wm, evict)
 	}
 	sh.wm[device] = wm
 }

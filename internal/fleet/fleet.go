@@ -483,6 +483,7 @@ func (m *Manager) Start() {
 // applied whenever they complete); use Flush for full quiescence.
 func (m *Manager) Stop() {
 	m.mu.Lock()
+	//erasmus:allow(maporder) per-device ticker teardown is order-free: stops are independent and emit nothing
 	for _, d := range m.devices {
 		if d.stop != nil {
 			d.stop()
@@ -493,9 +494,13 @@ func (m *Manager) Stop() {
 	m.mu.Unlock()
 	m.pipe.waitQueued()
 	if m.st != nil {
-		// Everything applied so far becomes durable; errors are sticky in
-		// the store and surfaced by Close.
-		m.st.Sync()
+		// Everything applied so far becomes durable; the store latches the
+		// error and Close returns it, but surface it immediately too.
+		if err := m.st.Sync(); err != nil {
+			m.mu.Lock()
+			m.noteSticky(0) // tick 0: Stop runs outside engine time
+			m.mu.Unlock()
+		}
 	}
 }
 
@@ -677,6 +682,8 @@ func (m *Manager) noteSticky(at sim.Ticks) {
 // observeApply feeds one applied verdict into the metrics and the
 // collection tracer. Callers hold m.mu; a manager without observability
 // pays two nil-checks.
+//
+//erasmus:wallpaced verdict-lag metrics measure real pipeline wall time; the alert stream is stamped with virtual launch time
 func (m *Manager) observeApply(j *pipeJob, outcome string) {
 	if m.metrics == nil && m.tracer == nil {
 		return
@@ -707,12 +714,13 @@ func (m *Manager) observeApply(j *pipeJob, outcome string) {
 
 // journalStatus appends the device's current status to the durable store,
 // if one is configured. Callers hold m.mu; errors are sticky in the store
-// (verification continues, Close surfaces the failure).
+// (verification continues) and are surfaced immediately through
+// noteSticky rather than waiting for Close.
 func (m *Manager) journalStatus(d *device) {
 	if m.st == nil {
 		return
 	}
-	m.st.PutStatus(store.DeviceState{
+	err := m.st.PutStatus(store.DeviceState{
 		Addr:           d.cfg.Addr,
 		HasStatus:      true,
 		Healthy:        d.healthy,
@@ -725,6 +733,9 @@ func (m *Manager) journalStatus(d *device) {
 		Failures:       d.failures,
 		Collections:    d.collections,
 	})
+	if err != nil {
+		m.noteSticky(d.lastContact)
+	}
 }
 
 func firstIssue(rep core.Report) string {
@@ -744,9 +755,12 @@ func (m *Manager) alertAt(at sim.Ticks, d *device, kind AlertKind, detail string
 		Kind: string(kind), Detail: detail,
 	})
 	if m.st != nil {
-		m.st.AppendAlert(store.AlertEvent{
+		err := m.st.AppendAlert(store.AlertEvent{
 			Time: int64(at), Device: d.cfg.Addr, Kind: string(kind), Detail: detail,
 		})
+		if err != nil {
+			m.noteSticky(at)
+		}
 	}
 }
 

@@ -91,6 +91,8 @@ func (p *pipeline) depths() (queued, inflight int) {
 // submit hands one resolved collection to verification. Safe for
 // concurrent use; blocks when the queue is full (backpressure on the
 // transport callbacks, never on the scheduler).
+//
+//erasmus:wallpaced submitWall stamps real queue-entry time for verdict-lag tracing; verdict application order never reads it
 func (p *pipeline) submit(j pipeJob) {
 	if p.m.metrics != nil || p.m.tracer != nil {
 		j.submitWall = time.Now().UnixNano()
@@ -136,6 +138,8 @@ func (p *pipeline) dispatch() {
 
 // process verifies a batch's successful collections in parallel and
 // applies every outcome in submission order.
+//
+//erasmus:wallpaced per-span verify wall share feeds the tracer; verdicts and their order are clock-free
 func (p *pipeline) process(batch []pipeJob) {
 	var vjobs []core.VerifyJob
 	for i := range batch {

@@ -21,6 +21,8 @@ import (
 // crash point — instant, nothing is queued) and pump on to the original
 // horizon: virtual time continues where the predecessor stopped. horizon
 // stays absolute; a horizon at or before e.Now() returns immediately.
+//
+//erasmus:wallpaced wall-pacing is this function's purpose: it maps one wall nanosecond to one virtual tick
 func PumpRealTime(e *sim.Engine, horizon sim.Ticks, step time.Duration) {
 	if step <= 0 {
 		step = 2 * time.Millisecond

@@ -97,6 +97,9 @@ func (t *Tracer) Spans() []Span {
 
 // SpansFor filters the retained spans by device, oldest first.
 func (t *Tracer) SpansFor(device string) []Span {
+	if t == nil {
+		return nil
+	}
 	var out []Span
 	for _, sp := range t.Spans() {
 		if sp.Device == device {
@@ -109,6 +112,9 @@ func (t *Tracer) SpansFor(device string) []Span {
 // WriteJSON dumps the retained spans as one JSON document — the
 // post-mortem artifact for any fleet run.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		t = &Tracer{} // a nil tracer writes the empty document
+	}
 	doc := struct {
 		Total uint64 `json:"total_spans"`
 		Spans []Span `json:"spans"`
@@ -195,6 +201,9 @@ func (l *EventLog) Total() uint64 {
 
 // WriteJSON dumps the retained events as one JSON document.
 func (l *EventLog) WriteJSON(w io.Writer) error {
+	if l == nil {
+		l = &EventLog{} // a nil log writes the empty document
+	}
 	doc := struct {
 		Total  uint64  `json:"total_events"`
 		Events []Event `json:"events"`

@@ -289,7 +289,7 @@ func closeState(res *ManagedResult, st *store.Store) error {
 	ri := st.Recovery()
 	res.Recovery = &ri
 	if err := st.Snapshot(); err != nil {
-		st.Close()
+		st.Close() //erasmus:allow(droppederr) best-effort release; the snapshot error it would echo is already being returned
 		return err
 	}
 	stats := st.Stats()
@@ -335,6 +335,8 @@ type ManagedRun struct {
 // StartManaged builds a managed scenario and starts its collection
 // schedule. The caller must finish with Finish (or drive with RunManaged's
 // sequence) to release sockets and the state store.
+//
+//erasmus:wallpaced BuildWall and the run-wall anchor time real setup; device plans derive from seeded streams only
 func StartManaged(cfg ManagedConfig) (*ManagedRun, error) {
 	pc, err := cfg.fill()
 	if err != nil {
@@ -419,6 +421,8 @@ func (r *ManagedRun) Pump(until sim.Ticks, step time.Duration) {
 
 // Finish stops collection, drains in-flight verdicts, folds the end state
 // into the result, and releases the manager, transport and state store.
+//
+//erasmus:wallpaced RunWall is a result timing field; alerts and verdicts were already fixed by virtual time
 func (r *ManagedRun) Finish() (*ManagedResult, error) {
 	r.mgr.Stop()
 	if r.cfg.Transport != "udp" {
@@ -438,7 +442,7 @@ func (r *ManagedRun) Finish() (*ManagedResult, error) {
 	}
 	if err := r.mgr.Close(); err != nil {
 		if r.st != nil {
-			r.st.Close()
+			r.st.Close() //erasmus:allow(droppederr) best-effort release; the manager's durability error is already being returned
 		}
 		return nil, err
 	}
@@ -451,7 +455,7 @@ func (r *ManagedRun) cleanup() {
 		r.srv.Close()
 	}
 	if r.st != nil {
-		r.st.Close()
+		r.st.Close() //erasmus:allow(droppederr) best-effort release on a start that already failed; that error wins
 	}
 }
 
@@ -512,6 +516,8 @@ func (r *ManagedRun) startSim(plans []devicePlan) error {
 // startUDP builds the scenario over real loopback sockets: provers live on
 // one wall-paced engine behind a multi-prover UDP server, the manager on a
 // second wall-paced engine, and the two meet only on the wire.
+//
+//erasmus:wallpaced the udp transport is wall-paced by design; the verifier clock is anchored to the server's wall epoch
 func (r *ManagedRun) startUDP(plans []devicePlan) error {
 	cfg := r.cfg
 	proverEngine := sim.NewEngine()

@@ -263,6 +263,8 @@ func (r Result) DeviceSecondsPerSecond() float64 {
 }
 
 // Run executes the population scenario.
+//
+//erasmus:wallpaced Build/Run/VerifyWall result fields time real work; the scenario itself runs on virtual time
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err

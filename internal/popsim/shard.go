@@ -251,6 +251,8 @@ func (sh *shard) fold(q *pendingVerify, rep *core.Report) {
 
 // run advances the engine to each commanded barrier time, signalling the
 // coordinator after every step, until the command channel closes.
+//
+//erasmus:wallpaced per-shard wall accounting feeds Result timing; scenario behavior runs on the virtual clock
 func (sh *shard) run() {
 	for t := range sh.cmd {
 		start := time.Now()

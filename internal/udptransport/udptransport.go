@@ -107,6 +107,7 @@ func ServeFleet(addr string, engine *sim.Engine, alg mac.Algorithm) (*Server, er
 	return s, nil
 }
 
+//erasmus:wallpaced the server anchors its virtual clock to a wall epoch; real sockets are wall-paced by nature
 func newServer(addr string, engine *sim.Engine, alg mac.Algorithm) (*Server, error) {
 	if engine == nil {
 		return nil, errors.New("udptransport: nil engine")
@@ -186,6 +187,8 @@ func (s *Server) Close() error {
 }
 
 // advance drives virtual time to the current wall offset. Callers hold mu.
+//
+//erasmus:wallpaced mapping wall time onto the virtual clock is this function's purpose
 func (s *Server) advanceLocked() {
 	target := s.simStart + sim.Ticks(time.Since(s.wallStart))
 	if target > s.engine.Now() {
@@ -392,6 +395,8 @@ var ErrTimeout = errors.New("udptransport: request timed out")
 // roundTrip sends a request datagram over conn and waits for a response
 // accepted by ok, retrying per the given budget. fresh, when non-nil,
 // rebuilds the request for each retransmission.
+//
+//erasmus:wallpaced socket read deadlines are wall-clock by definition
 func roundTrip(conn *net.UDPConn, req []byte, timeout time.Duration, attempts int,
 	ok func([]byte) bool, fresh func() []byte) ([]byte, error) {
 	buf := make([]byte, maxDatagram)
