@@ -674,8 +674,11 @@ func BenchmarkFleetPipelineObserved(b *testing.B) {
 // records per round, whether for loss-redundancy or because a collection
 // was late — the stateless path re-MAC-verifies the whole k-record window
 // while VerifyDelta pays one O(1) anchor equality check plus the new
-// records only. MACs/op is the number of MAC computations each iteration
-// performs; wall time per op should track it.
+// records only, and the aggregate tier pays exactly one MAC plus a
+// hash-only chain walk regardless of record count. MACs/op is the number
+// of MAC computations each iteration performs; wall time per op should
+// track it. overlap=0% is the like-for-like three-way comparison: all
+// three modes validate the same k new records.
 func BenchmarkIncrementalVerify(b *testing.B) {
 	algo := mac.KeyedBLAKE2s
 	key := []byte("incr-bench-device-key")
@@ -689,15 +692,18 @@ func BenchmarkIncrementalVerify(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, k := range []int{8, 32, 128} {
+	for _, k := range []int{8, 16, 32, 128, 512} {
 		base := uint64(1_000_000_000_000)
-		endT := base + uint64(k)*uint64(sim.Minute)
-		recs := make([]core.Record, 0, k)
-		for j := 0; j < k; j++ {
+		endT := base + uint64(k+1)*uint64(sim.Minute)
+		// k+1 records so overlap=0% still has an anchor record below the
+		// k new ones.
+		recs := make([]core.Record, 0, k+1)
+		for j := 0; j < k+1; j++ {
 			recs = append(recs, core.ComputeRecord(algo, key, endT-uint64(j)*uint64(sim.Minute), golden))
 		}
+		full := recs[:k]
 		now := endT + uint64(sim.Second)
-		for _, ov := range []int{50, 90} {
+		for _, ov := range []int{0, 50, 90} {
 			// overlap% of the window is already verified: the watermark
 			// sits at record index newCount, the newest of the old ones.
 			newCount := k - k*ov/100
@@ -707,17 +713,48 @@ func BenchmarkIncrementalVerify(b *testing.B) {
 			if !rep.Healthy() || rep.OverlapTrusted != 1 {
 				b.Fatalf("delta setup unhealthy: %+v", rep)
 			}
+			// Aggregate evidence: the chain state a watermark would hold at
+			// the anchor, the head the prover would ship, and the single
+			// MAC binding the head to the challenge.
+			anchorState, err := core.ChainOf(nil, recs[newCount:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			head, err := core.ChainOf(anchorState, recs[:newCount])
+			if err != nil {
+				b.Fatal(err)
+			}
+			awm := wm
+			awm.Chain = anchorState
+			agg := core.AggregateEvidence{
+				Since: awm.T, Nonce: 7, AnchorHash: awm.Hash, State: head,
+				MAC: mac.Sum(algo, key, core.AggMACInput(awm.T, 7, awm.Hash, head)),
+			}
+			arep, _ := vrf.VerifyDeltaAggregate(deltaRecs, now, 0, awm, agg)
+			if !arep.Healthy() || !arep.AggregateApplied {
+				b.Fatalf("aggregate setup fell back: %+v", arep)
+			}
 			b.Run(fmt.Sprintf("k=%d/overlap=%d%%/full", k, ov), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					vrf.VerifyHistory(recs, now, 0)
+					vrf.VerifyHistory(full, now, 0)
 				}
 				b.ReportMetric(float64(k), "MACs/op")
 			})
 			b.Run(fmt.Sprintf("k=%d/overlap=%d%%/delta", k, ov), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					vrf.VerifyDelta(deltaRecs, now, 0, wm)
 				}
 				b.ReportMetric(float64(newCount), "MACs/op")
+			})
+			b.Run(fmt.Sprintf("k=%d/overlap=%d%%/aggregate", k, ov), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					vrf.VerifyDeltaAggregate(deltaRecs, now, 0, awm, agg)
+				}
+				b.ReportMetric(1, "MACs/op")
+				b.ReportMetric(float64(newCount), "records/op")
 			})
 		}
 	}

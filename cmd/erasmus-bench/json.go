@@ -123,8 +123,40 @@ func jsonSuite() []jsonBench {
 		suite = append(suite, jsonBench{
 			name:   fmt.Sprintf("verify/k=32/overlap=90/%s", mode),
 			params: map[string]any{"k": 32, "overlap_pct": 90, "mode": mode},
-			fn:     verifyBench(32, 90, mode == "delta"),
+			fn:     verifyBench(32, 90, mode),
 		})
+	}
+
+	// Aggregate-vs-delta-vs-full at overlap=0: all three modes validate
+	// the same k new records, so the series isolates per-record MACs
+	// (full, delta) against one MAC + a hash-only chain walk (aggregate).
+	for _, k := range []int{16, 128, 512} {
+		for _, mode := range []string{"full", "delta", "aggregate"} {
+			k, mode := k, mode
+			suite = append(suite, jsonBench{
+				name:   fmt.Sprintf("verify/k=%d/overlap=0/%s", k, mode),
+				params: map[string]any{"k": k, "overlap_pct": 0, "mode": mode},
+				fn:     verifyBench(k, 0, mode),
+			})
+		}
+	}
+
+	// The steady-state batch verify loop, per core: 64-job batches of k
+	// new records each through the BatchVerifier, reported as
+	// records/s/core so machines with different core counts stay
+	// comparable. This is the acceptance measurement for the aggregate
+	// tier — under sustained batch heap churn the per-record tiers pay
+	// for their allocations in GC time, which isolated single-op numbers
+	// understate.
+	for _, k := range []int{16, 128, 512} {
+		for _, mode := range []string{"full", "delta", "aggregate"} {
+			k, mode := k, mode
+			suite = append(suite, jsonBench{
+				name:   fmt.Sprintf("batchverify-percore/k=%d/%s", k, mode),
+				params: map[string]any{"k": k, "jobs": 64, "mode": mode},
+				fn:     batchPerCoreBench(k, 64, mode),
+			})
+		}
 	}
 
 	// Batch verification: sequential vs worker pool. On a single-CPU
@@ -144,21 +176,24 @@ func jsonSuite() []jsonBench {
 
 	// The managed fleet pipeline end to end, small enough for CI.
 	for _, mode := range []struct {
-		name  string
-		sync  bool
-		delta bool
+		name      string
+		sync      bool
+		delta     bool
+		aggregate bool
 	}{
-		{"inline", true, false},
-		{"pipeline+delta", false, true},
+		{"inline", true, false, false},
+		{"pipeline+delta", false, true, false},
+		{"pipeline+aggregate", false, true, true},
 	} {
 		mode := mode
 		suite = append(suite, jsonBench{
 			name: fmt.Sprintf("fleet/n=200/%s", mode.name),
 			params: map[string]any{
 				"population": 200, "synchronous": mode.sync, "delta": mode.delta,
-				"tm": "1m", "tc": "4m", "duration": "12m",
+				"aggregate": mode.aggregate,
+				"tm":        "1m", "tc": "4m", "duration": "12m",
 			},
-			fn: fleetBench(200, mode.sync, mode.delta),
+			fn: fleetBench(200, mode.sync, mode.delta, mode.aggregate),
 		})
 	}
 
@@ -171,7 +206,7 @@ func jsonSuite() []jsonBench {
 	return suite
 }
 
-func verifyBench(k, overlapPct int, delta bool) func(b *testing.B) {
+func verifyBench(k, overlapPct int, mode string) func(b *testing.B) {
 	return func(b *testing.B) {
 		alg := mac.KeyedBLAKE2s
 		key := []byte("bench-verify-key")
@@ -186,29 +221,129 @@ func verifyBench(k, overlapPct int, delta bool) func(b *testing.B) {
 			b.Fatal(err)
 		}
 		base := uint64(1_000_000_000_000)
-		endT := base + uint64(k)*uint64(sim.Minute)
-		recs := make([]core.Record, 0, k)
-		for j := 0; j < k; j++ {
+		endT := base + uint64(k+1)*uint64(sim.Minute)
+		// k+1 records so overlap=0 still has an anchor record below the k
+		// new ones; the full path sees exactly k.
+		recs := make([]core.Record, 0, k+1)
+		for j := 0; j < k+1; j++ {
 			recs = append(recs, core.ComputeRecord(alg, key, endT-uint64(j)*uint64(sim.Minute), golden))
 		}
+		full := recs[:k]
 		now := endT + uint64(sim.Second)
 		newCount := k - k*overlapPct/100
 		wm := core.NewWatermark(recs[newCount])
 		deltaRecs := recs[:newCount+1]
+		var agg core.AggregateEvidence
+		if mode == "aggregate" {
+			anchorState, err := core.ChainOf(nil, recs[newCount:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			head, err := core.ChainOf(anchorState, recs[:newCount])
+			if err != nil {
+				b.Fatal(err)
+			}
+			wm.Chain = anchorState
+			agg = core.AggregateEvidence{
+				Since: wm.T, Nonce: 7, AnchorHash: wm.Hash, State: head,
+				MAC: mac.Sum(alg, key, core.AggMACInput(wm.T, 7, wm.Hash, head)),
+			}
+			rep, _ := vrf.VerifyDeltaAggregate(deltaRecs, now, 0, wm, agg)
+			if !rep.Healthy() || !rep.AggregateApplied {
+				b.Fatalf("aggregate setup fell back: %+v", rep)
+			}
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if delta {
+			switch mode {
+			case "aggregate":
+				vrf.VerifyDeltaAggregate(deltaRecs, now, 0, wm, agg)
+			case "delta":
 				vrf.VerifyDelta(deltaRecs, now, 0, wm)
-			} else {
-				vrf.VerifyHistory(recs, now, 0)
+			default:
+				vrf.VerifyHistory(full, now, 0)
 			}
 		}
-		if delta {
+		switch mode {
+		case "aggregate":
+			b.ReportMetric(1, "MACs/op")
+			b.ReportMetric(float64(newCount), "records/op")
+		case "delta":
 			b.ReportMetric(float64(newCount), "MACs/op")
-		} else {
+		default:
 			b.ReportMetric(float64(k), "MACs/op")
 		}
+	}
+}
+
+// batchPerCoreBench builds one verifier and jobs identical 64-job
+// batches through it, the way the fleet pipeline drives BatchVerifier;
+// overlap is 0 so every tier validates the same k new records.
+func batchPerCoreBench(k, jobs int, mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		alg := mac.KeyedBLAKE2s
+		key := []byte("bench-percore-key")
+		golden := make([]byte, 256)
+		vrf, err := core.NewVerifier(core.VerifierConfig{
+			Alg: alg, Key: key,
+			GoldenHashes: [][]byte{mac.HashSum(alg, golden)},
+			MinGap:       sim.Minute - sim.Second,
+			MaxGap:       sim.Minute + sim.Minute/2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := uint64(1_000_000_000_000)
+		endT := base + uint64(k+1)*uint64(sim.Minute)
+		recs := make([]core.Record, 0, k+1) // k new + the anchor
+		for j := 0; j < k+1; j++ {
+			recs = append(recs, core.ComputeRecord(alg, key, endT-uint64(j)*uint64(sim.Minute), golden))
+		}
+		now := endT + uint64(sim.Second)
+		wm := core.NewWatermark(recs[k])
+		var agg core.AggregateEvidence
+		if mode == "aggregate" {
+			anchorState, err := core.ChainOf(nil, recs[k:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			head, err := core.ChainOf(anchorState, recs[:k])
+			if err != nil {
+				b.Fatal(err)
+			}
+			wm.Chain = anchorState
+			agg = core.AggregateEvidence{
+				Since: wm.T, Nonce: 7, AnchorHash: wm.Hash, State: head,
+				MAC: mac.Sum(alg, key, core.AggMACInput(wm.T, 7, wm.Hash, head)),
+			}
+		}
+		vjobs := make([]core.VerifyJob, jobs)
+		for j := range vjobs {
+			vj := core.VerifyJob{Verifier: vrf, Now: now}
+			switch mode {
+			case "aggregate":
+				vj.Records, vj.Delta, vj.Watermark = recs, true, wm
+				vj.Aggregate, vj.AggEvidence = true, agg
+			case "delta":
+				vj.Records, vj.Delta, vj.Watermark = recs, true, wm
+			default:
+				vj.Records = recs[:k]
+			}
+			vjobs[j] = vj
+		}
+		bv := core.NewBatchVerifier(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := bv.Verify(vjobs)
+			if !out[0].Healthy() {
+				b.Fatalf("unhealthy batch report: %+v", out[0])
+			}
+		}
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		recsPerSec := float64(jobs*k) / (perOp / 1e9)
+		b.ReportMetric(recsPerSec/float64(runtime.GOMAXPROCS(0)), "records/s/core")
 	}
 }
 
@@ -254,7 +389,7 @@ func batchVerifyBench(workers, jobs, k int) func(b *testing.B) {
 	}
 }
 
-func fleetBench(pop int, sync, delta bool) func(b *testing.B) {
+func fleetBench(pop int, sync, delta, aggregate bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		var res *popsim.ManagedResult
 		for i := 0; i < b.N; i++ {
@@ -270,6 +405,7 @@ func fleetBench(pop int, sync, delta bool) func(b *testing.B) {
 				Wave:             popsim.WaveConfig{Coverage: 0.2, Start: 3 * sim.Minute, Spread: 2 * sim.Minute},
 				Synchronous:      sync,
 				Delta:            delta,
+				Aggregate:        aggregate,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -277,6 +413,10 @@ func fleetBench(pop int, sync, delta bool) func(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.Devices)*res.Config.Duration.Seconds()/res.RunWall.Seconds(), "device-s/s")
 		b.ReportMetric(float64(len(res.Alerts)), "alerts")
+		if aggregate {
+			b.ReportMetric(float64(res.AggregateRounds), "agg-rounds")
+			b.ReportMetric(float64(res.AggregateFallbacks), "agg-fallbacks")
+		}
 	}
 }
 

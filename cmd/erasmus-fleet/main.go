@@ -20,7 +20,11 @@
 // Managed transports default to incremental collection (-delta): the
 // verifier keeps a per-device watermark and each round ships and verifies
 // only the records measured since the previous one; -delta=false restores
-// stateless full-history collection. Both produce identical alerts. On
+// stateless full-history collection. -aggregate layers the O(1) tier on
+// top: each round ships the prover's hash-chain head under a single MAC
+// and the verifier walks the chain instead of recomputing per-record
+// MACs, auditing record-by-record only on a mismatch.
+// All modes produce identical alerts. On
 // the virtual-time sim transport, delta automatically verifies inline
 // (async verdicts would lag the instantly-advancing clock and every round
 // would fall back to a full collection); the wall-paced udp transport
@@ -76,6 +80,7 @@ func main() {
 		pool        = flag.Int("pool", 8, "UDP collector socket-pool size (udp transport)")
 		syncVerify  = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline (managed transports; forced on for -transport sim with -delta)")
 		delta       = flag.Bool("delta", true, "incremental collection: per-device watermarks, \"since t_last\" requests, O(new)-record verification (managed transports)")
+		aggregate   = flag.Bool("aggregate", false, "aggregate-anchor collection on top of -delta: one chain-head MAC per round instead of per-record MACs, per-record fallback on any mismatch (managed transports)")
 		stateDir    = flag.String("state-dir", "", "journal verifier state (watermarks, device status, alerts) to a WAL+snapshot store in this directory (managed transports)")
 		recover     = flag.Bool("recover", false, "inspect the -state-dir store: report what a restarted verifier would resume with, then exit")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address while a managed run executes (e.g. 127.0.0.1:9464; erasmus-serve offers the full surface)")
@@ -171,6 +176,7 @@ func main() {
 			VerifyWorkers: *workers,
 			Synchronous:   *syncVerify,
 			Delta:         *delta,
+			Aggregate:     *aggregate,
 			UDPPool:       *pool,
 			StateDir:      *stateDir,
 			Obs:           reg,
@@ -284,7 +290,11 @@ func reportManaged(res *popsim.ManagedResult) {
 		}
 	}
 	collection := "full k-record histories"
-	if cfg.Delta {
+	switch {
+	case cfg.Aggregate:
+		collection = fmt.Sprintf("aggregate (chain-anchor; %d rounds O(1)-accepted, %d audited record-by-record, %d delta-verified)",
+			res.AggregateRounds, res.AggregateFallbacks, res.DeltaRounds)
+	case cfg.Delta:
 		collection = fmt.Sprintf("delta (since-watermark; %d rounds verified incrementally)", res.DeltaRounds)
 	}
 	fmt.Printf("  verification: %s\n", mode)

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchmarkBatchVerifyPerCore drives the BatchVerifier the way the fleet
+// pipeline does — GOMAXPROCS workers over a mixed batch — and reports
+// per-core record throughput for the per-record and aggregate tiers.
+func BenchmarkBatchVerifyPerCore(b *testing.B) {
+	const k = 128
+	const jobsPerBatch = 64
+	v, recs, now, wm, agg := benchAggSetup(b, k)
+	bv := NewBatchVerifier(0)
+
+	mk := func(mode string) []VerifyJob {
+		jobs := make([]VerifyJob, jobsPerBatch)
+		for i := range jobs {
+			jobs[i] = VerifyJob{Verifier: v, Records: recs, Now: now, ExpectedK: 0}
+			switch mode {
+			case "delta":
+				jobs[i].Delta = true
+				jobs[i].Watermark = wm
+			case "aggregate":
+				jobs[i].Delta = true
+				jobs[i].Watermark = wm
+				jobs[i].Aggregate = true
+				jobs[i].AggEvidence = agg
+			}
+		}
+		return jobs
+	}
+
+	for _, mode := range []string{"full", "delta", "aggregate"} {
+		jobs := mk(mode)
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := bv.Verify(jobs)
+				if !out[0].Healthy() {
+					b.Fatalf("unhealthy: %+v", out[0])
+				}
+			}
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			recsPerSec := float64(jobsPerBatch*k) / (perOp / 1e9)
+			b.ReportMetric(recsPerSec/float64(runtime.GOMAXPROCS(0)), "records/s/core")
+		})
+	}
+}

@@ -32,6 +32,14 @@ type VerifyJob struct {
 	// Watermark is the device's verifier-side state (zero = none; the
 	// delta path then degenerates to a full verification).
 	Watermark Watermark
+	// Aggregate selects the aggregate-anchor tier: the history is
+	// validated via Verifier.VerifyDeltaAggregate, which costs one MAC
+	// plus one hash walk and falls back to the per-record path
+	// internally on any mismatch. Watermark may be zero (bootstrap).
+	Aggregate bool
+	// AggEvidence is the challenge context and prover evidence for the
+	// aggregate tier; ignored unless Aggregate is set.
+	AggEvidence AggregateEvidence
 	// Device is the prover's address, used only to route metrics (the
 	// per-shard latency histograms). Optional; verification ignores it.
 	Device string
@@ -86,9 +94,12 @@ func (j VerifyJob) run(m *VerifyMetrics) Report {
 		start = time.Now()
 	}
 	var rep Report
-	if j.Delta {
-		rep, _ = j.Verifier.VerifyDelta(j.Records, j.Now, j.ExpectedK, j.Watermark)
-	} else {
+	switch {
+	case j.Aggregate:
+		rep = j.Verifier.aggregateReport(j.Records, j.Now, j.ExpectedK, j.Watermark, j.AggEvidence)
+	case j.Delta:
+		rep = j.Verifier.deltaReport(j.Records, j.Now, j.ExpectedK, j.Watermark)
+	default:
 		rep = j.Verifier.VerifyHistory(j.Records, j.Now, j.ExpectedK)
 	}
 	if m != nil {

@@ -220,6 +220,36 @@ func TestMACCacheRejectsForgeries(t *testing.T) {
 	}
 }
 
+// The cache key is a fixed-size value type: building it and probing the
+// cache must not allocate. (The previous string-backed key heap-
+// allocated on every record — the dominant allocation of the batch
+// verify loop — so this gate keeps that regression out.)
+func TestMACCacheHitZeroAlloc(t *testing.T) {
+	alg := mac.KeyedBLAKE2s
+	key := []byte("cache-alloc-key")
+	golden := []byte("clean state")
+	v, err := NewVerifier(VerifierConfig{
+		Alg: alg, Key: key,
+		GoldenHashes: [][]byte{mac.HashSum(alg, golden)},
+		MACCacheSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ComputeRecord(alg, key, 1000, golden)
+	if !v.verifyMAC(rec) {
+		t.Fatal("authentic record rejected")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if !v.verifyMAC(rec) {
+			t.Fatal("cached record rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm-cache verifyMAC allocates %v times per record, want 0", allocs)
+	}
+}
+
 // A job with a nil Verifier is a caller bug (e.g. a device deregistered
 // mid-flight); it must produce an unhealthy error report, not panic the
 // worker pool and take every other device's verdict down with it.

@@ -32,6 +32,15 @@ type Watermark struct {
 	// state per device under keyed BLAKE2s, ~150 B with map overhead —
 	// about 150 MB for a million-device fleet.
 	Hash, MAC []byte
+	// Chain is the prover's marshaled chain-digest state as of this
+	// record, adopted from an aggregate collection whose aggregate MAC
+	// verified (Report.ChainState). It is what lets the next
+	// VerifyDeltaAggregate resume the hash walk mid-stream instead of
+	// re-hashing history from genesis. Empty on watermarks produced by
+	// the per-record path alone; ~108 B (SHA-256 state) otherwise, no
+	// secrets. Equality of marshaled states implies equality of the
+	// absorbed record streams.
+	Chain []byte
 }
 
 // IsZero reports whether the watermark carries no state.
@@ -78,9 +87,28 @@ func NextWatermark(prev Watermark, rep Report) Watermark {
 	if len(rep.Records) > 0 {
 		vr := rep.Records[0]
 		if vr.Verdict == VerdictOK || vr.Verdict == VerdictInfected {
-			return NewWatermark(vr.Record)
+			w := NewWatermark(vr.Record)
+			// An aggregate-authenticated chain head (set only when the
+			// aggregate MAC verified) rides along so the next round can
+			// resume the hash walk — including after a fallback round,
+			// which is how the aggregate tier re-establishes itself in
+			// one collection. The prover marshals its head at the same
+			// instant it reads the buffer, so the state corresponds to
+			// the newest shipped record exactly.
+			w.Chain = append([]byte(nil), rep.ChainState...)
+			return w
 		}
 		return Watermark{}
+	}
+	// Nothing new (anchored-empty round): keep the watermark, but still
+	// adopt an authenticated chain head — with zero new records the head
+	// is the post-anchor state, so a watermark minted before the
+	// aggregate tier existed (no Chain) upgrades in place instead of
+	// falling back every idle round.
+	if !prev.IsZero() && len(rep.ChainState) > 0 && rep.OverlapTrusted == 1 {
+		w := prev
+		w.Chain = append([]byte(nil), rep.ChainState...)
+		return w
 	}
 	return prev
 }
@@ -109,12 +137,19 @@ func NextWatermark(prev Watermark, rep Report) Watermark {
 // Report.Freshness, the expected-length check and the future-timestamp
 // check behave exactly as in VerifyHistory.
 func (v *Verifier) VerifyDelta(recs []Record, now uint64, expectedK int, wm Watermark) (Report, Watermark) {
-	if wm.IsZero() {
-		rep := v.VerifyHistory(recs, now, expectedK)
-		return rep, NextWatermark(wm, rep)
-	}
-	rep := v.verifyDelta(recs, now, expectedK, wm)
+	rep := v.deltaReport(recs, now, expectedK, wm)
 	return rep, NextWatermark(wm, rep)
+}
+
+// deltaReport is VerifyDelta without deriving the successor watermark.
+// The batch verify loop uses it directly: NextWatermark is a pure
+// function of (Watermark, Report) that pipeline callers re-derive in
+// submission order, so computing it per job would only be thrown away.
+func (v *Verifier) deltaReport(recs []Record, now uint64, expectedK int, wm Watermark) Report {
+	if wm.IsZero() {
+		return v.VerifyHistory(recs, now, expectedK)
+	}
+	return v.verifyDelta(recs, now, expectedK, wm)
 }
 
 // verifyDelta is the non-zero-watermark path of VerifyDelta.

@@ -16,8 +16,9 @@ import (
 type VerifyMetrics struct {
 	shardMask uint32
 
-	// latency[mode][shard]: mode 0 = full history, 1 = delta.
-	latency [2][]*obs.Histogram
+	// latency[mode][shard]: mode 0 = full history, 1 = delta,
+	// 2 = aggregate (chain walk + one MAC).
+	latency [3][]*obs.Histogram
 
 	// BatchSize observes how many histories each BatchVerifier.Verify call
 	// carried — the dispatcher's effective batching under load.
@@ -43,6 +44,11 @@ type VerifyMetrics struct {
 	// anchor outcomes: the watermark record was absent (buffer rollover —
 	// resets to full collection) or was modified in place (always tamper).
 	WatermarkGaps, WatermarkTampered *obs.Counter
+
+	// AggregateRounds counts collections accepted by the O(1) aggregate
+	// tier; AggregateFallbacks counts rounds where aggregate evidence
+	// was present but the verdict came from the per-record audit tier.
+	AggregateRounds, AggregateFallbacks *obs.Counter
 }
 
 // NewVerifyMetrics registers the verification metric set on r across the
@@ -63,7 +69,7 @@ func NewVerifyMetrics(r *obs.Registry, shards int) *VerifyMetrics {
 	m := &VerifyMetrics{shardMask: uint32(n - 1)}
 	// A fixed array, not a map literal: registration order shapes the
 	// exposition, so it must not depend on map iteration order.
-	for mode, name := range [...]string{0: "full", 1: "delta"} {
+	for mode, name := range [...]string{0: "full", 1: "delta", 2: "aggregate"} {
 		m.latency[mode] = make([]*obs.Histogram, n)
 		for i := 0; i < n; i++ {
 			m.latency[mode][i] = r.Histogram(
@@ -95,6 +101,10 @@ func NewVerifyMetrics(r *obs.Registry, shards int) *VerifyMetrics {
 		"Delta rounds whose watermark anchor was absent (reset to full collection).")
 	m.WatermarkTampered = r.Counter("erasmus_watermark_tampered_total",
 		"Delta rounds whose already-verified overlap was modified in place.")
+	m.AggregateRounds = r.Counter("erasmus_verify_aggregate_rounds_total",
+		"Collections accepted by the aggregate tier (one MAC + chain walk).")
+	m.AggregateFallbacks = r.Counter("erasmus_verify_aggregate_fallbacks_total",
+		"Aggregate collections whose verdict came from the per-record audit tier.")
 	return m
 }
 
@@ -143,6 +153,13 @@ func (m *VerifyMetrics) observeReport(device string, secs float64, rep *Report) 
 		m.DeltaRounds.Inc()
 	} else {
 		m.FullRounds.Inc()
+	}
+	if rep.AggregateApplied {
+		mode = 2
+		m.AggregateRounds.Inc()
+	}
+	if rep.AggregateFallback {
+		m.AggregateFallbacks.Inc()
 	}
 	m.latency[mode][m.shardOf(device)].Observe(secs)
 	m.RecordsVerified.Add(uint64(len(rep.Records)))

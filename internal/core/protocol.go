@@ -99,13 +99,22 @@ func decodeRecords(alg mac.Algorithm, b []byte) ([]Record, []byte, error) {
 	if len(b) < n*rs {
 		return nil, nil, fmt.Errorf("core: record list holds %d bytes, want %d", len(b), n*rs)
 	}
+	// Slab decode: one backing array for every record's hash and MAC
+	// instead of two heap allocations per record (what DecodeRecord
+	// does). Decoded histories flow straight into the batch verify hot
+	// path, and consumers that outlive the response copy what they keep
+	// (NewWatermark copies its slices), so the shared backing is safe.
 	recs := make([]Record, 0, n)
+	slab := make([]byte, n*rs)
+	copy(slab, b[:n*rs])
+	hs := alg.HashSize()
 	for i := 0; i < n; i++ {
-		r, err := DecodeRecord(alg, b[i*rs:(i+1)*rs])
-		if err != nil {
-			return nil, nil, err
-		}
-		recs = append(recs, r)
+		enc := slab[i*rs : (i+1)*rs]
+		recs = append(recs, Record{
+			T:    binary.BigEndian.Uint64(enc),
+			Hash: enc[8 : 8+hs : 8+hs],
+			MAC:  enc[8+hs:],
+		})
 	}
 	return recs, b[n*rs:], nil
 }

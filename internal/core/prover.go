@@ -60,15 +60,16 @@ type ProverConfig struct {
 
 // ProverStats counts runtime activity.
 type ProverStats struct {
-	Measurements     int // committed self-measurements
-	Aborted          int // measurements aborted mid-flight
-	Missed           int // scheduled measurements never completed
-	Collections      int // ERASMUS collection requests served
-	DeltaCollections int // incremental (since-watermark) collections served
-	ODRequests       int // on-demand/+OD requests received
-	ODRejected       int // requests failing freshness/authentication
-	ODMeasured       int // real-time measurements computed for OD requests
-	RetriesQueued    int // lenient-window retries scheduled
+	Measurements         int // committed self-measurements
+	Aborted              int // measurements aborted mid-flight
+	Missed               int // scheduled measurements never completed
+	Collections          int // ERASMUS collection requests served
+	DeltaCollections     int // incremental (since-watermark) collections served
+	AggregateCollections int // aggregate-anchor collections served (one MAC each)
+	ODRequests           int // on-demand/+OD requests received
+	ODRejected           int // requests failing freshness/authentication
+	ODMeasured           int // real-time measurements computed for OD requests
+	RetriesQueued        int // lenient-window retries scheduled
 }
 
 // Prover is the ERASMUS runtime on one device: a timer-driven
@@ -81,6 +82,16 @@ type Prover struct {
 	seq      int // sequence-addressed slot cursor (irregular schedules)
 	lastSlot int // slot of the most recent committed record, -1 if none
 	lastT    uint64
+
+	// chain is the streaming digest over every committed record's
+	// (t, hash) content, oldest first — the hash chain the aggregate
+	// collection tier authenticates with a single MAC. It lives in the
+	// prover runtime (trusted measurement path), not the insecure store:
+	// resident malware can rewrite buffered records but cannot touch the
+	// chain, which is exactly the discrepancy the verifier's walk
+	// detects. Rolling-buffer overwrites do not rewind it: the chain
+	// commits to history, the buffer merely caches the recent window.
+	chain chainDigest
 
 	pendingEv *sim.Event
 	running   bool
@@ -116,7 +127,7 @@ func NewProver(dev Device, cfg ProverConfig) (*Prover, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prover{dev: dev, cfg: cfg, buf: buf, lastSlot: -1}, nil
+	return &Prover{dev: dev, cfg: cfg, buf: buf, lastSlot: -1, chain: newChain()}, nil
 }
 
 // Buffer exposes the rolling store (tamper experiments reach records
@@ -254,6 +265,7 @@ func (p *Prover) commit(rec Record) {
 		p.seq++
 	}
 	p.buf.Put(slot, rec)
+	chainAbsorb(p.chain, rec.T, rec.Hash)
 	p.lastSlot = slot
 	p.lastT = rec.T
 	p.stats.Measurements++
@@ -263,16 +275,17 @@ func (p *Prover) commit(rec Record) {
 // CollectTiming itemizes the prover-side cost of serving one collection,
 // reproducing Table 2's rows.
 type CollectTiming struct {
-	VerifyRequest      sim.Ticks // on-demand variants only
-	ComputeMeasurement sim.Ticks // on-demand variants only
-	ReadBuffer         sim.Ticks
-	ConstructPacket    sim.Ticks
-	SendPacket         sim.Ticks
+	VerifyRequest        sim.Ticks // on-demand variants only
+	ComputeMeasurement   sim.Ticks // on-demand variants only
+	ReadBuffer           sim.Ticks
+	AuthenticateResponse sim.Ticks // aggregate collections only: the one MAC over the chain head
+	ConstructPacket      sim.Ticks
+	SendPacket           sim.Ticks
 }
 
 // Total sums all phases.
 func (t CollectTiming) Total() sim.Ticks {
-	return t.VerifyRequest + t.ComputeMeasurement + t.ReadBuffer + t.ConstructPacket + t.SendPacket
+	return t.VerifyRequest + t.ComputeMeasurement + t.ReadBuffer + t.AuthenticateResponse + t.ConstructPacket + t.SendPacket
 }
 
 // HandleCollect serves a plain ERASMUS collection (Fig. 2): read the k

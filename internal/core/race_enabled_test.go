@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, which deliberately randomizes sync.Pool reuse and so makes
+// testing.AllocsPerRun gates jitter by a few allocations.
+const raceEnabled = true

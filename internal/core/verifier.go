@@ -117,6 +117,21 @@ type Report struct {
 	// different bytes — the already-verified overlap was modified in
 	// place. Always accompanied by TamperDetected.
 	WatermarkTampered bool
+
+	// Aggregate-tier fields (see aggregate.go), zero-valued elsewhere.
+	//
+	// AggregateApplied: the history was accepted by the O(1) aggregate
+	// tier — one chain walk plus one MAC, no per-record MAC work.
+	AggregateApplied bool
+	// AggregateFallback: aggregate evidence was present but did not
+	// close (forged/absent aggregate MAC, chain-walk divergence, missing
+	// or modified anchor, no saved chain state); the verdicts above came
+	// from the per-record audit tier on the same records.
+	AggregateFallback bool
+	// ChainState is the prover's chain head, set only when the aggregate
+	// MAC authenticated it. NextWatermark copies it into the advancing
+	// watermark so the next round can resume the hash walk.
+	ChainState []byte
 }
 
 // Healthy reports a clean history: nothing tampered, no infection, no
@@ -170,7 +185,14 @@ type Verifier struct {
 	golden map[string]struct{} // whitelist as a set: O(1) per record
 
 	cacheMu  sync.Mutex
-	macCache map[string]struct{}
+	macCache map[macCacheKey]struct{}
+
+	// aggMACPool holds keyed MAC instances (mac.New with this verifier's
+	// key) for the aggregate tier's one-MAC-per-collection check. Reset
+	// restores the keyed initial state for every supported algorithm, so
+	// the key schedule and the instance allocation are paid once per
+	// worker, not once per collection.
+	aggMACPool sync.Pool
 }
 
 // NewVerifier validates the configuration.
@@ -195,8 +217,9 @@ func NewVerifier(cfg VerifierConfig) (*Verifier, error) {
 		v.golden[string(g)] = struct{}{}
 	}
 	if cfg.MACCacheSize > 0 {
-		v.macCache = make(map[string]struct{}, cfg.MACCacheSize)
+		v.macCache = make(map[macCacheKey]struct{}, cfg.MACCacheSize)
 	}
+	v.aggMACPool.New = func() any { return mac.New(v.cfg.Alg, v.cfg.Key) }
 	return v, nil
 }
 
@@ -211,7 +234,13 @@ func (v *Verifier) verifyMAC(rec Record) bool {
 	if v.macCache == nil {
 		return rec.VerifyMAC(v.cfg.Alg, v.cfg.Key)
 	}
-	key := cacheKey(rec)
+	key, ok := cacheKey(rec)
+	if !ok {
+		// Oversized fields cannot be packed without truncation, and a
+		// truncated key could let two distinct records collide — never
+		// acceptable in a cache whose hits skip MAC verification.
+		return rec.VerifyMAC(v.cfg.Alg, v.cfg.Key)
+	}
 	v.cacheMu.Lock()
 	_, hit := v.macCache[key]
 	v.cacheMu.Unlock()
@@ -232,15 +261,30 @@ func (v *Verifier) verifyMAC(rec Record) bool {
 	return true
 }
 
-// cacheKey serializes the complete record so any bit flip misses.
-func cacheKey(rec Record) string {
-	b := make([]byte, 0, 8+len(rec.Hash)+len(rec.MAC))
-	b = append(b,
-		byte(rec.T>>56), byte(rec.T>>48), byte(rec.T>>40), byte(rec.T>>32),
-		byte(rec.T>>24), byte(rec.T>>16), byte(rec.T>>8), byte(rec.T))
-	b = append(b, rec.Hash...)
-	b = append(b, rec.MAC...)
-	return string(b)
+// macCacheKey packs the complete record into a fixed-size comparable
+// key: any bit flip in t, hash or MAC produces a different key, and the
+// recorded field lengths disambiguate the boundary. A value key keeps
+// the cache lookup allocation-free — the previous string key heap-
+// allocated its backing bytes on every record, the dominant allocation
+// of the batch verify loop. The 64-byte body fits every supported
+// algorithm (hash ≤ 32 B, MAC ≤ 32 B); trailing bytes stay zero.
+type macCacheKey struct {
+	t      uint64
+	nh, nm uint8
+	b      [64]byte
+}
+
+// cacheKey builds the cache key; ok is false when the record's fields
+// exceed the fixed body (never the case for records of a valid
+// algorithm) and the cache must be bypassed.
+func cacheKey(rec Record) (macCacheKey, bool) {
+	k := macCacheKey{t: rec.T, nh: uint8(len(rec.Hash)), nm: uint8(len(rec.MAC))}
+	if len(rec.Hash)+len(rec.MAC) > len(k.b) || len(rec.Hash) > 255 || len(rec.MAC) > 255 {
+		return macCacheKey{}, false
+	}
+	n := copy(k.b[:], rec.Hash)
+	copy(k.b[n:], rec.MAC)
+	return k, true
 }
 
 // VerifyHistory validates records collected at RROC time now, expecting

@@ -59,6 +59,7 @@ type digest struct {
 	size   int
 	keyLen int
 	key    [BlockSize]byte // zero-padded key block, retained for Reset
+	hKeyed [8]uint32       // chaining state after compressing the key block
 }
 
 // New returns a new hash.Hash computing a BLAKE2s digest of the given size.
@@ -73,6 +74,20 @@ func New(size int, key []byte) (hash.Hash, error) {
 	}
 	d := &digest{size: size, keyLen: len(key)}
 	copy(d.key[:], key)
+	if len(key) > 0 {
+		// Compress the key block once, here: every Reset then resumes
+		// from this snapshot instead of re-compressing it, which makes a
+		// pooled keyed instance (MAC verify hot paths) one compression
+		// cheaper per message. The key block is only the *final* block
+		// for an empty message — that rare case is detected and
+		// recomputed from d.key in Sum.
+		kd := digest{size: size, keyLen: len(key)}
+		kd.h = iv
+		kd.h[0] ^= uint32(size) | uint32(len(key))<<8 | 1<<16 | 1<<24
+		kd.increment(BlockSize)
+		kd.compress(d.key[:], false)
+		d.hKeyed = kd.h
+	}
 	d.Reset()
 	return d, nil
 }
@@ -104,9 +119,10 @@ func (d *digest) Reset() {
 	d.t[0], d.t[1] = 0, 0
 	d.buflen = 0
 	if d.keyLen > 0 {
-		// A keyed hash starts with the zero-padded key as the first block.
-		copy(d.buf[:], d.key[:])
-		d.buflen = BlockSize
+		// A keyed hash starts with the zero-padded key as the first
+		// block; resume from its pre-compressed chaining state (see New).
+		d.h = d.hKeyed
+		d.t[0] = BlockSize
 	}
 }
 
@@ -133,6 +149,17 @@ func (d *digest) Write(p []byte) (int, error) {
 func (d *digest) Sum(b []byte) []byte {
 	// Finalize a copy so the digest remains usable for further writes.
 	c := *d
+	if c.keyLen > 0 && c.buflen == 0 && c.t[0] == BlockSize && c.t[1] == 0 {
+		// No message bytes were written, so the key block — already
+		// compressed non-final by the New/Reset snapshot — is in fact
+		// the final block. Rewind and let the normal finalization below
+		// compress it with the final flag set.
+		c.h = iv
+		c.h[0] ^= uint32(c.size) | uint32(c.keyLen)<<8 | 1<<16 | 1<<24
+		c.t[0], c.t[1] = 0, 0
+		copy(c.buf[:], c.key[:])
+		c.buflen = BlockSize
+	}
 	c.increment(uint32(c.buflen))
 	for i := c.buflen; i < BlockSize; i++ {
 		c.buf[i] = 0

@@ -129,6 +129,31 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// TestResetReuseMatchesFresh drives one keyed instance through Reset the
+// way a pooled MAC verifier does, across message lengths straddling every
+// block-boundary case including the empty message (where the key block
+// itself is the final block — the one case the pre-compressed key-block
+// snapshot in New must rewind).
+func TestResetReuseMatchesFresh(t *testing.T) {
+	key := []byte("pooled-mac-regression-key")
+	pooled := New256(key)
+	msg := make([]byte, 130)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129, 130} {
+		fresh := New256(key)
+		fresh.Write(msg[:n])
+		want := fresh.Sum(nil)
+
+		pooled.Reset()
+		pooled.Write(msg[:n])
+		if got := pooled.Sum(nil); !bytes.Equal(got, want) {
+			t.Errorf("len=%d: pooled Reset digest %x, fresh %x", n, got, want)
+		}
+	}
+}
+
 func TestSumAppends(t *testing.T) {
 	h := New256(nil)
 	h.Write([]byte("x"))

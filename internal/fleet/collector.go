@@ -80,3 +80,14 @@ func (s *SimCollector) CollectDelta(addr string, since uint64, k int, cb func(se
 	}
 	return client.CollectDelta(addr, since, k, cb)
 }
+
+// CollectDeltaAggregate requests the records measured at or after since
+// plus the prover's aggregate evidence (chain head + one MAC bound to
+// since/nonce/anchorHash).
+func (s *SimCollector) CollectDeltaAggregate(addr string, since, nonce uint64, anchorHash []byte, k int, cb func(session.CollectResult, error)) error {
+	client, ok := s.clients[addr]
+	if !ok {
+		return fmt.Errorf("fleet: device %q not registered with collector", addr)
+	}
+	return client.CollectDeltaAggregate(addr, since, nonce, anchorHash, k, cb)
+}

@@ -132,6 +132,11 @@ type Collector interface {
 	// everything since, clamped to the prover's buffer). Same callback
 	// contract as Collect.
 	CollectDelta(addr string, since uint64, k int, cb func(session.CollectResult, error)) error
+	// CollectDeltaAggregate is CollectDelta plus the aggregate tier's
+	// evidence: the prover returns its chain head and one MAC binding it
+	// to (since, nonce, anchorHash), delivered in CollectResult.AggState
+	// and AggMAC. Same callback contract as Collect.
+	CollectDeltaAggregate(addr string, since, nonce uint64, anchorHash []byte, k int, cb func(session.CollectResult, error)) error
 }
 
 // ManagerConfig parameterizes a Manager.
@@ -176,6 +181,18 @@ type ManagerConfig struct {
 	// on a virtual-time engine driven synchronously, combine with
 	// Synchronous so watermark updates land before the next tick.
 	Delta bool
+	// Aggregate selects the O(1) aggregate tier on top of Delta (which it
+	// implies): incremental collections additionally carry the prover's
+	// hash-chain head under a single MAC, so the verifier re-walks the
+	// chain from its watermark — hash-only, no per-record MAC — and checks
+	// one MAC per collection regardless of record count. Any mismatch
+	// (forged evidence, tampered records, lost anchor) falls back to the
+	// per-record VerifyDelta audit tier on the same records, so verdicts
+	// and alerts are identical to Delta mode; only the cost differs (see
+	// core.VerifyDeltaAggregate). The verdictsPending discipline is
+	// unchanged: an unsettled round still falls back to a stateless full
+	// collection.
+	Aggregate bool
 	// WatermarkShards / WatermarkCapacity size the attestation service's
 	// sharded per-device watermark store (defaults 16 shards, 1M devices
 	// ≈ 150 MB); ignored unless Delta is set.
@@ -221,6 +238,9 @@ type Manager struct {
 
 	// delta mode: svc holds per-device watermarks; nil when disabled.
 	svc *core.AttestationService
+	// aggregate mode: incremental rounds request chain-head evidence and
+	// verify through the O(1) aggregate tier.
+	aggregate bool
 	// st is the durable state store; nil when the manager is in-memory.
 	st *store.Store
 
@@ -238,6 +258,10 @@ type Manager struct {
 	devices map[string]*device
 	alerts  []Alert
 	started bool
+	// nonce numbers aggregate challenges (monotonic per manager): the
+	// prover's aggregate MAC binds it, so a recorded response cannot
+	// answer a later challenge.
+	nonce uint64
 	// stickySeen latches the first sink/store I/O failure so it is
 	// surfaced (gauge + event) exactly once, as it happens — not only
 	// when Close or a /healthz scrape finally looks.
@@ -267,6 +291,9 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 	if cfg.BatchLimit <= 0 {
 		cfg.BatchLimit = 64
 	}
+	if cfg.Aggregate {
+		cfg.Delta = true
+	}
 	m := &Manager{
 		engine:           cfg.Engine,
 		collector:        cfg.Collector,
@@ -276,6 +303,7 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 		devices:          make(map[string]*device),
 	}
 	m.st = cfg.Store
+	m.aggregate = cfg.Aggregate
 	m.tracer, m.events = cfg.Tracer, cfg.Events
 	if cfg.Obs != nil {
 		m.metrics = newFleetMetrics(cfg.Obs)
@@ -551,32 +579,53 @@ func (m *Manager) collect(d *device) {
 	// queued verdict already covers.
 	var wm core.Watermark
 	delta := false
+	agg := false
+	var nonce uint64
 	m.mu.Lock()
 	settled := d.verdictsPending == 0
 	d.verdictsPending++
+	if m.aggregate && settled {
+		// Aggregate rounds run whenever the watermark is current — even a
+		// zero one (bootstrap: since=0, k records, exactly the full
+		// collection's record set, plus the chain head so the next round
+		// can anchor). Unsettled rounds keep the delta-mode discipline and
+		// fall back to a stateless full collection below.
+		agg = true
+		m.nonce++
+		nonce = m.nonce
+	}
 	m.mu.Unlock()
 	if m.svc != nil && settled {
 		if w, ok := m.svc.Watermark(d.cfg.Addr); ok && !w.IsZero() {
-			wm, delta = w, true
+			wm = w
+			delta = !agg // the aggregate request carries the anchor itself
 		}
 	}
-	if m.svc != nil && !delta {
+	if m.svc != nil && !delta && !agg {
 		m.metrics.fallback(settled)
 	}
 	m.pipe.launched()
 	cb := func(res session.CollectResult, err error) {
 		m.pipe.submit(pipeJob{
 			dev: d, res: res, err: err, now: now, expectedK: expected, at: launched,
-			delta: delta, wm: wm,
+			delta: delta, wm: wm, agg: agg, aggNonce: nonce,
 		})
 	}
 	var err error
-	if delta {
+	switch {
+	case agg && !wm.IsZero():
+		// Anchored aggregate: everything since the watermark (k ≤ 0 =
+		// "everything since", healing lost rounds like the delta path)
+		// plus the chain head MAC-bound to this challenge.
+		err = m.collector.CollectDeltaAggregate(d.cfg.Addr, wm.T, nonce, wm.Hash, 0, cb)
+	case agg:
+		err = m.collector.CollectDeltaAggregate(d.cfg.Addr, 0, nonce, nil, k, cb)
+	case delta:
 		// k ≤ 0 = "everything since": after a lost round the next delta
 		// ships the backlog too, so no record is ever silently dropped by
 		// a fixed request size.
 		err = m.collector.CollectDelta(d.cfg.Addr, wm.T, 0, cb)
-	} else {
+	default:
 		err = m.collector.Collect(d.cfg.Addr, k, cb)
 	}
 	if err != nil {

@@ -21,6 +21,8 @@ type pipeJob struct {
 	at        sim.Ticks // launch time, stamped onto alerts
 	delta     bool      // incremental verification against wm
 	wm        core.Watermark
+	agg       bool   // aggregate tier: wm is the challenge anchor
+	aggNonce  uint64 // challenge nonce the aggregate MAC must bind
 	rep       core.Report
 
 	// Observability-only fields, zero when the manager is uninstrumented:
@@ -144,7 +146,7 @@ func (p *pipeline) process(batch []pipeJob) {
 	var vjobs []core.VerifyJob
 	for i := range batch {
 		if batch[i].err == nil {
-			vjobs = append(vjobs, core.VerifyJob{
+			vj := core.VerifyJob{
 				Verifier:  batch[i].dev.verifier,
 				Records:   batch[i].res.Records,
 				Now:       batch[i].now,
@@ -153,7 +155,18 @@ func (p *pipeline) process(batch []pipeJob) {
 				Watermark: batch[i].wm,
 				Device:    batch[i].dev.cfg.Addr,
 				Tag:       &batch[i],
-			})
+			}
+			if batch[i].agg {
+				vj.Aggregate = true
+				vj.AggEvidence = core.AggregateEvidence{
+					Since:      batch[i].wm.T,
+					Nonce:      batch[i].aggNonce,
+					AnchorHash: batch[i].wm.Hash,
+					State:      batch[i].res.AggState,
+					MAC:        batch[i].res.AggMAC,
+				}
+			}
+			vjobs = append(vjobs, vj)
 		}
 	}
 	if len(vjobs) > 0 {

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/session"
 	"erasmus/internal/udptransport"
@@ -68,22 +67,33 @@ func (u *UDPCollector) Register(cfg DeviceConfig) error {
 // contract, matching the session transport), which also bounds the
 // goroutine count by the fleet size rather than the tick rate.
 func (u *UDPCollector) Collect(addr string, k int, cb func(session.CollectResult, error)) error {
-	return u.run(addr, cb, func(alg mac.Algorithm) ([]core.Record, error) {
-		return u.fc.Collect(addr, alg, k)
+	return u.run(addr, cb, func(alg mac.Algorithm) (session.CollectResult, error) {
+		recs, err := u.fc.Collect(addr, alg, k)
+		return session.CollectResult{Records: recs}, err
 	})
 }
 
 // CollectDelta fetches the records measured at or after since from the
 // device, asynchronously — same contract as Collect.
 func (u *UDPCollector) CollectDelta(addr string, since uint64, k int, cb func(session.CollectResult, error)) error {
-	return u.run(addr, cb, func(alg mac.Algorithm) ([]core.Record, error) {
-		return u.fc.CollectDelta(addr, alg, since, k)
+	return u.run(addr, cb, func(alg mac.Algorithm) (session.CollectResult, error) {
+		recs, err := u.fc.CollectDelta(addr, alg, since, k)
+		return session.CollectResult{Records: recs}, err
+	})
+}
+
+// CollectDeltaAggregate fetches the records measured at or after since
+// plus the prover's aggregate evidence — same contract as Collect.
+func (u *UDPCollector) CollectDeltaAggregate(addr string, since, nonce uint64, anchorHash []byte, k int, cb func(session.CollectResult, error)) error {
+	return u.run(addr, cb, func(alg mac.Algorithm) (session.CollectResult, error) {
+		recs, state, aggMAC, err := u.fc.CollectDeltaAggregate(addr, alg, since, nonce, anchorHash, k)
+		return session.CollectResult{Records: recs, AggState: state, AggMAC: aggMAC}, err
 	})
 }
 
 // run executes one collection exchange on its own goroutine, enforcing
 // the one-outstanding-per-device contract.
-func (u *UDPCollector) run(addr string, cb func(session.CollectResult, error), fetch func(mac.Algorithm) ([]core.Record, error)) error {
+func (u *UDPCollector) run(addr string, cb func(session.CollectResult, error), fetch func(mac.Algorithm) (session.CollectResult, error)) error {
 	u.mu.Lock()
 	alg, ok := u.algs[addr]
 	if !ok {
@@ -97,7 +107,7 @@ func (u *UDPCollector) run(addr string, cb func(session.CollectResult, error), f
 	u.inflight[addr] = true
 	u.mu.Unlock()
 	go func() {
-		recs, err := fetch(alg)
+		res, err := fetch(alg)
 		u.mu.Lock()
 		delete(u.inflight, addr)
 		u.mu.Unlock()
@@ -105,7 +115,8 @@ func (u *UDPCollector) run(addr string, cb func(session.CollectResult, error), f
 			cb(session.CollectResult{Attempts: u.fc.Attempts}, err)
 			return
 		}
-		cb(session.CollectResult{Records: recs, Attempts: 1}, nil)
+		res.Attempts = 1
+		cb(res, nil)
 	}()
 	return nil
 }

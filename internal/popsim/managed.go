@@ -79,6 +79,14 @@ type ManagedConfig struct {
 	// ("udp") keep the async pipeline: real time gives verdicts room to
 	// land between rounds.
 	Delta bool
+	// Aggregate enables the O(1) aggregate tier on top of Delta (which it
+	// implies): incremental rounds carry the prover's chain head under one
+	// MAC and the verifier re-walks the chain hash-only instead of
+	// recomputing per-record MACs (see fleet.ManagerConfig.Aggregate).
+	// Verdicts and alerts are identical to Delta mode by construction. On
+	// the "sim" transport it forces Synchronous for the same reason Delta
+	// does.
+	Aggregate bool
 	// UDPPool is the socket-pool size of the UDP collector (default 8).
 	UDPPool int
 	// StateDir, when non-empty, makes the manager's verifier state
@@ -117,6 +125,11 @@ type ManagedResult struct {
 	// DeltaRounds counts collections that genuinely verified
 	// incrementally (Report.DeltaApplied); always 0 without Delta.
 	DeltaRounds int
+	// AggregateRounds counts collections the aggregate tier accepted
+	// (Report.AggregateApplied); AggregateFallbacks counts rounds whose
+	// evidence was present but whose verdict came from the per-record
+	// audit tier. Both are 0 without Aggregate.
+	AggregateRounds, AggregateFallbacks int
 	// Recovery and StoreStats describe the durable state store when
 	// StateDir is set: what opening the directory recovered, and the
 	// store's footprint after the end-of-run snapshot.
@@ -141,6 +154,9 @@ func (c *ManagedConfig) fill() (*Config, error) {
 	}
 	if c.UDPPool <= 0 {
 		c.UDPPool = 8
+	}
+	if c.Aggregate {
+		c.Delta = true
 	}
 	if c.Transport == "sim" && c.Delta {
 		// Delta on a virtual-time engine requires synchronous verification
@@ -246,26 +262,35 @@ func (md *managedDevice) deviceConfig(cfg *ManagedConfig) fleet.DeviceConfig {
 	}
 }
 
-func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, clock func() uint64, st *store.Store, deltaRounds *int) fleet.ManagerConfig {
+func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, clock func() uint64, st *store.Store, r *ManagedRun) fleet.ManagerConfig {
 	mc := fleet.ManagerConfig{
 		Engine: e, Collector: col, Clock: clock,
 		VerifyWorkers: cfg.VerifyWorkers, QueueDepth: cfg.QueueDepth,
 		UnreachableAfter: cfg.UnreachableAfter,
 		Synchronous:      cfg.Synchronous,
 		Delta:            cfg.Delta,
+		Aggregate:        cfg.Aggregate,
 		Store:            st,
 		Obs:              cfg.Obs,
 		Tracer:           cfg.Tracer,
 		Events:           cfg.Events,
 	}
 	if cfg.Delta {
-		// Count the rounds that genuinely verified incrementally: the
+		// Count the rounds that genuinely verified incrementally (the
 		// regression signal for the virtual-time fallback bug this field
-		// was added to expose. OnReport runs serialized under the
-		// manager's lock, in verdict-application order.
+		// was added to expose) and, in aggregate mode, how they verified:
+		// accepted by the O(1) tier or audited record-by-record. OnReport
+		// runs serialized under the manager's lock, in verdict-application
+		// order.
 		mc.OnReport = func(addr string, rep core.Report) {
 			if rep.DeltaApplied {
-				*deltaRounds++
+				r.deltaRounds++
+			}
+			if rep.AggregateApplied {
+				r.aggRounds++
+			}
+			if rep.AggregateFallback {
+				r.aggFallbacks++
 			}
 		}
 	}
@@ -326,10 +351,12 @@ type ManagedRun struct {
 	srv     *udptransport.Server // "udp" only
 	devices []*managedDevice
 
-	res         *ManagedResult
-	runStart    time.Time
-	deltaRounds int
-	vt          *obs.Gauge // virtual time of the engine, ns
+	res          *ManagedResult
+	runStart     time.Time
+	deltaRounds  int
+	aggRounds    int
+	aggFallbacks int
+	vt           *obs.Gauge // virtual time of the engine, ns
 }
 
 // StartManaged builds a managed scenario and starts its collection
@@ -437,6 +464,8 @@ func (r *ManagedRun) Finish() (*ManagedResult, error) {
 	r.res.RunWall = time.Since(r.runStart)
 	r.res.finish(r.mgr, r.devices)
 	r.res.DeltaRounds = r.deltaRounds
+	r.res.AggregateRounds = r.aggRounds
+	r.res.AggregateFallbacks = r.aggFallbacks
 	if r.srv != nil {
 		defer r.srv.Close()
 	}
@@ -479,7 +508,7 @@ func (r *ManagedRun) startSim(plans []devicePlan) error {
 	if r.st, err = cfg.openState(); err != nil {
 		return err
 	}
-	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock, r.st, &r.deltaRounds))
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(engine, col, clock, r.st, r))
 	if err != nil {
 		return err
 	}
@@ -561,7 +590,7 @@ func (r *ManagedRun) startUDP(plans []devicePlan) error {
 	if r.st, err = cfg.openState(); err != nil {
 		return err
 	}
-	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock, r.st, &r.deltaRounds))
+	mgr, err := fleet.NewManagerWith(cfg.managerConfig(mgrEngine, col, clock, r.st, r))
 	if err != nil {
 		return err
 	}

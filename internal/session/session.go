@@ -71,6 +71,22 @@ func (ep *ProverEndpoint) handle(pkt netsim.Packet) {
 				Kind: core.KindCollectResponse, Payload: resp,
 			})
 		})
+	case core.KindAggDeltaCollectRequest:
+		req, err := core.DecodeAggDeltaCollectRequest(pkt.Payload)
+		if err != nil {
+			return
+		}
+		recs, state, aggMAC, timing, err := ep.prover.HandleCollectDeltaAggregate(req.Since, req.Nonce, req.K, req.AnchorHash)
+		if err != nil {
+			return // attestation fault; silence, like a rejected OD request
+		}
+		resp := core.AggCollectResponse{ChainState: state, AggMAC: aggMAC, Records: recs}.Encode(ep.alg)
+		ep.engine.After(timing.Total(), func() {
+			ep.net.Send(netsim.Packet{
+				From: ep.addr, To: pkt.From,
+				Kind: core.KindAggCollectResponse, Payload: resp,
+			})
+		})
 	case core.KindODRequest:
 		req, err := core.DecodeODRequest(ep.alg, pkt.Payload)
 		if err != nil {
@@ -103,6 +119,10 @@ type CollectResult struct {
 	Attempts int
 	// RTT is request-to-response latency of the successful attempt.
 	RTT sim.Ticks
+	// AggState and AggMAC carry the aggregate tier's evidence — the
+	// prover's marshaled chain head and the MAC binding it to the
+	// request — on responses to CollectDeltaAggregate; nil otherwise.
+	AggState, AggMAC []byte
 }
 
 // ErrTimeout is reported when all attempts expire unanswered.
@@ -182,6 +202,18 @@ func (c *VerifierClient) CollectDelta(proverAddr string, since uint64, k int, cb
 	})
 }
 
+// CollectDeltaAggregate requests an aggregate-anchor incremental
+// collection (core.AggDeltaCollectRequest): the delta records plus the
+// prover's chain head under one MAC bound to (since, nonce, anchorHash).
+// The evidence arrives in CollectResult.AggState/AggMAC; the caller
+// verifies it with core.VerifyDeltaAggregate.
+func (c *VerifierClient) CollectDeltaAggregate(proverAddr string, since, nonce uint64, anchorHash []byte, k int, cb func(CollectResult, error)) error {
+	payload := core.AggDeltaCollectRequest{Since: since, Nonce: nonce, K: k, AnchorHash: anchorHash}.Encode()
+	return c.start(proverAddr, &pendingReq{
+		k: k, callback: cb, payload: payload, kind: core.KindAggDeltaCollectRequest,
+	})
+}
+
 // CollectOD issues an authenticated ERASMUS+OD request: the prover will
 // compute a fresh measurement M0 and return it with the history. Request
 // timestamps follow core.NextTreq, so the prover's anti-replay floor
@@ -230,7 +262,7 @@ func (c *VerifierClient) handle(pkt netsim.Packet) {
 	}
 	switch pkt.Kind {
 	case core.KindCollectResponse:
-		if p.od {
+		if p.od || p.kind == core.KindAggDeltaCollectRequest {
 			return
 		}
 		resp, err := core.DecodeCollectResponse(c.alg, pkt.Payload)
@@ -238,6 +270,15 @@ func (c *VerifierClient) handle(pkt netsim.Packet) {
 			return // corrupted datagram; let the timeout retry
 		}
 		c.finish(pkt.From, p, CollectResult{Records: resp.Records})
+	case core.KindAggCollectResponse:
+		if p.kind != core.KindAggDeltaCollectRequest {
+			return // cross-talk from an earlier request shape
+		}
+		resp, err := core.DecodeAggCollectResponse(c.alg, pkt.Payload)
+		if err != nil {
+			return
+		}
+		c.finish(pkt.From, p, CollectResult{Records: resp.Records, AggState: resp.ChainState, AggMAC: resp.AggMAC})
 	case core.KindODResponse:
 		if !p.od {
 			return

@@ -348,3 +348,87 @@ func TestCollectDeltaOverNetwork(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectDeltaAggregateOverNetwork(t *testing.T) {
+	f := newFixture(t, netsim.Config{Latency: 5 * sim.Millisecond})
+	f.warmup(t, 5)
+
+	golden := mac.HashSum(alg, f.dev.Memory())
+	v, err := core.NewVerifier(core.VerifierConfig{
+		Alg: alg, Key: key, GoldenHashes: [][]byte{golden},
+		MinGap: sim.Hour - sim.Minute, MaxGap: sim.Hour + sim.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap round: zero watermark, nonce 1.
+	var got CollectResult
+	done := false
+	err = f.client.CollectDeltaAggregate("prv-1", 0, 1, nil, 5, func(r CollectResult, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got, done = r, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if !done {
+		t.Fatal("callback never invoked")
+	}
+	if len(got.AggState) == 0 || len(got.AggMAC) == 0 {
+		t.Fatalf("aggregate evidence missing: state=%d MAC=%d bytes", len(got.AggState), len(got.AggMAC))
+	}
+	agg := core.AggregateEvidence{Since: 0, Nonce: 1, State: got.AggState, MAC: got.AggMAC}
+	rep, wm := v.VerifyDeltaAggregate(got.Records, f.dev.RROC(), 5, core.Watermark{}, agg)
+	if !rep.AggregateApplied || !rep.Healthy() {
+		t.Fatalf("bootstrap round over the network failed: %+v", rep)
+	}
+	if len(wm.Chain) == 0 {
+		t.Fatalf("watermark missing chain state: %+v", wm)
+	}
+
+	// Two more windows, then an anchored aggregate round: the two new
+	// records plus the anchor, one MAC for the lot.
+	f.warmup(t, 2)
+	done = false
+	err = f.client.CollectDeltaAggregate("prv-1", wm.T, 2, wm.Hash, 0, func(r CollectResult, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got, done = r, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.RunUntil(f.engine.Now() + sim.Second)
+	if !done {
+		t.Fatal("callback never invoked")
+	}
+	agg2 := core.AggregateEvidence{Since: wm.T, Nonce: 2, AnchorHash: wm.Hash, State: got.AggState, MAC: got.AggMAC}
+	rep2, wm2 := v.VerifyDeltaAggregate(got.Records, f.dev.RROC(), 0, wm, agg2)
+	if !rep2.AggregateApplied || rep2.AggregateFallback || !rep2.Healthy() {
+		t.Fatalf("anchored round over the network fell back: %+v", rep2)
+	}
+	if len(rep2.Records) != 2 || rep2.OverlapTrusted != 1 {
+		t.Fatalf("anchored round graded wrong set: %+v", rep2)
+	}
+	if wm2.T <= wm.T || len(wm2.Chain) == 0 {
+		t.Fatalf("watermark did not advance with the chain: %+v", wm2)
+	}
+
+	// Evidence corrupted in transit (or forged) drops to the audit tier
+	// with identical verdicts, not an error.
+	badAgg := agg2
+	badAgg.MAC = append([]byte(nil), agg2.MAC...)
+	badAgg.MAC[0] ^= 1
+	rep3, _ := v.VerifyDeltaAggregate(got.Records, f.dev.RROC(), 0, wm, badAgg)
+	if rep3.AggregateApplied || !rep3.AggregateFallback {
+		t.Fatalf("forged evidence did not fall back: %+v", rep3)
+	}
+	if !rep3.Healthy() {
+		t.Fatalf("audit tier rejected honest records: %+v", rep3)
+	}
+}

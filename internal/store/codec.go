@@ -150,15 +150,22 @@ const (
 	flagHasAnchor   = 1 << 2
 	flagHasWM       = 1 << 3 // snapshot entries only
 	flagHasStatus   = 1 << 4 // snapshot entries only
+	flagHasChain    = 1 << 5 // snapshot entries only: watermark carries chain state
 )
 
 func encodeWatermark(device string, wm core.Watermark) []byte {
-	w := writer{b: make([]byte, 0, 16+len(device)+len(wm.Hash)+len(wm.MAC))}
+	w := writer{b: make([]byte, 0, 16+len(device)+len(wm.Hash)+len(wm.MAC)+len(wm.Chain))}
 	w.u8(recWatermark)
 	w.str(device)
 	w.u64(wm.T)
 	w.bytes(wm.Hash)
 	w.bytes(wm.MAC)
+	// Chain state (aggregate tier) rides as a trailing optional field:
+	// absent entirely when empty, so pre-aggregate WAL records decode
+	// unchanged and a chain-less watermark round-trips to the old layout.
+	if len(wm.Chain) > 0 {
+		w.bytes(wm.Chain)
+	}
 	return w.b
 }
 
@@ -212,6 +219,15 @@ func decodeWALPayload(b []byte) (walRecord, error) {
 		out.wm.T = r.u64()
 		out.wm.Hash = r.bytes()
 		out.wm.MAC = r.bytes()
+		if r.err == nil && r.off < len(r.b) {
+			out.wm.Chain = r.bytes()
+			if r.err == nil && len(out.wm.Chain) == 0 {
+				// An explicitly empty chain field has no encoder image
+				// (empty chains are simply omitted); reject it so
+				// decode→encode stays byte-idempotent.
+				return walRecord{}, errors.New("store: watermark record with empty chain field")
+			}
+		}
 	case recStatus:
 		out.status.Addr = r.str()
 		flags := r.u8()
@@ -258,6 +274,9 @@ func encodeSnapshotEntry(st DeviceState) []byte {
 	flags := statusFlags(st)
 	if st.HasWatermark {
 		flags |= flagHasWM
+		if len(st.Watermark.Chain) > 0 {
+			flags |= flagHasChain
+		}
 	}
 	if st.HasStatus {
 		flags |= flagHasStatus
@@ -267,6 +286,9 @@ func encodeSnapshotEntry(st DeviceState) []byte {
 		w.u64(st.Watermark.T)
 		w.bytes(st.Watermark.Hash)
 		w.bytes(st.Watermark.MAC)
+		if len(st.Watermark.Chain) > 0 {
+			w.bytes(st.Watermark.Chain)
+		}
 	}
 	if st.HasStatus {
 		w.i64(st.RegisteredAt)
@@ -286,8 +308,11 @@ func decodeSnapshotEntry(r *reader) (DeviceState, error) {
 	var st DeviceState
 	st.Addr = r.str()
 	flags := r.u8()
-	if r.err == nil && flags&^(flagHealthy|flagUnreachable|flagHasAnchor|flagHasWM|flagHasStatus) != 0 {
+	if r.err == nil && flags&^(flagHealthy|flagUnreachable|flagHasAnchor|flagHasWM|flagHasStatus|flagHasChain) != 0 {
 		return DeviceState{}, fmt.Errorf("store: snapshot entry with undefined flags %#x", flags)
+	}
+	if r.err == nil && flags&flagHasChain != 0 && flags&flagHasWM == 0 {
+		return DeviceState{}, errors.New("store: snapshot entry with chain state but no watermark")
 	}
 	st.Healthy = flags&flagHealthy != 0
 	st.Unreachable = flags&flagUnreachable != 0
@@ -298,6 +323,12 @@ func decodeSnapshotEntry(r *reader) (DeviceState, error) {
 		st.Watermark.T = r.u64()
 		st.Watermark.Hash = r.bytes()
 		st.Watermark.MAC = r.bytes()
+		if flags&flagHasChain != 0 {
+			st.Watermark.Chain = r.bytes()
+			if r.err == nil && len(st.Watermark.Chain) == 0 {
+				return DeviceState{}, errors.New("store: snapshot entry with empty chain field")
+			}
+		}
 	}
 	if st.HasStatus {
 		st.RegisteredAt = r.i64()

@@ -25,6 +25,9 @@ func fuzzWM() core.Watermark {
 func FuzzDecodeWALPayload(f *testing.F) {
 	f.Add(encodeWatermark("dev-000001", fuzzWM()))
 	f.Add(encodeWatermark("d", core.Watermark{}))
+	chained := fuzzWM()
+	chained.Chain = []byte{0xC0, 0xC1, 0xC2, 0xC3, 0xC4, 0xC5, 0xC6, 0xC7}
+	f.Add(encodeWatermark("dev-000009", chained))
 	f.Add(encodeStatus(DeviceState{
 		Addr: "dev-000002", HasStatus: true, Healthy: true, HasAnchor: true,
 		RegisteredAt: 1, ScheduleAnchor: 2, LastContact: 3, Freshness: 4,
@@ -68,6 +71,7 @@ func FuzzDecodeSnapshot(f *testing.F) {
 		},
 		{Addr: "dev-000003", HasWatermark: true, Watermark: fuzzWM(), HasStatus: true},
 	}
+	devices[2].Watermark.Chain = []byte{0xD0, 0xD1, 0xD2, 0xD3, 0xD4, 0xD5}
 	alerts := []AlertEvent{{Time: 7, Device: "dev-000002", Kind: "infection", Detail: "wave"}}
 	f.Add(encodeSnapshot(3, 9, devices, alerts))
 	f.Add(encodeSnapshot(1, 1, nil, nil))

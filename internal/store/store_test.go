@@ -39,6 +39,60 @@ func wantWM(t *testing.T, s *Store, device string, want core.Watermark) {
 
 // ---- basic durability ------------------------------------------------------
 
+// The aggregate tier's chain state must survive both durability paths —
+// WAL replay and snapshot — and a chain-less watermark must round-trip
+// to the pre-aggregate layout (no trailing field, no phantom chain).
+func TestWatermarkChainRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	chain := append([]byte("sha256-state:"), make([]byte, 95)...)
+	withChain := wm(100, 1)
+	withChain.Chain = chain
+
+	s := mustOpen(t, dir, Options{})
+	if err := s.SetWatermark("dev-chain", withChain); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWatermark("dev-plain", wm(200, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL replay.
+	r := mustOpen(t, dir, Options{})
+	got, ok := r.LoadWatermark("dev-chain")
+	if !ok || string(got.Chain) != string(chain) {
+		t.Fatalf("chain lost through WAL replay: %+v", got)
+	}
+	wantWM(t, r, "dev-chain", withChain)
+	plain, ok := r.LoadWatermark("dev-plain")
+	if !ok || plain.Chain != nil {
+		t.Fatalf("chain-less watermark grew a chain: %+v", plain)
+	}
+
+	// Snapshot compaction.
+	if err := r.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustOpen(t, dir, Options{})
+	defer r2.Close()
+	if r2.Recovery().SnapshotSeq == 0 {
+		t.Fatal("snapshot not used")
+	}
+	got, ok = r2.LoadWatermark("dev-chain")
+	if !ok || string(got.Chain) != string(chain) {
+		t.Fatalf("chain lost through snapshot: %+v", got)
+	}
+	plain, ok = r2.LoadWatermark("dev-plain")
+	if !ok || plain.Chain != nil {
+		t.Fatalf("chain-less watermark grew a chain after snapshot: %+v", plain)
+	}
+}
+
 func TestRoundTripThroughWAL(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir, Options{})

@@ -46,6 +46,12 @@ const (
 	// — a record list is a record list, whichever request produced it.
 	msgDeltaCollectReq      = 0x07
 	msgFleetDeltaCollectReq = 0x08
+	// Aggregate-anchor collections carry evidence (chain head + one MAC)
+	// ahead of the record list, so they get their own response types.
+	msgAggDeltaCollectReq      = 0x09
+	msgAggCollectResp          = 0x0A
+	msgFleetAggDeltaCollectReq = 0x0B
+	msgFleetAggCollectResp     = 0x0C
 )
 
 const maxDatagram = 64 * 1024
@@ -294,6 +300,18 @@ func (s *Server) handle(dgram []byte) []byte {
 		}
 		recs, _ := prover.HandleCollectDelta(req.Since, req.K)
 		return append([]byte{msgCollectResp}, core.CollectResponse{Records: recs}.Encode(s.alg)...)
+	case msgAggDeltaCollectReq:
+		prover := s.provers[defaultProverID]
+		req, err := core.DecodeAggDeltaCollectRequest(dgram[1:])
+		if err != nil || prover == nil {
+			return nil
+		}
+		recs, state, aggMAC, _, err := prover.HandleCollectDeltaAggregate(req.Since, req.Nonce, req.K, req.AnchorHash)
+		if err != nil {
+			return nil
+		}
+		return append([]byte{msgAggCollectResp},
+			core.AggCollectResponse{ChainState: state, AggMAC: aggMAC, Records: recs}.Encode(s.alg)...)
 	case msgFleetCollectReq:
 		frame, payload, err := decodeFleetFrame(dgram)
 		if err != nil {
@@ -320,6 +338,22 @@ func (s *Server) handle(dgram []byte) []byte {
 		recs, _ := prover.HandleCollectDelta(req.Since, req.K)
 		return encodeFleetFrame(msgFleetCollectResp, frame,
 			core.CollectResponse{Records: recs}.Encode(s.alg))
+	case msgFleetAggDeltaCollectReq:
+		frame, payload, err := decodeFleetFrame(dgram)
+		if err != nil {
+			return nil
+		}
+		prover := s.provers[frame.id]
+		req, err := core.DecodeAggDeltaCollectRequest(payload)
+		if err != nil || prover == nil {
+			return nil
+		}
+		recs, state, aggMAC, _, err := prover.HandleCollectDeltaAggregate(req.Since, req.Nonce, req.K, req.AnchorHash)
+		if err != nil {
+			return nil
+		}
+		return encodeFleetFrame(msgFleetAggCollectResp, frame,
+			core.AggCollectResponse{ChainState: state, AggMAC: aggMAC, Records: recs}.Encode(s.alg))
 	default:
 		return nil
 	}
@@ -440,6 +474,25 @@ func (c *Client) CollectDelta(since uint64, k int) ([]core.Record, error) {
 	return c.collectRecords(append([]byte{msgDeltaCollectReq}, core.DeltaCollectRequest{Since: since, K: k}.Encode()...))
 }
 
+// CollectDeltaAggregate fetches the records measured at or after since
+// together with the aggregate evidence: the prover's marshaled chain
+// head and one MAC binding it to (since, nonce, anchorHash). The caller
+// verifies the bundle with core.VerifyDeltaAggregate.
+func (c *Client) CollectDeltaAggregate(since, nonce uint64, anchorHash []byte, k int) ([]core.Record, []byte, []byte, error) {
+	req := append([]byte{msgAggDeltaCollectReq},
+		core.AggDeltaCollectRequest{Since: since, Nonce: nonce, K: k, AnchorHash: anchorHash}.Encode()...)
+	raw, err := roundTrip(c.conn, req, c.Timeout, c.Attempts,
+		func(b []byte) bool { return b[0] == msgAggCollectResp }, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	resp, err := core.DecodeAggCollectResponse(c.alg, raw[1:])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return resp.Records, resp.ChainState, resp.AggMAC, nil
+}
+
 // collectRecords runs one unauthenticated collection exchange: both the
 // full and the delta request are answered by a msgCollectResp record list.
 func (c *Client) collectRecords(req []byte) ([]core.Record, error) {
@@ -550,8 +603,38 @@ func (c *FleetClient) CollectDelta(id string, alg mac.Algorithm, since uint64, k
 	return c.collect(id, alg, msgFleetDeltaCollectReq, core.DeltaCollectRequest{Since: since, K: k}.Encode())
 }
 
-// collect runs one framed request/response exchange over a pooled socket.
+// CollectDeltaAggregate fetches the records measured at or after since
+// from the prover hosted under id, plus the aggregate evidence (chain
+// head + MAC bound to since/nonce/anchorHash).
+func (c *FleetClient) CollectDeltaAggregate(id string, alg mac.Algorithm, since, nonce uint64, anchorHash []byte, k int) ([]core.Record, []byte, []byte, error) {
+	payload, err := c.exchange(id, alg, msgFleetAggDeltaCollectReq, msgFleetAggCollectResp,
+		core.AggDeltaCollectRequest{Since: since, Nonce: nonce, K: k, AnchorHash: anchorHash}.Encode())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	resp, err := core.DecodeAggCollectResponse(alg, payload)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return resp.Records, resp.ChainState, resp.AggMAC, nil
+}
+
+// collect runs one framed record-list exchange over a pooled socket.
 func (c *FleetClient) collect(id string, alg mac.Algorithm, msgType byte, reqPayload []byte) ([]core.Record, error) {
+	payload, err := c.exchange(id, alg, msgType, msgFleetCollectResp, reqPayload)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := core.DecodeCollectResponse(alg, payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// exchange runs one framed request/response exchange over a pooled
+// socket, returning the response payload with the frame stripped.
+func (c *FleetClient) exchange(id string, alg mac.Algorithm, msgType, respType byte, reqPayload []byte) ([]byte, error) {
 	if id == "" || len(id) > 255 {
 		return nil, fmt.Errorf("udptransport: device id %q must be 1–255 bytes", id)
 	}
@@ -564,7 +647,7 @@ func (c *FleetClient) collect(id string, alg mac.Algorithm, msgType byte, reqPay
 	conn := <-c.pool
 	defer func() { c.pool <- conn }()
 	raw, err := roundTrip(conn, req, c.Timeout, c.Attempts, func(b []byte) bool {
-		if b[0] != msgFleetCollectResp {
+		if b[0] != respType {
 			return false
 		}
 		got, _, err := decodeFleetFrame(b)
@@ -577,9 +660,5 @@ func (c *FleetClient) collect(id string, alg mac.Algorithm, msgType byte, reqPay
 	if err != nil {
 		return nil, err
 	}
-	resp, err := core.DecodeCollectResponse(alg, payload)
-	if err != nil {
-		return nil, err
-	}
-	return resp.Records, nil
+	return payload, nil
 }

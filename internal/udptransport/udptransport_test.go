@@ -448,3 +448,127 @@ func TestFleetCollectDeltaDemux(t *testing.T) {
 		t.Fatal("unknown device answered a delta request")
 	}
 }
+
+func TestCollectDeltaAggregateOverRealUDP(t *testing.T) {
+	srv, _ := startServer(t)
+	c := dialServer(t, srv)
+
+	time.Sleep(250 * time.Millisecond)
+	recs, state, aggMAC, err := c.CollectDeltaAggregate(0, 41, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("got %d records after 250ms at TM=30ms", len(recs))
+	}
+	if len(state) == 0 || len(aggMAC) == 0 {
+		t.Fatalf("aggregate evidence missing: state=%d MAC=%d bytes", len(state), len(aggMAC))
+	}
+	// The one MAC binds the shipped head to this exact challenge.
+	if !mac.Verify(alg, key, core.AggMACInput(0, 41, nil, state), aggMAC) {
+		t.Fatal("aggregate MAC does not verify against the challenge")
+	}
+	if mac.Verify(alg, key, core.AggMACInput(0, 42, nil, state), aggMAC) {
+		t.Fatal("aggregate MAC verifies under a different nonce")
+	}
+	// The shipped state is the chain over exactly the shipped records.
+	want, err := core.ChainOf(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(state) {
+		t.Fatal("shipped chain state does not match the shipped records")
+	}
+
+	// Anchored follow-up: since/anchor from the newest record.
+	since := recs[0].T
+	time.Sleep(120 * time.Millisecond)
+	recs2, state2, aggMAC2, err := c.CollectDeltaAggregate(since, 43, recs[0].Hash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) < 2 || recs2[len(recs2)-1].T != since {
+		t.Fatalf("anchored aggregate shipped %d records, oldest t=%d, want anchor t=%d",
+			len(recs2), recs2[len(recs2)-1].T, since)
+	}
+	if !mac.Verify(alg, key, core.AggMACInput(since, 43, recs[0].Hash, state2), aggMAC2) {
+		t.Fatal("anchored aggregate MAC does not verify")
+	}
+	// Resuming the walk from the previous head over the new records
+	// (anchor excluded — it was already absorbed) lands on the new head.
+	want2, err := core.ChainOf(state, recs2[:len(recs2)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want2) != string(state2) {
+		t.Fatal("anchored chain state does not resume from the previous head")
+	}
+}
+
+// The fleet protocol's aggregate frames: per-device demux on one socket,
+// evidence MAC'd under each device's own key.
+func TestFleetCollectDeltaAggregateDemux(t *testing.T) {
+	e := sim.NewEngine()
+	build := func(devKey []byte) *core.Prover {
+		dev, err := imx6.New(imx6.Config{
+			Engine: e, MemorySize: 4096,
+			StoreSize: 16 * core.RecordSize(alg),
+			Key:       devKey,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := core.NewRegular(30 * sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		return p
+	}
+	keyA := []byte("fleet-agg-key-a")
+	keyB := []byte("fleet-agg-key-b")
+	pa, pb := build(keyA), build(keyB)
+	srv, err := ServeFleet("127.0.0.1:0", e, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Host("dev-a", pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Host("dev-b", pb); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := DialFleet(srv.Addr().String(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	time.Sleep(250 * time.Millisecond)
+	recsA, stateA, macA, err := fc.CollectDeltaAggregate("dev-a", alg, 0, 7, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recsB, stateB, macB, err := fc.CollectDeltaAggregate("dev-b", alg, 0, 8, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsA) == 0 || len(recsB) == 0 {
+		t.Fatalf("no records: a=%d b=%d", len(recsA), len(recsB))
+	}
+	if !mac.Verify(alg, keyA, core.AggMACInput(0, 7, nil, stateA), macA) {
+		t.Fatal("dev-a evidence not MAC'd under dev-a's key")
+	}
+	if !mac.Verify(alg, keyB, core.AggMACInput(0, 8, nil, stateB), macB) {
+		t.Fatal("dev-b evidence not MAC'd under dev-b's key")
+	}
+	// Cross-checks: evidence must not verify under the other device's key.
+	if mac.Verify(alg, keyB, core.AggMACInput(0, 7, nil, stateA), macA) {
+		t.Fatal("dev-a evidence verifies under dev-b's key (cross-device mixup?)")
+	}
+}
