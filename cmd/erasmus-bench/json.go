@@ -19,9 +19,11 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"erasmus/internal/analysis"
 	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
 	"erasmus/internal/popsim"
@@ -203,7 +205,134 @@ func jsonSuite() []jsonBench {
 		params: map[string]any{"payload": "watermark+status"},
 		fn:     storeAppendBench(),
 	})
+
+	// The lint tier's own runtime, so the CFG/dataflow/call-graph layer
+	// cannot quietly make erasmus-lint too slow for pre-commit use: the
+	// front-end load (parse + type-check of the whole module), the call
+	// graph build, each flow-sensitive rule over the pre-loaded module,
+	// and the full rule suite.
+	suite = append(suite, jsonBench{
+		name:   "lint/load",
+		params: map[string]any{"patterns": "./..."},
+		fn:     lintLoadBench(),
+	})
+	suite = append(suite, jsonBench{
+		name: "lint/callgraph",
+		fn:   lintCallGraphBench(),
+	})
+	for _, rule := range []string{"lockflow", "ctcompare", "errflow"} {
+		rule := rule
+		suite = append(suite, jsonBench{
+			name:   fmt.Sprintf("lint/rule/%s", rule),
+			params: map[string]any{"rule": rule},
+			fn:     lintRuleBench(rule),
+		})
+	}
+	suite = append(suite, jsonBench{
+		name: "lint/suite",
+		fn:   lintRuleBench(""),
+	})
 	return suite
+}
+
+// lintModule loads the whole module once (parse + type-check through the
+// source importer) and is shared by the lint/callgraph and lint/rule
+// benches, which measure per-phase costs over the pre-loaded packages.
+var (
+	lintOnce   sync.Once
+	lintLoader *analysis.Loader
+	lintPkgs   []*analysis.Package
+	lintErr    error
+)
+
+func lintModule(b *testing.B) (*analysis.Loader, []*analysis.Package) {
+	lintOnce.Do(func() {
+		var root string
+		root, lintErr = analysis.FindModuleRoot(".")
+		if lintErr != nil {
+			return
+		}
+		lintLoader, lintErr = analysis.NewLoader(root)
+		if lintErr != nil {
+			return
+		}
+		lintPkgs, lintErr = lintLoader.Load("./...")
+	})
+	if lintErr != nil {
+		b.Fatal(lintErr)
+	}
+	return lintLoader, lintPkgs
+}
+
+func lintLoadBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		root, err := analysis.FindModuleRoot(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var pkgs []*analysis.Package
+		for i := 0; i < b.N; i++ {
+			loader, err := analysis.NewLoader(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs, err = loader.Load("./...")
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(pkgs)), "pkgs")
+	}
+}
+
+func lintCallGraphBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		_, pkgs := lintModule(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var g *analysis.CallGraph
+		for i := 0; i < b.N; i++ {
+			g = analysis.BuildCallGraph(pkgs)
+		}
+		b.ReportMetric(float64(len(g.Nodes())), "funcs")
+	}
+}
+
+// lintRuleBench measures RunRules over the pre-loaded module: one named
+// rule, or the full suite for rule == "".
+func lintRuleBench(rule string) func(b *testing.B) {
+	return func(b *testing.B) {
+		loader, pkgs := lintModule(b)
+		rules := analysis.Rules()
+		if rule != "" {
+			found := false
+			for _, r := range rules {
+				if r.Name == rule {
+					rules, found = []*analysis.Rule{r}, true
+					break
+				}
+			}
+			if !found {
+				b.Fatalf("no rule named %q", rule)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var res *analysis.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = analysis.RunRules(loader, pkgs, rules)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !res.Clean() {
+			b.Fatalf("lint found unsuppressed diagnostics mid-bench: %+v", res.Diagnostics)
+		}
+		b.ReportMetric(float64(len(res.Diagnostics)+len(res.Suppressed)), "findings/op")
+	}
 }
 
 func verifyBench(k, overlapPct int, mode string) func(b *testing.B) {

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	erasmus-lint [-json] [-rules] [packages ...]
+//	erasmus-lint [-json] [-rules] [-tests] [-sarif file] [packages ...]
 //
 // Packages default to ./... resolved against the enclosing module. Exit
 // status is 0 when every finding is suppressed (//erasmus:allow with a
 // reason), 1 when unsuppressed diagnostics remain, and 2 on load or
 // type-check failure. -json emits the machine-readable result CI
-// archives; -rules prints the rule catalog and exits.
+// archives; -sarif writes a SARIF 2.1.0 report to the given file ("-"
+// for stdout); -tests lints _test.go files too (rules that opt in);
+// -rules prints the rule catalog and exits.
 package main
 
 import (
@@ -25,8 +27,10 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (diagnostics + retained suppressions)")
 	listRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	withTests := flag.Bool("tests", false, "include _test.go files (rules that opt in to test code)")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 report to this file (\"-\" for stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: erasmus-lint [-json] [-rules] [packages ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: erasmus-lint [-json] [-rules] [-tests] [-sarif file] [packages ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,20 +46,38 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	res, err := analysis.Run(".", patterns...)
+	res, err := analysis.RunWithTests(".", *withTests, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "erasmus-lint:", err)
 		os.Exit(2)
 	}
 
-	if *jsonOut {
+	if *sarifOut != "" {
+		data, err := analysis.SARIF(res)
+		if err == nil {
+			if *sarifOut == "-" {
+				_, err = os.Stdout.Write(append(data, '\n'))
+			} else {
+				err = os.WriteFile(*sarifOut, append(data, '\n'), 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "erasmus-lint:", err)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fmt.Fprintln(os.Stderr, "erasmus-lint:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *sarifOut == "-":
+		// SARIF already owns stdout; keep the human summary off it.
+	default:
 		for _, d := range res.Diagnostics {
 			fmt.Println(d)
 		}

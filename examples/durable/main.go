@@ -144,8 +144,8 @@ func run(dir string) ([]erasmus.FleetAlert, error) {
 		e.RunUntil(horizon)
 		mgr.Stop()
 		mgr.Flush()
-		defer mgr.Close()
-		return mgr.Alerts(), nil
+		alerts := mgr.Alerts()
+		return alerts, mgr.Close()
 	}
 
 	// Run until the "crash": stop the manager and close the store with no
@@ -181,8 +181,8 @@ func run(dir string) ([]erasmus.FleetAlert, error) {
 	e.RunUntil(horizon)
 	mgr2.Stop()
 	mgr2.Flush()
-	defer mgr2.Close()
-	return mgr2.Alerts(), nil
+	alerts := mgr2.Alerts()
+	return alerts, mgr2.Close()
 }
 
 func main() {

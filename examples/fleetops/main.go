@@ -145,8 +145,11 @@ func runSim(delta bool) []erasmus.FleetAlert {
 	engine.RunUntil(horizon)
 	manager.Stop()
 	manager.Flush()
-	defer manager.Close()
-	return manager.Alerts()
+	alerts := manager.Alerts()
+	if err := manager.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return alerts
 }
 
 // runUDP drives the scenario over real loopback sockets with delta
@@ -184,8 +187,11 @@ func runUDP() []erasmus.FleetAlert {
 	erasmus.PumpFleetRealTime(managerEngine, horizon)
 	manager.Stop()
 	manager.Flush()
-	defer manager.Close()
-	return manager.Alerts()
+	alerts := manager.Alerts()
+	if err := manager.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return alerts
 }
 
 // canonical orders a stream for comparison: alert content is launch-time

@@ -57,15 +57,27 @@ func (d Diagnostic) String() string {
 // Rule is one invariant-enforcing analyzer. AppliesTo filters by import
 // path (determinism-sensitive rules only make claims about the packages
 // whose conventions they encode); Run inspects one type-checked package.
+// Flow rules that need cross-package context (a call graph) implement
+// RunModule instead, which fires once per lint run with every loaded
+// package in view.
 type Rule struct {
 	// Name is the identifier used in diagnostics and //erasmus:allow().
 	Name string
 	// Doc is the one-line invariant statement shown by the driver.
 	Doc string
 	// AppliesTo reports whether the rule inspects the given import path.
+	// Module rules see every package but report only in applicable ones.
 	AppliesTo func(importPath string) bool
+	// Tests opts the rule in to _test.go files when the loader included
+	// them. Rules without it keep seeing only library and binary code
+	// even under -tests.
+	Tests bool
 	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	// Exactly one of Run and RunModule is set.
 	Run func(pass *Pass)
+	// RunModule inspects the whole loaded module at once — for rules
+	// whose claims span function and package boundaries.
+	RunModule func(mp *ModulePass)
 }
 
 // Pass is one (rule, package) analysis run.
@@ -73,6 +85,87 @@ type Pass struct {
 	Pkg   *Package
 	rule  *Rule
 	diags *[]Diagnostic
+}
+
+// Files returns the package files this rule may inspect: every file,
+// minus _test.go files unless the rule opted in with Tests.
+func (p *Pass) Files() []*ast.File {
+	return filterFiles(p.Pkg, p.rule.Tests)
+}
+
+func filterFiles(pkg *Package, tests bool) []*ast.File {
+	if tests {
+		return pkg.Files
+	}
+	var out []*ast.File
+	for _, f := range pkg.Files {
+		if !pkg.IsTestFile(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ModulePass is one (module rule, loaded module) analysis run. The call
+// graph is built on first use and shared between the module rules of the
+// same lint run.
+type ModulePass struct {
+	// Pkgs are all loaded packages, in load order; use InScope to honor
+	// the rule's AppliesTo filter when reporting.
+	Pkgs []*Package
+	// ModulePath is the module being linted; fixture packages loaded by
+	// the golden harness under synthetic paths count as in-module too.
+	ModulePath string
+
+	rule  *Rule
+	diags *[]Diagnostic
+	graph **CallGraph // shared across the run's module rules
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := mp.Pkgs[0].Fset.Position(pos)
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Rule:    mp.rule.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// CallGraph returns the module call graph, building it on first use.
+// It always spans every loaded package — including test files when
+// loaded — so summaries see the whole module even for scoped rules.
+func (mp *ModulePass) CallGraph() *CallGraph {
+	if *mp.graph == nil {
+		*mp.graph = BuildCallGraph(mp.Pkgs)
+	}
+	return *mp.graph
+}
+
+// InScope reports whether the rule makes claims about pkg.
+func (mp *ModulePass) InScope(pkg *Package) bool {
+	return mp.rule.AppliesTo == nil || mp.rule.AppliesTo(pkg.ImportPath)
+}
+
+// FilesOf returns pkg's files filtered by the rule's Tests opt-in.
+func (mp *ModulePass) FilesOf(pkg *Package) []*ast.File {
+	return filterFiles(pkg, mp.rule.Tests)
+}
+
+// InModule reports whether importPath belongs to the linted module (or
+// to a fixture package loaded directly by the test harness).
+func (mp *ModulePass) InModule(importPath string) bool {
+	if importPath == mp.ModulePath || strings.HasPrefix(importPath, mp.ModulePath+"/") {
+		return true
+	}
+	for _, pkg := range mp.Pkgs {
+		if pkg.ImportPath == importPath {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf records a finding at pos.

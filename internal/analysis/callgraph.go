@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// The module call graph — what lets a rule reason past one function
+// body. Edges are static: direct calls resolve through go/types to the
+// exact *types.Func; calls through an interface method are devirtualized
+// class-hierarchy style, to every module type that implements the
+// interface (so a call through core.StateSink reaches store.Store's
+// methods). Calls through function-typed variables and fields stay
+// unresolved — the rules that consume the graph treat "unresolved" as
+// "no claim", never as "safe".
+
+// CallSite is one resolved call edge.
+type CallSite struct {
+	// Call is the call expression in the caller's body.
+	Call *ast.CallExpr
+	// Caller and Callee are the graph nodes; calls inside function
+	// literals are attributed to the enclosing declared function.
+	Caller, Callee *CGNode
+	// Devirtualized marks an edge recovered from an interface-method
+	// call: the callee is one of possibly several implementations.
+	Devirtualized bool
+	// Go marks a call that is the operand of a go statement: it starts
+	// the callee on another goroutine rather than running it inline, so
+	// blocking behavior does not propagate to the caller through it.
+	Go bool
+}
+
+// CGNode is one declared function or method of the loaded packages.
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out are the calls this function makes; In the calls that reach it.
+	Out, In []*CallSite
+}
+
+// CallGraph maps every declared function of the loaded packages to its
+// node.
+type CallGraph struct {
+	nodes map[*types.Func]*CGNode
+	// namedTypes are the named (non-interface) types of the loaded
+	// packages — the devirtualization universe.
+	namedTypes []*types.Named
+}
+
+// Node returns fn's graph node, or nil for functions with no declaration
+// in the loaded packages (stdlib, unresolved).
+func (g *CallGraph) Node(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// Nodes returns every node in a deterministic (package, position) order.
+func (g *CallGraph) Nodes() []*CGNode {
+	out := make([]*CGNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg.ImportPath != out[j].Pkg.ImportPath {
+			return out[i].Pkg.ImportPath < out[j].Pkg.ImportPath
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}
+
+// BuildCallGraph resolves the static call edges of the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CGNode)}
+
+	// Pass 1: one node per declared function; collect the named-type
+	// universe for devirtualization.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CGNode{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, named)
+		}
+	}
+
+	// Pass 2: edges.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller := g.nodes[pkg.TypesInfo.Defs[fd.Name].(*types.Func)]
+				if caller == nil {
+					continue
+				}
+				spawned := make(map[*ast.CallExpr]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch s := n.(type) {
+					case *ast.GoStmt:
+						spawned[s.Call] = true
+					case *ast.CallExpr:
+						g.addEdges(pkg, caller, s, spawned[s])
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// addEdges resolves one call expression to zero or more edges.
+func (g *CallGraph) addEdges(pkg *Package, caller *CGNode, call *ast.CallExpr, spawned bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pkg.TypesInfo.Uses[fun]
+	default:
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	if callee := g.nodes[fn]; callee != nil {
+		g.link(&CallSite{Call: call, Caller: caller, Callee: callee, Go: spawned})
+		return
+	}
+	// No declaration for fn in the loaded packages: either external
+	// (stdlib — no node, no edge) or an interface method, which
+	// devirtualizes to the module implementations.
+	for _, impl := range g.Implementations(fn) {
+		if callee := g.nodes[impl]; callee != nil {
+			g.link(&CallSite{Call: call, Caller: caller, Callee: callee, Devirtualized: true, Go: spawned})
+		}
+	}
+}
+
+func (g *CallGraph) link(cs *CallSite) {
+	cs.Caller.Out = append(cs.Caller.Out, cs)
+	cs.Callee.In = append(cs.Callee.In, cs)
+}
+
+// Implementations returns the concrete module methods an interface
+// method call may dispatch to: for every named module type implementing
+// the method's interface (by value or pointer receiver), the method of
+// the same name. Non-interface methods return nil.
+func (g *CallGraph) Implementations(fn *types.Func) []*types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, named := range g.namedTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), fn.Name())
+		if m, ok := obj.(*types.Func); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cgFixture loads the callgraph fixture package and builds its graph.
+func cgFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	l := fixtureLoader(t)
+	dir := filepath.Join(l.ModuleRoot, "internal", "analysis", "testdata", "callgraph")
+	pkg, err := l.LoadDir(dir, "cgfixture/internal/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// cgNode finds the node whose function has the given name; fullNameHint
+// disambiguates methods (matched against Fn.FullName()).
+func cgNode(t *testing.T, g *CallGraph, name, fullNameHint string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Fn.Name() == name && strings.Contains(n.Fn.FullName(), fullNameHint) {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s (hint %q)", name, fullNameHint)
+	return nil
+}
+
+func TestCallGraphDirectEdge(t *testing.T) {
+	g := cgFixture(t)
+	outer := cgNode(t, g, "outer", "")
+	wt := cgNode(t, g, "writeThrough", "")
+	if len(outer.Out) != 1 {
+		t.Fatalf("outer has %d out edges, want 1", len(outer.Out))
+	}
+	cs := outer.Out[0]
+	if cs.Callee != wt || cs.Devirtualized || cs.Go {
+		t.Errorf("outer's edge = callee %s devirt=%v go=%v, want direct inline edge to writeThrough",
+			cs.Callee.Fn.Name(), cs.Devirtualized, cs.Go)
+	}
+}
+
+func TestCallGraphDevirtualization(t *testing.T) {
+	g := cgFixture(t)
+	wt := cgNode(t, g, "writeThrough", "")
+	diskPut := cgNode(t, g, "Put", "Disk")
+	nullPut := cgNode(t, g, "Put", "Null")
+
+	callees := make(map[*CGNode]bool)
+	for _, cs := range wt.Out {
+		if !cs.Devirtualized {
+			t.Errorf("edge to %s not marked Devirtualized", cs.Callee.Fn.FullName())
+		}
+		callees[cs.Callee] = true
+	}
+	if !callees[diskPut] || !callees[nullPut] || len(callees) != 2 {
+		t.Errorf("interface call devirtualized to %d callees, want exactly {(*Disk).Put, Null.Put}", len(callees))
+	}
+	// And the inverse edges land in the implementations' In lists.
+	found := false
+	for _, cs := range diskPut.In {
+		if cs.Caller == wt {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("(*Disk).Put has no In edge from writeThrough")
+	}
+}
+
+// TestCallGraphWrapperChain pins the property errflow and lockflow
+// summaries rely on: a durability method is transitively reachable from
+// the top of an in-module wrapper chain.
+func TestCallGraphWrapperChain(t *testing.T) {
+	g := cgFixture(t)
+	outer := cgNode(t, g, "outer", "")
+	diskPut := cgNode(t, g, "Put", "Disk")
+
+	seen := map[*CGNode]bool{outer: true}
+	stack := []*CGNode{outer}
+	reached := false
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, cs := range n.Out {
+			if cs.Callee == diskPut {
+				reached = true
+			}
+			if !seen[cs.Callee] {
+				seen[cs.Callee] = true
+				stack = append(stack, cs.Callee)
+			}
+		}
+	}
+	if !reached {
+		t.Error("outer -> writeThrough -> (*Disk).Put chain not reachable in the graph")
+	}
+}
+
+func TestCallGraphGoFlag(t *testing.T) {
+	g := cgFixture(t)
+	spawner := cgNode(t, g, "spawner", "")
+	drain := cgNode(t, g, "drain", "")
+	if len(spawner.Out) != 1 {
+		t.Fatalf("spawner has %d out edges, want 1", len(spawner.Out))
+	}
+	cs := spawner.Out[0]
+	if cs.Callee != drain || !cs.Go {
+		t.Errorf("spawner's edge = callee %s go=%v, want a Go-flagged edge to drain",
+			cs.Callee.Fn.Name(), cs.Go)
+	}
+}

@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graphs — the substrate the flow-sensitive rules (lockflow,
+// ctcompare, errflow) run on. PR 7's rules were per-statement matchers;
+// a statement matcher cannot see that a manually released mutex misses
+// one early-return path, or that a tainted byte slice reaches a compare
+// three assignments later. The CFG makes "path" a first-class object:
+// basic blocks of straight-line nodes connected by branch, loop, switch,
+// select, goto, and panic edges, with a single synthetic exit block that
+// every return, panic, and fall-off reaches. Deferred calls are left in
+// their blocks as *ast.DeferStmt nodes — defers are path-sensitive facts
+// (a defer registered on one branch does not run on another), so the
+// dataflow clients track them as facts rather than the graph edging
+// them.
+//
+// Blocks contain leaf statements plus, for compound statements, only the
+// parts evaluated at that point: an if/for condition as a bare
+// expression, a switch tag, a select clause's comm statement, and a
+// *RangeHead wrapper for a range statement's operand and per-iteration
+// key/value bind. Compound bodies never appear inside a block's node
+// list, so transfer functions may ast.Inspect block nodes freely —
+// except *RangeHead, whose Body must be skipped (its statements live in
+// successor blocks).
+
+// Block is one basic block: a maximal straight-line node sequence with
+// explicit successors.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, build order).
+	Index int
+	// Nodes are the statements and condition expressions evaluated in
+	// this block, in order.
+	Nodes []ast.Node
+	// Succs are the blocks control may reach next. The exit block has
+	// none.
+	Succs []*Block
+}
+
+// RangeHead marks the point where a range statement evaluates its
+// operand and binds Key/Value for one iteration, without implying its
+// body (which lives in successor blocks). It satisfies ast.Node by
+// delegation so block nodes stay uniformly positioned; clients that
+// ast.Inspect block nodes must skip a RangeHead's Body.
+type RangeHead struct{ *ast.RangeStmt }
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is where execution starts; Exit is the single synthetic block
+	// every return, panic, and fall-off edges to.
+	Entry, Exit *Block
+	Blocks      []*Block
+}
+
+// BuildCFG constructs the control-flow graph of a function body. The
+// construction is purely syntactic (no type information): panics are
+// recognized by the builtin's name, and unstructured control flow
+// (goto, labeled break/continue, fallthrough) is resolved through the
+// label scope of the body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Fall off the end of the body: implicit return.
+	b.edgeTo(b.cfg.Exit)
+	b.resolveGotos()
+	return b.cfg
+}
+
+// ReachableFrom returns the blocks reachable from the entry, in a
+// deterministic order (ascending Index). Unreachable blocks exist when
+// code follows a terminator; the dataflow driver never visits them.
+func (g *CFG) ReachableFrom() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var out []*Block
+	for _, blk := range g.Blocks {
+		if seen[blk.Index] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// loopFrame tracks the jump targets of one enclosing breakable/continuable
+// statement.
+type loopFrame struct {
+	label         string // enclosing label, "" if none
+	brk, cont     *Block // cont nil for switch/select frames
+	isLoop        bool
+	fallthroughTo *Block // next case clause, switch frames only
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// label to attach to the next breakable statement processed.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo links the current block to next (no-op when the current block
+// already terminated).
+func (b *cfgBuilder) edgeTo(next *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, next)
+	}
+}
+
+// terminate ends the current path: following statements are unreachable
+// until a new join block starts.
+func (b *cfgBuilder) terminate() { b.cur = nil }
+
+// startBlock makes next current, linking from the current block when the
+// path is live.
+func (b *cfgBuilder) startBlock(next *Block) {
+	b.edgeTo(next)
+	b.cur = next
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable code after a terminator: give it a block anyway so
+		// every node lives somewhere, but with no predecessors.
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.cfg.Exit)
+		b.terminate()
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.edgeTo(b.cfg.Exit)
+			b.terminate()
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		var tag ast.Node
+		if s.Tag != nil {
+			tag = s.Tag
+		}
+		b.switchStmt(s.Init, tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		// The x := y.(type) assign rides in the head block so transfer
+		// functions see the bind once, before any clause.
+		b.switchStmt(s.Init, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Leaf statements: assign, incdec, send, defer, go, decl, empty.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	condBlk := b.cur
+	after := b.newBlock()
+
+	thenBlk := b.newBlock()
+	b.cur = condBlk
+	b.edgeTo(thenBlk)
+	b.cur = thenBlk
+	b.stmtList(s.Body.List)
+	b.edgeTo(after)
+
+	if s.Else != nil {
+		elseBlk := b.newBlock()
+		b.cur = condBlk
+		b.edgeTo(elseBlk)
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		b.edgeTo(after)
+	} else {
+		b.cur = condBlk
+		b.edgeTo(after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	body := b.newBlock()
+	b.edgeTo(body)
+	if s.Cond != nil {
+		// Condition false: past the loop. A cond-less for only exits via
+		// break/return.
+		b.edgeTo(after)
+	}
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: post, isLoop: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if s.Post != nil {
+		b.edgeTo(post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edgeTo(head)
+	} else {
+		b.edgeTo(head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.startBlock(head)
+	b.add(&RangeHead{s})
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edgeTo(body)
+	b.edgeTo(after) // empty or exhausted iteration
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head, isLoop: true})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	b.edgeTo(head)
+	b.cur = after
+}
+
+// switchStmt builds expression and type switches: head evaluates Init
+// and the tag, every clause is a successor of the head, fallthrough
+// chains to the following clause, and a missing default adds a head →
+// after edge.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Node, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = head
+		b.edgeTo(blocks[i])
+		next := after
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, fallthroughTo: next})
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edgeTo(after)
+	}
+	if !hasDefault {
+		b.cur = head
+		b.edgeTo(after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		clause := b.newBlock()
+		b.cur = head
+		b.edgeTo(clause)
+		b.cur = clause
+		if cc.Comm != nil {
+			// The winning communication (send or receive) happens first in
+			// the clause's block.
+			b.stmt(cc.Comm)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, brk: after})
+		b.stmtList(cc.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edgeTo(after)
+	}
+	_ = hasDefault // select blocks until a case fires; default is just another clause
+	b.cur = after
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	target := b.newBlock()
+	b.startBlock(target)
+	if b.labels == nil {
+		b.labels = make(map[string]*Block)
+	}
+	b.labels[s.Label.Name] = target
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+// takeLabel consumes the label attached to the statement being built, so
+// `outer: for { ... break outer ... }` resolves through the frame stack.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if label == "" || f.label == label {
+				b.edgeTo(f.brk)
+				break
+			}
+		}
+		b.terminate()
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if !f.isLoop {
+				continue
+			}
+			if label == "" || f.label == label {
+				b.edgeTo(f.cont)
+				break
+			}
+		}
+		b.terminate()
+	case token.GOTO:
+		if target, ok := b.labels[label]; ok {
+			b.edgeTo(target)
+		} else {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		}
+		b.terminate()
+	case token.FALLTHROUGH:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].fallthroughTo != nil {
+				b.edgeTo(b.frames[i].fallthroughTo)
+				break
+			}
+		}
+		b.terminate()
+	}
+}
+
+// resolveGotos patches forward gotos (label defined after the jump).
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok && g.from != nil {
+			g.from.Succs = append(g.from.Succs, target)
+		}
+		// An undefined label is a compile error; the type-checked source
+		// the rules run on cannot contain one.
+	}
+}
+
+// isPanicCall reports whether e is a call to the panic builtin. Purely
+// syntactic: shadowing `panic` would hide the edge, and shadowing the
+// builtin is its own code smell.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

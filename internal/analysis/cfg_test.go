@@ -1,0 +1,387 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The CFG tests are marker-based: fixture bodies call mark("name") and
+// assertions are phrased as reachability between the blocks holding the
+// markers. That keeps them independent of block granularity (how the
+// builder splits straight-line code) while pinning the edges that matter
+// — branch joins, loop back edges, break/continue targets, fallthrough
+// chains, panic-to-exit, and goto resolution.
+
+// buildTestCFG parses body as the body of a function and builds its CFG.
+// Parse-only: the CFG builder is purely syntactic.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_input.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return BuildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// nodeHasLit reports whether the block node contains the string literal
+// `"name"`. RangeHead is not an ast.Walk-able node; only its operand is
+// part of the block.
+func nodeHasLit(n ast.Node, name string) bool {
+	if rh, ok := n.(*RangeHead); ok {
+		n = rh.X
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.BasicLit); ok && lit.Value == `"`+name+`"` {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// findMark returns the reachable block containing mark("name") (or any
+// other occurrence of the literal), nil if none.
+func findMark(g *CFG, name string) *Block {
+	for _, blk := range g.ReachableFrom() {
+		for _, n := range blk.Nodes {
+			if nodeHasLit(n, name) {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+func blockOfMark(t *testing.T, g *CFG, name string) *Block {
+	t.Helper()
+	blk := findMark(g, name)
+	if blk == nil {
+		t.Fatalf("no reachable block contains %q", name)
+	}
+	return blk
+}
+
+// reaches reports whether to is reachable from from via one or more
+// edges (so a block reaches itself only around a cycle).
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func exitReachable(g *CFG) bool {
+	for _, blk := range g.ReachableFrom() {
+		if blk == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := buildTestCFG(t, `
+		if cond() {
+			mark("then")
+		} else {
+			mark("else")
+		}
+		mark("after")`)
+	then, els, after := blockOfMark(t, g, "then"), blockOfMark(t, g, "else"), blockOfMark(t, g, "after")
+	if !reaches(g.Entry, then) || !reaches(g.Entry, els) {
+		t.Error("both branches must be reachable from entry")
+	}
+	if reaches(then, els) || reaches(els, then) {
+		t.Error("the two branches must be exclusive")
+	}
+	if !reaches(then, after) || !reaches(els, after) {
+		t.Error("both branches must rejoin at the statement after the if")
+	}
+	if !reaches(after, g.Exit) {
+		t.Error("fall-off must edge to the exit block")
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := buildTestCFG(t, `
+		if cond() {
+			mark("then")
+		}
+		mark("after")`)
+	then, after := blockOfMark(t, g, "then"), blockOfMark(t, g, "after")
+	if !reaches(then, after) {
+		t.Error("then branch must rejoin after the if")
+	}
+	// The false edge: after must be reachable without passing through then.
+	stripped := *g.Entry
+	stripped.Succs = nil
+	for _, s := range g.Entry.Succs {
+		if s != then {
+			stripped.Succs = append(stripped.Succs, s)
+		}
+	}
+	if !reaches(&stripped, after) {
+		t.Error("a missing else must still edge the condition past the body")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+		for i := 0; cond(); i++ {
+			mark("body")
+		}
+		mark("after")`)
+	body, after := blockOfMark(t, g, "body"), blockOfMark(t, g, "after")
+	if !reaches(body, body) {
+		t.Error("loop body must reach itself around the back edge")
+	}
+	if !reaches(body, after) {
+		t.Error("loop body must reach the code after the loop")
+	}
+	if reaches(after, body) {
+		t.Error("code after the loop must not flow back in")
+	}
+}
+
+func TestCFGForeverLoop(t *testing.T) {
+	g := buildTestCFG(t, `
+		for {
+			mark("body")
+		}`)
+	body := blockOfMark(t, g, "body")
+	if !reaches(body, body) {
+		t.Error("loop body must cycle")
+	}
+	if exitReachable(g) {
+		t.Error("a cond-less for without break must make the exit unreachable")
+	}
+}
+
+func TestCFGBreakAndContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+		for cond() {
+			if cond2() {
+				mark("brk")
+				break
+			}
+			mark("cont")
+			continue
+		}
+		mark("after")`)
+	brk, cont, after := blockOfMark(t, g, "brk"), blockOfMark(t, g, "cont"), blockOfMark(t, g, "after")
+	if !reaches(brk, after) {
+		t.Error("break must reach the code after the loop")
+	}
+	if reaches(brk, cont) {
+		t.Error("break must leave the loop, not continue it")
+	}
+	if !reaches(cont, brk) {
+		t.Error("continue must re-enter the loop (reaching the break branch again)")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildTestCFG(t, `
+	outer:
+		for cond() {
+			for cond2() {
+				mark("inner")
+				break outer
+			}
+		}
+		mark("after")`)
+	inner, after := blockOfMark(t, g, "inner"), blockOfMark(t, g, "after")
+	if !reaches(inner, after) {
+		t.Error("break outer must reach the code after the outer loop")
+	}
+	if reaches(inner, inner) {
+		t.Error("break outer must leave both loops; an unlabeled break would re-reach the inner body via the outer loop")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildTestCFG(t, `
+		switch tag() {
+		case 1:
+			mark("one")
+			fallthrough
+		case 2:
+			mark("two")
+		default:
+			mark("def")
+		}
+		mark("after")`)
+	one, two, def, after := blockOfMark(t, g, "one"), blockOfMark(t, g, "two"),
+		blockOfMark(t, g, "def"), blockOfMark(t, g, "after")
+	if !reaches(one, two) {
+		t.Error("fallthrough must chain case 1 into case 2")
+	}
+	if reaches(two, one) || reaches(two, def) || reaches(def, two) {
+		t.Error("cases other than a fallthrough pair must be exclusive")
+	}
+	for name, blk := range map[string]*Block{"one": one, "two": two, "def": def} {
+		if !reaches(blk, after) {
+			t.Errorf("case %s must reach the code after the switch", name)
+		}
+	}
+}
+
+func TestCFGTypeSwitchHead(t *testing.T) {
+	g := buildTestCFG(t, `
+		switch v := mark("head").(type) {
+		case int:
+			use(v)
+			mark("int")
+		default:
+			mark("def")
+		}`)
+	head, intCase, def := blockOfMark(t, g, "head"), blockOfMark(t, g, "int"), blockOfMark(t, g, "def")
+	if !reaches(head, intCase) || !reaches(head, def) {
+		t.Error("the type-switch assign must ride in the head block, before every clause")
+	}
+	if reaches(intCase, def) || reaches(def, intCase) {
+		t.Error("type-switch clauses must be exclusive")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildTestCFG(t, `
+		select {
+		case v := <-ch:
+			use(v)
+			mark("recv")
+		case ch2 <- 1:
+			mark("send")
+		}
+		mark("after")`)
+	recv, send, after := blockOfMark(t, g, "recv"), blockOfMark(t, g, "send"), blockOfMark(t, g, "after")
+	if reaches(recv, send) || reaches(send, recv) {
+		t.Error("select clauses must be exclusive")
+	}
+	if !reaches(recv, after) || !reaches(send, after) {
+		t.Error("both clauses must rejoin after the select")
+	}
+}
+
+func TestCFGPanicEdges(t *testing.T) {
+	g := buildTestCFG(t, `
+		if cond() {
+			panic("boom")
+		}
+		mark("after")`)
+	panicBlk, after := blockOfMark(t, g, "boom"), blockOfMark(t, g, "after")
+	exitSucc := false
+	for _, s := range panicBlk.Succs {
+		if s == g.Exit {
+			exitSucc = true
+		}
+	}
+	if !exitSucc {
+		t.Error("a panic call must edge directly to the exit block")
+	}
+	if reaches(panicBlk, after) {
+		t.Error("control must not continue past a panic")
+	}
+}
+
+func TestCFGUnreachableAfterPanic(t *testing.T) {
+	g := buildTestCFG(t, `
+		mark("pre")
+		panic("boom")
+		mark("post")`)
+	if findMark(g, "post") != nil {
+		t.Error("code after an unconditional panic must be unreachable")
+	}
+	if !exitReachable(g) {
+		t.Error("the panic itself must reach the exit")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := buildTestCFG(t, `
+		for _, v := range mark("range") {
+			use(v)
+			mark("body")
+		}
+		mark("after")`)
+	head, body, after := blockOfMark(t, g, "range"), blockOfMark(t, g, "body"), blockOfMark(t, g, "after")
+	var isHead *RangeHead
+	for _, n := range head.Nodes {
+		if rh, ok := n.(*RangeHead); ok {
+			isHead = rh
+		}
+	}
+	if isHead == nil {
+		t.Fatal("the range operand must be wrapped in a *RangeHead block node")
+	}
+	if !reaches(body, body) {
+		t.Error("range body must cycle through the head")
+	}
+	if !reaches(head, after) {
+		t.Error("the head must edge past the loop for the exhausted iteration")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildTestCFG(t, `
+		if cond() {
+			goto done
+		}
+		mark("mid")
+	done:
+		mark("end")`)
+	mid, end := blockOfMark(t, g, "mid"), blockOfMark(t, g, "end")
+	var gotoBlk *Block
+	for _, blk := range g.ReachableFrom() {
+		for _, n := range blk.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+				gotoBlk = blk
+			}
+		}
+	}
+	if gotoBlk == nil {
+		t.Fatal("no reachable block holds the goto")
+	}
+	if !reaches(gotoBlk, end) {
+		t.Error("a forward goto must resolve to its label's block")
+	}
+	if reaches(gotoBlk, mid) {
+		t.Error("goto must skip the statements between it and the label")
+	}
+	if !reaches(mid, end) {
+		t.Error("the fall-through path must also reach the label")
+	}
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	g := buildTestCFG(t, `
+		defer mark("cleanup")
+		mark("body")`)
+	body := blockOfMark(t, g, "body")
+	var deferred *ast.DeferStmt
+	for _, n := range body.Nodes {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred = d
+		}
+	}
+	if deferred == nil {
+		t.Error("a defer must stay a block node (a path-sensitive fact), not become an edge")
+	}
+}

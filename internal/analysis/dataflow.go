@@ -1,0 +1,97 @@
+package analysis
+
+import "go/ast"
+
+// A small forward-dataflow framework over the CFG: lattice join at block
+// boundaries, worklist iteration to a fixpoint. The flow rules instantiate
+// it with set-valued facts (held locks, tainted variables); the framework
+// owns only the iteration order and convergence bookkeeping, so a rule is
+// just its transfer function plus its join.
+
+// Fact is one dataflow fact — a point in the rule's lattice. Facts are
+// treated as immutable by the framework: Transfer and Join must return
+// fresh values (or unmodified inputs) rather than mutating arguments.
+type Fact any
+
+// FlowAnalysis defines one forward analysis.
+type FlowAnalysis struct {
+	// Entry produces the fact holding at function entry.
+	Entry func() Fact
+	// Transfer computes the fact after one block node, given the fact
+	// before it. Nodes are the leaf statements and condition expressions
+	// BuildCFG placed in blocks (see the cfg.go comment for the
+	// compound-statement decomposition, including *RangeHead).
+	Transfer func(n ast.Node, in Fact) Fact
+	// Join merges the facts of two predecessors at a block boundary. It
+	// must be commutative, associative, and monotone for the worklist to
+	// converge.
+	Join func(a, b Fact) Fact
+	// Equal reports whether two facts are the same lattice point —
+	// fixpoint detection.
+	Equal func(a, b Fact) bool
+}
+
+// BlockFacts carries the converged facts of one reachable block.
+type BlockFacts struct {
+	// In holds at block entry, Out after the last node.
+	In, Out Fact
+}
+
+// Forward runs the analysis to fixpoint and returns the facts of every
+// reachable block. Unreachable blocks are absent from the result (their
+// facts are the lattice's bottom: nothing is known to hold, and nothing
+// in them executes).
+func Forward(g *CFG, an FlowAnalysis) map[*Block]BlockFacts {
+	in := make(map[*Block]Fact)
+	out := make(map[*Block]Fact)
+	in[g.Entry] = an.Entry()
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		f := in[blk]
+		for _, n := range blk.Nodes {
+			f = an.Transfer(n, f)
+		}
+		if prev, ok := out[blk]; ok && an.Equal(prev, f) {
+			continue
+		}
+		out[blk] = f
+		for _, s := range blk.Succs {
+			next, ok := in[s]
+			if !ok {
+				next = f
+			} else {
+				next = an.Join(next, f)
+			}
+			if prev, seen := in[s]; !seen || !an.Equal(prev, next) {
+				in[s] = next
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+
+	res := make(map[*Block]BlockFacts, len(in))
+	for blk, f := range in {
+		res[blk] = BlockFacts{In: f, Out: out[blk]}
+	}
+	return res
+}
+
+// EachNodeFact re-walks one block from its in-fact, calling visit with
+// the fact in effect immediately *before* each node — the granularity
+// reporting passes need ("was the lock held when this call ran?").
+func EachNodeFact(blk *Block, facts BlockFacts, an FlowAnalysis, visit func(n ast.Node, before Fact)) {
+	f := facts.In
+	for _, n := range blk.Nodes {
+		visit(n, f)
+		f = an.Transfer(n, f)
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// The dataflow tests drive Forward directly over hand-built graphs with
+// a reaching-labels analysis: each block node is an *ast.Ident whose
+// name joins the fact set. Union join + set equality makes expected
+// fixpoints easy to state exactly.
+
+func labelAnalysis() FlowAnalysis {
+	return FlowAnalysis{
+		Entry: func() Fact { return map[string]bool{} },
+		Transfer: func(n ast.Node, in Fact) Fact {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return in
+			}
+			f := in.(map[string]bool)
+			out := make(map[string]bool, len(f)+1)
+			for k := range f {
+				out[k] = true
+			}
+			out[id.Name] = true
+			return out
+		},
+		Join: func(a, b Fact) Fact {
+			x, y := a.(map[string]bool), b.(map[string]bool)
+			j := make(map[string]bool, len(x)+len(y))
+			for k := range x {
+				j[k] = true
+			}
+			for k := range y {
+				j[k] = true
+			}
+			return j
+		},
+		Equal: func(a, b Fact) bool {
+			return equalKeySets(a.(map[string]bool), b.(map[string]bool))
+		},
+	}
+}
+
+func labeled(name string) ast.Node { return &ast.Ident{Name: name} }
+
+func wantSet(t *testing.T, got Fact, want ...string) {
+	t.Helper()
+	g := got.(map[string]bool)
+	w := make(map[string]bool, len(want))
+	for _, k := range want {
+		w[k] = true
+	}
+	if !equalKeySets(g, w) {
+		t.Errorf("fact = %v, want %v", g, w)
+	}
+}
+
+// TestForwardDiamond: a diamond's merge block joins the facts of both
+// arms, and each arm sees only the entry's fact.
+func TestForwardDiamond(t *testing.T) {
+	entry := &Block{Index: 0, Nodes: []ast.Node{labeled("e")}}
+	left := &Block{Index: 1, Nodes: []ast.Node{labeled("l")}}
+	right := &Block{Index: 2, Nodes: []ast.Node{labeled("r")}}
+	merge := &Block{Index: 3}
+	entry.Succs = []*Block{left, right}
+	left.Succs = []*Block{merge}
+	right.Succs = []*Block{merge}
+	g := &CFG{Entry: entry, Exit: merge, Blocks: []*Block{entry, left, right, merge}}
+
+	facts := Forward(g, labelAnalysis())
+	wantSet(t, facts[left].In, "e")
+	wantSet(t, facts[right].In, "e")
+	wantSet(t, facts[left].Out, "e", "l")
+	wantSet(t, facts[merge].In, "e", "l", "r")
+}
+
+// TestForwardLoopFixpoint: a fact generated inside a loop body flows
+// around the back edge into the loop head's in-fact, and the iteration
+// terminates.
+func TestForwardLoopFixpoint(t *testing.T) {
+	entry := &Block{Index: 0, Nodes: []ast.Node{labeled("e")}}
+	head := &Block{Index: 1}
+	body := &Block{Index: 2, Nodes: []ast.Node{labeled("b")}}
+	after := &Block{Index: 3}
+	entry.Succs = []*Block{head}
+	head.Succs = []*Block{body, after}
+	body.Succs = []*Block{head}
+	g := &CFG{Entry: entry, Exit: after, Blocks: []*Block{entry, head, body, after}}
+
+	facts := Forward(g, labelAnalysis())
+	wantSet(t, facts[head].In, "e", "b")
+	wantSet(t, facts[after].In, "e", "b")
+}
+
+// TestForwardUnreachable: blocks with no path from the entry are absent
+// from the result, and contribute nothing at joins.
+func TestForwardUnreachable(t *testing.T) {
+	entry := &Block{Index: 0, Nodes: []ast.Node{labeled("e")}}
+	exit := &Block{Index: 1}
+	orphan := &Block{Index: 2, Nodes: []ast.Node{labeled("dead")}}
+	entry.Succs = []*Block{exit}
+	orphan.Succs = []*Block{exit}
+	g := &CFG{Entry: entry, Exit: exit, Blocks: []*Block{entry, exit, orphan}}
+
+	facts := Forward(g, labelAnalysis())
+	if _, ok := facts[orphan]; ok {
+		t.Error("unreachable block must be absent from the result")
+	}
+	wantSet(t, facts[exit].In, "e")
+}
+
+// TestEachNodeFact: the reporting walk hands each node the fact holding
+// immediately before it, in node order.
+func TestEachNodeFact(t *testing.T) {
+	blk := &Block{Index: 0, Nodes: []ast.Node{labeled("a"), labeled("b")}}
+	g := &CFG{Entry: blk, Exit: blk, Blocks: []*Block{blk}}
+	an := labelAnalysis()
+	facts := Forward(g, an)
+
+	var seen []map[string]bool
+	EachNodeFact(blk, facts[blk], an, func(n ast.Node, before Fact) {
+		seen = append(seen, before.(map[string]bool))
+	})
+	if len(seen) != 2 {
+		t.Fatalf("visited %d nodes, want 2", len(seen))
+	}
+	wantSet(t, Fact(seen[0]))
+	wantSet(t, Fact(seen[1]), "a")
+}

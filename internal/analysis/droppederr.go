@@ -25,7 +25,7 @@ var droppedErrRule = &Rule{
 }
 
 func runDroppedErr(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
+	for _, f := range pass.Files() {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.ExprStmt:

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errflowRule is the interprocedural upgrade of droppederr. droppederr
+// flags a discarded error only when the discarded call is *directly* a
+// durability call (internal/store, core.StateSink). But the repo wraps
+// those calls: journalStatus wraps sink.SetWatermark wraps Store.Put,
+// and the error travels up the wrapper chain as an ordinary return
+// value. Discarding the *wrapper's* error severs the same chain to the
+// sticky-error latch — just one hop removed, where droppederr cannot see
+// it.
+//
+// errflow computes, over the module call graph, the set of "propagating"
+// functions — those whose returned error may originate from a durability
+// call, directly or through other propagating functions (devirtualized
+// interface calls included, so a helper taking a core.StateSink counts).
+// It then flags the droppederr discard forms (bare call statement,
+// go/defer call, blank-identifier assignment) applied to a propagating
+// function. Direct durability calls are left to droppederr so each
+// finding has exactly one rule to suppress.
+var errflowRule = &Rule{
+	Name:      "errflow",
+	Doc:       "errors wrapping internal/store or core.StateSink failures must not be discarded anywhere along the call chain",
+	AppliesTo: func(string) bool { return true },
+	RunModule: runErrflow,
+}
+
+func runErrflow(mp *ModulePass) {
+	propagating := propagatingFuncs(mp)
+	for _, pkg := range mp.Pkgs {
+		if !mp.InScope(pkg) {
+			continue
+		}
+		for _, f := range mp.FilesOf(pkg) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						reportErrflow(mp, pkg, propagating, call, "the result of a bare call statement")
+					}
+				case *ast.GoStmt:
+					reportErrflow(mp, pkg, propagating, s.Call, "a go statement's result")
+				case *ast.DeferStmt:
+					reportErrflow(mp, pkg, propagating, s.Call, "a deferred call's result")
+				case *ast.AssignStmt:
+					errflowInAssign(mp, pkg, propagating, s)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func errflowInAssign(mp *ModulePass, pkg *Package, propagating map[*types.Func]string, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBlank(s.Lhs[len(s.Lhs)-1]) {
+			reportErrflow(mp, pkg, propagating, call, "the blank identifier")
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isBlank(s.Lhs[i]) {
+			reportErrflow(mp, pkg, propagating, call, "the blank identifier")
+		}
+	}
+}
+
+// reportErrflow flags call when its discarded error comes from a
+// propagating wrapper. Direct durability callees belong to droppederr.
+func reportErrflow(mp *ModulePass, pkg *Package, propagating map[*types.Func]string, call *ast.CallExpr, sink string) {
+	fn := calleeOf(pkg, call)
+	if fn == nil || isDurabilityFunc(fn) {
+		return
+	}
+	chain, ok := propagating[fn]
+	if !ok {
+		return
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || !lastResultIsError(sig) {
+		return
+	}
+	mp.Reportf(call.Pos(),
+		"%s discards the error from %s, which propagates durability failures (%s); "+
+			"handle it or explain with //erasmus:allow(errflow) <reason>",
+		sink, fn.Name(), chain)
+}
+
+// propagatingFuncs computes the propagating set to a fixpoint over the
+// call graph: a function propagates when its last result is an error and
+// its body calls a durability function or another propagating function
+// without discarding that call's error locally.
+func propagatingFuncs(mp *ModulePass) map[*types.Func]string {
+	g := mp.CallGraph()
+	out := make(map[*types.Func]string)
+
+	// Seed: functions returning an error that make a direct durability
+	// call whose error is used (assigned or returned, not discarded).
+	var work []*CGNode
+	for _, node := range g.Nodes() {
+		if !returnsError(node.Fn) {
+			continue
+		}
+		if name, ok := directDurabilityUse(node); ok {
+			out[node.Fn] = "reaches " + name
+			work = append(work, node)
+		}
+	}
+	// Propagate up the wrapper chains. A go-spawned call's error cannot
+	// reach the spawner's return value.
+	for len(work) > 0 {
+		node := work[0]
+		work = work[1:]
+		chain := out[node.Fn]
+		for _, cs := range node.In {
+			if cs.Go {
+				continue
+			}
+			caller := cs.Caller
+			if _, seen := out[caller.Fn]; seen || !returnsError(caller.Fn) {
+				continue
+			}
+			if callErrorDiscarded(cs.Call, caller) {
+				continue
+			}
+			out[caller.Fn] = "via " + node.Fn.Name() + ", " + chain
+			work = append(work, caller)
+		}
+	}
+	return out
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && lastResultIsError(sig)
+}
+
+// directDurabilityUse reports whether node's body makes a durability
+// call returning an error that is not locally discarded, naming the
+// callee.
+func directDurabilityUse(node *CGNode) (string, bool) {
+	discarded := discardedCalls(node)
+	var name string
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || discarded[call] {
+			return true
+		}
+		fn := calleeOf(node.Pkg, call)
+		if fn == nil || !isDurabilityFunc(fn) || !returnsError(fn) {
+			return true
+		}
+		name = fn.FullName()
+		return true
+	})
+	return name, name != ""
+}
+
+// callErrorDiscarded reports whether this specific call site throws the
+// callee's error away (droppederr's discard forms) — such a caller does
+// not forward the failure, so the chain stops there.
+func callErrorDiscarded(call *ast.CallExpr, caller *CGNode) bool {
+	return discardedCalls(caller)[call]
+}
+
+// discardedCalls collects the call expressions in node's body whose
+// results are structurally discarded.
+func discardedCalls(node *CGNode) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				out[call] = true
+			}
+		case *ast.GoStmt:
+			out[s.Call] = true
+		case *ast.DeferStmt:
+			out[s.Call] = true
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBlank(s.Lhs[len(s.Lhs)-1]) {
+					out[call] = true
+				}
+				break
+			}
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isBlank(s.Lhs[i]) {
+					out[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -43,6 +43,14 @@ var goldenCases = []goldenCase{
 		}},
 	{name: "stderrprint", rules: []string{"stderrprint"},
 		pkgs: []fixturePkg{{"stderrprint", "lintfixture/internal/stderrprint"}}},
+	{name: "lockflow", rules: []string{"lockflow"},
+		pkgs: []fixturePkg{{"lockflow", "lintfixture/internal/lockflow"}}},
+	{name: "ctcompare", rules: []string{"ctcompare"},
+		pkgs: []fixturePkg{{"ctcompare", "lintfixture/internal/ctcompare"}}},
+	// The errflow fixture's synthetic path ends in /internal/core so its
+	// StateSink interface counts as the durability seed.
+	{name: "errflow", rules: []string{"errflow"},
+		pkgs: []fixturePkg{{"errflow", "errfixture/internal/core"}}},
 	// The directive case runs a real rule so the interplay is visible:
 	// unknown rule names and empty reasons are flagged AND fail to
 	// suppress the underlying finding.

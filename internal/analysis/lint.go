@@ -21,6 +21,12 @@ func (r *Result) Clean() bool { return len(r.Diagnostics) == 0 }
 // the full rule suite — the programmatic equivalent of
 // `erasmus-lint patterns...`.
 func Run(dir string, patterns ...string) (*Result, error) {
+	return RunWithTests(dir, false, patterns...)
+}
+
+// RunWithTests is Run with the loader's IncludeTests mode selectable —
+// the programmatic equivalent of `erasmus-lint -tests patterns...`.
+func RunWithTests(dir string, includeTests bool, patterns ...string) (*Result, error) {
 	root, err := FindModuleRoot(dir)
 	if err != nil {
 		return nil, err
@@ -29,6 +35,7 @@ func Run(dir string, patterns ...string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	loader.IncludeTests = includeTests
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return nil, err
@@ -58,11 +65,30 @@ func RunRules(loader *Loader, pkgs []*Package, rules []*Rule) (*Result, error) {
 			directives = append(directives, fileDirectives(pkg.Fset, f, &diags)...)
 		}
 		for _, rule := range rules {
+			if rule.Run == nil {
+				continue
+			}
 			if rule.AppliesTo != nil && !rule.AppliesTo(pkg.ImportPath) {
 				continue
 			}
 			rule.Run(&Pass{Pkg: pkg, rule: rule, diags: &diags})
 		}
+	}
+
+	// Module rules fire once with every package in view; the call graph
+	// is built lazily and shared between them.
+	var graph *CallGraph
+	for _, rule := range rules {
+		if rule.RunModule == nil || len(pkgs) == 0 {
+			continue
+		}
+		rule.RunModule(&ModulePass{
+			Pkgs:       pkgs,
+			ModulePath: loader.ModulePath,
+			rule:       rule,
+			diags:      &diags,
+			graph:      &graph,
+		})
 	}
 
 	// Directive hygiene: every allow must name a real rule and carry a

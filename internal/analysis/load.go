@@ -3,19 +3,23 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
 
-// Package is one parsed and type-checked package. Test files are never
-// loaded: the rules police library and binary code, and the loader stays
-// a plain compiler frontend with no external-test-package handling.
+// Package is one parsed and type-checked package. By default test files
+// are not loaded — the rules police library and binary code — but a
+// loader with IncludeTests set merges in-package _test.go files into the
+// package and type-checks external test packages (package foo_test) as
+// separate packages under "<importPath> [tests]".
 type Package struct {
 	ImportPath string
 	Dir        string
@@ -23,7 +27,12 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	testFiles map[*ast.File]bool
 }
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
 
 // Loader parses and type-checks packages of one module without any
 // dependency beyond the standard library: module-internal imports are
@@ -34,7 +43,13 @@ type Loader struct {
 	ModulePath string
 	Fset       *token.FileSet
 
+	// IncludeTests loads _test.go files too. Set it before the first
+	// Load call: packages are cached, and a package loaded without its
+	// tests stays that way for the loader's lifetime.
+	IncludeTests bool
+
 	pkgs    map[string]*Package
+	xtests  map[string]*Package
 	stdlib  types.Importer
 	loading map[string]bool
 }
@@ -84,6 +99,7 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 		ModulePath: modPath,
 		Fset:       fset,
 		pkgs:       make(map[string]*Package),
+		xtests:     make(map[string]*Package),
 		stdlib:     importer.ForCompiler(fset, "source", nil),
 		loading:    make(map[string]bool),
 	}, nil
@@ -152,6 +168,9 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		out = append(out, pkg)
+		if xt := l.xtests[pkg.ImportPath]; xt != nil {
+			out = append(out, xt)
+		}
 	}
 	return out, nil
 }
@@ -177,6 +196,55 @@ func goFileNames(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// buildIncluded evaluates f's //go:build constraint (if any) for the
+// default build configuration: host GOOS/GOARCH, gc, and no extra tags
+// — so e.g. race-detector-gated files stay out of the one-package-one
+// compile the loader does.
+func buildIncluded(f *ast.File) bool {
+	for _, group := range f.Comments {
+		if group.Pos() >= f.Package {
+			break
+		}
+		for _, c := range group.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case runtime.GOOS, runtime.GOARCH, "gc":
+					return true
+				case "unix":
+					return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+				}
+				return false
+			})
+		}
+	}
+	return true
+}
+
+// testGoFileNames lists dir's _test.go files, sorted.
+func testGoFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
 		names = append(names, name)
@@ -214,6 +282,35 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		}
 		files = append(files, f)
 	}
+	pkgName := files[0].Name.Name
+
+	// With IncludeTests, in-package test files join the package's own
+	// compile; external test packages (package foo_test) are set aside
+	// and type-checked as their own package once this one is cached.
+	testFiles := make(map[*ast.File]bool)
+	var external []*ast.File
+	if l.IncludeTests {
+		testNames, err := testGoFileNames(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range testNames {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			if !buildIncluded(f) {
+				continue
+			}
+			testFiles[f] = true
+			if f.Name.Name == pkgName {
+				files = append(files, f)
+			} else {
+				external = append(external, f)
+			}
+		}
+	}
+
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -232,8 +329,32 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Files:      files,
 		Types:      tpkg,
 		TypesInfo:  info,
+		testFiles:  testFiles,
 	}
 	l.pkgs[importPath] = pkg
+
+	if len(external) > 0 {
+		xinfo := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		xpath := importPath + " [tests]"
+		xpkg, err := conf.Check(xpath, l.Fset, external, xinfo)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", xpath, err)
+		}
+		l.xtests[importPath] = &Package{
+			ImportPath: xpath,
+			Dir:        dir,
+			Fset:       l.Fset,
+			Files:      external,
+			Types:      xpkg,
+			TypesInfo:  xinfo,
+			testFiles:  testFiles,
+		}
+	}
 	return pkg, nil
 }
 

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The include-tests fixture: fixture.go has a wallclock violation,
+// fixture_test.go (in-package) and fixture_ext_test.go (external
+// package) each have a ctcompare violation, and fixture_race_test.go is
+// //go:build race-gated and redeclares a helper — it must stay out of
+// the compile or type-checking fails.
+
+const includeTestsPath = "lintfixture/internal/includetests"
+
+func loadIncludeTests(t *testing.T, includeTests bool) (*Loader, *Package) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.IncludeTests = includeTests
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "includetests")
+	pkg, err := l.LoadDir(dir, includeTestsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, pkg
+}
+
+func TestLoaderExcludesTestsByDefault(t *testing.T) {
+	_, pkg := loadIncludeTests(t, false)
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files without IncludeTests, want 1 (fixture.go only)", len(pkg.Files))
+	}
+	if pkg.IsTestFile(pkg.Files[0]) {
+		t.Error("the only default-mode file must not be a test file")
+	}
+}
+
+func TestLoaderIncludeTests(t *testing.T) {
+	l, pkg := loadIncludeTests(t, true)
+
+	// fixture_test.go merges into the package compile;
+	// fixture_race_test.go must be excluded by its build constraint
+	// (it redeclares verifySloppy — inclusion fails type-checking).
+	var testFiles int
+	for _, f := range pkg.Files {
+		if pkg.IsTestFile(f) {
+			testFiles++
+		}
+	}
+	if len(pkg.Files) != 2 || testFiles != 1 {
+		t.Fatalf("loaded %d files (%d test) with IncludeTests, want 2 files with 1 in-package test file",
+			len(pkg.Files), testFiles)
+	}
+
+	// The external test package is type-checked separately.
+	xt := l.xtests[includeTestsPath]
+	if xt == nil {
+		t.Fatal("external test package (includetests_test) was not loaded")
+	}
+	if !strings.HasSuffix(xt.ImportPath, " [tests]") {
+		t.Errorf("external test package import path = %q, want a %q suffix", xt.ImportPath, " [tests]")
+	}
+
+	// Rule gating over the loaded set: ctcompare opted in to tests and
+	// must see both test files' violations; wallclock did not and must
+	// flag only the non-test file's wall read.
+	res, err := RunRules(l, []*Package{pkg, xt}, []*Rule{
+		ruleByName(t, "ctcompare"),
+		ruleByName(t, "wallclock"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	inTestFiles := 0
+	for _, d := range res.Diagnostics {
+		counts[d.Rule]++
+		if strings.Contains(d.File, "_test.go") {
+			inTestFiles++
+		}
+	}
+	if counts["ctcompare"] != 2 {
+		t.Errorf("ctcompare found %d violations, want 2 (in-package + external test file); got %+v",
+			counts["ctcompare"], res.Diagnostics)
+	}
+	if counts["wallclock"] != 1 {
+		t.Errorf("wallclock found %d violations, want 1 — the Tests opt-in gate must keep it out of test files; got %+v",
+			counts["wallclock"], res.Diagnostics)
+	}
+	if inTestFiles != 2 {
+		t.Errorf("%d findings in test files, want exactly the 2 ctcompare ones", inTestFiles)
+	}
+}

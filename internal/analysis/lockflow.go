@@ -1,0 +1,493 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockflowRule is the flow-sensitive lock-safety rule. It runs the
+// forward dataflow over every function's CFG with the held-lock set as
+// the fact, and reports three violation shapes:
+//
+//   - a sync lock acquired on some path but not released on every exit
+//     path, panic exits included (deferred unlocks count as released);
+//   - re-acquiring a lock the current path already holds (self-deadlock
+//     with sync.Mutex);
+//   - doing something that can block or touch durable state while any
+//     lock is held: channel operations, selects without a default, and
+//     calls whose call-graph summary says they reach network I/O, file
+//     sync, store journaling, or a sleep.
+//
+// The single-writer shard discipline (service.go, fleet.go) makes lock
+// regions the serialization points the equivalence tests rely on; a
+// blocked shard stalls the whole virtual-time schedule, and a lock leak
+// turns the next collection into a deadlock the simulator only hits on
+// one specific interleaving. Per-path held-set tracking is what the
+// per-statement rules of PR 7 could not see.
+//
+// Approximations, by design: lock identity is the receiver expression's
+// source text (so "m.mu" in two functions is two locks — correct, since
+// the rule is intra-procedural about held sets); read locks are tracked
+// as a separate "key:r" token without a hold count; and function
+// literals are analyzed as their own functions, so a closure inherits no
+// held set from its creator.
+var lockflowRule = &Rule{
+	Name:      "lockflow",
+	Doc:       "every acquired sync lock is released on all exit paths, and nothing blocking runs while one is held",
+	AppliesTo: func(string) bool { return true },
+	RunModule: runLockflow,
+}
+
+func runLockflow(mp *ModulePass) {
+	blocking := blockingSummaries(mp)
+	for _, pkg := range mp.Pkgs {
+		if !mp.InScope(pkg) {
+			continue
+		}
+		// The store IS the durability layer: its commit mutex exists to
+		// serialize journaling, so "journaling while its own lock is
+		// held" is its design, not a violation. Channel ops, network
+		// I/O, and lock-balance violations are still checked there.
+		inStore := strings.HasSuffix(pkg.ImportPath, "/internal/store")
+		for _, f := range mp.FilesOf(pkg) {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkLockflowFunc(mp, pkg, blocking, fd.Name.Name, fd.Body, inStore)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkLockflowFunc(mp, pkg, blocking, fd.Name.Name+" literal", lit.Body, inStore)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// lockFact is the dataflow fact: the set of lock keys that may be held
+// (may-analysis: union at joins), and the set with a deferred release
+// registered on every path so far (must-analysis: intersection at
+// joins). Maps are treated as immutable; transfer copies on write.
+type lockFact struct {
+	held     map[string]bool
+	deferred map[string]bool
+}
+
+func (f lockFact) clone() lockFact {
+	c := lockFact{held: make(map[string]bool, len(f.held)), deferred: make(map[string]bool, len(f.deferred))}
+	for k := range f.held {
+		c.held[k] = true
+	}
+	for k := range f.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+func equalKeySets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockOp is one sync lock/unlock call found in a node.
+type lockOp struct {
+	key     string // receiver source text, ":r"-suffixed for read ops
+	acquire bool
+	pos     token.Pos
+}
+
+// lockAnalysis instantiates the dataflow framework for one function.
+type lockAnalysis struct {
+	pkg *Package
+}
+
+func (a *lockAnalysis) flow() FlowAnalysis {
+	return FlowAnalysis{
+		Entry: func() Fact { return lockFact{} },
+		Transfer: func(n ast.Node, in Fact) Fact {
+			f := in.(lockFact)
+			out := f
+			copied := false
+			mutate := func() {
+				if !copied {
+					out = f.clone()
+					copied = true
+				}
+			}
+			if d, ok := n.(*ast.DeferStmt); ok {
+				// A deferred release runs on every exit from here on,
+				// panic included. Look inside deferred closures too.
+				ast.Inspect(d.Call, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if op, ok := a.lockOpOf(call); ok && !op.acquire {
+							mutate()
+							out.deferred[op.key] = true
+						}
+					}
+					return true
+				})
+				return out
+			}
+			for _, op := range a.lockOps(n) {
+				mutate()
+				if op.acquire {
+					out.held[op.key] = true
+				} else {
+					delete(out.held, op.key)
+				}
+			}
+			return out
+		},
+		Join: func(x, y Fact) Fact {
+			a, b := x.(lockFact), y.(lockFact)
+			j := lockFact{held: make(map[string]bool), deferred: make(map[string]bool)}
+			for k := range a.held {
+				j.held[k] = true
+			}
+			for k := range b.held {
+				j.held[k] = true
+			}
+			for k := range a.deferred {
+				if b.deferred[k] {
+					j.deferred[k] = true
+				}
+			}
+			return j
+		},
+		Equal: func(x, y Fact) bool {
+			a, b := x.(lockFact), y.(lockFact)
+			return equalKeySets(a.held, b.held) && equalKeySets(a.deferred, b.deferred)
+		},
+	}
+}
+
+// lockOps collects the lock/unlock calls a node performs inline, in
+// source order — not those inside nested function literals (their body
+// runs elsewhere) or go statements (another goroutine).
+func (a *lockAnalysis) lockOps(n ast.Node) []lockOp {
+	var ops []lockOp
+	inlineInspect(n, func(m ast.Node) {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if op, ok := a.lockOpOf(call); ok {
+				ops = append(ops, op)
+			}
+		}
+	})
+	return ops
+}
+
+// lockOpOf classifies call as a sync lock or unlock. TryLock is ignored:
+// its acquisition is conditional, and flow-splitting on its result is
+// beyond this rule's lattice.
+func (a *lockAnalysis) lockOpOf(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := a.pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return lockOp{key: key, acquire: true, pos: call.Pos()}, true
+	case "Unlock":
+		return lockOp{key: key, pos: call.Pos()}, true
+	case "RLock":
+		return lockOp{key: key + ":r", acquire: true, pos: call.Pos()}, true
+	case "RUnlock":
+		return lockOp{key: key + ":r", pos: call.Pos()}, true
+	}
+	return lockOp{}, false
+}
+
+// inlineInspect walks n visiting only code that executes inline on the
+// current goroutine: function-literal bodies, go-statement operands, and
+// the loop body hidden behind a *RangeHead are skipped.
+func inlineInspect(n ast.Node, visit func(ast.Node)) {
+	if rh, ok := n.(*RangeHead); ok {
+		// Only the range operand and iteration-variable binds are part
+		// of this node; the loop body has its own blocks.
+		if rh.X != nil {
+			inlineInspect(rh.X, visit)
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+// checkLockflowFunc runs the lock dataflow over one function body and
+// reports violations. skipJournal waives the durability-journaling
+// blocking kind (for the durability layer itself).
+func checkLockflowFunc(mp *ModulePass, pkg *Package, blocking map[*types.Func]blockReason, name string, body *ast.BlockStmt, skipJournal bool) {
+	an := &lockAnalysis{pkg: pkg}
+	flow := an.flow()
+	g := BuildCFG(body)
+	facts := Forward(g, flow)
+
+	// Per-node checks: double acquisition and blocking-while-held.
+	for _, blk := range g.Blocks {
+		bf, reachable := facts[blk]
+		if !reachable {
+			continue
+		}
+		EachNodeFact(blk, bf, flow, func(n ast.Node, before Fact) {
+			f := before.(lockFact).clone()
+			inlineInspect(n, func(m ast.Node) {
+				switch s := m.(type) {
+				case *ast.CallExpr:
+					if op, ok := an.lockOpOf(s); ok {
+						if op.acquire && f.held[op.key] {
+							mp.Reportf(op.pos,
+								"lock %q is acquired while already held on this path (self-deadlock)",
+								strings.TrimSuffix(op.key, ":r"))
+						}
+						if op.acquire {
+							f.held[op.key] = true
+						} else {
+							delete(f.held, op.key)
+						}
+						return
+					}
+					if len(f.held) == 0 {
+						return
+					}
+					if fn := calleeOf(pkg, s); fn != nil {
+						if r, ok := blocking[fn]; ok && !(skipJournal && r.kind == "durability journaling") {
+							mp.Reportf(s.Pos(),
+								"call to %s %s while lock %q is held; move it outside the critical section or explain with //erasmus:allow(lockflow) <reason>",
+								fn.Name(), r.describe(), heldList(f.held))
+						} else if kind, is := externalBlockKind(fn); !ok && is && !(skipJournal && kind == "durability journaling") {
+							mp.Reportf(s.Pos(),
+								"call to %s (%s) while lock %q is held; move it outside the critical section or explain with //erasmus:allow(lockflow) <reason>",
+								fn.Name(), kind, heldList(f.held))
+						}
+					}
+				case *ast.SendStmt:
+					if len(f.held) > 0 {
+						mp.Reportf(s.Pos(), "channel send while lock %q is held", heldList(f.held))
+					}
+				case *ast.UnaryExpr:
+					if s.Op == token.ARROW && len(f.held) > 0 {
+						mp.Reportf(s.Pos(), "channel receive while lock %q is held", heldList(f.held))
+					}
+				case *ast.SelectStmt:
+					if len(f.held) > 0 && !selectHasDefault(s) {
+						mp.Reportf(s.Pos(), "blocking select while lock %q is held", heldList(f.held))
+					}
+				}
+			})
+		})
+	}
+
+	// Exit check: a lock still in the may-held set at an exit edge, with
+	// no deferred release, escapes the function locked on that path.
+	reported := make(map[string]bool)
+	for _, blk := range g.Blocks {
+		bf, reachable := facts[blk]
+		if !reachable {
+			continue
+		}
+		exits := false
+		for _, s := range blk.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		out := bf.Out.(lockFact)
+		var leaked []string
+		for k := range out.held {
+			if !out.deferred[k] && !reported[k] {
+				leaked = append(leaked, k)
+			}
+		}
+		sort.Strings(leaked)
+		for _, k := range leaked {
+			reported[k] = true
+			pos := body.End()
+			if len(blk.Nodes) > 0 {
+				pos = blk.Nodes[len(blk.Nodes)-1].Pos()
+			}
+			mp.Reportf(pos,
+				"lock %q may still be held when %s exits on this path (no unlock or deferred unlock reaches it)",
+				strings.TrimSuffix(k, ":r"), name)
+		}
+	}
+}
+
+// heldList renders the held set for messages, smallest key first.
+func heldList(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, strings.TrimSuffix(k, ":r"))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = pkg.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pkg.TypesInfo.Uses[fun]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// blockReason says why a function counts as blocking: the root cause and
+// the first step of the call chain that reaches it.
+type blockReason struct {
+	kind string
+	via  string
+}
+
+func (r blockReason) describe() string {
+	if r.via == "" {
+		return "(" + r.kind + ")"
+	}
+	return "(" + r.kind + " via " + r.via + ")"
+}
+
+// blockingSummaries computes, over the module call graph, which declared
+// functions may block or touch durable state when called: directly
+// through channel operations, selects, network I/O, file sync, sleeps,
+// or durability journaling — or transitively by calling such a function
+// (go-spawned calls excepted: they move the blocking to another
+// goroutine).
+func blockingSummaries(mp *ModulePass) map[*types.Func]blockReason {
+	g := mp.CallGraph()
+	out := make(map[*types.Func]blockReason)
+
+	// Externally declared blockers get summaries too, so call sites can
+	// look them up uniformly: durability interface methods and the few
+	// stdlib calls with known blocking behavior are classified at the
+	// call sites below instead (they have no CGNode).
+	var work []*CGNode
+	for _, node := range g.Nodes() {
+		if r, ok := directBlockReason(node); ok {
+			out[node.Fn] = r
+			work = append(work, node)
+		}
+	}
+	for len(work) > 0 {
+		node := work[0]
+		work = work[1:]
+		r := out[node.Fn]
+		for _, cs := range node.In {
+			if cs.Go {
+				continue
+			}
+			if _, seen := out[cs.Caller.Fn]; seen {
+				continue
+			}
+			out[cs.Caller.Fn] = blockReason{kind: r.kind, via: node.Fn.Name()}
+			work = append(work, cs.Caller)
+		}
+	}
+	return out
+}
+
+// directBlockReason reports whether node's body itself blocks — not
+// counting code inside go statements or nested function literals that
+// are only spawned.
+func directBlockReason(node *CGNode) (blockReason, bool) {
+	var found blockReason
+	var ok bool
+	set := func(kind string) {
+		if !ok {
+			found, ok = blockReason{kind: kind}, true
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if ok {
+				return false
+			}
+			switch s := m.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				set("channel send")
+			case *ast.UnaryExpr:
+				if s.Op == token.ARROW {
+					set("channel receive")
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(s) {
+					set("blocking select")
+				}
+			case *ast.CallExpr:
+				if fn := calleeOf(node.Pkg, s); fn != nil {
+					if kind, is := externalBlockKind(fn); is {
+						set(kind)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(node.Decl.Body)
+	return found, ok
+}
+
+// externalBlockKind classifies callees declared outside the module whose
+// blocking or durability behavior is known a priori.
+func externalBlockKind(fn *types.Func) (string, bool) {
+	if isDurabilityFunc(fn) {
+		return "durability journaling", true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch {
+	case pkg.Path() == "net" || strings.HasPrefix(pkg.Path(), "net/"):
+		return "network I/O", true
+	case pkg.Path() == "os" && fn.Name() == "Sync":
+		return "file sync", true
+	case pkg.Path() == "time" && fn.Name() == "Sleep":
+		return "sleep", true
+	}
+	return "", false
+}

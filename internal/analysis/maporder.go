@@ -31,7 +31,7 @@ var mapOrderRule = &Rule{
 }
 
 func runMapOrder(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
+	for _, f := range pass.Files() {
 		for _, decl := range f.Decls {
 			sortsAt := sortCallPositions(pass, decl)
 			ast.Inspect(decl, func(n ast.Node) bool {

@@ -24,7 +24,7 @@ var nilRecvRule = &Rule{
 }
 
 func runNilRecv(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
+	for _, f := range pass.Files() {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {

@@ -5,7 +5,10 @@ package analysis
 // enforce dynamically (the rule Docs name the guarded invariant).
 func Rules() []*Rule {
 	return []*Rule{
+		ctcompareRule,
 		droppedErrRule,
+		errflowRule,
+		lockflowRule,
 		mapOrderRule,
 		nilRecvRule,
 		seededRandRule,

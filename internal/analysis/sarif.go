@@ -1,0 +1,113 @@
+package analysis
+
+import "encoding/json"
+
+// SARIF 2.1.0 serialization of a lint result — the minimal subset code
+// scanners ingest: one run, the rule catalog on the tool driver, one
+// result per diagnostic. Suppressed findings are emitted with an
+// inSource suppression carrying the //erasmus:allow reason, so the
+// allowlist stays auditable in scanner UIs instead of disappearing.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders the result as an indented SARIF 2.1.0 document.
+// Unsuppressed diagnostics are level error; suppressed ones are level
+// note with their in-source justification attached.
+func SARIF(res *Result) ([]byte, error) {
+	driver := sarifDriver{
+		Name:           "erasmus-lint",
+		InformationURI: "https://" + res.ModulePath,
+		Rules:          []sarifRule{{ID: MetaRule, ShortDescription: sarifMessage{Text: "problems with erasmus directives themselves"}}},
+	}
+	for _, r := range Rules() {
+		driver.Rules = append(driver.Rules, sarifRule{ID: r.Name, ShortDescription: sarifMessage{Text: r.Doc}})
+	}
+
+	results := make([]sarifResult, 0, len(res.Diagnostics)+len(res.Suppressed))
+	add := func(d Diagnostic, level string) {
+		r := sarifResult{
+			RuleID:  d.Rule,
+			Level:   level,
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: d.File},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			}}},
+		}
+		if d.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: d.Reason}}
+		}
+		results = append(results, r)
+	}
+	for _, d := range res.Diagnostics {
+		add(d, "error")
+	}
+	for _, d := range res.Suppressed {
+		add(d, "note")
+	}
+
+	return json.MarshalIndent(sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}, "", "  ")
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}

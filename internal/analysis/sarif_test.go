@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 document produced for the
+// wallclock fixture (live findings + one suppressed) byte-for-byte.
+// Regenerate with -update.
+func TestSARIFGolden(t *testing.T) {
+	res := runGoldenCase(t, goldenCase{
+		name:  "wallclock",
+		rules: []string{"wallclock"},
+		pkgs:  []fixturePkg{{"wallclock", "lintfixture/internal/wallclock"}},
+	})
+	data, err := SARIF(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	goldenPath := filepath.Join("testdata", "sarif", "expected.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("SARIF output diverges from %s:\n--- got ---\n%s--- want ---\n%s",
+			goldenPath, data, want)
+	}
+}
+
+// TestSARIFShape checks the structural contract independently of the
+// golden bytes: schema/version, full rule catalog on the driver, level
+// and suppression partitioning between live and suppressed findings.
+func TestSARIFShape(t *testing.T) {
+	res := runGoldenCase(t, goldenCase{
+		name:  "wallclock",
+		rules: []string{"wallclock"},
+		pkgs:  []fixturePkg{{"wallclock", "lintfixture/internal/wallclock"}},
+	})
+	if len(res.Diagnostics) == 0 || len(res.Suppressed) == 0 {
+		t.Fatalf("fixture must yield both live and suppressed findings, got %d/%d",
+			len(res.Diagnostics), len(res.Suppressed))
+	}
+	data, err := SARIF(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output does not parse back: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs[MetaRule] {
+		t.Errorf("driver rules missing the %q meta rule", MetaRule)
+	}
+	for _, r := range Rules() {
+		if !ruleIDs[r.Name] {
+			t.Errorf("driver rules missing %q", r.Name)
+		}
+	}
+
+	if len(run.Results) != len(res.Diagnostics)+len(res.Suppressed) {
+		t.Fatalf("results = %d, want %d live + %d suppressed",
+			len(run.Results), len(res.Diagnostics), len(res.Suppressed))
+	}
+	for _, r := range run.Results {
+		switch {
+		case len(r.Suppressions) == 0:
+			if r.Level != "error" {
+				t.Errorf("live finding has level %q, want error", r.Level)
+			}
+		default:
+			if r.Level != "note" {
+				t.Errorf("suppressed finding has level %q, want note", r.Level)
+			}
+			s := r.Suppressions[0]
+			if s.Kind != "inSource" || s.Justification == "" {
+				t.Errorf("suppression = %+v, want kind inSource with a justification", s)
+			}
+		}
+		if len(r.Locations) != 1 {
+			t.Errorf("result has %d locations, want 1", len(r.Locations))
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine == 0 {
+			t.Errorf("result location incomplete: %+v", loc)
+		}
+	}
+}

@@ -30,7 +30,7 @@ var seededRandConstructors = map[string]bool{
 }
 
 func runSeededRand(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
+	for _, f := range pass.Files() {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {

@@ -23,7 +23,7 @@ var stderrPrintRule = &Rule{
 var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
 
 func runStderrPrint(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
+	for _, f := range pass.Files() {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

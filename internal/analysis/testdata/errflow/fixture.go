@@ -1,0 +1,61 @@
+// Package errflow exercises the interprocedural error-flow rule: a
+// function whose returned error wraps a durability failure (StateSink
+// methods, internal/store) is "propagating", and discarding its error
+// anywhere up the wrapper chain severs the path to the sticky-error
+// latch. The fixture's import path ends in /internal/core so its
+// StateSink counts as the durability interface, mirroring the real one.
+package errflow
+
+// StateSink mirrors core.StateSink — its methods are durability calls.
+type StateSink interface {
+	SetWatermark(device string, state []byte) error
+}
+
+// journal is one wrapper hop: it forwards the durability error.
+func journal(s StateSink, device string, state []byte) error {
+	return s.SetWatermark(device, state)
+}
+
+// journalBoth is a second hop over the first.
+func journalBoth(s StateSink, device string, state []byte) error {
+	if err := journal(s, device, state); err != nil {
+		return err
+	}
+	return journal(s, device+"/mirror", state)
+}
+
+// Bad discards the wrapper's error with a bare call statement.
+func Bad(s StateSink, state []byte) {
+	journal(s, "dev0", state)
+}
+
+// BadDeep discards two hops up the chain, via the blank identifier.
+func BadDeep(s StateSink, state []byte) {
+	_ = journalBoth(s, "dev0", state)
+}
+
+// Allowed is the suppression path: the same discard, explained.
+func Allowed(s StateSink, state []byte) {
+	journal(s, "dev0", state) //erasmus:allow(errflow) fixture: best-effort journal on the shutdown path; the store replays on restart
+}
+
+// Clean forwards the error to its caller.
+func Clean(s StateSink, state []byte) error {
+	return journalBoth(s, "dev0", state)
+}
+
+// CleanHandled consumes the error locally.
+func CleanHandled(s StateSink, state []byte) {
+	if err := journal(s, "dev0", state); err != nil {
+		lastErr = err
+	}
+}
+
+var lastErr error
+
+// CleanDirect is droppederr's territory: the discarded call is itself
+// the durability call, so errflow stays quiet about it (each finding has
+// exactly one rule to suppress).
+func CleanDirect(s StateSink, state []byte) {
+	s.SetWatermark("dev0", state)
+}

@@ -1,0 +1,19 @@
+// Package includetests exercises the loader's IncludeTests mode and the
+// per-rule Tests opt-in gate. The non-test file carries a wallclock
+// violation; the test files carry ctcompare violations. Under -tests,
+// ctcompare (Tests: true) must see the test files while wallclock
+// (no opt-in) must keep ignoring them.
+package includetests
+
+import "time"
+
+// Token's MAC field is authenticator material for ctcompare.
+type Token struct {
+	MAC []byte
+}
+
+// Stamp uses the wall clock in an internal package: a wallclock finding
+// in a non-test file.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,14 @@
+package includetests_test
+
+import "bytes"
+
+// xToken lives in the external test package (includetests_test), which
+// the loader type-checks as its own "<path> [tests]" package.
+type xToken struct {
+	MAC []byte
+}
+
+// xVerify is a ctcompare violation in the external test package.
+func xVerify(t xToken, supplied []byte) bool {
+	return bytes.Equal(t.MAC, supplied)
+}

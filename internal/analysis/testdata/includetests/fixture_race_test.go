@@ -1,0 +1,11 @@
+//go:build race
+
+package includetests
+
+// verifySloppy redeclares the in-package test helper: if the loader
+// ignored build constraints this file would join the compile and the
+// package would fail to type-check with a redeclaration error — the
+// regression that motivated buildIncluded.
+func verifySloppy(t Token, supplied []byte) bool {
+	return false
+}

@@ -1,0 +1,18 @@
+package includetests
+
+import (
+	"bytes"
+	"time"
+)
+
+// verifySloppy is a ctcompare violation inside an in-package test file:
+// only visible when the loader includes tests.
+func verifySloppy(t Token, supplied []byte) bool {
+	return bytes.Equal(t.MAC, supplied)
+}
+
+// stampInTest is a wallclock-shaped call in a test file: wallclock has
+// no Tests opt-in, so it must NOT be reported even under -tests.
+func stampInTest() int64 {
+	return time.Now().UnixNano()
+}

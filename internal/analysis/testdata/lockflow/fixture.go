@@ -1,0 +1,111 @@
+// Package lockflow exercises the flow-sensitive lock-safety rule: locks
+// leaking out of a function on one path, double acquisition, and
+// blocking operations inside a critical section — directly, through a
+// known-blocking stdlib call, and transitively through a module function
+// whose call-graph summary says it blocks.
+package lockflow
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// Leak holds the mutex on the early-return path.
+func (s *shard) Leak(cond bool) {
+	s.mu.Lock()
+	if cond {
+		return
+	}
+	s.mu.Unlock()
+}
+
+// PanicLeak holds the mutex on the panic path: no deferred release.
+func (s *shard) PanicLeak(cond bool) {
+	s.mu.Lock()
+	if cond {
+		panic("invariant broken")
+	}
+	s.mu.Unlock()
+}
+
+// Double re-acquires a lock the current path already holds.
+func (s *shard) Double() {
+	s.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// SendLocked performs a channel send inside the critical section.
+func (s *shard) SendLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v
+}
+
+// SleepLocked calls a known-blocking stdlib function under the lock.
+func (s *shard) SleepLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// recvInner blocks on a channel receive; the call-graph summary marks it.
+func (s *shard) recvInner() int { return <-s.ch }
+
+// WrappedLocked blocks transitively, through recvInner's summary.
+func (s *shard) WrappedLocked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recvInner()
+}
+
+// SendAllowed is the suppression path: the same violation, explained.
+func (s *shard) SendAllowed(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v //erasmus:allow(lockflow) fixture: the reader side never blocks in this harness
+}
+
+// CleanDefer releases on every exit, panic included, via defer.
+func (s *shard) CleanDefer(cond bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cond {
+		panic("still released")
+	}
+	return s.n
+}
+
+// CleanBranch releases manually on both paths.
+func (s *shard) CleanBranch(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// CleanRead pairs the read lock with a deferred read unlock.
+func (s *shard) CleanRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+// CleanSpawn is fine: the go-spawned receive blocks another goroutine,
+// not the lock holder.
+func (s *shard) CleanSpawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { <-s.ch }()
+}

@@ -25,7 +25,7 @@ var wallClockRule = &Rule{
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
 func runWallClock(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
+	for _, f := range pass.Files() {
 		for _, decl := range f.Decls {
 			if declWallPaced(decl) {
 				continue

@@ -354,7 +354,10 @@ func walkChain(fromState []byte, recs []Record, skipIdx int, wantState []byte) b
 	var err error
 	s.got, err = s.dig.AppendBinary(s.got[:0])
 	s.dig.Reset()
-	return err == nil && bytes.Equal(s.got, wantState)
+	// wantState is the prover's claimed chain head, straight off the wire;
+	// comparing it against the recomputed state must not leak the position
+	// of the first diverging byte.
+	return err == nil && mac.ConstantTimeEqual(s.got, wantState)
 }
 
 // VerifyDeltaAggregate validates an aggregate-anchor collection. The

@@ -86,11 +86,13 @@ func TestAggregateAnchoredClean(t *testing.T) {
 	if len(rep.Records) != 4 {
 		t.Fatalf("graded %d records, want 4", len(rep.Records))
 	}
+	//erasmus:allow(ctcompare) chain equality assertion on test-known values; no prover-supplied operand, no timing oracle
 	if next.T != fx.recs[0].T || !bytes.Equal(next.Chain, fx.agg.State) {
 		t.Fatalf("watermark did not adopt the verified chain head: %+v", next)
 	}
 	delRep, delNext := v.VerifyDelta(fx.recs, fx.now, 0, fx.wm)
 	wantEquivalent(t, rep, delRep)
+	//erasmus:allow(ctcompare) hash equality assertion on test-known values; no prover-supplied operand, no timing oracle
 	if next.T != delNext.T || !bytes.Equal(next.Hash, delNext.Hash) {
 		t.Fatalf("watermark anchor diverges: agg %+v, delta %+v", next, delNext)
 	}
@@ -120,6 +122,7 @@ func TestAggregateBootstrapMatchesFull(t *testing.T) {
 		len(full.Records) != len(rep.Records) {
 		t.Fatalf("bootstrap diverges from full:\nfull: %+v\nagg:  %+v", full, rep)
 	}
+	//erasmus:allow(ctcompare) chain equality assertion on test-known values; no prover-supplied operand, no timing oracle
 	if wm.IsZero() || wm.T != endT || !bytes.Equal(wm.Chain, head) {
 		t.Fatalf("bootstrap watermark wrong: %+v", wm)
 	}
@@ -342,6 +345,7 @@ func TestAggregateChainAdoptionAfterFallbackAndUpgrade(t *testing.T) {
 		t.Fatalf("audit tier rejected honest records: %+v", rep)
 	}
 	// The genuine aggregate MAC authenticated the head: adopted on advance.
+	//erasmus:allow(ctcompare) chain equality assertion on test-known values; no prover-supplied operand, no timing oracle
 	if !bytes.Equal(next.Chain, fx.agg.State) || next.T != fx.recs[0].T {
 		t.Fatalf("chain head not adopted after fallback: %+v", next)
 	}
@@ -355,6 +359,7 @@ func TestAggregateChainAdoptionAfterFallbackAndUpgrade(t *testing.T) {
 	if !repEmpty.AggregateFallback {
 		t.Fatalf("chain-less watermark cannot walk: %+v", repEmpty)
 	}
+	//erasmus:allow(ctcompare) chain equality assertion on test-known values; no prover-supplied operand, no timing oracle
 	if upgraded.T != legacy.T || !bytes.Equal(upgraded.Chain, fx.wm.Chain) {
 		t.Fatalf("keep-prev watermark did not upgrade with the verified head: %+v", upgraded)
 	}
@@ -456,6 +461,7 @@ func TestAggregateProverVerifierLoop(t *testing.T) {
 	if rep2.OverlapTrusted != 1 || len(rep2.Records) != 3 {
 		t.Fatalf("anchored round graded wrong set: %+v", rep2)
 	}
+	//erasmus:allow(ctcompare) chain equality assertion on test-known values; no prover-supplied operand, no timing oracle
 	if wm2.T <= wm.T || !bytes.Equal(wm2.Chain, state2) {
 		t.Fatalf("watermark did not advance with the chain: %+v", wm2)
 	}
@@ -489,6 +495,7 @@ func TestAggregateWireRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//erasmus:allow(ctcompare) round-trip decode assertion on test-known values; no prover-supplied operand, no timing oracle
 	if !bytes.Equal(back.ChainState, resp.ChainState) || !bytes.Equal(back.AggMAC, resp.AggMAC) {
 		t.Fatalf("response fields lost: %+v", back)
 	}

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
+
+	"erasmus/internal/crypto/mac"
 )
 
 // Incremental (delta) verification — the stateful half of ERASMUS's
@@ -49,9 +50,15 @@ func (w Watermark) IsZero() bool { return w.T == 0 && len(w.Hash) == 0 && len(w.
 // Matches reports whether rec is byte-for-byte the record the watermark
 // was taken from. Equality implies authenticity: the bytes were MAC-
 // verified when the watermark was written, and malware cannot change any
-// of them without breaking equality.
+// of them without breaking equality. The comparison is constant-time in
+// the record's contents — rec is prover-supplied, and a variable-time
+// compare against the cached MAC bytes would leak the mismatch position
+// — and both fields are compared unconditionally so timing does not even
+// reveal which one diverged.
 func (w Watermark) Matches(rec Record) bool {
-	return rec.T == w.T && bytes.Equal(rec.Hash, w.Hash) && bytes.Equal(rec.MAC, w.MAC)
+	hashOK := mac.ConstantTimeEqual(rec.Hash, w.Hash)
+	macOK := mac.ConstantTimeEqual(rec.MAC, w.MAC)
+	return rec.T == w.T && hashOK && macOK
 }
 
 // NewWatermark captures a verified record as watermark state. The field

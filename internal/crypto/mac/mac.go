@@ -125,10 +125,19 @@ func Sum(a Algorithm, key, msg []byte) []byte {
 // constant time with respect to the tag comparison.
 func Verify(a Algorithm, key, msg, tag []byte) bool {
 	want := Sum(a, key, msg)
-	if len(tag) != len(want) {
-		return false
-	}
-	return subtle.ConstantTimeCompare(want, tag) == 1
+	return ConstantTimeEqual(want, tag)
+}
+
+// ConstantTimeEqual reports whether a and b are equal in time that
+// depends on their lengths but not their contents. It is the comparison
+// every check of prover-supplied bytes against stored MAC material or
+// verifier chain state must use: a variable-time bytes.Equal leaks the
+// position of the first mismatching byte, which is exactly the oracle an
+// attacker forging a tag one byte at a time needs. Lengths are public
+// (they are fixed by the algorithm), so the early length exit leaks
+// nothing.
+func ConstantTimeEqual(a, b []byte) bool {
+	return len(a) == len(b) && subtle.ConstantTimeCompare(a, b) == 1
 }
 
 // Hash returns the un-keyed hash function H used to digest prover memory

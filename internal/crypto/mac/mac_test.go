@@ -79,6 +79,7 @@ func TestHMACSHA256RFC4231(t *testing.T) {
 	key := []byte("Jefe")
 	msg := []byte("what do ya want for nothing?")
 	want, _ := hex.DecodeString("5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+	//erasmus:allow(ctcompare) golden-vector assertion; operands are public test vectors, no timing oracle
 	if got := Sum(HMACSHA256, key, msg); !bytes.Equal(got, want) {
 		t.Fatalf("HMAC-SHA256 = %x, want %x", got, want)
 	}
@@ -89,6 +90,7 @@ func TestHMACSHA1RFC2202(t *testing.T) {
 	key := []byte("Jefe")
 	msg := []byte("what do ya want for nothing?")
 	want, _ := hex.DecodeString("effcdf6ae5eb2fa2d27416d5f184df9c259a7c79")
+	//erasmus:allow(ctcompare) golden-vector assertion; operands are public test vectors, no timing oracle
 	if got := Sum(HMACSHA1, key, msg); !bytes.Equal(got, want) {
 		t.Fatalf("HMAC-SHA1 = %x, want %x", got, want)
 	}
@@ -100,6 +102,7 @@ func TestSumMatchesNew(t *testing.T) {
 	for _, a := range Algorithms() {
 		h := New(a, key)
 		h.Write(msg)
+		//erasmus:allow(ctcompare) determinism assertion on test-generated MACs; no prover-supplied operand, no timing oracle
 		if !bytes.Equal(h.Sum(nil), Sum(a, key, msg)) {
 			t.Errorf("%v: New+Write+Sum != Sum", a)
 		}
@@ -136,6 +139,7 @@ func TestBLAKE2sLongKeyFolding(t *testing.T) {
 		t.Fatal("long-key BLAKE2s round trip failed")
 	}
 	// Folding must not equal the truncated-key MAC.
+	//erasmus:allow(ctcompare) algorithm-separation assertion on test-generated MACs; no prover-supplied operand, no timing oracle
 	if bytes.Equal(tag, Sum(KeyedBLAKE2s, long[:32], msg)) {
 		t.Fatal("long key was silently truncated")
 	}
@@ -201,6 +205,7 @@ func TestPropertyHMACSHA256MatchesStdlib(t *testing.T) {
 	f := func(key, msg []byte) bool {
 		h := hmac.New(sha256.New, key)
 		h.Write(msg)
+		//erasmus:allow(ctcompare) truncation assertion on test-generated MACs; no prover-supplied operand, no timing oracle
 		return bytes.Equal(h.Sum(nil), Sum(HMACSHA256, key, msg))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {

@@ -427,6 +427,7 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 	if !restored {
 		// Journal the registration now: a crash before the first verdict
 		// must not forget when the device joined (warm-up leniency).
+		//erasmus:allow(lockflow) registration journals under m.mu so journal order matches membership order (crash before first verdict must not forget the join)
 		m.journalStatus(d)
 	}
 	m.mu.Unlock()
@@ -439,6 +440,7 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 			d.anchor = m.engine.Now() + cfg.QoA.TC
 			d.hasAnchor = true
 			first = d.anchor
+			//erasmus:allow(lockflow) restored-device anchors journal under m.mu; journal order must equal memory order for crash-resume equivalence
 			m.journalStatus(d)
 		}
 		m.mu.Unlock()
@@ -497,6 +499,7 @@ func (m *Manager) Start() {
 		dev.anchor = now + phase + dev.cfg.QoA.TC
 		dev.hasAnchor = true
 		firsts[i] = dev.anchor
+		//erasmus:allow(lockflow) start-time anchors journal under m.mu; journal order must equal memory order for crash-resume equivalence
 		m.journalStatus(dev)
 	}
 	m.mu.Unlock()
@@ -526,6 +529,7 @@ func (m *Manager) Stop() {
 		// error and Close returns it, but surface it immediately too.
 		if err := m.st.Sync(); err != nil {
 			m.mu.Lock()
+			//erasmus:allow(lockflow) the sticky-error latch updates under m.mu so health-state order matches verdict order
 			m.noteSticky(0) // tick 0: Stop runs outside engine time
 			m.mu.Unlock()
 		}
@@ -648,12 +652,15 @@ func (m *Manager) applyResult(j *pipeJob) {
 		if d.failures == m.unreachableAfter {
 			d.healthy = false
 			d.unreachable = true
+			//erasmus:allow(lockflow) alert journal order must match verdict application order under m.mu (bit-identical alert stream invariant)
 			m.alertAt(j.at, d, AlertUnreachable,
 				fmt.Sprintf("%d consecutive collections failed", d.failures))
 		}
 		m.metrics.transitions(wasHealthy, wasUnreach, d.healthy, d.unreachable)
 		m.observeApply(j, outcomeFailed)
+		//erasmus:allow(lockflow) status journals under m.mu so journal order equals memory order (single-writer discipline)
 		m.journalStatus(d)
+		//erasmus:allow(lockflow) the sticky-error latch updates under m.mu so health-state order matches verdict order
 		m.noteSticky(j.at)
 		return
 	}
@@ -662,6 +669,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 		// Watermark updates are applied here — in submission order, under
 		// the same lock as device state — so the watermark a later launch
 		// reads is always the last applied verdict's successor.
+		//erasmus:allow(lockflow) the watermark journal shares m.mu so a later launch always reads the last applied verdict's successor
 		m.svc.Set(d.cfg.Addr, core.NextWatermark(j.wm, rep))
 	}
 	wasUnreachable := d.unreachable
@@ -674,12 +682,16 @@ func (m *Manager) applyResult(j *pipeJob) {
 	d.healthy = rep.Healthy()
 	switch {
 	case rep.InfectionDetected:
+		//erasmus:allow(lockflow) alert journal order must match verdict application order under m.mu (bit-identical alert stream invariant)
 		m.alertAt(j.at, d, AlertInfection, firstIssue(rep))
 	case rep.TamperDetected:
+		//erasmus:allow(lockflow) alert journal order must match verdict application order under m.mu (bit-identical alert stream invariant)
 		m.alertAt(j.at, d, AlertTamper, firstIssue(rep))
 	case wasUnreachable && d.healthy:
+		//erasmus:allow(lockflow) alert journal order must match verdict application order under m.mu (bit-identical alert stream invariant)
 		m.alertAt(j.at, d, AlertRecovered, "device reachable, history healthy")
 	case !wasHealthy && d.healthy:
+		//erasmus:allow(lockflow) alert journal order must match verdict application order under m.mu (bit-identical alert stream invariant)
 		m.alertAt(j.at, d, AlertRecovered, "history healthy again")
 	}
 	m.metrics.transitions(wasHealthy, wasUnreachable, d.healthy, d.unreachable)
@@ -694,7 +706,9 @@ func (m *Manager) applyResult(j *pipeJob) {
 	if m.onReport != nil {
 		m.onReport(d.cfg.Addr, rep)
 	}
+	//erasmus:allow(lockflow) status journals under m.mu so journal order equals memory order (single-writer discipline)
 	m.journalStatus(d)
+	//erasmus:allow(lockflow) the sticky-error latch updates under m.mu so health-state order matches verdict order
 	m.noteSticky(j.at)
 }
 

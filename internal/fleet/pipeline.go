@@ -114,6 +114,7 @@ func (p *pipeline) submit(j pipeJob) {
 	p.queued++
 	p.m.metrics.setQueue(p.queued)
 	p.mu.Unlock()
+	//erasmus:allow(lockflow) closeMu is read-held across the send precisely to exclude Close's write lock: prevents send-on-closed-channel at Stop
 	p.jobs <- j
 	p.closeMu.RUnlock()
 }
