@@ -20,12 +20,15 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"erasmus/internal/analysis"
 	"erasmus/internal/core"
 	"erasmus/internal/crypto/mac"
+	"erasmus/internal/fleet"
+	"erasmus/internal/obs"
 	"erasmus/internal/popsim"
 	"erasmus/internal/sim"
 	"erasmus/internal/store"
@@ -196,6 +199,22 @@ func jsonSuite() []jsonBench {
 				"tm":        "1m", "tc": "4m", "duration": "12m",
 			},
 			fn: fleetBench(200, mode.sync, mode.delta, mode.aggregate),
+		})
+	}
+
+	// The streaming fan-out path: one published alert reaches every
+	// /watch subscriber through the broker. Publish throughput with
+	// 1/8/64 subscribers draining concurrently bounds how many live
+	// consumers a verifier can feed before the alert path itself becomes
+	// the bottleneck; delivered/publish below the subscriber count shows
+	// the drop-oldest overflow protocol engaging (consumers heal from
+	// retained history, so drops cost a re-read, not data).
+	for _, subs := range []int{1, 8, 64} {
+		subs := subs
+		suite = append(suite, jsonBench{
+			name:   fmt.Sprintf("stream/subs=%d", subs),
+			params: map[string]any{"subs": subs, "buffer": 256},
+			fn:     streamFanOutBench(subs),
 		})
 	}
 
@@ -546,6 +565,44 @@ func fleetBench(pop int, sync, delta, aggregate bool) func(b *testing.B) {
 			b.ReportMetric(float64(res.AggregateRounds), "agg-rounds")
 			b.ReportMetric(float64(res.AggregateFallbacks), "agg-fallbacks")
 		}
+	}
+}
+
+// streamFanOutBench measures broker fan-out: b.N alerts published while
+// subs subscribers drain concurrently, the way /watch/alerts consumers
+// do. Publish never blocks (drop-oldest), so ns/op is the cost the
+// verdict path pays per alert regardless of consumer count.
+func streamFanOutBench(subs int) func(b *testing.B) {
+	return func(b *testing.B) {
+		brk := obs.NewBroker[fleet.StreamedAlert]()
+		var wg sync.WaitGroup
+		var delivered atomic.Int64
+		for i := 0; i < subs; i++ {
+			sub := brk.Subscribe(256)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := int64(0)
+				for range sub.Ch() {
+					n++
+				}
+				delivered.Add(n)
+			}()
+		}
+		alert := fleet.StreamedAlert{Alert: fleet.Alert{
+			Device: "bench-00", Kind: fleet.AlertInfection, Detail: "fan-out",
+		}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			alert.Seq = uint64(i + 1)
+			brk.Publish(alert)
+		}
+		elapsed := b.Elapsed()
+		brk.Close()
+		wg.Wait()
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "alerts/s")
+		b.ReportMetric(float64(delivered.Load())/float64(b.N), "delivered/publish")
 	}
 }
 

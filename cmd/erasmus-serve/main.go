@@ -1,11 +1,18 @@
 // Command erasmus-serve runs a live fleet-managed ERASMUS scenario and
-// serves the verifier's observability surfaces over HTTP while it runs:
+// serves the verifier's observability surfaces over HTTP while it runs
+// (the mux is assembled by internal/serve):
 //
 //	/metrics       Prometheus text exposition (fleet, verify, store, popsim)
-//	/healthz       liveness JSON — 503 once durability is compromised
+//	/livez         process liveness — always 200 while serving
+//	/readyz        verifier readiness — 503 until recovery is clean and the
+//	               first collection round has applied
+//	/healthz       durability health — 503 once durability is compromised
 //	/statusz       run configuration + per-device dashboard JSON
+//	/schedz        per-device effective collection schedule (adaptive TC)
 //	/tracez        recent collection spans (?device=addr filters)
 //	/eventz        structured operational events
+//	/watch/alerts  resumable alert stream, ndjson (?since=<seq> to resume)
+//	/watch/events  resumable event stream, ndjson (?since=<seq> to resume)
 //	/debug/pprof/  standard Go profiling endpoints
 //
 // The fleet is wall-paced regardless of transport: on "sim" the virtual
@@ -18,6 +25,7 @@
 //
 //	erasmus-serve                             # 64 sim devices, until ^C
 //	erasmus-serve -duration 10s               # bounded run, then summary
+//	erasmus-serve -adaptive                   # metrics-driven TC control
 //	erasmus-serve -transport udp -state-dir /tmp/erasmus-state
 package main
 
@@ -26,7 +34,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +44,7 @@ import (
 	"erasmus/internal/fleet"
 	"erasmus/internal/obs"
 	"erasmus/internal/popsim"
+	"erasmus/internal/serve"
 	"erasmus/internal/sim"
 )
 
@@ -59,6 +67,7 @@ func main() {
 		waveSpread = flag.Duration("wave-spread", time.Second, "window over which infections land")
 		waveDwell  = flag.Duration("wave-dwell", 0, "malware dwell time (0 = persistent)")
 		syncVerify = flag.Bool("sync-verify", false, "verify inline instead of through the async pipeline")
+		adaptive   = flag.Bool("adaptive", false, "adaptive per-device TC scheduling (clamped [TC/2, 2·TC]; see /schedz)")
 		delta      = flag.Bool("delta", true, "incremental (since-watermark) collection")
 		stateDir   = flag.String("state-dir", "", "journal verifier state to a WAL+snapshot store in this directory")
 		workers    = flag.Int("workers", 0, "batch-verification workers (0 = GOMAXPROCS)")
@@ -94,14 +103,15 @@ func main() {
 			Spread:   sim.Ticks(*waveSpread),
 			Dwell:    sim.Ticks(*waveDwell),
 		},
-		VerifyWorkers: *workers,
-		Synchronous:   *syncVerify,
-		Delta:         *delta,
-		UDPPool:       *pool,
-		StateDir:      *stateDir,
-		Obs:           reg,
-		Tracer:        tracer,
-		Events:        events,
+		VerifyWorkers:    *workers,
+		Synchronous:      *syncVerify,
+		AdaptiveSchedule: *adaptive,
+		Delta:            *delta,
+		UDPPool:          *pool,
+		StateDir:         *stateDir,
+		Obs:              reg,
+		Tracer:           tracer,
+		Events:           events,
 	}
 
 	run, err := popsim.StartManaged(cfg)
@@ -114,7 +124,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: newMux(reg, tracer, events, mgr, &cfg)}
+	srv := &http.Server{Handler: serve.NewMux(serve.Config{
+		Manager:  mgr,
+		Registry: reg,
+		Tracer:   tracer,
+		Events:   events,
+		Status:   func() any { return &cfg },
+	})}
 	go srv.Serve(ln)
 
 	// The horizon is a pump target, not a scenario parameter: with
@@ -122,8 +138,8 @@ func main() {
 	// is pumped until a signal arrives.
 	horizon := sim.Ticks(*duration)
 	indefinite := horizon <= 0
-	fmt.Printf("erasmus-serve: %d devices over %s, delta=%v, http://%s (metrics, healthz, statusz, tracez, eventz, pprof)\n",
-		*population, *transport, *delta, ln.Addr())
+	fmt.Printf("erasmus-serve: %d devices over %s, delta=%v, adaptive=%v, http://%s (metrics, livez, readyz, healthz, statusz, schedz, tracez, eventz, watch/alerts, watch/events, pprof)\n",
+		*population, *transport, *delta, *adaptive, ln.Addr())
 	if indefinite {
 		fmt.Println("erasmus-serve: serving until SIGINT/SIGTERM")
 	} else {
@@ -163,30 +179,6 @@ pump:
 		fatal(err)
 	}
 	summarize(res, tracer, events)
-}
-
-func newMux(reg *obs.Registry, tracer *obs.Tracer, events *obs.EventLog, mgr *fleet.Manager, cfg *popsim.ManagedConfig) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.MetricsHandler(reg))
-	mux.Handle("/healthz", obs.HealthHandler(func() (bool, any) {
-		h := mgr.Health()
-		return h.OK, h
-	}))
-	mux.Handle("/statusz", obs.JSONHandler(func() any {
-		return map[string]any{
-			"config":  cfg,
-			"health":  mgr.Health(),
-			"devices": mgr.Statuses(),
-		}
-	}))
-	mux.Handle("/tracez", obs.TraceHandler(tracer))
-	mux.Handle("/eventz", obs.EventsHandler(events))
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 func summarize(res *popsim.ManagedResult, tracer *obs.Tracer, events *obs.EventLog) {

@@ -28,6 +28,8 @@
 package erasmus
 
 import (
+	"net/http"
+
 	"erasmus/internal/analysis"
 	"erasmus/internal/core"
 	"erasmus/internal/costmodel"
@@ -40,6 +42,7 @@ import (
 	"erasmus/internal/obs"
 	"erasmus/internal/popsim"
 	"erasmus/internal/qoa"
+	"erasmus/internal/serve"
 	"erasmus/internal/session"
 	"erasmus/internal/sim"
 	"erasmus/internal/store"
@@ -381,6 +384,19 @@ type (
 	FleetDeviceConfig = fleet.DeviceConfig
 	// FleetAlert is one fleet event (infection, tamper, unreachable).
 	FleetAlert = fleet.Alert
+	// StreamedFleetAlert is one alert with its monotone stream sequence
+	// number — the element of FleetManager.AlertsSince and the
+	// /watch/alerts line. Consumers resume a dropped stream by passing
+	// the last Seq they processed back as the cursor.
+	StreamedFleetAlert = fleet.StreamedAlert
+	// FleetAlertSubscription is a live alert-stream subscription from
+	// FleetManager.WatchAlerts: a bounded channel plus drop accounting,
+	// healed from retained history via AlertsSince after overflow.
+	FleetAlertSubscription = obs.Subscription[fleet.StreamedAlert]
+	// FleetDeviceSchedule is one device's effective collection schedule
+	// under the adaptive TC controller (FleetManagerConfig
+	// AdaptiveSchedule; the /schedz payload line).
+	FleetDeviceSchedule = fleet.DeviceSchedule
 	// FleetDeviceStatus is one dashboard line.
 	FleetDeviceStatus = fleet.DeviceStatus
 	// UDPFleetServer hosts many provers on one real UDP socket, demuxed
@@ -528,12 +544,22 @@ func NewStateStoreMetrics(r *MetricsRegistry) *StateStoreMetrics { return store.
 
 // ServeMetrics exposes the registry at /metrics on a background HTTP
 // server bound to addr (use "127.0.0.1:0" for an ephemeral port). It
-// returns the bound address and a shutdown function. cmd/erasmus-serve
-// offers the full surface: /metrics, /healthz, /statusz, /tracez,
-// /eventz and pprof.
+// returns the bound address and a shutdown function. For the full
+// verifier surface use NewServeMux (or cmd/erasmus-serve).
 func ServeMetrics(addr string, r *MetricsRegistry) (string, func() error, error) {
 	return obs.ServeMetrics(addr, r)
 }
+
+// ServeConfig assembles one verifier's full HTTP surface for NewServeMux.
+// Manager is required; every other feed is optional.
+type ServeConfig = serve.Config
+
+// NewServeMux builds the verifier's complete HTTP surface: /metrics,
+// /livez, /readyz, /healthz, /statusz, /schedz, /tracez, /eventz, the
+// resumable ndjson streams /watch/alerts and /watch/events (?since=<seq>
+// cursors, explicit gap markers for trimmed history), and pprof — the
+// same mux cmd/erasmus-serve exposes.
+func NewServeMux(cfg ServeConfig) *http.ServeMux { return serve.NewMux(cfg) }
 
 // DefaultEpoch is the RROC value at simulation time zero for both device
 // models (the paper's Fig. 3 timestamp), in nanoseconds; verifier clocks

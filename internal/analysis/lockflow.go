@@ -247,6 +247,7 @@ func checkLockflowFunc(mp *ModulePass, pkg *Package, blocking map[*types.Func]bl
 	flow := an.flow()
 	g := BuildCFG(body)
 	facts := Forward(g, flow)
+	nonBlocking := nonBlockingComms(body)
 
 	// Per-node checks: double acquisition and blocking-while-held.
 	for _, blk := range g.Blocks {
@@ -287,11 +288,11 @@ func checkLockflowFunc(mp *ModulePass, pkg *Package, blocking map[*types.Func]bl
 						}
 					}
 				case *ast.SendStmt:
-					if len(f.held) > 0 {
+					if len(f.held) > 0 && !nonBlocking[s] {
 						mp.Reportf(s.Pos(), "channel send while lock %q is held", heldList(f.held))
 					}
 				case *ast.UnaryExpr:
-					if s.Op == token.ARROW && len(f.held) > 0 {
+					if s.Op == token.ARROW && len(f.held) > 0 && !nonBlocking[s] {
 						mp.Reportf(s.Pos(), "channel receive while lock %q is held", heldList(f.held))
 					}
 				case *ast.SelectStmt:
@@ -358,6 +359,45 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 		}
 	}
 	return false
+}
+
+// nonBlockingComms collects the communication operations that are the
+// comm statement of a select clause whose select has a default arm.
+// Those sends and receives never block — the default fires instead —
+// but the CFG lowers them into the clause's block as bare SendStmt /
+// receive nodes, so without this set the per-node check would flag them
+// as blocking. Clause bodies run after a case has already won and are
+// not exempted.
+func nonBlockingComms(root ast.Node) map[ast.Node]bool {
+	set := make(map[ast.Node]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		s, ok := n.(*ast.SelectStmt)
+		if !ok || !selectHasDefault(s) {
+			return true
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			// The spec restricts a comm statement to one send or one
+			// receive (possibly inside an assignment), so every channel
+			// op found under it is the clause's own comm op.
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch op := m.(type) {
+				case *ast.SendStmt:
+					set[op] = true
+				case *ast.UnaryExpr:
+					if op.Op == token.ARROW {
+						set[op] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return set
 }
 
 func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
@@ -438,6 +478,7 @@ func directBlockReason(node *CGNode) (blockReason, bool) {
 			found, ok = blockReason{kind: kind}, true
 		}
 	}
+	nonBlocking := nonBlockingComms(node.Decl.Body)
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
 		ast.Inspect(n, func(m ast.Node) bool {
@@ -448,9 +489,11 @@ func directBlockReason(node *CGNode) (blockReason, bool) {
 			case *ast.GoStmt:
 				return false
 			case *ast.SendStmt:
-				set("channel send")
+				if !nonBlocking[s] {
+					set("channel send")
+				}
 			case *ast.UnaryExpr:
-				if s.Op == token.ARROW {
+				if s.Op == token.ARROW && !nonBlocking[s] {
 					set("channel receive")
 				}
 			case *ast.SelectStmt:

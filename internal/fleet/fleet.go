@@ -50,10 +50,21 @@ const (
 // stream is deterministic regardless of transport latency or verification
 // batching.
 type Alert struct {
-	Time   sim.Ticks
-	Device string
-	Kind   AlertKind
-	Detail string
+	Time   sim.Ticks `json:"time"`
+	Device string    `json:"device"`
+	Kind   AlertKind `json:"kind"`
+	Detail string    `json:"detail"`
+}
+
+// StreamedAlert is one alert paired with its monotone sequence number —
+// the streaming API's resumable cursor. Seq matches the durable store's
+// numbering when the manager journals (the manager is the store's only
+// alert writer), so a consumer's cursor survives verifier restarts. The
+// Alert itself is unchanged from the in-memory stream: a streamed run and
+// a polled run observe field-identical alerts.
+type StreamedAlert struct {
+	Seq uint64 `json:"seq"`
+	Alert
 }
 
 // DeviceConfig registers one prover with the manager.
@@ -104,6 +115,16 @@ type device struct {
 	freshness   sim.Ticks
 	collections int
 	failures    int
+	// Adaptive scheduling state (ManagerConfig.AdaptiveSchedule): effTC is
+	// the controller's current effective collection period (base TC when
+	// the controller is off or has not adjusted), freshStreak counts
+	// consecutive fresh verdicts toward a relax, adjustments/lastReason
+	// audit the controller for /schedz. Ephemeral: not journaled, a
+	// recovered manager resumes on the base-TC anchor grid.
+	effTC       sim.Ticks
+	freshStreak int
+	adjustments int
+	lastReason  string
 	// verdictsPending counts launched collections whose verdicts have not
 	// yet been applied. Delta mode must not launch against a watermark
 	// that an in-flight verdict is about to supersede — a stale watermark
@@ -226,6 +247,18 @@ type ManagerConfig struct {
 	// Events, when set, receives structured operational events (alerts,
 	// fallback decisions) — the /eventz feed.
 	Events *obs.EventLog
+	// AdaptiveSchedule enables the per-device TC controller: each applied
+	// verdict may tighten or relax the device's effective collection
+	// period within [TC/2, 2·TC], driven by temporal-QoA age (aging toward
+	// withheld tightens, a fresh streak relaxes), watermark-fallback
+	// pressure, transport failures, and queue depth as the global
+	// backpressure brake. Off — the default — keeps the fixed-TC ticker
+	// and bit-identical pre-controller behavior (enforced by the
+	// equivalence tests). Decisions are pure integer functions of verdict
+	// state, so a seeded scenario adjusts identically run over run; every
+	// decision is observable via erasmus_sched_* metrics, sched_adjust
+	// events, and Manager.Schedule (/schedz).
+	AdaptiveSchedule bool
 }
 
 // Manager runs the fleet.
@@ -252,11 +285,32 @@ type Manager struct {
 	tracer  *obs.Tracer
 	events  *obs.EventLog
 
+	// Streaming fan-out: every alert appended to m.alerts is also
+	// published (with its seq) to alertBrk's subscribers. Always present —
+	// with no subscribers a publish is one mutex round trip — so WatchAlerts
+	// needs no enable flag and cannot change verdict behavior.
+	alertBrk *obs.Broker[StreamedAlert]
+	// alertBase is the seq of the alert preceding m.alerts[0]: 0 for a
+	// fresh manager, the store's trimmed-history count for one recovered
+	// over a MaxAlerts-bounded store. m.alerts[i] has seq alertBase+i+1.
+	alertBase uint64
+
+	// adaptive enables the TC controller; queueCap is the verification
+	// queue bound it brakes against; sched is its metric set (nil without
+	// a registry).
+	adaptive bool
+	queueCap int
+	sched    *schedMetrics
+
 	pipe *pipeline
 
 	mu      sync.Mutex
 	devices map[string]*device
 	alerts  []Alert
+	// applied counts verdicts folded into device state — the readiness
+	// signal: a manager with applied == 0 has not completed a collection
+	// round yet, so gauges still read as empty, not as "healthy zero".
+	applied uint64
 	started bool
 	// nonce numbers aggregate challenges (monotonic per manager): the
 	// prover's aggregate MAC binds it, so a recorded response cannot
@@ -305,10 +359,16 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 	m.st = cfg.Store
 	m.aggregate = cfg.Aggregate
 	m.tracer, m.events = cfg.Tracer, cfg.Events
+	m.alertBrk = obs.NewBroker[StreamedAlert]()
+	m.adaptive = cfg.AdaptiveSchedule
+	m.queueCap = cfg.QueueDepth
 	if cfg.Obs != nil {
 		m.metrics = newFleetMetrics(cfg.Obs)
 		m.vm = core.NewVerifyMetrics(cfg.Obs, cfg.WatermarkShards)
 		m.metrics.queueCapacity.Set(int64(cfg.QueueDepth))
+		if m.adaptive {
+			m.sched = newSchedMetrics(cfg.Obs)
+		}
 	}
 	if cfg.Delta {
 		sc := core.ServiceConfig{
@@ -325,7 +385,12 @@ func NewManagerWith(cfg ManagerConfig) (*Manager, error) {
 	if m.st != nil {
 		// The predecessor's alert stream is this manager's prefix: a
 		// recovered fleet's Alerts() reads as one uninterrupted history.
-		for _, ev := range m.st.Alerts() {
+		// The store's retained alerts are the contiguous tail of its
+		// numbering, so the seq preceding the prefix — the base this run's
+		// alerts continue from — is head minus retained count.
+		prefix := m.st.Alerts()
+		m.alertBase = m.st.AlertHead() - uint64(len(prefix))
+		for _, ev := range prefix {
 			m.alerts = append(m.alerts, Alert{
 				Time: sim.Ticks(ev.Time), Device: ev.Device,
 				Kind: AlertKind(ev.Kind), Detail: ev.Detail,
@@ -390,6 +455,7 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 	d := &device{
 		cfg: cfg, verifier: vrf, healthy: true,
 		registeredAt: m.engine.Now(),
+		effTC:        cfg.QoA.TC,
 	}
 	restored := false
 	if m.st != nil {
@@ -449,12 +515,42 @@ func (m *Manager) Register(cfg DeviceConfig) error {
 	return nil
 }
 
-// scheduleAt starts a device's periodic collection ticker, first firing at
-// the absolute virtual time first.
+// scheduleAt starts a device's periodic collection, first firing at the
+// absolute virtual time first. With the adaptive controller off this is a
+// fixed-TC ticker (the pre-controller behavior, bit-for-bit); with it on,
+// each collection re-arms the next one at the then-current effective TC.
 func (m *Manager) scheduleAt(d *device, first sim.Ticks) {
-	d.stop = m.engine.Ticker(first, d.cfg.QoA.TC, func() {
+	if !m.adaptive {
+		d.stop = m.engine.Ticker(first, d.cfg.QoA.TC, func() {
+			m.collect(d)
+		})
+		return
+	}
+	m.scheduleAdaptive(d, first)
+}
+
+// scheduleAdaptive arms one collection at when and, after it launches,
+// re-arms at when + the device's effective TC as adjusted by whatever
+// verdicts have applied since. The chain stops re-arming once the manager
+// is stopped (Stop also cancels the pending event via d.stop).
+func (m *Manager) scheduleAdaptive(d *device, when sim.Ticks) {
+	ev := m.engine.At(when, func() {
 		m.collect(d)
+		m.mu.Lock()
+		interval := d.effTC
+		if interval <= 0 {
+			interval = d.cfg.QoA.TC
+		}
+		stopped := !m.started
+		m.mu.Unlock()
+		if stopped {
+			return
+		}
+		m.scheduleAdaptive(d, when+interval)
 	})
+	m.mu.Lock()
+	d.stop = ev.Cancel
+	m.mu.Unlock()
 }
 
 // nextFire returns the first tick of the series anchor + n×tc that is
@@ -550,6 +646,9 @@ func (m *Manager) Flush() { m.pipe.waitInflight() }
 func (m *Manager) Close() error {
 	m.Stop()
 	m.pipe.close()
+	// Terminate every streaming subscriber: their channels close, so a
+	// /watch handler's receive loop ends instead of blocking forever.
+	m.alertBrk.Close()
 	var err error
 	if m.st != nil {
 		err = m.st.Sync()
@@ -605,6 +704,7 @@ func (m *Manager) collect(d *device) {
 			delta = !agg // the aggregate request carries the anchor itself
 		}
 	}
+	unsettled := m.svc != nil && !settled
 	if m.svc != nil && !delta && !agg {
 		m.metrics.fallback(settled)
 	}
@@ -613,6 +713,7 @@ func (m *Manager) collect(d *device) {
 		m.pipe.submit(pipeJob{
 			dev: d, res: res, err: err, now: now, expectedK: expected, at: launched,
 			delta: delta, wm: wm, agg: agg, aggNonce: nonce,
+			unsettledFallback: unsettled,
 		})
 	}
 	var err error
@@ -646,6 +747,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 	defer m.mu.Unlock()
 	d := j.dev
 	d.verdictsPending--
+	m.applied++
 	if j.err != nil {
 		wasHealthy, wasUnreach := d.healthy, d.unreachable
 		d.failures++
@@ -658,6 +760,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 		}
 		m.metrics.transitions(wasHealthy, wasUnreach, d.healthy, d.unreachable)
 		m.observeApply(j, outcomeFailed)
+		m.adjustSchedule(d, j)
 		//erasmus:allow(lockflow) status journals under m.mu so journal order equals memory order (single-writer discipline)
 		m.journalStatus(d)
 		//erasmus:allow(lockflow) the sticky-error latch updates under m.mu so health-state order matches verdict order
@@ -706,6 +809,7 @@ func (m *Manager) applyResult(j *pipeJob) {
 	if m.onReport != nil {
 		m.onReport(d.cfg.Addr, rep)
 	}
+	m.adjustSchedule(d, j)
 	//erasmus:allow(lockflow) status journals under m.mu so journal order equals memory order (single-writer discipline)
 	m.journalStatus(d)
 	//erasmus:allow(lockflow) the sticky-error latch updates under m.mu so health-state order matches verdict order
@@ -808,10 +912,13 @@ func firstIssue(rep core.Report) string {
 	return rep.Issues[0]
 }
 
-// alertAt records an alert (journaling it when a store is configured).
-// Callers hold m.mu.
+// alertAt records an alert (journaling it when a store is configured) and
+// fans it out to streaming subscribers with its seq. Callers hold m.mu —
+// publish order therefore equals memory and journal order, which is what
+// makes the streamed sequence field-identical to a polled Alerts() read.
 func (m *Manager) alertAt(at sim.Ticks, d *device, kind AlertKind, detail string) {
-	m.alerts = append(m.alerts, Alert{Time: at, Device: d.cfg.Addr, Kind: kind, Detail: detail})
+	a := Alert{Time: at, Device: d.cfg.Addr, Kind: kind, Detail: detail}
+	m.alerts = append(m.alerts, a)
 	m.metrics.observeAlert(kind)
 	m.events.Emit(obs.Event{
 		Tick: int64(at), Subsystem: "fleet", Device: d.cfg.Addr,
@@ -825,6 +932,7 @@ func (m *Manager) alertAt(at sim.Ticks, d *device, kind AlertKind, detail string
 			m.noteSticky(at)
 		}
 	}
+	m.alertBrk.Publish(StreamedAlert{Seq: m.alertBase + uint64(len(m.alerts)), Alert: a})
 }
 
 // Alerts returns all recorded alerts in order.
@@ -832,6 +940,50 @@ func (m *Manager) Alerts() []Alert {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]Alert(nil), m.alerts...)
+}
+
+// AlertsSince returns the alerts with Seq > since, oldest first — the
+// streaming API's resume read. gap reports whether alerts in (since,
+// first-available) were trimmed from the durable store before this
+// manager loaded (MaxAlerts): the consumer missed events it can never
+// read back and must be told explicitly, not silently skipped. A since
+// at or beyond the newest seq returns (nil, false).
+func (m *Manager) AlertsSince(since uint64) (alerts []StreamedAlert, gap bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if since < m.alertBase {
+		gap = true
+		since = m.alertBase
+	}
+	head := m.alertBase + uint64(len(m.alerts))
+	if since >= head {
+		return nil, gap
+	}
+	out := make([]StreamedAlert, 0, head-since)
+	for i := int(since - m.alertBase); i < len(m.alerts); i++ {
+		out = append(out, StreamedAlert{Seq: m.alertBase + uint64(i) + 1, Alert: m.alerts[i]})
+	}
+	return out, gap
+}
+
+// WatchAlerts subscribes to the live alert stream with a bounded buffer
+// of buf items (minimum 1). A subscriber that falls behind loses its
+// oldest buffered alerts and has its gap flag latched — heal by
+// re-reading AlertsSince from the last seq seen and deduplicating by
+// seq. Cancel the subscription when done.
+func (m *Manager) WatchAlerts(buf int) *obs.Subscription[StreamedAlert] {
+	return m.alertBrk.Subscribe(buf)
+}
+
+// Ready reports whether the manager has completed its first collection
+// round: scheduling has started and at least one verdict has applied.
+// Before that, every fleet gauge legitimately reads zero — a scraper
+// must not mistake "not yet collected" for "healthy and idle". This is
+// the /readyz signal; Health covers liveness and durability.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started && m.applied > 0
 }
 
 // AlertsFor filters alerts by device address.

@@ -23,7 +23,12 @@ type pipeJob struct {
 	wm        core.Watermark
 	agg       bool   // aggregate tier: wm is the challenge anchor
 	aggNonce  uint64 // challenge nonce the aggregate MAC must bind
-	rep       core.Report
+	// unsettledFallback marks a round that fell back to a stateless full
+	// collection because a previous verdict was unapplied — the adaptive
+	// scheduler's signal that the device is being collected faster than
+	// its verdicts settle.
+	unsettledFallback bool
+	rep               core.Report
 
 	// Observability-only fields, zero when the manager is uninstrumented:
 	// submitWall is the wall clock at submission (verdict-lag measurement,

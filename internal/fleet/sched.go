@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"erasmus/internal/obs"
+	"erasmus/internal/qoa"
+)
+
+// The adaptive TC controller (ManagerConfig.AdaptiveSchedule): the QoA
+// framing of the paper makes collection period a quality knob — TC decides
+// how stale a verified-healthy verdict may be — so the verifier closes the
+// loop on its own signals: a device aging toward withheld is collected
+// more often (evidence is going stale faster than the schedule assumed),
+// a long-fresh device less often (budget flows to where it buys QoA), and
+// the verification queue acts as the global brake (a saturated verifier
+// relaxes rather than melting down). Every decision is a pure integer
+// function of the applied verdict and the clamp keeps the period inside
+// [TC/2, 2·TC], so a seeded scenario adjusts identically run over run and
+// the controller can never starve or flood a device.
+
+// Adjustment reasons, as exposed on
+// erasmus_sched_adjustments_total{direction,reason} and sched_adjust
+// events.
+const (
+	schedBackpressure = "backpressure" // queue above ¾ capacity: relax
+	schedFailure      = "failure"      // transport failure: tighten to regain evidence
+	schedFallback     = "fallback"     // unsettled-verdict fallback: relax
+	schedWithheld     = "withheld"     // evidence older than MaxGap: strong tighten
+	schedAging        = "aging"        // evidence past TM but inside MaxGap: tighten
+	schedFreshStreak  = "fresh_streak" // consecutive fresh verdicts: relax
+)
+
+// freshStreakRelax is how many consecutive fresh verdicts earn one relax
+// step: long enough that a single on-time round after an incident does
+// not immediately give the leniency back.
+const freshStreakRelax = 4
+
+// schedMetrics instruments the controller; nil-inert like fleetMetrics.
+type schedMetrics struct {
+	r *obs.Registry
+	// tc observes every effective collection period the controller sets,
+	// in seconds — the distribution shows how far the fleet sits from its
+	// base schedule.
+	tc *obs.Histogram
+}
+
+func newSchedMetrics(r *obs.Registry) *schedMetrics {
+	if r == nil {
+		return nil
+	}
+	sm := &schedMetrics{
+		r: r,
+		tc: r.Histogram("erasmus_sched_tc_seconds",
+			"Effective per-device collection period set by the adaptive scheduler.",
+			obs.LatencyBuckets),
+	}
+	// Pre-register every (direction, reason) cell the controller can emit
+	// so a scrape shows the full decision catalog at zero from the start.
+	for _, cell := range [][2]string{
+		{"relax", schedBackpressure}, {"relax", schedFallback}, {"relax", schedFreshStreak},
+		{"tighten", schedFailure}, {"tighten", schedWithheld}, {"tighten", schedAging},
+	} {
+		sm.counter(cell[0], cell[1])
+	}
+	return sm
+}
+
+func (sm *schedMetrics) counter(direction, reason string) *obs.Counter {
+	return sm.r.Counter("erasmus_sched_adjustments_total",
+		"Adaptive TC adjustments by direction and reason.",
+		obs.Label{Name: "direction", Value: direction},
+		obs.Label{Name: "reason", Value: reason})
+}
+
+// observe records one applied adjustment.
+func (sm *schedMetrics) observe(direction, reason string, tcSeconds float64) {
+	if sm == nil {
+		return
+	}
+	sm.tc.Observe(tcSeconds)
+	sm.counter(direction, reason).Inc()
+}
+
+// adjustSchedule runs the controller on one applied verdict. Callers hold
+// m.mu (decisions land in verdict-application order, the same order the
+// alert stream and journal use). No-op when the controller is off.
+//
+// Signal priority: the global queue brake first (verifier saturation
+// trumps any per-device wish), then transport failures, then the
+// unsettled-fallback signal, then the temporal-QoA grade of the applied
+// evidence — graded with the same MaxGap = TM+TM/2 and skew = TM/10 the
+// per-device verifier uses.
+func (m *Manager) adjustSchedule(d *device, j *pipeJob) {
+	if !m.adaptive {
+		return
+	}
+	base := d.cfg.QoA.TC
+	cur := d.effTC
+	if cur <= 0 {
+		cur = base
+	}
+	tm := d.cfg.QoA.TM
+	next, reason := cur, ""
+	queued, _ := m.pipe.depths()
+	switch {
+	case m.queueCap > 0 && queued*4 > m.queueCap*3:
+		next, reason = cur+cur/4, schedBackpressure
+	case j.err != nil:
+		// The device is dark: its last-known evidence ages while nothing
+		// new arrives. Tighten so the first successful round lands sooner;
+		// the clamp bounds what a permanently dead device can cost.
+		d.freshStreak = 0
+		next, reason = cur-cur/4, schedFailure
+	case j.unsettledFallback:
+		d.freshStreak = 0
+		next, reason = cur+cur/4, schedFallback
+	default:
+		switch qoa.GradeTemporal(d.freshness, tm, tm+tm/2, tm/10) {
+		case qoa.TemporalWithheld:
+			d.freshStreak = 0
+			next, reason = cur/2, schedWithheld
+		case qoa.TemporalAging:
+			d.freshStreak = 0
+			next, reason = cur-cur/4, schedAging
+		default:
+			d.freshStreak++
+			if d.freshStreak >= freshStreakRelax {
+				d.freshStreak = 0
+				next, reason = cur+cur/4, schedFreshStreak
+			}
+		}
+	}
+	if next < base/2 {
+		next = base / 2
+	}
+	if next > 2*base {
+		next = 2 * base
+	}
+	if next == cur {
+		return
+	}
+	direction := "tighten"
+	if next > cur {
+		direction = "relax"
+	}
+	d.effTC = next
+	d.adjustments++
+	d.lastReason = reason
+	m.sched.observe(direction, reason, float64(next)/1e9)
+	m.events.Emit(obs.Event{
+		Tick: int64(j.at), Subsystem: "fleet", Device: d.cfg.Addr,
+		Kind: "sched_adjust",
+		Detail: fmt.Sprintf("%s (%s): TC %v -> %v",
+			direction, reason, time.Duration(cur), time.Duration(next)),
+	})
+}
+
+// DeviceSchedule is one device's effective collection schedule — the
+// /schedz payload line.
+type DeviceSchedule struct {
+	Addr        string `json:"addr"`
+	BaseTC      int64  `json:"base_tc_ns"`
+	EffectiveTC int64  `json:"effective_tc_ns"`
+	Adjustments int    `json:"adjustments"`
+	LastReason  string `json:"last_reason,omitempty"`
+	FreshStreak int    `json:"fresh_streak"`
+}
+
+// Schedule snapshots every device's effective collection period, sorted
+// by address. With the controller off, EffectiveTC always equals BaseTC.
+func (m *Manager) Schedule() []DeviceSchedule {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DeviceSchedule, 0, len(m.devices))
+	for addr, d := range m.devices {
+		eff := d.effTC
+		if eff <= 0 {
+			eff = d.cfg.QoA.TC
+		}
+		out = append(out, DeviceSchedule{
+			Addr:        addr,
+			BaseTC:      int64(d.cfg.QoA.TC),
+			EffectiveTC: int64(eff),
+			Adjustments: d.adjustments,
+			LastReason:  d.lastReason,
+			FreshStreak: d.freshStreak,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// AdaptiveEnabled reports whether the TC controller is on.
+func (m *Manager) AdaptiveEnabled() bool { return m.adaptive }

@@ -1,0 +1,433 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/netsim"
+	"erasmus/internal/obs"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+	"erasmus/internal/store"
+)
+
+// ---- adaptive TC controller ----------------------------------------------
+
+// The aging scenario: the device's prover actually measures every 140 ms
+// while the manager registered it with TM = 100 ms. Every record pair is
+// still inside the verifier's MaxGap (TM + TM/2 = 150 ms), so verdicts
+// stay healthy and alert-free — but at every collection the newest record
+// sits in the temporal-QoA aging band (110 ms, 160 ms]: evidence is going
+// stale faster than the registered schedule assumed. The adaptive
+// controller sees aging verdicts round after round and tightens toward
+// the TC/2 clamp floor; the fixed schedule keeps collecting every 560 ms.
+// An implant written at 2.9 s then measures how much sooner the tightened
+// schedule surfaces the infection.
+const (
+	agTM      = 100 * sim.Millisecond // registered measurement period
+	agPeriod  = 140 * sim.Millisecond // the prover's real period
+	agPhase   = 20 * sim.Millisecond
+	agTC      = 560 * sim.Millisecond // base collection period (4·agPeriod)
+	agInfect  = 2900 * sim.Millisecond
+	agHorizon = 3600 * sim.Millisecond
+)
+
+func runAgingScenario(t *testing.T, adaptive bool, reg *obs.Registry, events *obs.EventLog) ([]Alert, []DeviceSchedule) {
+	t.Helper()
+	e := sim.NewEngine()
+	nw, err := netsim.New(e, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("aging-device-key")
+	dev, err := imx6.New(imx6.Config{
+		Engine: e, MemorySize: 256,
+		StoreSize: 8 * core.RecordSize(alg),
+		Key:       key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := mac.HashSum(alg, dev.Memory())
+	// Regular schedules fire at RROC times ≡ phase (mod period), and the
+	// RROC runs at DefaultEpoch + sim time — cancel the epoch so records
+	// land at sim times ≡ agPhase (mod agPeriod), which puts the newest
+	// record 120 ms behind every base-grid collection (the aging band).
+	phase := sim.Ticks((imx6.DefaultEpoch + uint64(agPhase)) % uint64(agPeriod))
+	sched, err := core.NewRegularWithPhase(agPeriod, phase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.AttachProver(nw, e, "age-00", p, alg); err != nil {
+		t.Fatal(err)
+	}
+	clock := func() uint64 { return imx6.DefaultEpoch + uint64(e.Now()) }
+	col, err := NewSimCollector(nw, e, "hq", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManagerWith(ManagerConfig{
+		Engine: e, Collector: col, Clock: clock,
+		Synchronous:      true,
+		AdaptiveSchedule: adaptive,
+		Obs:              reg,
+		Events:           events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = mgr.Register(DeviceConfig{
+		Addr: "age-00", Key: key, Alg: alg,
+		QoA:          core.QoA{TM: agTM, TC: agTC},
+		GoldenHashes: [][]byte{golden},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	e.At(agInfect, func() {
+		if err := dev.WriteMemory(0, []byte("slow-burn implant")); err != nil {
+			t.Error(err)
+		}
+	})
+	mgr.Start()
+	e.RunUntil(agHorizon)
+	mgr.Stop()
+	mgr.Flush()
+	defer mgr.Close()
+	return mgr.Alerts(), mgr.Schedule()
+}
+
+func firstAlert(alerts []Alert, kind AlertKind) (sim.Ticks, bool) {
+	for _, a := range alerts {
+		if a.Kind == kind {
+			return a.Time, true
+		}
+	}
+	return 0, false
+}
+
+// The tentpole acceptance criterion: with the controller on, a device
+// whose evidence ages toward withheld is collected on a tightened
+// schedule and its infection is detected measurably earlier than under
+// the fixed TC — and every adjustment is visible in Schedule(), the
+// sched_adjust event stream, and erasmus_sched_* metrics.
+func TestAdaptiveDetectionLatency(t *testing.T) {
+	fixedAlerts, fixedSched := runAgingScenario(t, false, nil, nil)
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(128)
+	adAlerts, adSched := runAgingScenario(t, true, reg, events)
+
+	fixedAt, ok := firstAlert(fixedAlerts, AlertInfection)
+	if !ok {
+		t.Fatal("fixed-schedule run never detected the implant")
+	}
+	adAt, ok := firstAlert(adAlerts, AlertInfection)
+	if !ok {
+		t.Fatal("adaptive run never detected the implant")
+	}
+	if fixedAt <= agInfect || adAt <= agInfect {
+		t.Fatalf("detection before infection? fixed %v, adaptive %v, infected at %v", fixedAt, adAt, agInfect)
+	}
+	if adAt >= fixedAt {
+		t.Fatalf("adaptive detection at %v not earlier than fixed %v", adAt, fixedAt)
+	}
+	if improvement := fixedAt - adAt; improvement < agTM {
+		t.Errorf("improvement %v below one TM (%v); tightening had no real effect", improvement, agTM)
+	}
+	t.Logf("detection latency from infection: fixed %v, adaptive %v (improvement %v of base TC %v)",
+		fixedAt-agInfect, adAt-agInfect, fixedAt-adAt, agTC)
+
+	// Controller off: the schedule is untouched.
+	if len(fixedSched) != 1 {
+		t.Fatalf("fixed Schedule() = %+v, want 1 device", fixedSched)
+	}
+	if f := fixedSched[0]; f.EffectiveTC != f.BaseTC || f.Adjustments != 0 || f.LastReason != "" {
+		t.Errorf("controller off but schedule moved: %+v", f)
+	}
+
+	// Controller on: net-tightened below the base period, driven by aging
+	// evidence. (The exact endpoint is the controller's business — once
+	// the tightened grid happens to land right after measurements, a
+	// fresh streak may hand part of the leniency back.)
+	if len(adSched) != 1 || adSched[0].Addr != "age-00" {
+		t.Fatalf("adaptive Schedule() = %+v, want age-00 only", adSched)
+	}
+	s := adSched[0]
+	if s.EffectiveTC >= s.BaseTC {
+		t.Errorf("effective TC = %d, want below base %d (aging evidence must net-tighten)", s.EffectiveTC, s.BaseTC)
+	}
+	if s.EffectiveTC < int64(agTC/2) || s.EffectiveTC > 2*int64(agTC) {
+		t.Errorf("effective TC = %d escaped the clamp [%d, %d]", s.EffectiveTC, int64(agTC/2), 2*int64(agTC))
+	}
+	if s.Adjustments < 3 {
+		t.Errorf("adjustments = %d, want at least 3 (560→420→315→280 ms)", s.Adjustments)
+	}
+	if s.LastReason == "" {
+		t.Error("last adjustment left no reason")
+	}
+
+	// Every adjustment must be visible as a sched_adjust event...
+	emitted, agingEvents := 0, 0
+	for _, ev := range events.Events() {
+		if ev.Kind != "sched_adjust" {
+			continue
+		}
+		emitted++
+		if ev.Device != "age-00" || ev.Subsystem != "fleet" {
+			t.Errorf("sched_adjust event mis-attributed: %+v", ev)
+		}
+		if strings.Contains(ev.Detail, schedAging) {
+			agingEvents++
+		}
+	}
+	if emitted != s.Adjustments {
+		t.Errorf("sched_adjust events = %d, adjustments = %d; decisions are escaping the event feed", emitted, s.Adjustments)
+	}
+	if agingEvents < 3 {
+		t.Errorf("aging-reason events = %d, want at least 3", agingEvents)
+	}
+
+	// ...and on the metrics, cell for cell.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	tightened := -1
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, `erasmus_sched_adjustments_total{direction="tighten",reason="aging"}`) {
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &tightened); err != nil {
+				t.Fatalf("unparseable counter line %q: %v", line, err)
+			}
+		}
+	}
+	if tightened != agingEvents {
+		t.Errorf("tighten/aging counter = %d, aging events = %d", tightened, agingEvents)
+	}
+	if !strings.Contains(b.String(), "erasmus_sched_tc_seconds_count") {
+		t.Error("erasmus_sched_tc_seconds histogram missing from exposition")
+	}
+}
+
+// The controller is a pure integer function of applied verdicts: the same
+// seeded scenario must adjust — and alert — identically run over run.
+func TestAdaptiveScheduleDeterministic(t *testing.T) {
+	alerts1, sched1 := runAgingScenario(t, true, nil, nil)
+	alerts2, sched2 := runAgingScenario(t, true, nil, nil)
+	if !reflect.DeepEqual(alerts1, alerts2) {
+		t.Errorf("adaptive alert streams diverge across identical runs:\n1: %+v\n2: %+v", alerts1, alerts2)
+	}
+	if !reflect.DeepEqual(sched1, sched2) {
+		t.Errorf("adaptive schedules diverge across identical runs:\n1: %+v\n2: %+v", sched1, sched2)
+	}
+}
+
+// With the controller off — the default — the alert stream is bit
+// -identical to the pre-controller fixed-ticker path (which the transport
+// , delta and resume equivalence suites pin down); an explicit false must
+// mean exactly the same thing as leaving the field zero.
+func TestAdaptiveOffLeavesStreamUntouched(t *testing.T) {
+	defAlerts, defReports, defStatus := runPipelineScenario(t, true)
+	offAlerts, offReports, offStatus := runPipelineScenario(t, true, func(c *ManagerConfig) { c.AdaptiveSchedule = false })
+	if len(defAlerts) == 0 {
+		t.Fatal("scenario produced no alerts; it exercises nothing")
+	}
+	if !reflect.DeepEqual(defAlerts, offAlerts) {
+		t.Errorf("alert streams diverge:\ndefault:  %+v\nexplicit: %+v", defAlerts, offAlerts)
+	}
+	if !reflect.DeepEqual(defReports, offReports) {
+		t.Error("report sequences diverge between default and explicit-off")
+	}
+	if !reflect.DeepEqual(defStatus, offStatus) {
+		t.Error("statuses diverge between default and explicit-off")
+	}
+}
+
+// ---- alert streaming fan-out ---------------------------------------------
+
+// A live subscriber sees exactly the alerts Alerts() records, with seqs
+// 1..N in order; a slow subscriber keeps the freshest tail and is told
+// about the loss; AlertsSince serves every resume cursor without gaps
+// inside retained history. Readiness flips only once the first verdict of
+// the run has been applied.
+func TestAlertStreamFanOut(t *testing.T) {
+	e := sim.NewEngine()
+	nw, err := netsim.New(e, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	provers, goldens := buildEqProvers(t, e)
+	for addr, p := range provers {
+		if _, err := session.AttachProver(nw, e, addr, p, alg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock := func() uint64 { return imx6.DefaultEpoch + uint64(e.Now()) }
+	col, err := NewSimCollector(nw, e, "hq", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManagerWith(ManagerConfig{
+		Engine: e, Collector: col, Clock: clock, Synchronous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerEqFleet(t, mgr, goldens)
+
+	if mgr.Ready() {
+		t.Fatal("manager ready before Start")
+	}
+	live := mgr.WatchAlerts(64)
+	slow := mgr.WatchAlerts(1)
+	mgr.Start()
+	if mgr.Ready() {
+		t.Fatal("manager ready before the first verdict applied")
+	}
+	e.RunUntil(eqHorizon)
+	if !mgr.Ready() {
+		t.Fatal("manager not ready after a full collection round")
+	}
+	mgr.Stop()
+	mgr.Flush()
+
+	want := mgr.Alerts()
+	if len(want) == 0 {
+		t.Fatal("scenario produced no alerts; it exercises nothing")
+	}
+	head := uint64(len(want))
+
+	var got []StreamedAlert
+drain:
+	for {
+		select {
+		case sa := <-live.Ch():
+			got = append(got, sa)
+		default:
+			break drain
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d alerts, Alerts() has %d", len(got), len(want))
+	}
+	for i, sa := range got {
+		if sa.Seq != uint64(i)+1 {
+			t.Fatalf("streamed seq %d at position %d, want %d", sa.Seq, i, i+1)
+		}
+		if !reflect.DeepEqual(sa.Alert, want[i]) {
+			t.Fatalf("streamed alert %d = %+v, Alerts()[%d] = %+v", i, sa.Alert, i, want[i])
+		}
+	}
+	if live.TakeGap() {
+		t.Error("in-budget subscriber latched a gap")
+	}
+
+	// The slow subscriber (buffer 1) keeps only the newest alert, with the
+	// loss made explicit.
+	tail := <-slow.Ch()
+	if tail.Seq != head {
+		t.Errorf("slow subscriber kept seq %d, want newest %d (drop-oldest violated)", tail.Seq, head)
+	}
+	if !slow.TakeGap() {
+		t.Error("slow subscriber overflow did not latch the gap flag")
+	}
+	if slow.Drops() != head-1 {
+		t.Errorf("slow subscriber drops = %d, want %d", slow.Drops(), head-1)
+	}
+
+	// Resume reads: full history, mid-cursor, at-head, and beyond-head.
+	all, gap := mgr.AlertsSince(0)
+	if gap || len(all) != len(want) {
+		t.Fatalf("AlertsSince(0) = %d alerts gap=%v, want %d without gap", len(all), gap, len(want))
+	}
+	for i, sa := range all {
+		if sa.Seq != uint64(i)+1 || !reflect.DeepEqual(sa.Alert, want[i]) {
+			t.Fatalf("AlertsSince(0)[%d] = %+v, want seq %d of %+v", i, sa, i+1, want[i])
+		}
+	}
+	mid, gap := mgr.AlertsSince(head - 2)
+	if gap || len(mid) != 2 || mid[0].Seq != head-1 || mid[1].Seq != head {
+		t.Fatalf("AlertsSince(head-2) = %+v gap=%v, want the last two seqs", mid, gap)
+	}
+	if alerts, gap := mgr.AlertsSince(head); gap || alerts != nil {
+		t.Fatalf("AlertsSince(head) = %+v gap=%v, want empty without gap", alerts, gap)
+	}
+	if alerts, gap := mgr.AlertsSince(head + 100); gap || alerts != nil {
+		t.Fatalf("AlertsSince(beyond head) = %+v gap=%v, want empty without gap", alerts, gap)
+	}
+
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-live.Ch(); ok {
+		t.Fatal("subscription channel still open after manager Close")
+	}
+	if mgr.WatchAlerts(4) != nil {
+		t.Fatal("WatchAlerts on a closed manager returned a live subscription")
+	}
+}
+
+// A manager recovered over a MaxAlerts-trimmed store continues the
+// store's seq numbering: cursors from before the trim get an explicit
+// gap, cursors inside retained history resume exactly.
+func TestRecoveredManagerAlertCursor(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{MaxAlerts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 1; i <= 5; i++ {
+		ev := store.AlertEvent{Time: int64(i), Device: "d", Kind: "infection", Detail: fmt.Sprintf("a%d", i)}
+		if err := st.AppendAlert(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e := sim.NewEngine()
+	nw, err := netsim.New(e, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := func() uint64 { return uint64(e.Now()) }
+	col, err := NewSimCollector(nw, e, "hq", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManagerWith(ManagerConfig{
+		Engine: e, Collector: col, Clock: clock, Synchronous: true, Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	// Seqs 1..2 were trimmed; 3..5 are the retained tail.
+	if got := mgr.Alerts(); len(got) != 3 || got[0].Time != 3 || got[2].Time != 5 {
+		t.Fatalf("preloaded alerts = %+v, want times 3..5", got)
+	}
+	evs, gap := mgr.AlertsSince(0)
+	if !gap || len(evs) != 3 || evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("AlertsSince(0) = %+v gap=%v, want explicit gap + seqs 3..5", evs, gap)
+	}
+	// The cursor exactly at the trim boundary resumes without a gap.
+	evs, gap = mgr.AlertsSince(2)
+	if gap || len(evs) != 3 || evs[0].Seq != 3 {
+		t.Fatalf("AlertsSince(2) = %+v gap=%v, want seqs 3..5 without gap", evs, gap)
+	}
+	evs, gap = mgr.AlertsSince(4)
+	if gap || len(evs) != 1 || evs[0].Seq != 5 || evs[0].Detail != "a5" {
+		t.Fatalf("AlertsSince(4) = %+v gap=%v, want seq 5 only", evs, gap)
+	}
+	if evs, gap := mgr.AlertsSince(7); gap || evs != nil {
+		t.Fatalf("AlertsSince(beyond head) = %+v gap=%v, want empty without gap", evs, gap)
+	}
+}

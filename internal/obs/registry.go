@@ -281,7 +281,7 @@ func strconv(v float64) string {
 }
 
 // WritePrometheus renders every registered metric in the Prometheus text
-// exposition format, grouped by family in registration order with series
+// exposition format, grouped by family in sorted name order with series
 // sorted inside each family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
@@ -291,8 +291,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	metrics := append([]metric(nil), r.metrics...)
 	r.mu.Unlock()
 
-	// Group series into families by name, keeping first-registration order
-	// for families and sorting series within one deterministically.
+	// Group series into families by name. Families render in sorted name
+	// order, NOT first-registration order: with labeled series created on
+	// first touch from concurrent goroutines, registration order is a race
+	// outcome, and two scrapes of identical state must render identical
+	// bytes (modulo values) for diffing and content-hash dedup to work.
 	order := make([]string, 0, len(metrics))
 	families := make(map[string][]metric)
 	for _, m := range metrics {
@@ -301,6 +304,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		families[m.name] = append(families[m.name], m)
 	}
+	sort.Strings(order)
 	var b strings.Builder
 	for _, name := range order {
 		fam := families[name]

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -128,6 +129,116 @@ erasmus_verify_seconds_count 3
 `
 	if got := b.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionStableUnderConcurrentRegistration races first-touch
+// creation of labeled histogram series against observation and scraping:
+// every scrape must render families in sorted-name order with each
+// histogram's buckets ascending and cumulative counts monotone, and the
+// final exposition must be identical no matter which goroutine won each
+// registration race. (Before families were sorted, first-registration
+// order made the family sequence a race outcome.)
+func TestExpositionStableUnderConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	names := []string{
+		"obs_race_verify_seconds", "obs_race_apply_seconds",
+		"obs_race_collect_seconds", "obs_race_journal_seconds",
+	}
+	const workers, iters = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// First touch of each (family, label) series races across
+				// all workers.
+				name := names[(w+i)%len(names)]
+				h := r.Histogram(name, "raced family.",
+					[]float64{0.001, 0.01, 0.1},
+					Label{"shard", string(rune('0' + (w+i)%3))})
+				h.Observe(float64(i%50) * 1e-4)
+				if i%100 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+					checkExpositionOrder(t, b.String())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("two scrapes of quiescent state rendered different bytes")
+	}
+	checkExpositionOrder(t, b1.String())
+	// All four families, three shards each, must be present.
+	for _, name := range names {
+		for _, shard := range []string{"0", "1", "2"} {
+			series := name + `_count{shard="` + shard + `"}`
+			if !strings.Contains(b1.String(), series) {
+				t.Fatalf("missing series %s", series)
+			}
+		}
+	}
+}
+
+// checkExpositionOrder asserts the rendering invariants a scrape relies
+// on: TYPE lines in sorted family order, bucket le values ascending with
+// monotone cumulative counts within each series.
+func checkExpositionOrder(t *testing.T, text string) {
+	t.Helper()
+	lastFamily := ""
+	lastLe, lastCum := -1.0, uint64(0)
+	curSeries := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if name <= lastFamily {
+				t.Fatalf("family %q rendered after %q (not sorted)", name, lastFamily)
+			}
+			lastFamily = name
+			continue
+		}
+		i := strings.Index(line, "_bucket{")
+		if i < 0 {
+			continue
+		}
+		series := line[:strings.LastIndex(line, `le=`)]
+		if series != curSeries {
+			curSeries, lastLe, lastCum = series, -1.0, 0
+		}
+		var le float64
+		var cum uint64
+		rest := line[strings.Index(line, `le="`)+4:]
+		leStr := rest[:strings.Index(rest, `"`)]
+		if leStr == "+Inf" {
+			le = 1e308
+		} else {
+			if _, err := fmt.Sscanf(leStr, "%g", &le); err != nil {
+				t.Fatalf("unparseable le in %q: %v", line, err)
+			}
+		}
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &cum); err != nil {
+			t.Fatalf("unparseable count in %q: %v", line, err)
+		}
+		if le <= lastLe {
+			t.Fatalf("bucket order regressed in %q (le %v after %v)", line, le, lastLe)
+		}
+		if cum < lastCum {
+			t.Fatalf("cumulative count regressed in %q (%d after %d)", line, cum, lastCum)
+		}
+		lastLe, lastCum = le, cum
 	}
 }
 

@@ -1,0 +1,169 @@
+package obs
+
+import "sync"
+
+// Broker is a bounded fan-out hub for a stream of sequenced items: one
+// publisher (the fleet manager's verdict-apply path), any number of
+// subscribers, each with its own bounded buffer. Publish never blocks —
+// a slow consumer loses its *oldest* buffered item and has its gap flag
+// latched, so the channel keeps flowing and the consumer learns it must
+// heal by re-reading the backlog from its cursor (every item carries a
+// seq; the store/manager retain the authoritative history). This is the
+// slow-consumer contract of the streaming API: drop-with-gap-marker,
+// never publisher backpressure into the verification pipeline.
+//
+// All exported methods are nil-safe, matching the rest of the package: a
+// nil broker accepts publishes and hands out nil subscriptions whose
+// channel is nil (receives block forever; callers select on Done too).
+type Broker[T any] struct {
+	mu     sync.Mutex
+	subs   map[*Subscription[T]]struct{}
+	closed bool
+}
+
+// Subscription is one consumer's handle on a Broker.
+type Subscription[T any] struct {
+	b      *Broker[T]
+	ch     chan T
+	gapped bool
+	drops  uint64
+}
+
+// NewBroker builds an empty broker.
+func NewBroker[T any]() *Broker[T] {
+	return &Broker[T]{subs: make(map[*Subscription[T]]struct{})}
+}
+
+// Subscribe registers a consumer with a buffer of buf items (minimum 1:
+// the overflow protocol needs one slot it can always free). Returns nil
+// on a nil or closed broker.
+func (b *Broker[T]) Subscribe(buf int) *Subscription[T] {
+	if b == nil {
+		return nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	s := &Subscription[T]{b: b, ch: make(chan T, buf)}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// Publish fans v out to every subscriber. A full subscriber drops its
+// oldest buffered item (latching the gap flag) to make room — the new
+// item always lands, so a consumer draining an overflowing stream still
+// sees the freshest tail plus a gap signal, never a stalled channel.
+func (b *Broker[T]) Publish(v T) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	for s := range b.subs { //erasmus:allow(maporder) fan-out is order-free: each subscriber owns an independent channel and every one receives the same item
+		select {
+		case s.ch <- v:
+			continue
+		default:
+		}
+		// Buffer full. Only Publish ever sends (under b.mu), so freeing
+		// one slot guarantees the retry below succeeds; a concurrent
+		// consumer receive only makes more room.
+		select {
+		case <-s.ch:
+			s.gapped = true
+			s.drops++
+		default: // consumer drained it between the two selects
+		}
+		select {
+		case s.ch <- v:
+		default:
+		}
+	}
+}
+
+// Close shuts the broker: every subscriber's channel is closed (a
+// receive loop terminates) and future Subscribe/Publish are no-ops.
+func (b *Broker[T]) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		close(s.ch)
+		delete(b.subs, s)
+	}
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Broker[T]) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Ch is the subscription's receive channel. It is closed when the
+// subscription is cancelled or the broker closes; nil on a nil
+// subscription (receives block, so pair it with a context/done select).
+func (s *Subscription[T]) Ch() <-chan T {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// TakeGap reports whether the subscription dropped items since the last
+// call, clearing the flag. A true return means the consumer's next read
+// of its authoritative backlog (AlertsSince/EventsSince from its cursor)
+// is required for losslessness; buffered duplicates are then skipped by
+// seq.
+func (s *Subscription[T]) TakeGap() bool {
+	if s == nil {
+		return false
+	}
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	g := s.gapped
+	s.gapped = false
+	return g
+}
+
+// Drops returns the total items this subscription has dropped.
+func (s *Subscription[T]) Drops() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.drops
+}
+
+// Cancel removes the subscription from its broker and closes its
+// channel. Safe to call more than once and concurrently with Publish.
+func (s *Subscription[T]) Cancel() {
+	if s == nil {
+		return
+	}
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if _, ok := s.b.subs[s]; !ok {
+		return
+	}
+	delete(s.b.subs, s)
+	close(s.ch)
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// A subscriber that keeps up sees every published item in order, with no
+// gap flag.
+func TestBrokerDelivery(t *testing.T) {
+	b := NewBroker[int]()
+	s := b.Subscribe(8)
+	for i := 1; i <= 8; i++ {
+		b.Publish(i)
+	}
+	for i := 1; i <= 8; i++ {
+		if got := <-s.Ch(); got != i {
+			t.Fatalf("received %d, want %d", got, i)
+		}
+	}
+	if s.TakeGap() {
+		t.Fatal("in-budget delivery latched a gap")
+	}
+	if d := s.Drops(); d != 0 {
+		t.Fatalf("drops = %d, want 0", d)
+	}
+}
+
+// A slow subscriber loses the OLDEST buffered items — the freshest tail
+// always survives — and its gap flag latches until taken.
+func TestBrokerSlowConsumerDropsOldest(t *testing.T) {
+	b := NewBroker[int]()
+	s := b.Subscribe(3)
+	for i := 1; i <= 10; i++ {
+		b.Publish(i)
+	}
+	// Buffer of 3 after 10 publishes: items 8, 9, 10.
+	for want := 8; want <= 10; want++ {
+		if got := <-s.Ch(); got != want {
+			t.Fatalf("received %d, want %d (drop-oldest violated)", got, want)
+		}
+	}
+	if !s.TakeGap() {
+		t.Fatal("overflow did not latch the gap flag")
+	}
+	if s.TakeGap() {
+		t.Fatal("TakeGap did not clear the flag")
+	}
+	if d := s.Drops(); d != 7 {
+		t.Fatalf("drops = %d, want 7", d)
+	}
+}
+
+// Publish must never block, even with a dead subscriber, and Cancel mid
+// -publish must be safe.
+func TestBrokerPublishNeverBlocks(t *testing.T) {
+	b := NewBroker[int]()
+	dead := b.Subscribe(1)
+	live := b.Subscribe(1024)
+	for i := 0; i < 1000; i++ {
+		b.Publish(i)
+	}
+	dead.Cancel()
+	dead.Cancel() // idempotent
+	b.Publish(1000)
+	n := 0
+	for range live.Ch() {
+		n++
+		if n == 1001 {
+			break
+		}
+	}
+	if b.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1 after cancel", b.Subscribers())
+	}
+	b.Close()
+	if _, ok := <-live.Ch(); ok {
+		t.Fatal("channel still open after broker Close")
+	}
+	if b.Subscribe(4) != nil {
+		t.Fatal("Subscribe on a closed broker returned a live subscription")
+	}
+}
+
+// Nil broker and nil subscription are inert, like the rest of the
+// package.
+func TestBrokerNilSafety(t *testing.T) {
+	var b *Broker[int]
+	b.Publish(1)
+	b.Close()
+	if b.Subscribers() != 0 {
+		t.Fatal("nil broker has subscribers")
+	}
+	s := b.Subscribe(4)
+	if s != nil {
+		t.Fatal("nil broker handed out a subscription")
+	}
+	s.Cancel()
+	if s.TakeGap() || s.Drops() != 0 || s.Ch() != nil {
+		t.Fatal("nil subscription not inert")
+	}
+}
+
+// Concurrent publishers, subscribers and cancels under -race: the broker
+// must stay consistent and every subscriber channel must eventually
+// close.
+func TestBrokerConcurrency(t *testing.T) {
+	b := NewBroker[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b.Publish(base + i)
+			}
+		}(w * 10000)
+	}
+	var consumers sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		s := b.Subscribe(16)
+		consumers.Add(1)
+		go func(s *Subscription[int], cancelEarly bool) {
+			defer consumers.Done()
+			n := 0
+			for range s.Ch() {
+				n++
+				if cancelEarly && n == 50 {
+					s.Cancel()
+					return
+				}
+				s.TakeGap()
+			}
+		}(s, c%2 == 0)
+	}
+	wg.Wait()
+	b.Close()
+	consumers.Wait()
+}
+
+// The event log's cursor contract mirrors the store's: seqs assigned in
+// emission order, EventsSince resumes without gap inside the retained
+// ring and reports an explicit gap beyond it, and Watch delivers live
+// events in seq order.
+func TestEventLogSeqAndWatch(t *testing.T) {
+	l := NewEventLog(4)
+	sub := l.Watch(16)
+	for i := 0; i < 6; i++ {
+		l.Emit(Event{Subsystem: "test", Kind: "k"})
+	}
+	// Ring of 4 after 6 emits retains seqs 3..6.
+	evs, gap := l.EventsSince(0)
+	if !gap || len(evs) != 4 || evs[0].Seq != 3 || evs[3].Seq != 6 {
+		t.Fatalf("EventsSince(0) = %+v gap=%v, want gap + seqs 3..6", evs, gap)
+	}
+	evs, gap = l.EventsSince(4)
+	if gap || len(evs) != 2 || evs[0].Seq != 5 {
+		t.Fatalf("EventsSince(4) = %+v gap=%v, want seqs 5,6 without gap", evs, gap)
+	}
+	if evs, gap = l.EventsSince(6); gap || len(evs) != 0 {
+		t.Fatalf("EventsSince(head) = %+v gap=%v, want empty", evs, gap)
+	}
+	for want := uint64(1); want <= 6; want++ {
+		ev := <-sub.Ch()
+		if ev.Seq != want {
+			t.Fatalf("watched seq %d, want %d", ev.Seq, want)
+		}
+	}
+	sub.Cancel()
+
+	var nilLog *EventLog
+	if evs, gap := nilLog.EventsSince(0); evs != nil || gap {
+		t.Fatal("nil event log not inert")
+	}
+	if nilLog.Watch(4) != nil {
+		t.Fatal("nil event log handed out a subscription")
+	}
+}

@@ -131,6 +131,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 // stderr notes: machine-readable, bounded, and visible over /eventz while
 // the process is alive.
 type Event struct {
+	// Seq is the log-assigned monotone sequence number (1, 2, 3, … in
+	// emission order): the resumable cursor for /watch/events. Emit
+	// assigns it; caller-set values are overwritten.
+	Seq uint64 `json:"seq"`
 	// Tick is the virtual time of the event (0 when outside engine time).
 	Tick int64 `json:"tick"`
 	// Subsystem names the emitter (fleet, popsim, store, serve).
@@ -149,6 +153,7 @@ type EventLog struct {
 	buf   []Event
 	next  int
 	total uint64
+	brk   *Broker[Event] // lazily created on first Watch
 }
 
 // NewEventLog builds an event log retaining the last capacity events
@@ -160,19 +165,25 @@ func NewEventLog(capacity int) *EventLog {
 	return &EventLog{buf: make([]Event, 0, capacity)}
 }
 
-// Emit appends one event, overwriting the oldest at capacity.
+// Emit appends one event, overwriting the oldest at capacity, assigns
+// its sequence number (total emissions, 1-based), and fans it out to
+// watchers.
 func (l *EventLog) Emit(ev Event) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
+	l.total++
+	ev.Seq = l.total
 	if len(l.buf) < cap(l.buf) {
 		l.buf = append(l.buf, ev)
 	} else {
 		l.buf[l.next] = ev
 		l.next = (l.next + 1) % cap(l.buf)
 	}
-	l.total++
+	// Published under l.mu so watchers receive in seq order (the broker
+	// never blocks, so this costs one try-send per subscriber).
+	l.brk.Publish(ev)
 	l.mu.Unlock()
 }
 
@@ -197,6 +208,46 @@ func (l *EventLog) Total() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.total
+}
+
+// EventsSince returns the retained events with Seq > since, oldest
+// first. gap reports whether events in (since, first-retained) have been
+// overwritten by the ring: the consumer missed history it cannot read
+// back and should be told explicitly. A since at or beyond the newest
+// seq returns (nil, false).
+func (l *EventLog) EventsSince(since uint64) (events []Event, gap bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldest := l.total - uint64(len(l.buf)) // seq of last overwritten event
+	if since < oldest {
+		gap = true
+		since = oldest
+	}
+	if since >= l.total {
+		return nil, gap
+	}
+	ordered := make([]Event, 0, len(l.buf))
+	ordered = append(ordered, l.buf[l.next:]...)
+	ordered = append(ordered, l.buf[:l.next]...)
+	return append([]Event(nil), ordered[since-oldest:]...), gap
+}
+
+// Watch subscribes to live events with a buffer of buf items; cancel via
+// Subscription.Cancel. Returns nil on a nil log.
+func (l *EventLog) Watch(buf int) *Subscription[Event] {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.brk == nil {
+		l.brk = NewBroker[Event]()
+	}
+	brk := l.brk
+	l.mu.Unlock()
+	return brk.Subscribe(buf)
 }
 
 // WriteJSON dumps the retained events as one JSON document.

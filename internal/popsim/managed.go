@@ -67,6 +67,12 @@ type ManagedConfig struct {
 	UnreachableAfter int
 	// Synchronous verifies inline instead of through the pipeline.
 	Synchronous bool
+	// AdaptiveSchedule turns on the manager's per-device TC controller:
+	// collection periods tighten on aging/withheld evidence and transport
+	// failures, relax on sustained freshness and verifier backpressure,
+	// clamped to [TC/2, 2·TC] (see fleet.ManagerConfig.AdaptiveSchedule).
+	// Off by default: the base schedule stays bit-identical to prior runs.
+	AdaptiveSchedule bool
 	// Delta enables incremental collection: the manager keeps per-device
 	// watermarks and fetches + verifies only the records measured since
 	// the previous round (see fleet.ManagerConfig.Delta).
@@ -268,6 +274,7 @@ func (cfg *ManagedConfig) managerConfig(e *sim.Engine, col fleet.Collector, cloc
 		VerifyWorkers: cfg.VerifyWorkers, QueueDepth: cfg.QueueDepth,
 		UnreachableAfter: cfg.UnreachableAfter,
 		Synchronous:      cfg.Synchronous,
+		AdaptiveSchedule: cfg.AdaptiveSchedule,
 		Delta:            cfg.Delta,
 		Aggregate:        cfg.Aggregate,
 		Store:            st,

@@ -1,0 +1,240 @@
+// Package serve assembles the verifier's HTTP surface: the poll-style
+// observability endpoints (/metrics, /statusz, /tracez, /eventz,
+// /schedz), the liveness/readiness split (/livez, /readyz), and the
+// resumable streaming API (/watch/alerts, /watch/events).
+//
+// The streaming endpoints speak line-delimited JSON. Every alert and
+// event carries a monotone per-stream sequence number; a consumer
+// remembers the last seq it processed and reconnects with ?since=<seq>
+// to resume exactly where it left off — the backlog is replayed from
+// retained history and the live feed continues from there, with
+// duplicates suppressed at the seam. When history the consumer still
+// needs has been irrecoverably trimmed (a MaxAlerts-bounded store, the
+// event ring overwriting), the stream says so with an explicit gap
+// marker line {"gap":true,"since":S,"next":N} rather than silently
+// skipping: S is the cursor that can no longer be served, N the first
+// sequence number still available (0 when nothing is retained yet). A
+// slow consumer whose per-subscription buffer overflows is healed
+// transparently from retained history and only sees a gap marker if the
+// history is gone too.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"erasmus/internal/fleet"
+	"erasmus/internal/obs"
+)
+
+// Config assembles one verifier's HTTP surface. Manager is required;
+// everything else degrades gracefully when absent (an endpoint over a
+// nil feed serves the empty document).
+type Config struct {
+	// Manager is the fleet whose alerts, schedule and health are served.
+	Manager *fleet.Manager
+	// Registry backs /metrics.
+	Registry *obs.Registry
+	// Tracer backs /tracez.
+	Tracer *obs.Tracer
+	// Events backs /eventz and /watch/events.
+	Events *obs.EventLog
+	// Status, when set, contributes the "config" section of /statusz
+	// (typically the run configuration), re-evaluated per request.
+	Status func() any
+	// WatchBuffer sizes each watch subscription's channel (default 256).
+	// Overflow never loses data — the handler heals from retained
+	// history — it only costs the heal round trip.
+	WatchBuffer int
+}
+
+// NewMux builds the full HTTP surface over cfg.
+func NewMux(cfg Config) *http.ServeMux {
+	mgr := cfg.Manager
+	buf := cfg.WatchBuffer
+	if buf <= 0 {
+		buf = 256
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(cfg.Registry))
+
+	// Liveness and readiness are different questions: /livez answers "is
+	// the process serving HTTP" (always yes, by construction), /readyz
+	// answers "is the verifier a trustworthy source of verdicts" — no
+	// until durable state finished recovery (a sticky store/sink error
+	// fails it) AND the first collection round of this run has applied,
+	// so a scraper never reads a dashboard of all-healthy devices that
+	// simply have not been collected yet. /healthz keeps its historical
+	// durability-only meaning.
+	mux.Handle("/livez", obs.JSONHandler(func() any {
+		return map[string]any{"alive": true}
+	}))
+	mux.Handle("/readyz", obs.HealthHandler(func() (bool, any) {
+		h := mgr.Health()
+		ready := h.OK && mgr.Ready()
+		return ready, map[string]any{"ready": ready, "health": h}
+	}))
+	mux.Handle("/healthz", obs.HealthHandler(func() (bool, any) {
+		h := mgr.Health()
+		return h.OK, h
+	}))
+
+	mux.Handle("/statusz", obs.JSONHandler(func() any {
+		doc := map[string]any{
+			"health":  mgr.Health(),
+			"devices": mgr.Statuses(),
+		}
+		if cfg.Status != nil {
+			doc["config"] = cfg.Status()
+		}
+		return doc
+	}))
+	mux.Handle("/schedz", obs.JSONHandler(func() any {
+		return map[string]any{
+			"adaptive": mgr.AdaptiveEnabled(),
+			"devices":  mgr.Schedule(),
+		}
+	}))
+	mux.Handle("/tracez", obs.TraceHandler(cfg.Tracer))
+	mux.Handle("/eventz", obs.EventsHandler(cfg.Events))
+
+	mux.Handle("/watch/alerts", watchHandler(cursorSource[fleet.StreamedAlert]{
+		since: mgr.AlertsSince,
+		watch: func(n int) *obs.Subscription[fleet.StreamedAlert] { return mgr.WatchAlerts(n) },
+		seq:   func(sa fleet.StreamedAlert) uint64 { return sa.Seq },
+	}, buf))
+	mux.Handle("/watch/events", watchHandler(cursorSource[obs.Event]{
+		since: cfg.Events.EventsSince,
+		watch: func(n int) *obs.Subscription[obs.Event] { return cfg.Events.Watch(n) },
+		seq:   func(ev obs.Event) uint64 { return ev.Seq },
+	}, buf))
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// gapMarker is the explicit-discontinuity line of a watch stream.
+type gapMarker struct {
+	Gap bool `json:"gap"`
+	// Since is the consumer's cursor that can no longer be served.
+	Since uint64 `json:"since"`
+	// Next is the first sequence number still retained (0: none yet).
+	Next uint64 `json:"next,omitempty"`
+}
+
+// cursorSource abstracts a resumable feed: a backlog read keyed by
+// sequence cursor and a live subscription, with seq extraction.
+type cursorSource[T any] struct {
+	since func(uint64) ([]T, bool)
+	watch func(int) *obs.Subscription[T]
+	seq   func(T) uint64
+}
+
+// watchHandler streams a cursorSource as line-delimited JSON. The
+// protocol: replay the backlog after ?since (gap marker first if part of
+// it is gone), then follow the live feed; any slow-consumer drop is
+// healed by re-reading the backlog, with the seq cursor suppressing
+// duplicates at every seam. The stream ends when the client disconnects
+// or the feed closes.
+func watchHandler[T any](src cursorSource[T], buf int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur, err := parseSince(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sub := src.watch(buf)
+		if sub == nil {
+			http.Error(w, "stream unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		defer sub.Cancel()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Cache-Control", "no-cache")
+		fl, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+
+		emit := func(v T) bool {
+			if src.seq(v) <= cur {
+				return true // already delivered (backlog/live seam)
+			}
+			if err := enc.Encode(v); err != nil {
+				return false
+			}
+			cur = src.seq(v)
+			return true
+		}
+		// markedAt dedupes gap markers: one per cursor position, so a
+		// cursor stuck below a fully-trimmed history is not spammed.
+		markedAt, marked := uint64(0), false
+		backfill := func() bool {
+			items, gap := src.since(cur)
+			if gap && (!marked || markedAt != cur) {
+				m := gapMarker{Gap: true, Since: cur}
+				if len(items) > 0 {
+					m.Next = src.seq(items[0])
+				}
+				if err := enc.Encode(m); err != nil {
+					return false
+				}
+				marked, markedAt = true, cur
+			}
+			for _, v := range items {
+				if !emit(v) {
+					return false
+				}
+			}
+			return true
+		}
+
+		if !backfill() {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		ctx := r.Context()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v, ok := <-sub.Ch():
+				if !ok {
+					return // feed closed (manager shutting down)
+				}
+				// A latched drop or a seq jump means the channel lost
+				// items: heal from retained history before continuing.
+				if sub.TakeGap() || src.seq(v) > cur+1 {
+					if !backfill() {
+						return
+					}
+				}
+				if !emit(v) {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+		}
+	})
+}
+
+func parseSince(r *http.Request) (uint64, error) {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		return 0, nil
+	}
+	since, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad since cursor %q: %v", raw, err)
+	}
+	return since, nil
+}

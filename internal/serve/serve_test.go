@@ -1,0 +1,509 @@
+package serve_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"erasmus/internal/core"
+	"erasmus/internal/crypto/mac"
+	"erasmus/internal/fleet"
+	"erasmus/internal/hw/imx6"
+	"erasmus/internal/netsim"
+	"erasmus/internal/obs"
+	"erasmus/internal/serve"
+	"erasmus/internal/session"
+	"erasmus/internal/sim"
+	"erasmus/internal/store"
+)
+
+const alg = mac.KeyedBLAKE2s
+
+const (
+	svTM      = 60 * sim.Millisecond
+	svTC      = 240 * sim.Millisecond
+	svHorizon = 1100 * sim.Millisecond
+	svMidRun  = 600 * sim.Millisecond // two collection rounds in
+)
+
+// newTestFleet builds a two-device scenario that alerts on every
+// collection round: svc-00 is infected before its first measurement,
+// svc-01 is provisioned with a mismatched key (tamper). Four rounds by
+// svHorizon make eight alerts. The engine is driven by the caller.
+func newTestFleet(t *testing.T, mutate ...func(*fleet.ManagerConfig)) (*sim.Engine, *fleet.Manager) {
+	t.Helper()
+	e := sim.NewEngine()
+	nw, err := netsim.New(e, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := func() uint64 { return imx6.DefaultEpoch + uint64(e.Now()) }
+	col, err := fleet.NewSimCollector(nw, e, "hq", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleet.ManagerConfig{
+		Engine: e, Collector: col, Clock: clock, Synchronous: true,
+	}
+	for _, f := range mutate {
+		f(&cfg)
+	}
+	mgr, err := fleet.NewManagerWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, infected := range []bool{true, false} {
+		key := []byte(fmt.Sprintf("serve-device-key-%02d", i))
+		regKey := key
+		if !infected {
+			regKey = []byte("provisioning-mismatch")
+		}
+		dev, err := imx6.New(imx6.Config{
+			Engine: e, MemorySize: 256,
+			StoreSize: 8 * core.RecordSize(alg),
+			Key:       key,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := mac.HashSum(alg, dev.Memory())
+		if infected {
+			if err := dev.WriteMemory(0, []byte("resident implant")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched, err := core.NewRegularWithPhase(svTM, svTM/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProver(dev, core.ProverConfig{Alg: alg, Schedule: sched, Slots: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := fmt.Sprintf("svc-%02d", i)
+		if _, err := session.AttachProver(nw, e, addr, p, alg); err != nil {
+			t.Fatal(err)
+		}
+		err = mgr.Register(fleet.DeviceConfig{
+			Addr: addr, Key: regKey, Alg: alg,
+			QoA:          core.QoA{TM: svTM, TC: svTC},
+			GoldenHashes: [][]byte{golden},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+	}
+	return e, mgr
+}
+
+// watchLine decodes any line of a watch stream: a gap marker or an
+// alert/event payload.
+type watchLine struct {
+	Gap    bool   `json:"gap"`
+	Since  uint64 `json:"since"`
+	Next   uint64 `json:"next"`
+	Seq    uint64 `json:"seq"`
+	Time   int64  `json:"time"`
+	Device string `json:"device"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// streamConn is one watch-stream client: a background reader feeds
+// complete lines into a channel so tests can read with timeouts instead
+// of hanging on protocol bugs.
+type streamConn struct {
+	resp  *http.Response
+	lines chan string
+}
+
+func openStream(t *testing.T, url string) *streamConn {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	c := &streamConn{resp: resp, lines: make(chan string, 256)}
+	go func() {
+		rd := bufio.NewReader(resp.Body)
+		for {
+			line, err := rd.ReadString('\n')
+			if line != "" {
+				c.lines <- strings.TrimRight(line, "\n")
+			}
+			if err != nil {
+				close(c.lines)
+				return
+			}
+		}
+	}()
+	return c
+}
+
+func (c *streamConn) readLines(t *testing.T, n int) []watchLine {
+	t.Helper()
+	out := make([]watchLine, 0, n)
+	for len(out) < n {
+		select {
+		case raw, ok := <-c.lines:
+			if !ok {
+				t.Fatalf("stream closed after %d of %d lines", len(out), n)
+			}
+			var l watchLine
+			if err := json.Unmarshal([]byte(raw), &l); err != nil {
+				t.Fatalf("unparseable stream line %q: %v", raw, err)
+			}
+			out = append(out, l)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d of %d lines", len(out), n)
+		}
+	}
+	return out
+}
+
+func (c *streamConn) assertNoLine(t *testing.T) {
+	t.Helper()
+	select {
+	case raw, ok := <-c.lines:
+		if ok {
+			t.Fatalf("unexpected stream line %q", raw)
+		}
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func (c *streamConn) close() { c.resp.Body.Close() }
+
+// assertAlertLines checks that lines carry exactly alerts[0..] with
+// consecutive seqs starting at firstSeq.
+func assertAlertLines(t *testing.T, lines []watchLine, alerts []fleet.Alert, firstSeq uint64) {
+	t.Helper()
+	if len(lines) != len(alerts) {
+		t.Fatalf("stream delivered %d alerts, want %d", len(lines), len(alerts))
+	}
+	for i, l := range lines {
+		if l.Gap {
+			t.Fatalf("unexpected gap marker at position %d: %+v", i, l)
+		}
+		want := alerts[i]
+		if l.Seq != firstSeq+uint64(i) || l.Time != int64(want.Time) ||
+			l.Device != want.Device || l.Kind != string(want.Kind) || l.Detail != want.Detail {
+			t.Fatalf("line %d = %+v, want seq %d of %+v", i, l, firstSeq+uint64(i), want)
+		}
+	}
+}
+
+// The tentpole acceptance criterion, consumer side: a consumer killed
+// mid-stream reconnects with ?since=<last processed seq> and the
+// concatenation of both connections is line-for-line identical to an
+// uninterrupted consumer — and to Manager.Alerts() — with no losses and
+// no duplicates.
+func TestWatchAlertsKillAndReconnect(t *testing.T) {
+	e, mgr := newTestFleet(t)
+	defer mgr.Close()
+	ts := httptest.NewServer(serve.NewMux(serve.Config{Manager: mgr}))
+	defer ts.Close()
+
+	full := openStream(t, ts.URL+"/watch/alerts")
+	defer full.close()
+	victim := openStream(t, ts.URL+"/watch/alerts")
+
+	mgr.Start()
+	e.RunUntil(svMidRun)
+
+	// The victim processes three alerts, then dies mid-run.
+	head := victim.readLines(t, 3)
+	victim.close()
+	cursor := head[len(head)-1].Seq
+
+	e.RunUntil(svHorizon)
+	mgr.Stop()
+	mgr.Flush()
+	want := mgr.Alerts()
+	if len(want) < 6 {
+		t.Fatalf("scenario produced only %d alerts; it exercises nothing", len(want))
+	}
+
+	// Reconnect exactly where the victim left off.
+	resumed := openStream(t, fmt.Sprintf("%s/watch/alerts?since=%d", ts.URL, cursor))
+	defer resumed.close()
+	tail := resumed.readLines(t, len(want)-len(head))
+
+	uninterrupted := full.readLines(t, len(want))
+	assertAlertLines(t, uninterrupted, want, 1)
+
+	combined := append(append([]watchLine(nil), head...), tail...)
+	if !reflect.DeepEqual(combined, uninterrupted) {
+		t.Errorf("kill+reconnect stream diverges from uninterrupted:\ncombined:      %+v\nuninterrupted: %+v",
+			combined, uninterrupted)
+	}
+}
+
+// A consumer whose subscription buffer overflows (WatchBuffer 1, the
+// worst case) is healed from retained history: every alert still arrives
+// exactly once, in order, with no gap marker — nothing was trimmed, so
+// nothing was lost.
+func TestWatchAlertsSlowConsumerHealed(t *testing.T) {
+	e, mgr := newTestFleet(t)
+	defer mgr.Close()
+	ts := httptest.NewServer(serve.NewMux(serve.Config{Manager: mgr, WatchBuffer: 1}))
+	defer ts.Close()
+
+	c := openStream(t, ts.URL+"/watch/alerts")
+	defer c.close()
+
+	mgr.Start()
+	e.RunUntil(svHorizon)
+	mgr.Stop()
+	mgr.Flush()
+	want := mgr.Alerts()
+
+	lines := c.readLines(t, len(want))
+	assertAlertLines(t, lines, want, 1)
+}
+
+// A cursor pointing below the oldest retained alert (MaxAlerts trimmed
+// the history before this manager loaded) gets an explicit gap marker,
+// then the retained tail; a cursor inside retained history resumes
+// without one; a cursor beyond the head streams nothing.
+func TestWatchAlertsTrimmedHistoryGap(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{MaxAlerts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 1; i <= 5; i++ {
+		ev := store.AlertEvent{Time: int64(i), Device: "d", Kind: "infection", Detail: fmt.Sprintf("a%d", i)}
+		if err := st.AppendAlert(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, mgr := newTestFleetOverStore(t, st)
+	defer mgr.Close()
+	ts := httptest.NewServer(serve.NewMux(serve.Config{Manager: mgr}))
+	defer ts.Close()
+
+	c := openStream(t, ts.URL+"/watch/alerts")
+	lines := c.readLines(t, 4)
+	c.close()
+	if !lines[0].Gap || lines[0].Since != 0 || lines[0].Next != 3 {
+		t.Fatalf("first line = %+v, want gap marker since=0 next=3", lines[0])
+	}
+	for i, l := range lines[1:] {
+		if l.Gap || l.Seq != uint64(3+i) {
+			t.Fatalf("post-gap line %d = %+v, want seq %d", i, l, 3+i)
+		}
+	}
+
+	c = openStream(t, ts.URL+"/watch/alerts?since=4")
+	inRange := c.readLines(t, 1)
+	c.close()
+	if inRange[0].Gap || inRange[0].Seq != 5 || inRange[0].Detail != "a5" {
+		t.Fatalf("since=4 line = %+v, want seq 5 without gap", inRange[0])
+	}
+
+	beyond := openStream(t, ts.URL+"/watch/alerts?since=99")
+	beyond.assertNoLine(t)
+	beyond.close()
+}
+
+// newTestFleetOverStore builds a deviceless manager recovered over st.
+func newTestFleetOverStore(t *testing.T, st *store.Store) (*sim.Engine, *fleet.Manager) {
+	t.Helper()
+	e := sim.NewEngine()
+	nw, err := netsim.New(e, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := func() uint64 { return uint64(e.Now()) }
+	col, err := fleet.NewSimCollector(nw, e, "hq", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := fleet.NewManagerWith(fleet.ManagerConfig{
+		Engine: e, Collector: col, Clock: clock, Synchronous: true, Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mgr
+}
+
+// The event stream speaks the same cursor protocol: ring overwrites
+// surface as gap markers, in-ring cursors resume exactly, and live
+// events follow the backlog.
+func TestWatchEventsResume(t *testing.T) {
+	events := obs.NewEventLog(4)
+	_, mgr := newTestFleet(t)
+	defer mgr.Close()
+	ts := httptest.NewServer(serve.NewMux(serve.Config{Manager: mgr, Events: events}))
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		events.Emit(obs.Event{Subsystem: "test", Kind: "k", Detail: fmt.Sprintf("e%d", i+1)})
+	}
+
+	// Ring of 4 after 6 emits: seqs 1..2 overwritten.
+	c := openStream(t, ts.URL+"/watch/events")
+	lines := c.readLines(t, 5)
+	c.close()
+	if !lines[0].Gap || lines[0].Next != 3 {
+		t.Fatalf("first line = %+v, want gap marker next=3", lines[0])
+	}
+	for i, l := range lines[1:] {
+		if l.Gap || l.Seq != uint64(3+i) || l.Kind != "k" {
+			t.Fatalf("post-gap line %d = %+v, want seq %d", i, l, 3+i)
+		}
+	}
+
+	c = openStream(t, ts.URL+"/watch/events?since=4")
+	mid := c.readLines(t, 2)
+	c.close()
+	if mid[0].Seq != 5 || mid[1].Seq != 6 || mid[0].Gap {
+		t.Fatalf("since=4 lines = %+v, want seqs 5,6", mid)
+	}
+
+	// A caught-up consumer receives live emissions as they happen.
+	live := openStream(t, ts.URL+"/watch/events?since=6")
+	events.Emit(obs.Event{Subsystem: "test", Kind: "k", Detail: "e7"})
+	got := live.readLines(t, 1)
+	live.close()
+	if got[0].Seq != 7 || got[0].Detail != "e7" {
+		t.Fatalf("live line = %+v, want seq 7 detail e7", got[0])
+	}
+}
+
+// /livez answers for the process, /readyz for the verifier: ready only
+// once recovery is clean AND the first collection round has applied.
+// /schedz exposes the adaptive controller's per-device state.
+func TestReadinessAndSchedz(t *testing.T) {
+	e, mgr := newTestFleet(t, func(c *fleet.ManagerConfig) { c.AdaptiveSchedule = true })
+	defer mgr.Close()
+	ts := httptest.NewServer(serve.NewMux(serve.Config{Manager: mgr, Registry: obs.NewRegistry()}))
+	defer ts.Close()
+
+	if code := getStatus(t, ts.URL+"/livez"); code != http.StatusOK {
+		t.Errorf("/livez = %d before Start, want 200", code)
+	}
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d before the first round, want 503", code)
+	}
+
+	mgr.Start()
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d after Start but before any verdict, want 503", code)
+	}
+	e.RunUntil(svMidRun)
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d after a collection round, want 200", code)
+	}
+	if code := getStatus(t, ts.URL+"/livez"); code != http.StatusOK {
+		t.Errorf("/livez = %d mid-run, want 200", code)
+	}
+	if code := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+
+	var sched struct {
+		Adaptive bool                   `json:"adaptive"`
+		Devices  []fleet.DeviceSchedule `json:"devices"`
+	}
+	getJSON(t, ts.URL+"/schedz", &sched)
+	if !sched.Adaptive || len(sched.Devices) != 2 {
+		t.Fatalf("/schedz = %+v, want adaptive with 2 devices", sched)
+	}
+	for _, d := range sched.Devices {
+		if d.BaseTC != int64(svTC) {
+			t.Errorf("device %s base TC = %d, want %d", d.Addr, d.BaseTC, int64(svTC))
+		}
+	}
+
+	e.RunUntil(svHorizon)
+	mgr.Stop()
+	mgr.Flush()
+}
+
+// A stream outlives request plumbing but not the manager: Close ends
+// every open watch cleanly.
+func TestWatchEndsOnManagerClose(t *testing.T) {
+	e, mgr := newTestFleet(t)
+	ts := httptest.NewServer(serve.NewMux(serve.Config{Manager: mgr}))
+	defer ts.Close()
+
+	c := openStream(t, ts.URL+"/watch/alerts")
+	defer c.close()
+	mgr.Start()
+	e.RunUntil(svHorizon)
+	mgr.Stop()
+	mgr.Flush()
+	n := len(mgr.Alerts())
+	c.readLines(t, n)
+
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-c.lines:
+		if ok {
+			t.Fatal("stream delivered a line after manager Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after manager Close")
+	}
+
+	// New watches are refused once the manager is gone.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/watch/alerts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("watch on closed manager = %d, want 503", resp.StatusCode)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}

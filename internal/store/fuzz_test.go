@@ -73,19 +73,20 @@ func FuzzDecodeSnapshot(f *testing.F) {
 	}
 	devices[2].Watermark.Chain = []byte{0xD0, 0xD1, 0xD2, 0xD3, 0xD4, 0xD5}
 	alerts := []AlertEvent{{Time: 7, Device: "dev-000002", Kind: "infection", Detail: "wave"}}
-	f.Add(encodeSnapshot(3, 9, devices, alerts))
-	f.Add(encodeSnapshot(1, 1, nil, nil))
+	f.Add(encodeSnapshot(3, 9, 5, devices, alerts))
+	f.Add(encodeSnapshot(1, 1, 0, nil, nil))
 	f.Add([]byte(snapMagic))
 	f.Add([]byte{})
-	f.Add(append([]byte(snapMagic), make([]byte, 28)...))
+	f.Add(append([]byte(snapMagic), make([]byte, 36)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		img, err := decodeSnapshot(data)
 		if err != nil {
 			return
 		}
 		// Whatever survives the checksum must re-encode bit-identically
-		// (encodeSnapshot sorts by address; a valid image is sorted).
-		again := encodeSnapshot(img.seq, img.walSeq, img.devices, img.alerts)
+		// (encodeSnapshot sorts by address; a valid image is sorted, and
+		// per-alert seqs are positional so re-encoding drops them cleanly).
+		again := encodeSnapshot(img.seq, img.walSeq, img.alertHead, img.devices, img.alerts)
 		if string(again) != string(data) {
 			t.Fatalf("snapshot decode/encode not idempotent:\nin:  %x\nout: %x", data, again)
 		}

@@ -13,37 +13,43 @@ import (
 // at one instant —
 //
 //	magic | body | crc32c(body)
-//	body = seq u64 | walSeq u64 | nDevices u32 | entries | nAlerts u32 | alerts
+//	body = seq u64 | walSeq u64 | alertHead u64 | nDevices u32 | entries | nAlerts u32 | alerts
 //
 // walSeq is the sequence number of the first WAL segment *not* covered by
 // the snapshot: recovery loads the snapshot and replays segments ≥ walSeq.
-// Snapshots are written to a temp file, fsynced, and renamed into place,
-// so a crash mid-write leaves no half snapshot under the final name; a
-// trailing whole-body checksum rejects anything the filesystem still
-// managed to mangle, falling back to the previous snapshot.
+// alertHead is the sequence number of the newest alert ever appended; the
+// retained alerts are the contiguous tail head-n+1 … head (MaxAlerts only
+// ever trims the front), so per-alert seqs are derived positionally on
+// decode rather than stored. Snapshots are written to a temp file,
+// fsynced, and renamed into place, so a crash mid-write leaves no half
+// snapshot under the final name; a trailing whole-body checksum rejects
+// anything the filesystem still managed to mangle, falling back to the
+// previous snapshot.
 
-const snapMagic = "ERASNAP1"
+const snapMagic = "ERASNAP2"
 
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.snap", seq) }
 
 // snapshotImage is a decoded snapshot.
 type snapshotImage struct {
-	seq     uint64
-	walSeq  uint64
-	devices []DeviceState
-	alerts  []AlertEvent
-	bytes   int64
+	seq       uint64
+	walSeq    uint64
+	alertHead uint64
+	devices   []DeviceState
+	alerts    []AlertEvent
+	bytes     int64
 }
 
 // encodeSnapshot serializes the store's state. Devices are written in
 // sorted address order so identical state always produces identical bytes.
-func encodeSnapshot(seq, walSeq uint64, devices []DeviceState, alerts []AlertEvent) []byte {
+func encodeSnapshot(seq, walSeq, alertHead uint64, devices []DeviceState, alerts []AlertEvent) []byte {
 	sorted := append([]DeviceState(nil), devices...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
-	w := writer{b: make([]byte, 0, len(snapMagic)+24+len(sorted)*160)}
+	w := writer{b: make([]byte, 0, len(snapMagic)+32+len(sorted)*160)}
 	w.b = append(w.b, snapMagic...)
 	w.u64(seq)
 	w.u64(walSeq)
+	w.u64(alertHead)
 	w.u32(uint32(len(sorted)))
 	for _, st := range sorted {
 		w.b = append(w.b, encodeSnapshotEntry(st)...)
@@ -65,7 +71,7 @@ func encodeSnapshot(seq, walSeq uint64, devices []DeviceState, alerts []AlertEve
 // decodeSnapshot parses and checksum-validates a snapshot image.
 func decodeSnapshot(data []byte) (snapshotImage, error) {
 	var img snapshotImage
-	if len(data) < len(snapMagic)+24+4 || string(data[:len(snapMagic)]) != snapMagic {
+	if len(data) < len(snapMagic)+32+4 || string(data[:len(snapMagic)]) != snapMagic {
 		return img, fmt.Errorf("store: not a snapshot (%d bytes)", len(data))
 	}
 	body := data[len(snapMagic) : len(data)-4]
@@ -76,6 +82,7 @@ func decodeSnapshot(data []byte) (snapshotImage, error) {
 	r := reader{b: body}
 	img.seq = r.u64()
 	img.walSeq = r.u64()
+	img.alertHead = r.u64()
 	nDev := int(r.u32())
 	if r.err != nil || nDev < 0 || nDev > len(body)/3 {
 		return img, errCorrupt
@@ -97,9 +104,16 @@ func decodeSnapshot(data []byte) (snapshotImage, error) {
 	if r.err != nil || nAl < 0 || nAl > len(body)/8 {
 		return img, errCorrupt
 	}
+	// Retained alerts are the contiguous tail of the stream: derive their
+	// seqs from the head positionally. A head smaller than the retained
+	// count cannot have been produced by encodeSnapshot.
+	if uint64(nAl) > img.alertHead {
+		return snapshotImage{}, fmt.Errorf("store: snapshot alert head %d < retained count %d", img.alertHead, nAl)
+	}
 	img.alerts = make([]AlertEvent, 0, nAl)
 	for i := 0; i < nAl; i++ {
 		var ev AlertEvent
+		ev.Seq = img.alertHead - uint64(nAl) + uint64(i) + 1
 		ev.Time = r.i64()
 		ev.Device = r.str()
 		ev.Kind = r.str()

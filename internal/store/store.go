@@ -59,8 +59,14 @@ type DeviceState struct {
 	Collections    int
 }
 
-// AlertEvent is one persisted fleet alert.
+// AlertEvent is one persisted fleet alert. Seq is the store-assigned
+// monotone sequence number (1, 2, 3, … in append order): the resumable
+// cursor of the streaming API. Seq is positional, not persisted per
+// record — WAL replay re-derives identical numbers because alerts replay
+// in append order, and a snapshot carries the head so trimmed history
+// keeps its numbering. Callers never set it; AppendAlert assigns.
 type AlertEvent struct {
+	Seq    uint64
 	Time   int64
 	Device string
 	Kind   string
@@ -130,6 +136,9 @@ type Store struct {
 
 	devices map[string]DeviceState
 	alerts  []AlertEvent
+	// alertHead is the sequence number of the newest alert ever appended
+	// (retained or not); alerts[i].Seq == alertHead - len(alerts) + 1 + i.
+	alertHead uint64
 
 	seg         *segmentWriter
 	closedBytes int64 // bytes in closed-but-live segments
@@ -183,6 +192,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			s.devices[st.Addr] = st
 		}
 		s.alerts = append(s.alerts, img.alerts...)
+		s.alertHead = img.alertHead
 		s.snapSeq = img.seq
 		s.snapBytes = img.bytes
 		walStart = img.walSeq
@@ -321,6 +331,12 @@ func (s *Store) apply(rec walRecord) {
 		st.Watermark, st.HasWatermark = wm, hasWM
 		s.devices[rec.device] = st
 	case recAlert:
+		// Sequence numbers are positional: the Nth alert ever applied is
+		// seq N, whether it arrives from AppendAlert or WAL replay (replay
+		// preserves append order, so a recovered store re-derives the
+		// exact numbering of the run that crashed).
+		s.alertHead++
+		rec.alert.Seq = s.alertHead
 		s.alerts = append(s.alerts, rec.alert)
 		if s.opts.MaxAlerts > 0 && len(s.alerts) > s.opts.MaxAlerts {
 			// Re-slicing keeps memory bounded at ~2× the window: append
@@ -467,8 +483,11 @@ func (s *Store) PutStatus(st DeviceState) error {
 	return s.append(encodeStatus(st))
 }
 
-// AppendAlert journals one alert event.
+// AppendAlert journals one alert event. Any caller-set Seq is ignored:
+// the store assigns the next monotone sequence number (readable back via
+// Alerts/AlertsSince).
 func (s *Store) AppendAlert(ev AlertEvent) error {
+	ev.Seq = 0
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.apply(walRecord{kind: recAlert, alert: ev})
@@ -500,6 +519,35 @@ func (s *Store) Alerts() []AlertEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]AlertEvent(nil), s.alerts...)
+}
+
+// AlertHead returns the sequence number of the newest alert ever
+// appended (0 = none yet). It counts trimmed history too: with
+// MaxAlerts set, AlertHead may exceed the Seq range returned by Alerts.
+func (s *Store) AlertHead() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alertHead
+}
+
+// AlertsSince returns the retained alerts with Seq > since, in append
+// order. gap reports whether alerts in (since, first-retained) have been
+// trimmed away (MaxAlerts): the caller missed events it can never read
+// back and should surface an explicit gap marker rather than silently
+// skipping. A since at or beyond the head returns (nil, false).
+func (s *Store) AlertsSince(since uint64) (alerts []AlertEvent, gap bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldest := s.alertHead - uint64(len(s.alerts)) // seq of last trimmed alert
+	if since < oldest {
+		gap = true
+		since = oldest
+	}
+	if since >= s.alertHead {
+		return nil, gap
+	}
+	start := int(since - oldest)
+	return append([]AlertEvent(nil), s.alerts[start:]...), gap
 }
 
 // Stats reports the store's footprint.
@@ -583,7 +631,7 @@ func (s *Store) snapshotLocked() error {
 		devices = append(devices, st)
 	}
 	newSeq := s.snapSeq + 1
-	data := encodeSnapshot(newSeq, covered+1, devices, s.alerts)
+	data := encodeSnapshot(newSeq, covered+1, s.alertHead, devices, s.alerts)
 	if err := writeSnapshotFile(s.dir, newSeq, data); err != nil {
 		return s.fail(err)
 	}

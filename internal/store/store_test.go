@@ -547,4 +547,82 @@ func TestMaxAlertsBoundsRetention(t *testing.T) {
 	if got := r.Alerts(); len(got) != 3 || got[0].Time != 5 {
 		t.Fatalf("recovered %+v, want the newest 3", got)
 	}
+	// Trimming never renumbers: the retained tail keeps seqs 6..8 through
+	// snapshot + recovery, and the head counts the trimmed history too.
+	if got := r.Alerts(); got[0].Seq != 6 || got[2].Seq != 8 {
+		t.Fatalf("recovered seqs %+v, want 6..8", got)
+	}
+	if head := r.AlertHead(); head != 8 {
+		t.Fatalf("AlertHead = %d, want 8", head)
+	}
+	// A cursor that predates the retained window reports an explicit gap.
+	tail, gap := r.AlertsSince(2)
+	if !gap || len(tail) != 3 || tail[0].Seq != 6 {
+		t.Fatalf("AlertsSince(2) = %+v gap=%v, want gap + seqs 6..8", tail, gap)
+	}
+}
+
+// ---- streaming cursor semantics (ISSUE 10) --------------------------------
+
+// Sequence numbers are assigned in append order starting at 1, survive WAL
+// replay positionally, and AlertsSince implements the resume contract: no
+// gap inside the retained window, explicit gap beyond it, empty result at
+// or past the head.
+func TestAlertSeqAndAlertsSince(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.AppendAlert(AlertEvent{Time: int64(100 + i), Device: "d", Kind: "tamper"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alerts := s.Alerts()
+	for i, ev := range alerts {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("alert %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+
+	tail, gap := s.AlertsSince(0)
+	if gap || len(tail) != 5 || tail[0].Seq != 1 {
+		t.Fatalf("AlertsSince(0) = %+v gap=%v, want all 5 without gap", tail, gap)
+	}
+	tail, gap = s.AlertsSince(3)
+	if gap || len(tail) != 2 || tail[0].Seq != 4 || tail[1].Seq != 5 {
+		t.Fatalf("AlertsSince(3) = %+v gap=%v, want seqs 4,5 without gap", tail, gap)
+	}
+	// At the head and beyond it: nothing new, and no gap — the caller has
+	// simply seen everything (a stale over-large cursor is their bug, not
+	// a trimming event).
+	if tail, gap = s.AlertsSince(5); gap || len(tail) != 0 {
+		t.Fatalf("AlertsSince(head) = %+v gap=%v, want empty", tail, gap)
+	}
+	if tail, gap = s.AlertsSince(99); gap || len(tail) != 0 {
+		t.Fatalf("AlertsSince(beyond head) = %+v gap=%v, want empty", tail, gap)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pure WAL replay re-derives identical numbering, and appending after
+	// recovery continues the sequence rather than restarting it.
+	r := mustOpen(t, dir, Options{})
+	defer r.Close()
+	got := r.Alerts()
+	if len(got) != 5 || got[0].Seq != 1 || got[4].Seq != 5 {
+		t.Fatalf("recovered seqs %+v, want 1..5", got)
+	}
+	if err := r.AppendAlert(AlertEvent{Time: 200, Device: "d", Kind: "tamper"}); err != nil {
+		t.Fatal(err)
+	}
+	if head := r.AlertHead(); head != 6 {
+		t.Fatalf("post-recovery append got head %d, want 6", head)
+	}
+	// Caller-set Seq on AppendAlert is ignored, not trusted.
+	if err := r.AppendAlert(AlertEvent{Seq: 999, Time: 201, Device: "d", Kind: "tamper"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Alerts(); got[len(got)-1].Seq != 7 {
+		t.Fatalf("caller-set seq leaked through: %+v", got[len(got)-1])
+	}
 }
